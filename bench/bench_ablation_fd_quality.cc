@@ -1,0 +1,101 @@
+// Experiment AB1 — ablation: what does detector quality buy the UDC
+// protocols, and what does it cost?  For each (detector class, drop rate)
+// we measure, over a fixed crash-plan sweep:
+//   - UDC verdict
+//   - messages sent (protocol chatter)
+//   - mean/max completion latency: init_p(α) -> last correct do(α)
+// Paper-shape expectations: better detectors do not speed up the failure-
+// free path (latency is handshake-bound), but they are what makes the
+// crashy runs terminate at all; message cost grows with drop rate and with
+// retransmission pressure, not with detector quality.
+#include <algorithm>
+
+#include "bench_util.h"
+
+#include "udc/coord/metrics.h"
+#include "udc/coord/udc_atd.h"
+#include "udc/coord/udc_generalized.h"
+#include "udc/coord/udc_majority.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/atd.h"
+
+namespace udc::bench {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 700;
+constexpr Time kGrace = 250;
+
+// Completion accounting via coord/metrics.h (the library form of what this
+// bench originally hand-rolled).
+void row(const char* label, const OracleFactory& oracle,
+         const ProtocolFactory& protocol, double drop, bool expect_udc,
+         int t = kN - 1) {
+  SimConfig sim;
+  sim.n = kN;
+  sim.horizon = kHorizon;
+  sim.channel.drop_prob = drop;
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  auto plans = all_crash_plans_up_to(kN, t, 25, 140);
+  SystemStats stats;
+  System sys =
+      generate_system(sim, plans, workload, oracle, protocol, 2, &stats);
+  CoordinationMetrics lat = measure_coordination(sys, actions);
+  bool udc = check_udc(sys, actions, kGrace).achieved();
+  std::printf("  %-34s drop=%.1f UDC=%-8s msgs=%-7zu lat(mean/max)="
+              "%5.1f/%-4lld done=%zu/%zu %s\n",
+              label, drop, verdict(udc), stats.messages_sent,
+              lat.mean_latency, static_cast<long long>(lat.max_latency),
+              lat.completed, lat.initiated,
+              udc == expect_udc ? "" : "[UNEXPECTED]");
+}
+
+void run() {
+  std::printf("Ablation AB1: detector quality vs UDC protocol cost "
+              "(n=%d, t=n-1 sweep)\n", kN);
+  for (double drop : {0.0, 0.3, 0.5}) {
+    heading("drop = " + std::to_string(drop).substr(0, 3));
+    row("perfect FD + ack protocol",
+        [] { return std::make_unique<PerfectOracle>(4); },
+        [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); },
+        drop, true);
+    row("strong FD (noisy) + ack protocol",
+        [] { return std::make_unique<StrongOracle>(4, 0.2); },
+        [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); },
+        drop, true);
+    row("impermanent-strong + ack protocol",
+        [] { return std::make_unique<ImpermanentStrongOracle>(4); },
+        [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); },
+        drop, true);
+    row("t-useful generalized + Prop 4.1",
+        [] { return std::make_unique<TUsefulOracle>(kN - 1, 4, 1); },
+        [](ProcessId) {
+          return std::make_unique<UdcGeneralizedProcess>(kN - 1);
+        },
+        drop, true);
+    row("ATD rotating FD + current-gate",
+        [] { return std::make_unique<AtdOracle>(6); },
+        [](ProcessId) { return std::make_unique<UdcAtdProcess>(); }, drop,
+        true, /*t=*/1);
+    row("majority echo, no FD (t<n/2)", nullptr,
+        [](ProcessId) { return std::make_unique<UdcMajorityProcess>(); },
+        drop, true, /*t=*/(kN - 1) / 2);
+    row("no FD (control)", nullptr,
+        [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); },
+        drop, false);
+  }
+  std::printf("\nShape: all real detectors achieve UDC at every drop rate; "
+              "message cost scales with loss, latency with retransmission "
+              "round-trips; noisier accuracy shortens crashy-run latency "
+              "slightly (suspicion substitutes for a missing ack) at no "
+              "spec cost.\n");
+}
+
+}  // namespace
+}  // namespace udc::bench
+
+int main() {
+  udc::bench::run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment P2.1/P2.2 — failure-detector conversions:
+//   Prop 2.1: weak (resp. impermanent-weak) -> strong (resp.
+//             impermanent-strong) completeness, via suspicion gossip.
+//   Prop 2.2: impermanent-strong -> strong, by accumulating reports.
+// Both preserve accuracy.  We print the property profile before and after
+// each conversion over a crash-plan sweep.
+#include "bench_util.h"
+
+#include "udc/coord/nudc_protocol.h"
+#include "udc/fd/convert.h"
+
+namespace udc::bench {
+namespace {
+
+constexpr int kN = 5;
+constexpr Time kHorizon = 320;
+constexpr Time kGrace = 120;
+
+System gossip_system(const OracleFactory& oracle) {
+  SimConfig sim;
+  sim.n = kN;
+  sim.horizon = kHorizon;
+  sim.channel.drop_prob = 0.25;
+  auto plans = all_crash_plans_up_to(kN, kN - 1, 25, 120);
+  return generate_system(sim, plans, {}, oracle, [](ProcessId) {
+    return std::make_unique<SuspicionGossiper>();
+  }, 1);
+}
+
+void report_line(const char* label, const FdPropertyReport& rep) {
+  std::printf("  %-34s %-18s | %s\n", label,
+              fd_class_name(strongest_class(rep)), rep.summary().c_str());
+}
+
+void run() {
+  std::printf("Props 2.1 / 2.2: detector conversions preserve accuracy and "
+              "upgrade completeness (n=%d, %zu-plan sweep)\n", kN,
+              all_crash_plans_up_to(kN, kN - 1, 25, 120).size());
+
+  heading("Prop 2.2: impermanent-strong -> strong (report accumulation)");
+  {
+    System sys = gossip_system(
+        [] { return std::make_unique<ImpermanentStrongOracle>(4); });
+    report_line("before", check_fd_properties(sys, kGrace));
+    System converted = convert_impermanent_to_permanent(sys);
+    report_line("after", check_fd_properties(converted, kGrace));
+  }
+
+  heading("Prop 2.1: weak -> strong (suspicion gossip)");
+  {
+    System sys =
+        gossip_system([] { return std::make_unique<WeakOracle>(4, 0.1); });
+    report_line("before", check_fd_properties(sys, kGrace));
+    System converted = convert_weak_to_strong_via_gossip(sys);
+    report_line("after", check_fd_properties(converted, kGrace));
+  }
+
+  heading("Prop 2.1 + 2.2 composed: impermanent-weak -> strong");
+  {
+    System sys = gossip_system(
+        [] { return std::make_unique<ImpermanentWeakOracle>(4); });
+    report_line("before", check_fd_properties(sys, kGrace));
+    System converted = convert_weak_to_strong_via_gossip(sys);
+    report_line("after", check_fd_properties(converted, kGrace));
+  }
+
+  heading("control: conversions cannot mint accuracy");
+  {
+    // A strong detector with false suspicions stays merely strong: the
+    // conversions upgrade completeness, never accuracy.
+    System sys =
+        gossip_system([] { return std::make_unique<StrongOracle>(4, 0.5); });
+    report_line("before (strong, noisy)", check_fd_properties(sys, kGrace));
+    System converted = convert_weak_to_strong_via_gossip(sys);
+    report_line("after", check_fd_properties(converted, kGrace));
+  }
+}
+
+}  // namespace
+}  // namespace udc::bench
+
+int main() {
+  udc::bench::run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Experiment AB4 — the measured Chandra-Toueg detector lattice.
+//
+// For every oracle udckit ships, generate a crash-plan sweep and print the
+// lattice class the property checkers certify, next to the class the
+// oracle advertises.  This is the verification matrix behind every other
+// experiment's "with a detector of class X" claim — oracles construct,
+// checkers verify, and this bench is where the two meet in one table.
+#include "bench_util.h"
+
+#include "udc/fd/convert.h"
+#include "udc/fd/lattice.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/fd/quality.h"
+
+namespace udc::bench {
+namespace {
+
+constexpr int kN = 5;
+constexpr Time kHorizon = 320;
+constexpr Time kGrace = 100;
+
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+System oracle_system(const OracleFactory& oracle, bool gossip) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.2;
+  auto plans = all_crash_plans_up_to(kN, kN - 1, 30, 140);
+  ProtocolFactory protocol =
+      gossip ? ProtocolFactory([](ProcessId) {
+        return std::make_unique<SuspicionGossiper>(
+            SuspicionGossiper::Mode::kCurrent);
+      })
+             : ProtocolFactory([](ProcessId) {
+                 return std::make_unique<IdleProcess>();
+               });
+  return generate_system(cfg, plans, {}, oracle, protocol, 1);
+}
+
+void row(const char* name, const char* advertised,
+         const OracleFactory& oracle) {
+  System sys = oracle_system(oracle, false);
+  CtLatticeClass got = classify_ct(sys, kGrace);
+  FdQuality q = measure_fd_quality(sys);
+  std::printf("  %-30s adv=%-7s measured=%-12s lat(mean/max)=%4.1f/%-3lld "
+              "fp=%.3f missed=%zu\n",
+              name, advertised, ct_class_name(got), q.mean_detection_latency,
+              static_cast<long long>(q.max_detection_latency),
+              q.false_positive_rate, q.missed);
+}
+
+void run() {
+  std::printf("AB4: the measured CT96 detector lattice (n=%d, %zu-plan "
+              "sweep, drop 0.2)\n", kN,
+              all_crash_plans_up_to(kN, kN - 1, 30, 140).size());
+  std::printf("\n              strong acc    weak acc    ev-strong    "
+              "ev-weak\n  strong comp      P            S          <>P"
+              "          <>S\n  weak comp        Q            W          <>Q"
+              "          <>W\n\n");
+  row("PerfectOracle", "P",
+      [] { return std::make_unique<PerfectOracle>(4); });
+  row("StrongOracle(noise 0.4)", "S",
+      [] { return std::make_unique<StrongOracle>(4, 0.4); });
+  row("QOracle (weak, no noise)", "Q",
+      [] { return std::make_unique<QOracle>(4, 0.0); });
+  row("WeakOracle(noise 0.4)", "W",
+      [] { return std::make_unique<WeakOracle>(4, 0.4); });
+  row("EventuallyStrongOracle", "<>P",
+      [] { return std::make_unique<EventuallyStrongOracle>(4, 60, 0.5); });
+  row("EventuallyWeakOracle", "<>Q",
+      [] { return std::make_unique<EventuallyWeakOracle>(4, 60, 0.5); });
+  row("ImpermanentStrongOracle", "none*",
+      [] { return std::make_unique<ImpermanentStrongOracle>(4); });
+
+  std::printf("\n(* impermanent completeness is outside the CT96 lattice — "
+              "the paper's §2.2 extension; Prop 2.2 lifts it to S-column "
+              "classes, below.)\n");
+
+  heading("conversions move classes up the lattice");
+  {
+    System sys = oracle_system(
+        [] { return std::make_unique<EventuallyWeakOracle>(4, 60, 0.5); },
+        /*gossip=*/true);
+    CtLatticeClass before = classify_ct(sys, kGrace);
+    System conv = convert_eventually_weak_to_strong(sys);
+    CtLatticeClass after = classify_ct(conv, kGrace);
+    std::printf("  <>-gossip conversion: %-12s -> %s\n",
+                ct_class_name(before), ct_class_name(after));
+  }
+  {
+    System sys = oracle_system(
+        [] { return std::make_unique<ImpermanentStrongOracle>(4); }, false);
+    System conv = convert_impermanent_to_permanent(sys);
+    std::printf("  Prop 2.2 accumulation:  %-12s -> %s\n",
+                ct_class_name(classify_ct(sys, kGrace)),
+                ct_class_name(classify_ct(conv, kGrace)));
+  }
+}
+
+}  // namespace
+}  // namespace udc::bench
+
+int main() {
+  udc::bench::run();
+  return 0;
+}

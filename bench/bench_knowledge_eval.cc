@@ -1,0 +1,138 @@
+// Experiment AB2 — microbenchmarks of the knowledge machinery: system
+// indexing, K_p evaluation, knowledge-based suspicion extraction, and the
+// f(r) construction, as functions of system size and horizon.  These bound
+// the cost of the Theorem 3.6/4.3 pipelines.
+#include <benchmark/benchmark.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/kt/knowledge_fd.h"
+#include "udc/kt/simulate_fd.h"
+#include "udc/logic/eval.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+System make_system(int n, Time horizon, int seeds) {
+  SimConfig sim;
+  sim.n = n;
+  sim.horizon = horizon;
+  sim.channel.drop_prob = 0.25;
+  auto workload = make_workload(n, 1, 4, 6);
+  auto plans = all_crash_plans_up_to(n, n - 1, 15, horizon / 3);
+  return generate_system(
+      sim, plans, workload, [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, seeds);
+}
+
+void BM_SystemIndexBuild(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Time horizon = state.range(1);
+  // Pre-generate runs once; measure System construction (the index build).
+  SimConfig sim;
+  sim.n = n;
+  sim.horizon = horizon;
+  sim.channel.drop_prob = 0.25;
+  auto workload = make_workload(n, 1, 4, 6);
+  auto plans = all_crash_plans_up_to(n, n - 1, 15, horizon / 3);
+  std::vector<Run> runs;
+  std::uint64_t seed = 1;
+  for (const CrashPlan& plan : plans) {
+    SimConfig cfg = sim;
+    cfg.seed = seed++;
+    PerfectOracle oracle(4);
+    runs.push_back(simulate(cfg, plan, &oracle, workload, [](ProcessId) {
+                     return std::make_unique<UdcStrongFdProcess>();
+                   }).run);
+  }
+  for (auto _ : state) {
+    std::vector<Run> copy = runs;
+    System sys(std::move(copy));
+    benchmark::DoNotOptimize(sys.size());
+  }
+  state.SetLabel(std::to_string(runs.size()) + " runs");
+}
+BENCHMARK(BM_SystemIndexBuild)
+    ->Args({3, 120})
+    ->Args({4, 120})
+    ->Args({4, 240})
+    ->Args({5, 120});
+
+void BM_KnowledgeEval(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  System sys = make_system(n, 150, 1);
+  ModelChecker mc(sys);
+  ActionId alpha = make_action(0, 0);
+  // Nested-knowledge formula, evaluated over all points; the memo cache is
+  // shared across iterations, so this measures the amortized query rate.
+  auto phi = f_knows(1, f_eventually(f_or(f_knows(0, f_init(0, alpha)),
+                                          f_crash(0))));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Point at{i % sys.size(),
+             static_cast<Time>((i * 13) % (sys.run(0).horizon() + 1))};
+    benchmark::DoNotOptimize(mc.holds_at(at, phi));
+    ++i;
+  }
+}
+BENCHMARK(BM_KnowledgeEval)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_KnownCrashedExtraction(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  System sys = make_system(n, 150, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Point at{i % sys.size(),
+             static_cast<Time>((i * 7) % (sys.run(0).horizon() + 1))};
+    benchmark::DoNotOptimize(
+        known_crashed(sys, at, static_cast<ProcessId>(i % n)));
+    ++i;
+  }
+}
+BENCHMARK(BM_KnownCrashedExtraction)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_BuildRf(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  System sys = make_system(n, 120, 1);
+  for (auto _ : state) {
+    System rf = build_rf(sys);
+    benchmark::DoNotOptimize(rf.size());
+  }
+}
+BENCHMARK(BM_BuildRf)->Arg(3)->Arg(4);
+
+void BM_BuildRfPrime(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  System sys = make_system(n, 120, 1);
+  for (auto _ : state) {
+    System rfp = build_rf_prime(sys);
+    benchmark::DoNotOptimize(rfp.size());
+  }
+}
+BENCHMARK(BM_BuildRfPrime)->Arg(3)->Arg(4);
+
+void BM_SimulateRun(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SimConfig sim;
+  sim.n = n;
+  sim.horizon = 400;
+  sim.channel.drop_prob = 0.3;
+  auto workload = make_workload(n, 1, 5, 7);
+  CrashPlan plan = make_crash_plan(n, {{0, 40}});
+  for (auto _ : state) {
+    PerfectOracle oracle(4);
+    SimResult res = simulate(sim, plan, &oracle, workload, [](ProcessId) {
+      return std::make_unique<UdcStrongFdProcess>();
+    });
+    benchmark::DoNotOptimize(res.run.horizon());
+  }
+}
+BENCHMARK(BM_SimulateRun)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace udc
+
+BENCHMARK_MAIN();

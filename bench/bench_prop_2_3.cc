@@ -1,0 +1,68 @@
+// Experiment P2.3 — Proposition 2.3: the flooding protocol attains nUDC
+// under fair-lossy channels with NO failure detector and NO bound on
+// failures — and, pointedly, does NOT attain UDC once a performer can crash
+// before its messages escape.
+//
+// Sweep: n in {4, 6}, drop rate 0 .. 0.7, all crash plans up to t = n.
+// Paper-shape: nUDC ACHIEVED everywhere; the adversarial column exhibits
+// the uniformity gap (UDC VIOLATED, nUDC intact).
+#include "bench_util.h"
+
+#include "udc/coord/nudc_protocol.h"
+
+namespace udc::bench {
+namespace {
+
+void run() {
+  std::printf("Prop 2.3: nUDC by flooding — no FD, unreliable channels, "
+              "any number of failures\n");
+  for (int n : {4, 6}) {
+    heading(("n = " + std::to_string(n)).c_str());
+    for (double drop : {0.0, 0.3, 0.5, 0.7}) {
+      CoordSweep cfg;
+      cfg.n = n;
+      cfg.drop = drop;
+      cfg.horizon = drop >= 0.5 ? 800 : 500;
+      cfg.grace = drop >= 0.5 ? 300 : 180;
+      // t = n: runs where everyone crashes are included.
+      auto out = run_coord_sweep(cfg, n, nullptr, [](ProcessId) {
+        return std::make_unique<NUdcProcess>();
+      });
+      char label[64];
+      std::snprintf(label, sizeof label, "drop=%.1f t=n", drop);
+      std::printf("  %-20s runs=%-4zu msgs=%-8zu nUDC=%-8s UDC=%-8s\n", label,
+                  out.runs, out.stats.messages_sent,
+                  verdict(out.nudc.achieved()), verdict(out.udc.achieved()));
+    }
+  }
+
+  heading("uniformity gap witness (adversarial silencing of the performer)");
+  {
+    SimConfig sim;
+    sim.n = 4;
+    sim.horizon = 400;
+    sim.channel.custom_policy = std::make_shared<PartitionDropPolicy>(
+        ProcSet::singleton(0), ProcSet::full(4), 0, 0.0);
+    std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+    auto actions = workload_actions(workload);
+    SimResult res = simulate(sim, make_crash_plan(4, {{0, 40}}), nullptr,
+                             workload, [](ProcessId) {
+                               return std::make_unique<NUdcProcess>();
+                             });
+    CoordReport udc = check_udc(res.run, actions, 100);
+    CoordReport nudc = check_nudc(res.run, actions, 100);
+    std::printf("  p0 performs then crashes silenced: UDC=%s nUDC=%s\n",
+                verdict(udc.achieved()), verdict(nudc.achieved()));
+    if (!udc.violations.empty()) {
+      std::printf("    witness: %s\n", udc.violations.front().c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udc::bench
+
+int main() {
+  udc::bench::run();
+  return 0;
+}

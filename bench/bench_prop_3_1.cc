@@ -1,0 +1,71 @@
+// Experiment P3.1 — Proposition 3.1 / Corollary 3.2: the ack-based protocol
+// attains UDC under fair-lossy channels with no bound on failures, given a
+// strong — or merely impermanent-strong, by Cor 3.2 — failure detector.
+// Controls: weak completeness alone is NOT enough for this protocol's
+// liveness (a crash watched by somebody else never unblocks us), and no
+// detector at all deadlocks DC1.
+#include "bench_util.h"
+
+#include "udc/coord/udc_strongfd.h"
+
+namespace udc::bench {
+namespace {
+
+void run() {
+  std::printf("Prop 3.1: UDC with strong FDs, unreliable channels, "
+              "unbounded failures\n");
+  for (int n : {4, 6}) {
+    heading(("n = " + std::to_string(n)).c_str());
+    for (double drop : {0.0, 0.3, 0.5}) {
+      CoordSweep cfg;
+      cfg.n = n;
+      cfg.drop = drop;
+      cfg.horizon = drop >= 0.5 ? 900 : 600;
+      cfg.grace = drop >= 0.5 ? 350 : 220;
+      auto protocol = [](ProcessId) {
+        return std::make_unique<UdcStrongFdProcess>();
+      };
+      {
+        auto out = run_coord_sweep(
+            cfg, n, [] { return std::make_unique<StrongOracle>(4, 0.2); },
+            protocol);
+        char label[64];
+        std::snprintf(label, sizeof label, "drop=%.1f strong FD", drop);
+        print_coord_row(label, out, true);
+      }
+      {
+        auto out = run_coord_sweep(
+            cfg, n,
+            [] { return std::make_unique<ImpermanentStrongOracle>(4); },
+            protocol);
+        char label[64];
+        std::snprintf(label, sizeof label,
+                      "drop=%.1f impermanent-strong (Cor 3.2)", drop);
+        print_coord_row(label, out, true);
+      }
+    }
+  }
+
+  heading("controls (n=4, drop=0.3, crashes present)");
+  {
+    CoordSweep cfg;
+    cfg.n = 4;
+    cfg.drop = 0.3;
+    auto protocol = [](ProcessId) {
+      return std::make_unique<UdcStrongFdProcess>();
+    };
+    auto weak = run_coord_sweep(
+        cfg, 4, [] { return std::make_unique<WeakOracle>(4, 0.0); }, protocol);
+    print_coord_row("weak FD only (completeness too weak)", weak, false);
+    auto none = run_coord_sweep(cfg, 4, nullptr, protocol);
+    print_coord_row("no FD (DC1 deadlock)", none, false);
+  }
+}
+
+}  // namespace
+}  // namespace udc::bench
+
+int main() {
+  udc::bench::run();
+  return 0;
+}

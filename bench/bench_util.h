@@ -1,0 +1,85 @@
+// Shared plumbing for the experiment harnesses (one binary per table/figure
+// row of the paper; see DESIGN.md §3).  Each harness prints paper-shaped
+// rows plus the checker verdicts that justify them.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/consensus/spec.h"
+#include "udc/event/system.h"
+#include "udc/fd/generalized.h"
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline const char* verdict(bool achieved) {
+  return achieved ? "ACHIEVED" : "VIOLATED";
+}
+
+// Standard workload + sweep used by most coordination experiments.
+struct CoordSweep {
+  int n = 5;
+  Time horizon = 500;
+  Time grace = 180;
+  double drop = 0.3;
+  int seeds_per_plan = 2;
+  Time crash_earliest = 25;
+  Time crash_latest = 140;
+  int actions_per_process = 1;
+};
+
+struct CoordOutcome {
+  CoordReport udc;
+  CoordReport nudc;
+  SystemStats stats;
+  std::size_t runs = 0;
+};
+
+inline CoordOutcome run_coord_sweep(const CoordSweep& cfg, int t,
+                                    const OracleFactory& oracle,
+                                    const ProtocolFactory& protocol) {
+  SimConfig sim;
+  sim.n = cfg.n;
+  sim.horizon = cfg.horizon;
+  sim.channel.drop_prob = cfg.drop;
+  auto workload =
+      make_workload(cfg.n, cfg.actions_per_process, 5, 7);
+  auto actions = workload_actions(workload);
+  auto plans =
+      all_crash_plans_up_to(cfg.n, t, cfg.crash_earliest, cfg.crash_latest);
+  SystemStats stats;
+  System sys = generate_system(sim, plans, workload, oracle, protocol,
+                               cfg.seeds_per_plan, &stats);
+  CoordOutcome out;
+  out.udc = check_udc(sys, actions, cfg.grace);
+  out.nudc = check_nudc(sys, actions, cfg.grace);
+  out.stats = stats;
+  out.runs = sys.size();
+  return out;
+}
+
+inline void print_coord_row(const char* label, const CoordOutcome& out,
+                            bool expect_udc) {
+  std::printf("  %-46s runs=%-4zu msgs=%-7zu UDC=%-8s nUDC=%-8s %s\n", label,
+              out.runs, out.stats.messages_sent, verdict(out.udc.achieved()),
+              verdict(out.nudc.achieved()),
+              out.udc.achieved() == expect_udc ? "[as predicted]"
+                                               : "[UNEXPECTED]");
+  if (!out.udc.achieved() && !out.udc.violations.empty()) {
+    std::printf("      e.g. %s\n", out.udc.violations.front().c_str());
+  }
+}
+
+}  // namespace udc::bench

@@ -1,0 +1,80 @@
+// Theorem 3.6 as a runnable artifact: extract a PERFECT failure detector
+// from a system that attains UDC, without ever reading the oracle — purely
+// from what processes KNOW (indistinguishability over the system).
+//
+// We generate a small UDC-attaining system, build R^f (P1-P3: odd steps
+// report { q : K_p crash(q) }), print one run's suspicion timeline next to
+// the actual crashes, and verify the extracted detector's class.
+//
+//   build/examples/fd_from_udc
+#include <cstdio>
+
+#include "udc/coord/action.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+#include "udc/kt/knowledge_fd.h"
+#include "udc/kt/simulate_fd.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+int main() {
+  using namespace udc;
+  constexpr int kN = 3;
+  constexpr Time kHorizon = 200;
+
+  SimConfig config;
+  config.n = kN;
+  config.horizon = kHorizon;
+  config.channel.drop_prob = 0.25;
+  auto workload = make_workload(kN, 2, 4, 6);
+  auto plans = all_crash_plans_up_to(kN, kN - 1, 20, 70);
+  System sys = generate_system(
+      config, plans, workload,
+      [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); },
+      /*seeds_per_plan=*/1);
+  std::printf("source system: %zu runs of a UDC-attaining protocol\n",
+              sys.size());
+
+  // Pick a run with two crashes and show what p (a correct process) KNOWS
+  // over time — this is exactly the detector f(r) installs.
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    if (sys.run(i).faulty_set().size() == 2) pick = i;
+  }
+  const Run& r = sys.run(pick);
+  ProcessId observer = *r.correct_set().begin();
+  std::printf("\nrun %zu: crashes =", pick);
+  for (ProcessId q : r.faulty_set()) {
+    std::printf(" p%d@t=%lld", q,
+                static_cast<long long>(*r.crash_time(q)));
+  }
+  std::printf("; observer = p%d\n", observer);
+  std::printf("%6s  %-18s %s\n", "time", "actually crashed",
+              "knowledge-derived suspicions { q : K_p crash(q) }");
+  ProcSet last = ProcSet::full(kN);  // sentinel to force the first line
+  for (Time m = 0; m <= r.horizon(); m += 2) {
+    ProcSet known = known_crashed(sys, Point{pick, m}, observer);
+    ProcSet actual;
+    for (ProcessId q = 0; q < kN; ++q) {
+      if (r.crashed_by(q, m)) actual.insert(q);
+    }
+    if (known == last) continue;  // print only the changes
+    last = known;
+    std::printf("%6lld  %-18s %s\n", static_cast<long long>(m),
+                actual.to_string().c_str(), known.to_string().c_str());
+  }
+
+  // The full construction and its verdict.
+  System rf = build_rf(sys);
+  FdPropertyReport rep = check_fd_properties(rf, /*grace=*/180);
+  std::printf("\nR^f detector class: %s\n",
+              fd_class_name(strongest_class(rep)));
+  std::printf("  %s\n", rep.summary().c_str());
+  std::printf("The suspicions above were never read from an oracle — they\n"
+              "are forced by the UDC protocol's information flow, which is\n"
+              "the theorem: attaining UDC means being able to simulate a\n"
+              "perfect failure detector.\n");
+  return rep.perfect() ? 0 : 1;
+}

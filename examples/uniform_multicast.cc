@@ -1,0 +1,111 @@
+// Uniform Reliable Multicast (Schiper & Sandoz [SS93]) as a special case of
+// UDC — the paper points out that URM is exactly UDC where the only action
+// is "deliver message m", and that [SS93] implement it over virtual
+// synchrony because that simulates perfect failure detection, which (Thm
+// 3.6) is what UDC fundamentally requires.
+//
+// This example builds a tiny URM facade on top of the UDC engine: mcast(m)
+// initiates a delivery action; the uniform-delivery property is then DC2
+// verbatim — if ANY group member delivers m (even one that crashes right
+// after), every correct member delivers m.
+//
+//   build/examples/uniform_multicast
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+
+namespace {
+
+using namespace udc;
+
+// A minimal URM session: maps message payloads to UDC actions and reads
+// delivery events back out of the run.
+class MulticastSession {
+ public:
+  explicit MulticastSession(int group_size) : n_(group_size) {}
+
+  // Schedules sender to multicast `payload` at `at`.
+  void mcast(ProcessId sender, Time at, std::string payload) {
+    ActionId a = make_action(sender, static_cast<ActionId>(messages_.size()));
+    messages_.push_back(std::move(payload));
+    actions_.push_back(a);
+    workload_.push_back({at, sender, a});
+  }
+
+  // Runs the group with the given crash schedule and prints the delivery
+  // matrix plus the uniform-delivery verdict.
+  void run(const CrashPlan& plan, double drop) {
+    SimConfig config;
+    config.n = n_;
+    config.horizon = 600;
+    config.channel.drop_prob = drop;
+    StrongOracle detector(4, 0.1);
+    SimResult res =
+        simulate(config, plan, &detector, workload_, [](ProcessId) {
+          return std::make_unique<UdcStrongFdProcess>();
+        });
+
+    std::printf("delivery matrix (rows: members; columns: messages):\n     ");
+    for (std::size_t i = 0; i < messages_.size(); ++i) {
+      std::printf(" %-12s", messages_[i].c_str());
+    }
+    std::printf("\n");
+    for (ProcessId p = 0; p < n_; ++p) {
+      std::printf("  p%d%s", p, res.run.is_faulty(p) ? "†" : " ");
+      for (ActionId a : actions_) {
+        auto t = res.run.first_event_time(p, [a](const Event& e) {
+          return e.kind == EventKind::kDo && e.action == a;
+        });
+        if (t) {
+          std::printf("  t=%-9lld", static_cast<long long>(*t));
+        } else {
+          std::printf("  %-11s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+    CoordReport rep = check_udc(res.run, actions_, /*grace=*/150);
+    std::printf("uniform delivery (DC1-DC3): %s\n",
+                rep.achieved() ? "ACHIEVED" : "VIOLATED");
+    for (const std::string& v : rep.violations) {
+      std::printf("  %s\n", v.c_str());
+    }
+  }
+
+ private:
+  int n_;
+  std::vector<std::string> messages_;
+  std::vector<ActionId> actions_;
+  std::vector<InitDirective> workload_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace udc;
+  constexpr int kGroup = 5;
+
+  MulticastSession session(kGroup);
+  session.mcast(0, 8, "m1:config");
+  session.mcast(2, 15, "m2:update");
+  session.mcast(4, 22, "m3:commit");
+
+  std::printf("URM group of %d over fair-lossy channels (30%% loss);\n"
+              "member 2 crashes mid-session; member 4 crashes right after\n"
+              "multicasting m3.\n\n",
+              kGroup);
+  CrashPlan plan = make_crash_plan(kGroup, {{2, 100}, {4, 35}});
+  session.run(plan, 0.3);
+
+  std::printf("\n† = crashed member.  Note m3: its sender died right after\n"
+              "multicasting (possibly before anyone else had it), yet every\n"
+              "correct member delivered — uniform delivery, DC2 verbatim.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Internal invariant checking.
+//
+// UDC_CHECK is for conditions that indicate a bug in udckit or misuse of its
+// API; it throws udc::InvariantViolation (rather than aborting) so tests can
+// assert that malformed inputs are rejected, per the R1-R5 run validators.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace udc {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream out;
+  out << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) out << " — " << msg;
+  throw InvariantViolation(out.str());
+}
+}  // namespace internal
+
+}  // namespace udc
+
+#define UDC_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::udc::internal::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (0)

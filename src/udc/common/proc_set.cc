@@ -1,0 +1,20 @@
+#include "udc/common/proc_set.h"
+
+#include <sstream>
+
+namespace udc {
+
+std::string ProcSet::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (ProcessId p : *this) {
+    if (!first) out << ',';
+    out << p;
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace udc

@@ -1,0 +1,112 @@
+// ProcSet: a value-type set of process ids, backed by a 64-bit mask.
+//
+// Sets of processes are pervasive in the paper: F(r) (the faulty processes in
+// run r), Suspects_p(r,m) (the set a failure detector currently reports),
+// generalized suspicions (S, k), and the S in assumptions A1/A4/A5t.  A
+// bitset keeps all of these O(1) and hashable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "udc/common/types.h"
+
+namespace udc {
+
+class ProcSet {
+ public:
+  constexpr ProcSet() = default;
+  constexpr explicit ProcSet(std::uint64_t bits) : bits_(bits) {}
+
+  // The full set {0, ..., n-1}.
+  static constexpr ProcSet full(int n) {
+    assert(n >= 0 && n <= kMaxProcesses);
+    return n == kMaxProcesses ? ProcSet(~std::uint64_t{0})
+                              : ProcSet((std::uint64_t{1} << n) - 1);
+  }
+  static constexpr ProcSet empty_set() { return ProcSet(); }
+  static constexpr ProcSet singleton(ProcessId p) {
+    assert(p >= 0 && p < kMaxProcesses);
+    return ProcSet(std::uint64_t{1} << p);
+  }
+
+  constexpr bool contains(ProcessId p) const {
+    assert(p >= 0 && p < kMaxProcesses);
+    return (bits_ >> p) & 1u;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const { return __builtin_popcountll(bits_); }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  constexpr void insert(ProcessId p) { bits_ |= std::uint64_t{1} << p; }
+  constexpr void erase(ProcessId p) { bits_ &= ~(std::uint64_t{1} << p); }
+
+  constexpr bool subset_of(ProcSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  friend constexpr ProcSet operator|(ProcSet a, ProcSet b) {
+    return ProcSet(a.bits_ | b.bits_);
+  }
+  friend constexpr ProcSet operator&(ProcSet a, ProcSet b) {
+    return ProcSet(a.bits_ & b.bits_);
+  }
+  // Set difference a - b.
+  friend constexpr ProcSet operator-(ProcSet a, ProcSet b) {
+    return ProcSet(a.bits_ & ~b.bits_);
+  }
+  constexpr ProcSet& operator|=(ProcSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr ProcSet& operator&=(ProcSet o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+
+  // Complement within Proc = {0..n-1}.
+  constexpr ProcSet complement(int n) const { return full(n) - *this; }
+
+  friend constexpr bool operator==(ProcSet a, ProcSet b) = default;
+
+  // Iteration over members, lowest id first.
+  class iterator {
+   public:
+    constexpr explicit iterator(std::uint64_t bits) : bits_(bits) {}
+    constexpr ProcessId operator*() const {
+      return static_cast<ProcessId>(__builtin_ctzll(bits_));
+    }
+    constexpr iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator a, iterator b) = default;
+
+   private:
+    std::uint64_t bits_;
+  };
+  constexpr iterator begin() const { return iterator(bits_); }
+  constexpr iterator end() const { return iterator(0); }
+
+  // "{0,2,5}"
+  std::string to_string() const;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+struct ProcSetHash {
+  std::size_t operator()(ProcSet s) const noexcept {
+    // SplitMix64 finalizer: good avalanche for mask values.
+    std::uint64_t x = s.bits();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace udc

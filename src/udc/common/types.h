@@ -1,0 +1,37 @@
+// Fundamental identifier and index types shared by every udckit module.
+//
+// The paper (Halpern & Ricciardi, PODC'99) models a fixed finite set
+// Proc = {p1, ..., pn} of processes, discrete time ranging over the natural
+// numbers, and per-process coordination actions tagged by their initiator.
+// These aliases pin down the machine representation of those notions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace udc {
+
+// Index of a process in Proc = {0, 1, ..., n-1}.  The paper writes p1..pn;
+// we use 0-based indices throughout.
+using ProcessId = std::int32_t;
+
+// Discrete time.  A run maps times to cuts; simulator horizons are finite.
+using Time = std::int64_t;
+
+// Identifier of a coordination action alpha.  Action sets A_p are disjoint
+// across processes; an ActionId is globally unique and owned by exactly one
+// initiator (see coord/action.h).
+using ActionId = std::int64_t;
+
+// Monotone per-channel message sequence number (used to distinguish
+// retransmissions of the same logical message from distinct messages).
+using SeqNo = std::int64_t;
+
+inline constexpr ProcessId kInvalidProcess = -1;
+inline constexpr ActionId kInvalidAction = -1;
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+// Upper bound on the number of processes, imposed by the bitset ProcSet.
+inline constexpr int kMaxProcesses = 64;
+
+}  // namespace udc

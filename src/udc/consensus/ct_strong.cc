@@ -1,0 +1,147 @@
+#include "udc/consensus/ct_strong.h"
+
+#include "udc/common/check.h"
+#include "udc/consensus/spec.h"
+
+namespace udc {
+
+CtStrongConsensus::CtStrongConsensus(ProcessId self,
+                                     std::vector<std::int64_t> initial_values)
+    : n_(static_cast<int>(initial_values.size())) {
+  UDC_CHECK(n_ >= 1 && n_ <= 8, "CT-S packing supports n <= 8");
+  v_.assign(static_cast<std::size_t>(n_), -1);
+  std::int64_t mine = initial_values[static_cast<std::size_t>(self)];
+  UDC_CHECK(mine >= 0 && mine < 127, "values must fit in 7 bits");
+  v_[static_cast<std::size_t>(self)] = static_cast<std::int8_t>(mine);
+  max_round_seen_.assign(static_cast<std::size_t>(n_), 0);
+  phase2_v_.assign(static_cast<std::size_t>(n_), 0);
+}
+
+std::uint64_t CtStrongConsensus::pack(const std::vector<std::int8_t>& v) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t byte =
+        v[i] < 0 ? 0 : (0x80u | static_cast<std::uint64_t>(v[i]));
+    bits |= byte << (8 * i);
+  }
+  return bits;
+}
+
+void CtStrongConsensus::unpack(std::uint64_t bits,
+                               std::vector<std::int8_t>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t byte = (bits >> (8 * i)) & 0xff;
+    v[i] = (byte & 0x80) ? static_cast<std::int8_t>(byte & 0x7f) : -1;
+  }
+}
+
+void CtStrongConsensus::merge_into_v(std::uint64_t packed) {
+  std::vector<std::int8_t> other(static_cast<std::size_t>(n_), -1);
+  unpack(packed, other);
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] < 0) v_[i] = other[i];
+  }
+}
+
+void CtStrongConsensus::decide(std::int64_t value, Env& env) {
+  if (decided_) return;
+  decided_ = true;
+  decision_ = value;
+  env.perform(decide_action(value));
+}
+
+void CtStrongConsensus::try_advance(Env& env) {
+  if (decided_) return;
+  for (;;) {
+    // Can we move past the current round?
+    for (ProcessId q = 0; q < n_; ++q) {
+      if (q == env.self()) continue;
+      if (max_round_seen_[static_cast<std::size_t>(q)] < round_ &&
+          !ever_suspected_.contains(q)) {
+        return;  // still waiting on q
+      }
+    }
+    if (round_ < n_) {
+      ++round_;
+      // Entering phase 2 (round_ == n_): the phase-2 broadcast carries v_ as
+      // of each idle tick; the intersection below uses the collected
+      // phase-2 vectors.
+      continue;
+    }
+    // Phase 2 complete: intersect own V with every phase-2 vector received.
+    std::vector<std::int8_t> inter = v_;
+    for (ProcessId q : phase2_got_) {
+      std::vector<std::int8_t> other(static_cast<std::size_t>(n_), -1);
+      unpack(phase2_v_[static_cast<std::size_t>(q)], other);
+      for (std::size_t i = 0; i < inter.size(); ++i) {
+        if (other[i] < 0) inter[i] = -1;
+      }
+    }
+    for (std::size_t i = 0; i < inter.size(); ++i) {
+      if (inter[i] >= 0) {
+        decide(inter[i], env);
+        return;
+      }
+    }
+    // Degenerate (empty intersection, possible only in anomalous runs):
+    // fall back to our own smallest known entry.
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (v_[i] >= 0) {
+        decide(v_[i], env);
+        return;
+      }
+    }
+    return;
+  }
+}
+
+void CtStrongConsensus::on_receive(ProcessId from, const Message& msg,
+                                   Env& env) {
+  if (msg.kind == MsgKind::kDecide) {
+    decide(msg.b, env);
+    return;
+  }
+  if (msg.kind != MsgKind::kEstimate) return;
+  int r = static_cast<int>(msg.a);
+  merge_into_v(static_cast<std::uint64_t>(msg.b));
+  auto qi = static_cast<std::size_t>(from);
+  if (r > max_round_seen_[qi]) max_round_seen_[qi] = r;
+  if (r >= n_) {
+    phase2_v_[qi] = static_cast<std::uint64_t>(msg.b);
+    phase2_got_.insert(from);
+  }
+  try_advance(env);
+}
+
+void CtStrongConsensus::on_suspect(ProcSet suspects, Env& env) {
+  ever_suspected_ |= suspects;
+  try_advance(env);
+}
+
+void CtStrongConsensus::on_tick(Env& env) {
+  if (n_ == 1) {
+    try_advance(env);  // trivially complete: decide own value
+    return;
+  }
+  if (!env.outbox_empty()) return;
+  if (bcast_cursor_ == env.self()) bcast_cursor_ = (bcast_cursor_ + 1) % n_;
+  Message m;
+  if (decided_) {
+    m.kind = MsgKind::kDecide;
+    m.b = decision_;
+  } else {
+    m.kind = MsgKind::kEstimate;
+    m.a = round_;
+    m.b = static_cast<std::int64_t>(pack(v_));
+  }
+  env.send(bcast_cursor_, m);
+  bcast_cursor_ = (bcast_cursor_ + 1) % n_;
+}
+
+ProtocolFactory ct_strong_factory(std::vector<std::int64_t> initial_values) {
+  return [initial_values](ProcessId p) -> std::unique_ptr<Process> {
+    return std::make_unique<CtStrongConsensus>(p, initial_values);
+  };
+}
+
+}  // namespace udc

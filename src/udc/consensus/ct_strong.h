@@ -1,0 +1,62 @@
+// Chandra-Toueg consensus with a Strong failure detector (S: strong
+// completeness + weak accuracy), tolerating up to n-1 crashes — the
+// algorithm behind Table 1's "Strong"/"Perfect" consensus cells, adapted to
+// fair-lossy channels by retransmission (the paper notes the CT algorithm
+// "can be modified easily" this way).
+//
+// Phase 1 — n-1 asynchronous rounds: every process repeatedly broadcasts its
+// known-proposals vector V tagged with its round; it advances past round r
+// once, for every q, it has seen a message from q tagged >= r or has ever
+// suspected q.  Phase 2 — one exchange of full V's under the same rule; each
+// process intersects the V's it collected.  Weak accuracy guarantees a
+// never-suspected correct q* whose V everyone waited for, which (with the
+// n-1 rounds) makes the intersections equal.  Decide: the entry of the
+// intersection with the smallest process id; decisions are flooded with
+// kDecide so laggards terminate under message loss.
+//
+// Values are small non-negative integers (< 127); V is packed 8 bits per
+// process into the message's 64-bit payload, so n <= 8 here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class CtStrongConsensus : public Process {
+ public:
+  CtStrongConsensus(ProcessId self, std::vector<std::int64_t> initial_values);
+
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_suspect(ProcSet suspects, Env& env) override;
+  void on_tick(Env& env) override;
+
+  static std::uint64_t pack(const std::vector<std::int8_t>& v);
+  static void unpack(std::uint64_t bits, std::vector<std::int8_t>& v);
+
+ private:
+  void merge_into_v(std::uint64_t packed);
+  void try_advance(Env& env);
+  void decide(std::int64_t value, Env& env);
+
+  int n_ = 0;
+  std::vector<std::int8_t> v_;           // -1 = unknown, else the proposal
+  int round_ = 1;                        // 1..n-1 phase 1; n = phase 2
+  std::vector<int> max_round_seen_;      // per sender
+  std::vector<std::uint64_t> phase2_v_;  // per sender, packed V (if seen)
+  ProcSet phase2_got_;
+  ProcSet ever_suspected_;
+  bool decided_ = false;
+  std::int64_t decision_ = -1;
+  ProcessId bcast_cursor_ = 0;
+};
+
+// Factory for generate_system / simulate: every process proposes
+// initial_values[self].
+ProtocolFactory ct_strong_factory(std::vector<std::int64_t> initial_values);
+
+}  // namespace udc

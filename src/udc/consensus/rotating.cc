@@ -1,0 +1,264 @@
+#include "udc/consensus/rotating.h"
+
+#include "udc/common/check.h"
+#include "udc/consensus/spec.h"
+
+namespace udc {
+
+RotatingConsensus::RotatingConsensus(ProcessId self,
+                                     std::vector<std::int64_t> initial_values)
+    : n_(static_cast<int>(initial_values.size())) {
+  std::int64_t mine = initial_values[static_cast<std::size_t>(self)];
+  UDC_CHECK(mine >= 0 && mine < 256, "values must fit in 8 bits");
+  estimate_ = mine;
+}
+
+void RotatingConsensus::decide(std::int64_t value, Env& env) {
+  if (decided_) return;
+  decided_ = true;
+  decision_ = value;
+  env.perform(decide_action(value));
+}
+
+void RotatingConsensus::coord_check(std::int64_t r, Env& env) {
+  CoordRound& cr = coord_rounds_[r];
+  if (!cr.proposed && round_ == r &&
+      static_cast<int>(cr.estimates.size()) >= majority()) {
+    // Propose the estimate with the highest timestamp (the locking rule
+    // that makes agreement uniform).
+    std::int64_t best_ts = -1;
+    std::int64_t best_val = -1;
+    for (const auto& [q, tv] : cr.estimates) {
+      if (tv.first > best_ts) {
+        best_ts = tv.first;
+        best_val = tv.second;
+      }
+    }
+    cr.proposed = true;
+    cr.proposal = best_val;
+    // The coordinator adopts its own proposal (self-ack); it stays in round
+    // r until a majority of replies is in.
+    cr.acks.insert(env.self());
+    replies_[r] = Reply::kAck;
+    estimate_ = best_val;
+    ts_ = r + 1;  // adoption stamps are 1-based: ts 0 means "never adopted"
+  }
+  if (!cr.proposed) return;
+  if (static_cast<int>(cr.acks.size()) >= majority()) {
+    decide(cr.proposal, env);
+    cr.closed = true;
+    return;
+  }
+  if (!cr.closed &&
+      static_cast<int>((cr.acks | cr.nacks).size()) >= majority() &&
+      !cr.nacks.empty()) {
+    // Majority replied but someone refused: give up on this round (while
+    // still answering stragglers) and move on as a participant.
+    cr.closed = true;
+    if (round_ == r) ++round_;
+  }
+}
+
+void RotatingConsensus::on_receive(ProcessId from, const Message& msg,
+                                   Env& env) {
+  switch (msg.kind) {
+    case MsgKind::kDecide:
+      decide(msg.b, env);
+      return;
+    case MsgKind::kEstimate: {
+      std::int64_t r = msg.a;
+      if (coordinator(r) != env.self()) return;
+      CoordRound& cr = coord_rounds_[r];
+      cr.estimates[from] = {msg.b / 256, msg.b % 256};
+      if (cr.proposed) {
+        // Demand-driven straggler service: the sender is still waiting in
+        // round r, so hand it the proposal directly instead of keeping r in
+        // the broadcast-retransmission rotation forever.
+        Message m;
+        m.kind = MsgKind::kPropose;
+        m.a = r;
+        m.b = cr.proposal;
+        env.send(from, m);
+      }
+      coord_check(r, env);
+      return;
+    }
+    case MsgKind::kPropose: {
+      std::int64_t r = msg.a;
+      if (from != coordinator(r)) return;
+      if (r > round_) return;  // early; the coordinator will retransmit
+      if (r < round_) {
+        // Round already left; our reply may have been lost — re-send the
+        // recorded one (idempotent message recovery).  Nacks carry our
+        // current (ts, value) so the coordinator's estimate pool still
+        // converges (see on_tick's nack path).
+        Reply past = replied(r);
+        if (past == Reply::kNone) return;
+        Message reply;
+        reply.kind = MsgKind::kEstimateAck;
+        reply.a = r;
+        reply.b = past == Reply::kAck ? 1 : 2 + ts_ * 256 + estimate_;
+        env.send(from, reply);
+        return;
+      }
+      // Our current round's proposal: adopt, ack, advance.
+      estimate_ = msg.b;
+      ts_ = r + 1;  // see coord_check: 1-based adoption stamps
+      replies_[r] = Reply::kAck;
+      Message ack;
+      ack.kind = MsgKind::kEstimateAck;
+      ack.a = r;
+      ack.b = 1;
+      env.send(from, ack);
+      ++round_;
+      return;
+    }
+    case MsgKind::kEstimateAck: {
+      std::int64_t r = msg.a;
+      if (coordinator(r) != env.self()) return;
+      CoordRound& cr = coord_rounds_[r];
+      if (msg.b == 1) {
+        cr.acks.insert(from);
+      } else {
+        cr.nacks.insert(from);
+        if (msg.b >= 2) {
+          // The nack doubles as an estimate: a participant may suspect us
+          // and refuse before we ever proposed, and under message loss its
+          // phase-1 estimate may never arrive on its own.  Without this the
+          // coordinator can wait for estimates from processes that have
+          // all moved on — a cross-round deadlock.
+          std::int64_t payload = msg.b - 2;
+          cr.estimates[from] = {payload / 256, payload % 256};
+        }
+      }
+      coord_check(r, env);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void RotatingConsensus::on_suspect(ProcSet suspects, Env&) {
+  // ◇S semantics: the *current* report is what counts (pre-stabilization
+  // suspicions get retracted); the round-skip logic reads it on each tick.
+  current_suspects_ = suspects;
+}
+
+void RotatingConsensus::on_tick(Env& env) {
+  if (decided_) {
+    if (env.outbox_empty() && n_ > 1 && env.now() - last_decide_tx_ >= 2) {
+      last_decide_tx_ = env.now();
+      if (bcast_cursor_ == env.self()) bcast_cursor_ = (bcast_cursor_ + 1) % n_;
+      Message m;
+      m.kind = MsgKind::kDecide;
+      m.b = decision_;
+      env.send(bcast_cursor_, m);
+      bcast_cursor_ = (bcast_cursor_ + 1) % n_;
+    }
+    return;
+  }
+
+  // The coordinator's own estimate enters without a self-message; this also
+  // re-runs the majority checks each tick.
+  if (coordinator(round_) == env.self()) {
+    coord_rounds_[round_].estimates[env.self()] = {ts_, estimate_};
+    coord_check(round_, env);
+    if (decided_) return;
+  }
+
+  // Suspecting the current coordinator: nack it and move to the next round.
+  ProcessId c = coordinator(round_);
+  if (c != env.self() && current_suspects_.contains(c) &&
+      replied(round_) == Reply::kNone) {
+    replies_[round_] = Reply::kNack;
+    nack_last_retx_[round_] = env.now();
+    Message nack;
+    nack.kind = MsgKind::kEstimateAck;
+    nack.a = round_;
+    nack.b = 2 + ts_ * 256 + estimate_;  // nack carrying our estimate
+    env.send(c, nack);
+    ++round_;
+    return;
+  }
+
+  if (!env.outbox_empty()) return;
+
+  // Two retransmission duties compete for the one idle slot: pushing
+  // proposals from rounds we coordinated to peers that have not replied,
+  // and the participant estimate for the CURRENT round.  Strictly
+  // prioritizing either can starve the other, so they alternate.
+  auto send_proposal_retx = [&]() -> bool {
+    for (auto& [r, cr] : coord_rounds_) {
+      // Closed rounds are served demand-driven (see kEstimate handler);
+      // retransmitting them here would starve the open round behind a dead
+      // non-replier.
+      if (!cr.proposed || cr.closed) continue;
+      if (env.now() - cr.last_retx < 6) continue;
+      ProcSet replied_set = cr.acks | cr.nacks;
+      if (replied_set.size() >= n_) continue;  // everyone answered
+      for (ProcessId q = 0; q < n_; ++q) {
+        ProcessId target = static_cast<ProcessId>((bcast_cursor_ + q) % n_);
+        if (target == env.self() || replied_set.contains(target)) continue;
+        Message m;
+        m.kind = MsgKind::kPropose;
+        m.a = r;
+        m.b = cr.proposal;
+        env.send(target, m);
+        cr.last_retx = env.now();
+        bcast_cursor_ = (target + 1) % n_;
+        return true;
+      }
+    }
+    return false;
+  };
+  auto send_estimate = [&]() -> bool {
+    if (coordinator(round_) == env.self()) return false;
+    if (env.now() - last_estimate_tx_ < 6) return false;
+    last_estimate_tx_ = env.now();
+    Message m;
+    m.kind = MsgKind::kEstimate;
+    m.a = round_;
+    m.b = ts_ * 256 + estimate_;
+    env.send(coordinator(round_), m);
+    return true;
+  };
+  // Third duty: paced retransmission of past nacks.  A nack is sent
+  // spontaneously (on suspicion), so nothing prompts its recovery if lost —
+  // yet the nacked round's coordinator may be blocked waiting for exactly
+  // the estimate that nack carries.
+  auto send_nack_retx = [&]() -> bool {
+    constexpr Time kNackRetxInterval = 16;
+    for (auto& [r, last] : nack_last_retx_) {
+      if (env.now() - last < kNackRetxInterval) continue;
+      last = env.now();
+      Message nack;
+      nack.kind = MsgKind::kEstimateAck;
+      nack.a = r;
+      nack.b = 2 + ts_ * 256 + estimate_;
+      env.send(coordinator(r), nack);
+      return true;
+    }
+    return false;
+  };
+  switch ((env.now() + env.self()) % 3) {
+    case 0:
+      if (!send_proposal_retx() && !send_estimate()) send_nack_retx();
+      break;
+    case 1:
+      if (!send_estimate() && !send_nack_retx()) send_proposal_retx();
+      break;
+    default:
+      if (!send_nack_retx() && !send_proposal_retx()) send_estimate();
+      break;
+  }
+}
+
+ProtocolFactory rotating_consensus_factory(
+    std::vector<std::int64_t> initial_values) {
+  return [initial_values](ProcessId p) -> std::unique_ptr<Process> {
+    return std::make_unique<RotatingConsensus>(p, initial_values);
+  };
+}
+
+}  // namespace udc

@@ -1,0 +1,91 @@
+// Rotating-coordinator consensus à la Chandra-Toueg with an
+// eventually-strong detector (◇S), tolerating t < n/2 crashes — the ✸W
+// cells of Table 1 (✸W converts to ✸S by gossip, CT96).
+//
+// Round r has coordinator c = r mod n.  Every process passes through every
+// round IN ORDER (rounds are never skipped — the liveness induction "all
+// correct processes eventually reach round r" depends on it):
+//
+//   participant in r : retransmit (estimate, ts) to c_r until it either
+//                      receives c_r's proposal (adopt value, ts := r, ack)
+//                      or currently suspects c_r (nack); then round r+1.
+//                      Duplicate proposals for past rounds are answered by
+//                      re-sending the recorded reply (loss recovery).
+//   coordinator of r : collect round-r estimates from a majority, propose
+//                      the max-ts value, then retransmit the proposal until
+//                      a majority of REPLIES arrive: all acks -> decide and
+//                      flood kDecide; any nack in the majority -> round r+1
+//                      (while still serving stragglers of round r).
+//
+// The max-ts locking rule gives uniform agreement; ◇S's eventual accuracy
+// plus a correct majority gives termination after stabilization.
+//
+// Message payloads: estimates pack b = ts * 256 + value; proposals carry
+// b = value; acks b = 1, nacks b = 0; all carry the round in a.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class RotatingConsensus : public Process {
+ public:
+  RotatingConsensus(ProcessId self, std::vector<std::int64_t> initial_values);
+
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_suspect(ProcSet suspects, Env& env) override;
+  void on_tick(Env& env) override;
+
+ private:
+  struct CoordRound {
+    std::map<ProcessId, std::pair<std::int64_t, std::int64_t>>
+        estimates;  // sender -> (ts, value)
+    bool proposed = false;
+    std::int64_t proposal = -1;
+    ProcSet acks;
+    ProcSet nacks;
+    bool closed = false;  // majority replies processed; round is over for us
+    Time last_retx = -100;
+  };
+  enum class Reply : std::uint8_t { kNone, kAck, kNack };
+
+  ProcessId coordinator(std::int64_t r) const {
+    return static_cast<ProcessId>(r % n_);
+  }
+  int majority() const { return n_ / 2 + 1; }
+  void decide(std::int64_t value, Env& env);
+  void coord_check(std::int64_t r, Env& env);
+  Reply replied(std::int64_t r) const {
+    auto it = replies_.find(r);
+    return it == replies_.end() ? Reply::kNone : it->second;
+  }
+
+  int n_ = 0;
+  std::int64_t estimate_ = 0;
+  std::int64_t ts_ = 0;
+  std::int64_t round_ = 0;
+  std::map<std::int64_t, Reply> replies_;  // our reply per participated round
+  std::map<std::int64_t, Time> nack_last_retx_;  // paced nack retransmission
+  // All retransmission duties are paced: an unpaced sender can outrun the
+  // receivers' one-event-per-tick budget, backlogging the coordinator's
+  // inbox until rounds take arbitrarily long (congestion, not deadlock —
+  // but just as fatal on a finite horizon).
+  Time last_estimate_tx_ = -100;
+  Time last_decide_tx_ = -100;
+  ProcSet current_suspects_;  // latest report (◇S semantics, not cumulative)
+  std::map<std::int64_t, CoordRound> coord_rounds_;
+  bool decided_ = false;
+  std::int64_t decision_ = -1;
+  ProcessId bcast_cursor_ = 0;
+};
+
+ProtocolFactory rotating_consensus_factory(
+    std::vector<std::int64_t> initial_values);
+
+}  // namespace udc

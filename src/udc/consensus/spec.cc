@@ -1,0 +1,100 @@
+#include "udc/consensus/spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace udc {
+
+void ConsensusReport::merge(const ConsensusReport& other) {
+  validity &= other.validity;
+  agreement &= other.agreement;
+  uniform_agreement &= other.uniform_agreement;
+  integrity &= other.integrity;
+  termination &= other.termination;
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+std::optional<std::int64_t> decision_of(const Run& r, ProcessId p) {
+  for (const Event& e : r.history(p).events()) {
+    if (e.kind == EventKind::kDo && is_decide_action(e.action)) {
+      return decided_value(e.action);
+    }
+  }
+  return std::nullopt;
+}
+
+ConsensusReport check_consensus(const Run& r,
+                                std::span<const std::int64_t> initial_values,
+                                Time grace) {
+  ConsensusReport rep;
+  const int n = r.n();
+
+  std::optional<std::int64_t> correct_value;
+  std::optional<std::int64_t> any_value;
+  for (ProcessId p = 0; p < n; ++p) {
+    // Integrity: at most one decide event.
+    int count = 0;
+    for (const Event& e : r.history(p).events()) {
+      if (e.kind == EventKind::kDo && is_decide_action(e.action)) ++count;
+    }
+    if (count > 1) {
+      rep.integrity = false;
+      std::ostringstream out;
+      out << "integrity: p" << p << " decided " << count << " times";
+      rep.violations.push_back(out.str());
+    }
+
+    auto v = decision_of(r, p);
+    if (!v) {
+      if (!r.is_faulty(p)) {
+        rep.termination = false;
+        std::ostringstream out;
+        out << "termination: correct p" << p << " never decided";
+        rep.violations.push_back(out.str());
+      }
+      continue;
+    }
+    // Validity.
+    if (std::find(initial_values.begin(), initial_values.end(), *v) ==
+        initial_values.end()) {
+      rep.validity = false;
+      std::ostringstream out;
+      out << "validity: p" << p << " decided " << *v
+          << ", not anyone's initial value";
+      rep.violations.push_back(out.str());
+    }
+    // Agreement.
+    if (any_value && *any_value != *v) {
+      rep.uniform_agreement = false;
+      std::ostringstream out;
+      out << "uniform agreement: decisions " << *any_value << " and " << *v;
+      rep.violations.push_back(out.str());
+    }
+    if (!any_value) any_value = v;
+    if (!r.is_faulty(p)) {
+      if (correct_value && *correct_value != *v) {
+        rep.agreement = false;
+        std::ostringstream out;
+        out << "agreement: correct processes decided " << *correct_value
+            << " and " << *v;
+        rep.violations.push_back(out.str());
+      }
+      if (!correct_value) correct_value = v;
+    }
+  }
+  (void)grace;  // termination is judged at the horizon; grace reserved
+  return rep;
+}
+
+ConsensusReport check_consensus(const System& sys,
+                                std::span<const std::int64_t> initial_values,
+                                Time grace) {
+  ConsensusReport rep;
+  for (const Run& r : sys.runs()) {
+    rep.merge(check_consensus(r, initial_values, grace));
+  }
+  return rep;
+}
+
+}  // namespace udc

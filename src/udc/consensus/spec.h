@@ -1,0 +1,65 @@
+// Consensus specification and checker — the baseline the paper compares UDC
+// against throughout (Table 1's "consensus" rows).
+//
+// Decisions are recorded in histories as do events on reserved action ids,
+// so the same run machinery serves both problems.  Checked properties:
+//   validity            — every decided value was some process's initial value
+//   agreement           — no two *correct* processes decide differently
+//   uniform agreement   — no two processes (correct or not) decide differently
+//   integrity           — each process decides at most once
+//   termination         — every correct process decides (by horizon - grace)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+
+namespace udc {
+
+// Reserved action-id block for decision events (outside the §2.4
+// coordination-action encoding: owner field would be >= kMaxProcesses).
+inline constexpr ActionId kDecideActionBase = ActionId{1} << 40;
+inline constexpr std::int64_t kMaxConsensusValue = 1 << 20;
+
+inline ActionId decide_action(std::int64_t value) {
+  return kDecideActionBase + value;
+}
+inline bool is_decide_action(ActionId a) {
+  return a >= kDecideActionBase &&
+         a < kDecideActionBase + kMaxConsensusValue;
+}
+inline std::int64_t decided_value(ActionId a) { return a - kDecideActionBase; }
+
+struct ConsensusReport {
+  bool validity = true;
+  bool agreement = true;
+  bool uniform_agreement = true;
+  bool integrity = true;
+  bool termination = true;
+  std::vector<std::string> violations;
+
+  bool achieved_uniform() const {
+    return validity && uniform_agreement && integrity && termination;
+  }
+  bool achieved() const {
+    return validity && agreement && integrity && termination;
+  }
+  void merge(const ConsensusReport& other);
+};
+
+// First decision of p in r, if any.
+std::optional<std::int64_t> decision_of(const Run& r, ProcessId p);
+
+ConsensusReport check_consensus(const Run& r,
+                                std::span<const std::int64_t> initial_values,
+                                Time grace = 0);
+ConsensusReport check_consensus(const System& sys,
+                                std::span<const std::int64_t> initial_values,
+                                Time grace = 0);
+
+}  // namespace udc

@@ -1,0 +1,67 @@
+#include "udc/coord/action.h"
+
+namespace udc {
+
+std::vector<InitDirective> make_workload(int n, int per_process, Time start,
+                                         Time spacing) {
+  std::vector<InitDirective> out;
+  out.reserve(static_cast<std::size_t>(n) * per_process);
+  Time at = start;
+  for (int round = 0; round < per_process; ++round) {
+    for (ProcessId p = 0; p < n; ++p) {
+      out.push_back(InitDirective{at, p, make_action(p, round)});
+      at += spacing;
+    }
+  }
+  return out;
+}
+
+std::vector<ActionId> workload_actions(const std::vector<InitDirective>& w) {
+  std::vector<ActionId> out;
+  out.reserve(w.size());
+  for (const InitDirective& d : w) out.push_back(d.action);
+  return out;
+}
+
+std::vector<std::vector<InitDirective>> workload_variants(
+    const std::vector<InitDirective>& w) {
+  std::vector<std::vector<InitDirective>> out;
+  out.push_back(w);
+  for (const InitDirective& omit : w) {
+    std::vector<InitDirective> variant;
+    variant.reserve(w.size() - 1);
+    for (const InitDirective& d : w) {
+      if (d.action != omit.action) variant.push_back(d);
+    }
+    out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+std::vector<std::vector<InitDirective>> workload_power_set(
+    const std::vector<InitDirective>& w) {
+  // Collect the distinct actions, preserving order.
+  std::vector<ActionId> actions;
+  for (const InitDirective& d : w) {
+    bool seen = false;
+    for (ActionId a : actions) seen |= a == d.action;
+    if (!seen) actions.push_back(d.action);
+  }
+  UDC_CHECK(actions.size() <= 6, "power set capped at 6 actions");
+  std::vector<std::vector<InitDirective>> out;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << actions.size());
+       ++mask) {
+    std::vector<InitDirective> variant;
+    for (const InitDirective& d : w) {
+      for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (actions[i] == d.action && ((mask >> i) & 1)) {
+          variant.push_back(d);
+        }
+      }
+    }
+    out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+}  // namespace udc

@@ -1,0 +1,57 @@
+// Coordination actions (§2.4).
+//
+// Each process p owns a disjoint set A_p of actions it alone may *initiate*
+// (any process may *perform* them).  We encode the owner in the ActionId so
+// ownership is a pure function — no registry object to thread through
+// protocols and checkers.
+#pragma once
+
+#include <vector>
+
+#include "udc/common/check.h"
+#include "udc/common/types.h"
+#include "udc/sim/context.h"
+
+namespace udc {
+
+inline constexpr ActionId kActionOwnerShift = 20;
+inline constexpr ActionId kMaxActionSeq = (ActionId{1} << kActionOwnerShift) - 1;
+
+inline ActionId make_action(ProcessId owner, ActionId seq) {
+  UDC_CHECK(owner >= 0 && owner < kMaxProcesses, "bad action owner");
+  UDC_CHECK(seq >= 0 && seq <= kMaxActionSeq, "action sequence out of range");
+  return (static_cast<ActionId>(owner) << kActionOwnerShift) | seq;
+}
+
+inline ProcessId action_owner(ActionId a) {
+  return static_cast<ProcessId>(a >> kActionOwnerShift);
+}
+
+// A workload: `per_process` actions initiated by each of the n processes,
+// starting at `start` and spaced `spacing` ticks apart (round-robin over
+// processes).  This realizes the theorem-side requirement that correct
+// processes keep initiating actions (Theorem 3.6's "infinitely many actions
+// are initiated", truncated to the horizon).
+std::vector<InitDirective> make_workload(int n, int per_process, Time start,
+                                         Time spacing);
+
+// All actions appearing in a workload.
+std::vector<ActionId> workload_actions(const std::vector<InitDirective>& w);
+
+// The workload itself plus, for each action it contains, a variant with
+// that action's init removed.  Feeding these to generate_system_multi makes
+// "α was never initiated" a live possibility at every point — the richness
+// that A3/A4-style insensitivity needs (a process crashing before hearing
+// of α must have an indistinguishable twin where α never happened).
+std::vector<std::vector<InitDirective>> workload_variants(
+    const std::vector<InitDirective>& w);
+
+// ALL subsets of the workload's actions (2^k variants, k <= 6 enforced).
+// workload_variants is not closed under intersection, which lets a process
+// "know" an init by elimination: observing no α-traffic narrows the
+// possible worlds to those where every OTHER action still happened.  The
+// power set closes that gap; use it whenever knowledge is the subject.
+std::vector<std::vector<InitDirective>> workload_power_set(
+    const std::vector<InitDirective>& w);
+
+}  // namespace udc

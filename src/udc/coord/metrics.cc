@@ -1,0 +1,71 @@
+#include "udc/coord/metrics.h"
+
+#include <algorithm>
+
+namespace udc {
+
+ActionMetrics measure_action(const Run& r, ActionId action) {
+  ActionMetrics m;
+  m.action = action;
+  ProcessId owner = action_owner(action);
+  m.initiated_at = r.first_event_time(owner, [action](const Event& e) {
+    return e.kind == EventKind::kInit && e.action == action;
+  });
+  Time last_correct_do = -1;
+  bool all_correct_did = !r.correct_set().empty();
+  for (ProcessId q = 0; q < r.n(); ++q) {
+    auto t = r.first_event_time(q, [action](const Event& e) {
+      return e.kind == EventKind::kDo && e.action == action;
+    });
+    if (t && (!m.first_do || *t < *m.first_do)) m.first_do = t;
+    if (!r.is_faulty(q)) {
+      if (!t) {
+        all_correct_did = false;
+      } else {
+        last_correct_do = std::max(last_correct_do, *t);
+      }
+    }
+  }
+  if (all_correct_did && last_correct_do >= 0) {
+    m.completed_at = last_correct_do;
+  }
+  return m;
+}
+
+CoordinationMetrics measure_coordination(const System& sys,
+                                         std::span<const ActionId> actions) {
+  CoordinationMetrics agg;
+  double total_latency = 0;
+  for (const Run& r : sys.runs()) {
+    for (ActionId a : actions) {
+      ActionMetrics m = measure_action(r, a);
+      if (!m.initiated_at) continue;
+      ++agg.initiated;
+      if (auto lat = m.latency()) {
+        ++agg.completed;
+        total_latency += static_cast<double>(*lat);
+        agg.max_latency = std::max(agg.max_latency, *lat);
+      }
+    }
+  }
+  if (agg.completed > 0) {
+    agg.mean_latency = total_latency / static_cast<double>(agg.completed);
+  }
+  return agg;
+}
+
+Time last_send_time(const Run& r) {
+  Time last = 0;
+  for (ProcessId p = 0; p < r.n(); ++p) {
+    const History& h = r.history(p);
+    for (std::size_t i = h.size(); i-- > 0;) {
+      if (h[i].kind == EventKind::kSend) {
+        last = std::max(last, r.event_time(p, i));
+        break;
+      }
+    }
+  }
+  return last;
+}
+
+}  // namespace udc

@@ -1,0 +1,54 @@
+// Quantitative coordination metrics: how long UDC takes and how much it
+// costs, per action and per run — the measurement layer behind the
+// ablation experiments (AB1) and the examples' reporting.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "udc/coord/action.h"
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+
+namespace udc {
+
+// Per-action account of one run.
+struct ActionMetrics {
+  ActionId action = kInvalidAction;
+  std::optional<Time> initiated_at;
+  // First do at the initiator / any process / the LAST correct process.
+  std::optional<Time> first_do;
+  std::optional<Time> completed_at;  // set only if every correct process did
+  // Completion latency: completed_at - initiated_at.
+  std::optional<Time> latency() const {
+    if (!initiated_at || !completed_at) return std::nullopt;
+    return *completed_at - *initiated_at;
+  }
+};
+
+ActionMetrics measure_action(const Run& r, ActionId action);
+
+// Aggregate over a system x action set.
+struct CoordinationMetrics {
+  std::size_t initiated = 0;
+  std::size_t completed = 0;  // completed at every correct process
+  double mean_latency = 0;    // over completed actions
+  Time max_latency = 0;
+  double completion_rate() const {
+    return initiated == 0
+               ? 1.0
+               : static_cast<double>(completed) /
+                     static_cast<double>(initiated);
+  }
+};
+
+CoordinationMetrics measure_coordination(const System& sys,
+                                         std::span<const ActionId> actions);
+
+// Network quiescence: the time of the last send event in the run (0 if the
+// run is silent).  A quiescent protocol's value sits well below the
+// horizon; a chattering one's hugs it (see footnote 11 / test_quiescence).
+Time last_send_time(const Run& r);
+
+}  // namespace udc

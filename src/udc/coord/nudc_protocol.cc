@@ -1,0 +1,58 @@
+#include "udc/coord/nudc_protocol.h"
+
+#include <algorithm>
+
+namespace udc {
+
+void NUdcProcess::enter_state(ActionId alpha, Env& env) {
+  if (std::find(active_.begin(), active_.end(), alpha) != active_.end()) {
+    return;
+  }
+  active_.push_back(alpha);
+  last_sent_.emplace_back(static_cast<std::size_t>(env.n()), -resend_interval_);
+  env.perform(alpha);  // perform immediately; flooding continues via on_tick
+}
+
+void NUdcProcess::on_init(ActionId alpha, Env& env) { enter_state(alpha, env); }
+
+void NUdcProcess::on_receive(ProcessId, const Message& msg, Env& env) {
+  if (msg.kind == MsgKind::kAlpha) enter_state(msg.action, env);
+}
+
+void NUdcProcess::on_tick(Env& env) {
+  // One paced retransmission per idle tick, round-robin over
+  // (action, peer): every pair recurs forever, which is what fairness R5
+  // rewards, but never more often than resend_interval_.
+  if (!env.outbox_empty() || active_.empty()) return;
+  const std::size_t peers = static_cast<std::size_t>(env.n()) - 1;
+  if (peers == 0) return;
+  std::size_t total = active_.size() * peers;
+  for (std::size_t probe = 0; probe < total; ++probe) {
+    std::size_t slot = cursor_ % total;
+    cursor_ = (cursor_ + 1) % total;
+    std::size_t action_idx = slot / peers;
+    ProcessId to = static_cast<ProcessId>(slot % peers);
+    if (to >= env.self()) ++to;  // skip self
+    Time& last = last_sent_[action_idx][static_cast<std::size_t>(to)];
+    if (env.now() - last < resend_interval_) continue;
+    last = env.now();
+    Message m;
+    m.kind = MsgKind::kAlpha;
+    m.action = active_[action_idx];
+    env.send(to, m);
+    return;
+  }
+}
+
+void SuspicionGossiper::on_tick(Env& env) {
+  if (!env.outbox_empty()) return;
+  if (env.n() <= 1) return;
+  if (next_peer_ == env.self()) next_peer_ = (next_peer_ + 1) % env.n();
+  Message m;
+  m.kind = MsgKind::kSuspicionGossip;
+  m.procs = heard_;
+  env.send(next_peer_, m);
+  next_peer_ = (next_peer_ + 1) % env.n();
+}
+
+}  // namespace udc

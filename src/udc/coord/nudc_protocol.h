@@ -1,0 +1,67 @@
+// The nUDC flooding protocol of Proposition 2.3, plus the suspicion-gossip
+// mixin used by the Proposition 2.1 conversion experiments.
+//
+// Prop 2.3's protocol: on init_p(α), p enters an nUDC(α) state, performs α,
+// and sends α-messages to all other processes forever; a receiver enters the
+// state (performing α and flooding in turn) the first time it hears of α.
+// No failure detector, no acknowledgments, works under fair-lossy channels
+// with any number of failures — but only attains the *non-uniform* spec:
+// a process may perform α and then crash before any α-message gets through.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class NUdcProcess : public Process {
+ public:
+  // resend_interval: minimum ticks between retransmissions of the same
+  // (action, peer) pair.  Pacing matters: an unpaced flooder saturates the
+  // one-event-per-tick budget of every process (each duplicate also costs
+  // the receiver a slot), which starves the very coordination it drives.
+  explicit NUdcProcess(Time resend_interval = 8)
+      : resend_interval_(resend_interval) {}
+
+  void on_init(ActionId alpha, Env& env) override;
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_tick(Env& env) override;
+
+ protected:
+  void enter_state(ActionId alpha, Env& env);
+
+  Time resend_interval_;
+  std::vector<ActionId> active_;  // actions in nUDC(alpha) state
+  std::vector<std::vector<Time>> last_sent_;  // per action, per peer
+  std::size_t cursor_ = 0;        // round-robin over (action, peer) pairs
+};
+
+// Periodically broadcasts its failure detector's suspicions as
+// kSuspicionGossip messages; fills idle outbox slots, round-robin over
+// peers.  Two modes:
+//   kCumulative — gossip the union of everything ever reported.  Feeds
+//                 fd/convert.h's weak->strong conversion (Prop 2.1).
+//   kCurrent    — gossip the LATEST report only, so retractions propagate.
+//                 Feeds the eventually-weak -> eventually-strong conversion
+//                 (the CT96 dW ~ dS equivalence), where pre-stabilization
+//                 noise must be forgettable.
+class SuspicionGossiper : public Process {
+ public:
+  enum class Mode { kCumulative, kCurrent };
+  explicit SuspicionGossiper(Mode mode = Mode::kCumulative) : mode_(mode) {}
+
+  void on_receive(ProcessId, const Message&, Env&) override {}
+  void on_suspect(ProcSet suspects, Env&) override {
+    heard_ = mode_ == Mode::kCumulative ? (heard_ | suspects) : suspects;
+  }
+  void on_tick(Env& env) override;
+
+ private:
+  Mode mode_;
+  ProcSet heard_;
+  ProcessId next_peer_ = 0;
+};
+
+}  // namespace udc

@@ -1,0 +1,171 @@
+#include "udc/coord/spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace udc {
+
+void CoordReport::merge(const CoordReport& other) {
+  dc1 &= other.dc1;
+  dc2 &= other.dc2;
+  dc3 &= other.dc3;
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+namespace {
+
+std::optional<Time> first_do_time(const Run& r, ProcessId q, ActionId alpha) {
+  return r.first_event_time(q, [alpha](const Event& e) {
+    return e.kind == EventKind::kDo && e.action == alpha;
+  });
+}
+
+std::optional<Time> init_time(const Run& r, ProcessId p, ActionId alpha) {
+  return r.first_event_time(p, [alpha](const Event& e) {
+    return e.kind == EventKind::kInit && e.action == alpha;
+  });
+}
+
+CoordReport check_one(const Run& r, ActionId alpha, Time grace, bool uniform) {
+  CoordReport rep;
+  const int n = r.n();
+  const Time T = r.horizon();
+  const ProcessId p = action_owner(alpha);
+
+  // DC3: performing requires a prior (or simultaneous) init by the owner.
+  for (ProcessId q = 0; q < n; ++q) {
+    auto m_do = first_do_time(r, q, alpha);
+    if (m_do && !r.init_in(p, *m_do, alpha)) {
+      rep.dc3 = false;
+      std::ostringstream out;
+      out << "DC3: p" << q << " performed α" << alpha << " at " << *m_do
+          << " but owner p" << p << " had not initiated it";
+      rep.violations.push_back(out.str());
+    }
+  }
+
+  // DC1: the initiator performs or crashes.
+  auto m_init = init_time(r, p, alpha);
+  if (m_init && *m_init <= T - grace) {
+    if (!r.do_in(p, T, alpha) && !r.is_faulty(p)) {
+      rep.dc1 = false;
+      std::ostringstream out;
+      out << "DC1: p" << p << " initiated α" << alpha << " at " << *m_init
+          << " but never performed it nor crashed";
+      rep.violations.push_back(out.str());
+    }
+  }
+
+  // DC2 (or DC2'): once performed, everyone correct performs.
+  std::optional<Time> earliest_binding_do;
+  for (ProcessId q1 = 0; q1 < n; ++q1) {
+    auto m1 = first_do_time(r, q1, alpha);
+    if (!m1 || *m1 > T - grace) continue;
+    if (!uniform && r.is_faulty(q1)) continue;  // DC2' exempts faulty doers
+    if (!earliest_binding_do || *m1 < *earliest_binding_do) {
+      earliest_binding_do = m1;
+    }
+  }
+  if (earliest_binding_do) {
+    for (ProcessId q2 = 0; q2 < n; ++q2) {
+      if (r.do_in(q2, T, alpha) || r.is_faulty(q2)) continue;
+      rep.dc2 = false;
+      std::ostringstream out;
+      out << (uniform ? "DC2" : "DC2'") << ": α" << alpha
+          << " was performed (first at " << *earliest_binding_do
+          << ") but correct p" << q2 << " never performed it";
+      rep.violations.push_back(out.str());
+    }
+  }
+  return rep;
+}
+
+CoordReport check_many(const Run& r, std::span<const ActionId> actions,
+                       Time grace, bool uniform) {
+  CoordReport rep;
+  for (ActionId alpha : actions) {
+    rep.merge(check_one(r, alpha, grace, uniform));
+  }
+  return rep;
+}
+
+}  // namespace
+
+CoordReport check_udc(const Run& r, std::span<const ActionId> actions,
+                      Time grace) {
+  return check_many(r, actions, grace, /*uniform=*/true);
+}
+
+CoordReport check_udc(const System& sys, std::span<const ActionId> actions,
+                      Time grace) {
+  CoordReport rep;
+  for (const Run& r : sys.runs()) rep.merge(check_udc(r, actions, grace));
+  return rep;
+}
+
+CoordReport check_nudc(const Run& r, std::span<const ActionId> actions,
+                       Time grace) {
+  return check_many(r, actions, grace, /*uniform=*/false);
+}
+
+CoordReport check_nudc(const System& sys, std::span<const ActionId> actions,
+                       Time grace) {
+  CoordReport rep;
+  for (const Run& r : sys.runs()) rep.merge(check_nudc(r, actions, grace));
+  return rep;
+}
+
+FormulaPtr dc1_formula(ActionId alpha, int n) {
+  (void)n;
+  ProcessId p = action_owner(alpha);
+  return f_implies(f_init(p, alpha),
+                   f_eventually(f_or(f_do(p, alpha), f_crash(p))));
+}
+
+FormulaPtr dc2_formula(ActionId alpha, int n) {
+  std::vector<FormulaPtr> clauses;
+  for (ProcessId q1 = 0; q1 < n; ++q1) {
+    for (ProcessId q2 = 0; q2 < n; ++q2) {
+      clauses.push_back(
+          f_implies(f_do(q1, alpha),
+                    f_eventually(f_or(f_do(q2, alpha), f_crash(q2)))));
+    }
+  }
+  return Formula::conjunction(std::move(clauses));
+}
+
+FormulaPtr dc2_prime_formula(ActionId alpha, int n) {
+  std::vector<FormulaPtr> clauses;
+  for (ProcessId q1 = 0; q1 < n; ++q1) {
+    for (ProcessId q2 = 0; q2 < n; ++q2) {
+      clauses.push_back(f_implies(
+          f_do(q1, alpha),
+          f_eventually(Formula::disjunction(
+              {f_do(q2, alpha), f_crash(q2), f_crash(q1)}))));
+    }
+  }
+  return Formula::conjunction(std::move(clauses));
+}
+
+FormulaPtr dc3_formula(ActionId alpha, int n) {
+  ProcessId p = action_owner(alpha);
+  std::vector<FormulaPtr> clauses;
+  for (ProcessId q2 = 0; q2 < n; ++q2) {
+    clauses.push_back(f_implies(f_do(q2, alpha), f_init(p, alpha)));
+  }
+  return Formula::conjunction(std::move(clauses));
+}
+
+FormulaPtr udc_formula(ActionId alpha, int n) {
+  return Formula::conjunction(
+      {dc1_formula(alpha, n), dc2_formula(alpha, n), dc3_formula(alpha, n)});
+}
+
+FormulaPtr nudc_formula(ActionId alpha, int n) {
+  return Formula::conjunction({dc1_formula(alpha, n),
+                               dc2_prime_formula(alpha, n),
+                               dc3_formula(alpha, n)});
+}
+
+}  // namespace udc

@@ -1,0 +1,60 @@
+// UDC / nUDC specifications (§2.4) and their checkers.
+//
+//   DC1:  init_p(α) ⇒ ◇(do_p(α) ∨ crash(p))
+//   DC2:  do_q1(α)  ⇒ ◇(do_q2(α) ∨ crash(q2))        for all q1, q2
+//   DC2′: do_q1(α)  ⇒ ◇(do_q2(α) ∨ crash(q2) ∨ crash(q1))
+//   DC3:  do_q2(α)  ⇒ init_p(α)                       for all q2
+//
+// UDC(α)  = DC1 ∧ DC2 ∧ DC3;  nUDC(α) = DC1 ∧ DC2′ ∧ DC3.
+//
+// Checkers come in two flavors: a direct run-level implementation (fast, the
+// workhorse for benches) and formula builders for the §2.3 language so the
+// model checker can verify the same facts — tests assert the two agree.
+// "Eventually" is read up to the horizon; a `grace` window exempts actions
+// initiated or first performed too close to the horizon to have finished
+// propagating (finite-run substitution, DESIGN.md §2).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "udc/coord/action.h"
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+#include "udc/logic/formula.h"
+
+namespace udc {
+
+struct CoordReport {
+  bool dc1 = true;
+  bool dc2 = true;   // the checked variant: DC2 for UDC, DC2' for nUDC
+  bool dc3 = true;
+  std::vector<std::string> violations;
+
+  bool achieved() const { return dc1 && dc2 && dc3; }
+  void merge(const CoordReport& other);
+};
+
+// Checks UDC of every action in `actions` on run r.  DC1 binds only for
+// inits at or before horizon - grace; DC2 only when the earliest do is at or
+// before horizon - grace.
+CoordReport check_udc(const Run& r, std::span<const ActionId> actions,
+                      Time grace = 0);
+CoordReport check_udc(const System& sys, std::span<const ActionId> actions,
+                      Time grace = 0);
+
+CoordReport check_nudc(const Run& r, std::span<const ActionId> actions,
+                       Time grace = 0);
+CoordReport check_nudc(const System& sys, std::span<const ActionId> actions,
+                       Time grace = 0);
+
+// Formula forms of DC1-DC3 for one action (valid-in-system checks).
+FormulaPtr dc1_formula(ActionId alpha, int n);
+FormulaPtr dc2_formula(ActionId alpha, int n);
+FormulaPtr dc2_prime_formula(ActionId alpha, int n);
+FormulaPtr dc3_formula(ActionId alpha, int n);
+FormulaPtr udc_formula(ActionId alpha, int n);
+FormulaPtr nudc_formula(ActionId alpha, int n);
+
+}  // namespace udc

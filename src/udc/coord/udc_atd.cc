@@ -1,0 +1,82 @@
+#include "udc/coord/udc_atd.h"
+
+namespace udc {
+
+UdcAtdProcess::ActionState* UdcAtdProcess::find(ActionId alpha) {
+  for (auto& st : active_) {
+    if (st.alpha == alpha) return &st;
+  }
+  return nullptr;
+}
+
+void UdcAtdProcess::enter_state(ActionId alpha, Env& env) {
+  if (find(alpha) != nullptr) return;
+  ActionState st;
+  st.alpha = alpha;
+  st.last_sent.assign(static_cast<std::size_t>(env.n()), -resend_interval_);
+  active_.push_back(std::move(st));
+  maybe_perform(active_.back(), env);
+}
+
+void UdcAtdProcess::maybe_perform(ActionState& st, Env& env) {
+  if (st.performed) return;
+  // The ATD gate: everyone not CURRENTLY suspected has acked.
+  for (ProcessId q = 0; q < env.n(); ++q) {
+    if (q == env.self()) continue;
+    if (!st.acked.contains(q) && !current_suspects_.contains(q)) return;
+  }
+  st.performed = true;
+  env.perform(st.alpha);
+}
+
+void UdcAtdProcess::on_init(ActionId alpha, Env& env) {
+  enter_state(alpha, env);
+}
+
+void UdcAtdProcess::on_receive(ProcessId from, const Message& msg, Env& env) {
+  if (msg.kind == MsgKind::kAlpha) {
+    Message ack;
+    ack.kind = MsgKind::kAck;
+    ack.action = msg.action;
+    env.send(from, ack);
+    enter_state(msg.action, env);
+  } else if (msg.kind == MsgKind::kAck) {
+    if (ActionState* st = find(msg.action)) {
+      st->acked.insert(from);
+      maybe_perform(*st, env);
+    }
+  }
+}
+
+void UdcAtdProcess::on_suspect(ProcSet suspects, Env& env) {
+  current_suspects_ = suspects;  // latest report only
+  for (auto& st : active_) maybe_perform(st, env);
+}
+
+void UdcAtdProcess::on_tick(Env& env) {
+  // Retransmission continues for every non-acked peer — unlike the
+  // cumulative protocol we may yet need an ack from a currently-suspected
+  // process (its suspicion may rotate away).
+  if (!env.outbox_empty() || active_.empty()) return;
+  const std::size_t peers = static_cast<std::size_t>(env.n()) - 1;
+  if (peers == 0) return;
+  const std::size_t total = active_.size() * peers;
+  for (std::size_t probe = 0; probe < total; ++probe) {
+    std::size_t slot = cursor_ % total;
+    cursor_ = (cursor_ + 1) % total;
+    ActionState& st = active_[slot / peers];
+    ProcessId to = static_cast<ProcessId>(slot % peers);
+    if (to >= env.self()) ++to;
+    if (st.acked.contains(to)) continue;
+    Time& last = st.last_sent[static_cast<std::size_t>(to)];
+    if (env.now() - last < resend_interval_) continue;
+    last = env.now();
+    Message m;
+    m.kind = MsgKind::kAlpha;
+    m.action = st.alpha;
+    env.send(to, m);
+    return;
+  }
+}
+
+}  // namespace udc

@@ -1,0 +1,60 @@
+// UDC with the ATD99 weakest detector (paper §5).
+//
+// The Prop 3.1 protocol gates performing on acked-or-EVER-suspected, which
+// needs weak accuracy: a fixed q* whose ack is always demanded.  Under the
+// strictly weaker ATD accuracy (only a ROTATING correct process is ever
+// unsuspected) the cumulative gate is unsound — over time every correct
+// peer gets suspected at least once, so a performer may have collected no
+// correct ack at all and then die with the action.
+//
+// The ATD-style gate uses CURRENT suspicions instead:
+//
+//   perform α when every process outside Suspects_now has acked α.
+//
+// ATD accuracy guarantees the instantaneous unsuspected-correct process is
+// in that ack set, so some correct process co-owns the action at the moment
+// of performance — the same q*-argument as Prop 3.1, made per-instant.
+// Strong completeness keeps the gate live (crashed peers eventually sit in
+// Suspects_now permanently).  This is the algorithmic content of ATD99's
+// "weakest failure detector for URB" as it manifests in our framework;
+// test_atd.cc and bench_atd_weakest run both directions (the cumulative
+// protocol breaking, this one working).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class UdcAtdProcess : public Process {
+ public:
+  explicit UdcAtdProcess(Time resend_interval = 8)
+      : resend_interval_(resend_interval) {}
+
+  void on_init(ActionId alpha, Env& env) override;
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_suspect(ProcSet suspects, Env& env) override;
+  void on_tick(Env& env) override;
+
+ private:
+  struct ActionState {
+    ActionId alpha = kInvalidAction;
+    ProcSet acked;
+    bool performed = false;
+    std::vector<Time> last_sent;
+  };
+
+  void enter_state(ActionId alpha, Env& env);
+  ActionState* find(ActionId alpha);
+  void maybe_perform(ActionState& st, Env& env);
+
+  Time resend_interval_;
+  ProcSet current_suspects_;  // the latest report — NOT cumulative
+  std::vector<ActionState> active_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace udc

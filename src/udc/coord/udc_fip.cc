@@ -1,0 +1,34 @@
+#include "udc/coord/udc_fip.h"
+
+namespace udc {
+
+void FipUdcProcess::on_receive(ProcessId from, const Message& msg, Env& env) {
+  if (msg.kind == MsgKind::kInitGossip) {
+    // Gossip is proof of initiation (it is only ever sent for actions whose
+    // init is causally upstream), so joining the coordination is safe.
+    enter_state(msg.action, env);
+    return;
+  }
+  UdcStrongFdProcess::on_receive(from, msg, env);
+}
+
+void FipUdcProcess::on_tick(Env& env) {
+  // The ack machinery has priority; gossip fills one slot per interval.
+  UdcStrongFdProcess::on_tick(env);
+  if (!env.outbox_empty() || active_.empty()) return;
+  if (env.now() - last_gossip_ < gossip_interval_) return;
+  const std::size_t peers = static_cast<std::size_t>(env.n()) - 1;
+  if (peers == 0) return;
+  const std::size_t total = active_.size() * peers;
+  std::size_t slot = gossip_cursor_ % total;
+  gossip_cursor_ = (gossip_cursor_ + 1) % total;
+  ProcessId to = static_cast<ProcessId>(slot % peers);
+  if (to >= env.self()) ++to;
+  Message m;
+  m.kind = MsgKind::kInitGossip;
+  m.action = active_[slot / peers].alpha;
+  env.send(to, m);
+  last_gossip_ = env.now();
+}
+
+}  // namespace udc

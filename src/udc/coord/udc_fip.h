@@ -1,0 +1,42 @@
+// Full-information variant of the Prop 3.1 protocol — the A4 discussion
+// made executable.
+//
+// The paper justifies assumption A4 ("if nobody in S knows φ, there is a
+// point where φ is false that they all consider possible") by supposing the
+// processes run a full-information protocol: whenever p sends to q, it
+// tells q everything it knows.  Our plain protocols are deliberately lean —
+// an α-message carries one action id — which leaves knowledge of OTHER
+// actions to travel only on their own messages.  FipUdcProcess closes that
+// gap for the facts A4 actually ranges over (which actions were initiated):
+// alongside the ack machinery it continuously gossips kInitGossip records
+// for every action it knows to be initiated, and treats received gossip as
+// proof of initiation (entering the UDC state for it).
+//
+// The effect, measured by test_fip.cc: knowledge of inits spreads along
+// every message chain (not just α-chains), A4 witness coverage rises, and
+// the UDC guarantee is untouched — DC3 stays safe because gossip is only
+// ever emitted for genuinely initiated actions.
+#pragma once
+
+#include <vector>
+
+#include "udc/coord/udc_strongfd.h"
+
+namespace udc {
+
+class FipUdcProcess : public UdcStrongFdProcess {
+ public:
+  explicit FipUdcProcess(Time resend_interval = 8, Time gossip_interval = 10)
+      : UdcStrongFdProcess(resend_interval),
+        gossip_interval_(gossip_interval) {}
+
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_tick(Env& env) override;
+
+ private:
+  Time gossip_interval_;
+  Time last_gossip_ = -100;
+  std::size_t gossip_cursor_ = 0;  // round-robin over (action, peer)
+};
+
+}  // namespace udc

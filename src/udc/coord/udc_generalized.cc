@@ -1,0 +1,97 @@
+#include "udc/coord/udc_generalized.h"
+
+#include <algorithm>
+
+namespace udc {
+
+UdcGeneralizedProcess::ActionState* UdcGeneralizedProcess::find(
+    ActionId alpha) {
+  for (auto& st : active_) {
+    if (st.alpha == alpha) return &st;
+  }
+  return nullptr;
+}
+
+void UdcGeneralizedProcess::enter_state(ActionId alpha, Env& env) {
+  if (find(alpha) != nullptr) return;
+  ActionState st;
+  st.alpha = alpha;
+  st.last_sent.assign(static_cast<std::size_t>(env.n()), -resend_interval_);
+  active_.push_back(std::move(st));
+  maybe_perform(active_.back(), env);
+}
+
+void UdcGeneralizedProcess::maybe_perform(ActionState& st, Env& env) {
+  if (st.performed) return;
+  const int n = env.n();
+  for (const Report& rep : reports_) {
+    if (n - rep.s.size() <= std::min(t_, n - 1) - rep.k) continue;
+    // Need acks from everyone outside S (self counts for free).
+    ProcSet needed = rep.s.complement(n);
+    needed.erase(env.self());
+    if (needed.subset_of(st.acked)) {
+      st.performed = true;
+      env.perform(st.alpha);
+      return;
+    }
+  }
+}
+
+void UdcGeneralizedProcess::on_init(ActionId alpha, Env& env) {
+  enter_state(alpha, env);
+}
+
+void UdcGeneralizedProcess::on_receive(ProcessId from, const Message& msg,
+                                       Env& env) {
+  if (msg.kind == MsgKind::kAlpha) {
+    Message ack;
+    ack.kind = MsgKind::kAck;
+    ack.action = msg.action;
+    env.send(from, ack);
+    enter_state(msg.action, env);
+  } else if (msg.kind == MsgKind::kAck) {
+    if (ActionState* st = find(msg.action)) {
+      st->acked.insert(from);
+      maybe_perform(*st, env);
+    }
+  }
+}
+
+void UdcGeneralizedProcess::on_suspect_gen(ProcSet s, int k, Env& env) {
+  // Keep only one report per S (the one with the largest k dominates).
+  for (Report& rep : reports_) {
+    if (rep.s == s) {
+      rep.k = std::max(rep.k, k);
+      for (auto& st : active_) maybe_perform(st, env);
+      return;
+    }
+  }
+  reports_.push_back(Report{s, k});
+  for (auto& st : active_) maybe_perform(st, env);
+}
+
+void UdcGeneralizedProcess::on_tick(Env& env) {
+  if (!env.outbox_empty() || active_.empty()) return;
+  const int n = env.n();
+  const std::size_t peers = static_cast<std::size_t>(n) - 1;
+  if (peers == 0) return;
+  const std::size_t total = active_.size() * peers;
+  for (std::size_t probe = 0; probe < total; ++probe) {
+    std::size_t slot = cursor_ % total;
+    cursor_ = (cursor_ + 1) % total;
+    ActionState& st = active_[slot / peers];
+    ProcessId to = static_cast<ProcessId>(slot % peers);
+    if (to >= env.self()) ++to;
+    if (st.acked.contains(to)) continue;
+    Time& last = st.last_sent[static_cast<std::size_t>(to)];
+    if (env.now() - last < resend_interval_) continue;
+    last = env.now();
+    Message m;
+    m.kind = MsgKind::kAlpha;
+    m.action = st.alpha;
+    env.send(to, m);
+    return;
+  }
+}
+
+}  // namespace udc

@@ -1,0 +1,57 @@
+// The UDC protocol of Proposition 4.1: failure bound t, t-useful generalized
+// failure detector, fair-lossy channels.
+//
+// A process in the UDC(α) state retransmits α-messages and performs α once
+// there is a generalized report (S, k) it has received — any report in its
+// history, they are cumulative — with
+//     n - |S| > min(t, n-1) - k      (the t-usefulness inequality)
+// and acknowledgments for α from ALL of Proc - S.  Intuition: the report
+// guarantees that if anyone at all is correct then someone in Proc - S is,
+// and that someone now shares the obligation to finish the coordination.
+//
+// With the trivial (S, 0) detector and t < n/2 this degenerates to "collect
+// acks from some n - t processes" — exactly Gopal-Toueg (Corollary 4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class UdcGeneralizedProcess : public Process {
+ public:
+  explicit UdcGeneralizedProcess(int t, Time resend_interval = 8)
+      : t_(t), resend_interval_(resend_interval) {}
+
+  void on_init(ActionId alpha, Env& env) override;
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_suspect_gen(ProcSet s, int k, Env& env) override;
+  void on_tick(Env& env) override;
+
+ private:
+  struct Report {
+    ProcSet s;
+    int k = 0;
+  };
+  struct ActionState {
+    ActionId alpha = kInvalidAction;
+    ProcSet acked;
+    bool performed = false;
+    std::vector<Time> last_sent;  // per peer
+  };
+
+  void enter_state(ActionId alpha, Env& env);
+  ActionState* find(ActionId alpha);
+  void maybe_perform(ActionState& st, Env& env);
+
+  int t_;
+  Time resend_interval_;
+  std::vector<Report> reports_;  // every generalized report ever received
+  std::vector<ActionState> active_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace udc

@@ -1,0 +1,68 @@
+#include "udc/coord/udc_majority.h"
+
+namespace udc {
+
+UdcMajorityProcess::ActionState* UdcMajorityProcess::find(ActionId alpha) {
+  for (auto& st : active_) {
+    if (st.alpha == alpha) return &st;
+  }
+  return nullptr;
+}
+
+void UdcMajorityProcess::enter_state(ActionId alpha, Env& env) {
+  if (find(alpha) != nullptr) return;
+  ActionState st;
+  st.alpha = alpha;
+  st.echoed_by = ProcSet::singleton(env.self());
+  st.last_sent.assign(static_cast<std::size_t>(env.n()), -resend_interval_);
+  active_.push_back(std::move(st));
+  maybe_perform(active_.back(), env);  // n == 1: own echo is a majority
+}
+
+void UdcMajorityProcess::maybe_perform(ActionState& st, Env& env) {
+  if (st.performed) return;
+  if (st.echoed_by.size() < env.n() / 2 + 1) return;
+  st.performed = true;
+  env.perform(st.alpha);
+}
+
+void UdcMajorityProcess::on_init(ActionId alpha, Env& env) {
+  enter_state(alpha, env);
+}
+
+void UdcMajorityProcess::on_receive(ProcessId from, const Message& msg,
+                                    Env& env) {
+  if (msg.kind != MsgKind::kAlpha) return;
+  enter_state(msg.action, env);
+  if (ActionState* st = find(msg.action)) {
+    st->echoed_by.insert(from);
+    maybe_perform(*st, env);
+  }
+}
+
+void UdcMajorityProcess::on_tick(Env& env) {
+  // Echo forever (paced): the retransmission is what carries both the
+  // content and the quorum evidence through the lossy network; there is no
+  // detector to tell us when a peer is beyond convincing.
+  if (!env.outbox_empty() || active_.empty()) return;
+  const std::size_t peers = static_cast<std::size_t>(env.n()) - 1;
+  if (peers == 0) return;
+  const std::size_t total = active_.size() * peers;
+  for (std::size_t probe = 0; probe < total; ++probe) {
+    std::size_t slot = cursor_ % total;
+    cursor_ = (cursor_ + 1) % total;
+    ActionState& st = active_[slot / peers];
+    ProcessId to = static_cast<ProcessId>(slot % peers);
+    if (to >= env.self()) ++to;
+    Time& last = st.last_sent[static_cast<std::size_t>(to)];
+    if (env.now() - last < resend_interval_) continue;
+    last = env.now();
+    Message m;
+    m.kind = MsgKind::kAlpha;
+    m.action = st.alpha;
+    env.send(to, m);
+    return;
+  }
+}
+
+}  // namespace udc

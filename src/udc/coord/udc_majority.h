@@ -1,0 +1,53 @@
+// Majority-echo UDC for t < n/2 — the honest "no failure detector" entry
+// of Table 1's unreliable row (Gopal-Toueg [GT89], as the paper's
+// Corollary 4.2 frames it).
+//
+// Every process that learns of α (by initiating or by receiving any
+// α-traffic) ECHOES it: it repeatedly announces "I have α" to everyone.  A
+// process performs α once it has collected echoes from a MAJORITY of the
+// group (its own included).  Uniformity without any detector: a performer's
+// majority quorum intersects the (> n/2) correct processes, so some correct
+// process holds α and keeps echoing; every correct process therefore
+// eventually collects the ≥ n - t > n/2 correct echoes itself.  Liveness
+// needs t < n/2 — with half or more faulty, the quorum may never fill and
+// DC1 fails, which is exactly the boundary the Table 1 probes show.
+//
+// Echoes double as the flooding that spreads α, so the protocol is one
+// message kind: kAlpha from ANY process is both content and echo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class UdcMajorityProcess : public Process {
+ public:
+  explicit UdcMajorityProcess(Time resend_interval = 8)
+      : resend_interval_(resend_interval) {}
+
+  void on_init(ActionId alpha, Env& env) override;
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_tick(Env& env) override;
+
+ private:
+  struct ActionState {
+    ActionId alpha = kInvalidAction;
+    ProcSet echoed_by;  // processes seen echoing alpha (self included)
+    bool performed = false;
+    std::vector<Time> last_sent;
+  };
+
+  void enter_state(ActionId alpha, Env& env);
+  ActionState* find(ActionId alpha);
+  void maybe_perform(ActionState& st, Env& env);
+
+  Time resend_interval_;
+  std::vector<ActionState> active_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace udc

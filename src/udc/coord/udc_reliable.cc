@@ -1,0 +1,30 @@
+#include "udc/coord/udc_reliable.h"
+
+#include <algorithm>
+
+namespace udc {
+
+void UdcReliableProcess::enter_state(ActionId alpha, Env& env) {
+  if (std::find(known_.begin(), known_.end(), alpha) != known_.end()) return;
+  known_.push_back(alpha);
+  // Queue the α-messages to all peers FIRST, the do second: the simulator
+  // drains the outbox in order, so by the time do_p(α) is in the history,
+  // every send_p(q, α) already is too (the proof obligation of Prop 2.4).
+  Message m;
+  m.kind = MsgKind::kAlpha;
+  m.action = alpha;
+  for (ProcessId q = 0; q < env.n(); ++q) {
+    if (q != env.self()) env.send(q, m);
+  }
+  env.perform(alpha);
+}
+
+void UdcReliableProcess::on_init(ActionId alpha, Env& env) {
+  enter_state(alpha, env);
+}
+
+void UdcReliableProcess::on_receive(ProcessId, const Message& msg, Env& env) {
+  if (msg.kind == MsgKind::kAlpha) enter_state(msg.action, env);
+}
+
+}  // namespace udc

@@ -1,0 +1,28 @@
+// The UDC protocol of Proposition 2.4: reliable channels, no failure
+// detector, any number of failures.
+//
+// On entering the UDC(α) state a process first sends an α-message to every
+// other process and only then performs α.  With reliable channels, if q
+// performed α then q's α-messages were already sent, so every correct
+// process eventually receives one, relays (once), and performs — even if q
+// crashes immediately after performing.  The send-BEFORE-do ordering is the
+// entire trick; the outbox FIFO of the simulator preserves it.
+#pragma once
+
+#include <vector>
+
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class UdcReliableProcess : public Process {
+ public:
+  void on_init(ActionId alpha, Env& env) override;
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+
+ private:
+  void enter_state(ActionId alpha, Env& env);
+  std::vector<ActionId> known_;
+};
+
+}  // namespace udc

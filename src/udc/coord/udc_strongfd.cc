@@ -1,0 +1,87 @@
+#include "udc/coord/udc_strongfd.h"
+
+namespace udc {
+
+UdcStrongFdProcess::ActionState* UdcStrongFdProcess::find(ActionId alpha) {
+  for (auto& st : active_) {
+    if (st.alpha == alpha) return &st;
+  }
+  return nullptr;
+}
+
+void UdcStrongFdProcess::enter_state(ActionId alpha, Env& env) {
+  if (find(alpha) != nullptr) return;
+  ActionState st;
+  st.alpha = alpha;
+  st.last_sent.assign(static_cast<std::size_t>(env.n()), -resend_interval_);
+  active_.push_back(std::move(st));
+  maybe_perform(active_.back(), env);  // n == 1 edge case
+}
+
+void UdcStrongFdProcess::maybe_perform(ActionState& st, Env& env) {
+  if (st.performed) return;
+  for (ProcessId q = 0; q < env.n(); ++q) {
+    if (q == env.self()) continue;
+    if (!st.acked.contains(q) && !ever_suspected_.contains(q)) return;
+  }
+  st.performed = true;
+  env.perform(st.alpha);
+}
+
+void UdcStrongFdProcess::on_init(ActionId alpha, Env& env) {
+  enter_state(alpha, env);
+}
+
+void UdcStrongFdProcess::on_receive(ProcessId from, const Message& msg,
+                                    Env& env) {
+  if (msg.kind == MsgKind::kAlpha) {
+    // Ack every α-message (retransmissions included: our ack may have been
+    // lost) and join the coordination.
+    Message ack;
+    ack.kind = MsgKind::kAck;
+    ack.action = msg.action;
+    env.send(from, ack);
+    enter_state(msg.action, env);
+  } else if (msg.kind == MsgKind::kAck) {
+    if (ActionState* st = find(msg.action)) {
+      st->acked.insert(from);
+      maybe_perform(*st, env);
+    }
+  }
+}
+
+void UdcStrongFdProcess::on_suspect(ProcSet suspects, Env& env) {
+  ever_suspected_ |= suspects;
+  for (auto& st : active_) maybe_perform(st, env);
+}
+
+void UdcStrongFdProcess::on_tick(Env& env) {
+  // Retransmit α-messages to not-yet-acked peers, one per idle tick,
+  // round-robin across (action, peer) pairs.  Per the proposition's
+  // protocol, retransmission continues even after performing, until every
+  // ack is in hand (which may never happen if a peer crashed).
+  if (!env.outbox_empty() || active_.empty()) return;
+  const int n = env.n();
+  const std::size_t peers = static_cast<std::size_t>(n) - 1;
+  if (peers == 0) return;
+  const std::size_t total = active_.size() * peers;
+  for (std::size_t probe = 0; probe < total; ++probe) {
+    std::size_t slot = cursor_ % total;
+    cursor_ = (cursor_ + 1) % total;
+    ActionState& st = active_[slot / peers];
+    if (quiescent_ && st.performed) continue;  // footnote 11
+    ProcessId to = static_cast<ProcessId>(slot % peers);
+    if (to >= env.self()) ++to;
+    if (st.acked.contains(to)) continue;
+    Time& last = st.last_sent[static_cast<std::size_t>(to)];
+    if (env.now() - last < resend_interval_) continue;
+    last = env.now();
+    Message m;
+    m.kind = MsgKind::kAlpha;
+    m.action = st.alpha;
+    env.send(to, m);
+    return;
+  }
+}
+
+}  // namespace udc

@@ -1,0 +1,62 @@
+// The UDC protocol of Proposition 3.1: fair-lossy channels, strong (or
+// impermanent-strong) failure detector, no bound on failures.
+//
+// In the UDC(α) state a process retransmits α-messages to every peer until
+// acknowledged.  It performs α once, for every peer q, it either holds an
+// ack for α from q or its failure detector HAS EVER reported q ("says or
+// has said that q is faulty" — cumulative, which is why impermanent
+// completeness suffices).  Receivers ack every α-message and enter the
+// state themselves.
+//
+// Weak accuracy is what makes this uniform: some correct q* is never
+// suspected, so a performer must hold q*'s ack, so q* is in the state and
+// will drive every correct process into it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/sim/process.h"
+
+namespace udc {
+
+class UdcStrongFdProcess : public Process {
+ public:
+  // resend_interval paces per-(action, peer) retransmission; see
+  // NUdcProcess for why unpaced flooding self-congests.
+  //
+  // quiescent: the paper's footnote 11 — with a STRONGLY ACCURATE detector,
+  // a process may stop retransmitting an action's messages once it has
+  // performed it (every unacked peer really is crashed).  With merely weak
+  // accuracy this is UNSOUND: halting on a false suspicion strands a live
+  // peer.  test_quiescence.cc demonstrates both directions.
+  explicit UdcStrongFdProcess(Time resend_interval = 8,
+                              bool quiescent = false)
+      : resend_interval_(resend_interval), quiescent_(quiescent) {}
+
+  void on_init(ActionId alpha, Env& env) override;
+  void on_receive(ProcessId from, const Message& msg, Env& env) override;
+  void on_suspect(ProcSet suspects, Env& env) override;
+  void on_tick(Env& env) override;
+
+ protected:
+  struct ActionState {
+    ActionId alpha = kInvalidAction;
+    ProcSet acked;        // peers whose ack for alpha we hold
+    bool performed = false;
+    std::vector<Time> last_sent;  // per peer
+  };
+
+  void enter_state(ActionId alpha, Env& env);
+  ActionState* find(ActionId alpha);
+  void maybe_perform(ActionState& st, Env& env);
+
+  Time resend_interval_;
+  bool quiescent_;
+  std::vector<ActionState> active_;
+  ProcSet ever_suspected_;  // cumulative failure-detector output
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace udc

@@ -1,0 +1,44 @@
+#include "udc/coord/urb.h"
+
+#include "udc/common/check.h"
+#include "udc/coord/udc_strongfd.h"
+
+namespace udc {
+
+UrbSession::UrbSession(int group_size) : n_(group_size) {
+  UDC_CHECK(group_size > 0 && group_size <= kMaxProcesses,
+            "group size out of range");
+  next_seq_.assign(static_cast<std::size_t>(group_size), 0);
+}
+
+ActionId UrbSession::broadcast(ProcessId sender, Time at) {
+  UDC_CHECK(sender >= 0 && sender < n_, "sender outside the group");
+  ActionId a = make_action(sender, next_seq_[static_cast<std::size_t>(sender)]++);
+  messages_.push_back(a);
+  workload_.push_back({at, sender, a});
+  return a;
+}
+
+UrbSession::Outcome UrbSession::execute(const SimConfig& config,
+                                        const CrashPlan& plan,
+                                        FdOracle* detector) const {
+  UDC_CHECK(config.n == n_, "config group size mismatch");
+  SimResult res = simulate(config, plan, detector, workload_, [](ProcessId) {
+    return std::make_unique<UdcStrongFdProcess>();
+  });
+  return Outcome{std::move(res.run), res.messages_sent, res.messages_dropped};
+}
+
+std::optional<Time> UrbSession::Outcome::delivered_at(ActionId message,
+                                                      ProcessId p) const {
+  return run.first_event_time(p, [message](const Event& e) {
+    return e.kind == EventKind::kDo && e.action == message;
+  });
+}
+
+CoordReport UrbSession::Outcome::uniform_delivery(
+    std::span<const ActionId> messages, Time grace) const {
+  return check_udc(run, messages, grace);
+}
+
+}  // namespace udc

@@ -1,0 +1,55 @@
+// Uniform Reliable Broadcast (URB) as a library facade over the UDC engine.
+//
+// The paper observes (§1, §5) that Schiper-Sandoz Uniform Reliable
+// Multicast — and the URB of Aguilera-Toueg-Deianov — is exactly UDC where
+// the coordination action is "deliver message m": broadcast(m) = init, and
+// deliver(m) = do.  UrbSession packages that correspondence: register
+// broadcasts, execute the group under a context, and read deliveries and
+// the uniform-delivery verdict back out.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/simulator.h"
+
+namespace udc {
+
+class UrbSession {
+ public:
+  explicit UrbSession(int group_size);
+
+  // Registers "at time `at`, `sender` broadcasts a message"; the returned
+  // id identifies the message in delivery queries.
+  ActionId broadcast(ProcessId sender, Time at);
+
+  struct Outcome {
+    Run run;
+    std::size_t messages_sent = 0;
+    std::size_t messages_dropped = 0;
+
+    // When p delivered the message, if it did.
+    std::optional<Time> delivered_at(ActionId message, ProcessId p) const;
+    // Uniform delivery = the UDC spec on the delivery actions.
+    CoordReport uniform_delivery(std::span<const ActionId> messages,
+                                 Time grace) const;
+  };
+
+  // Runs the group.  `detector` may be null (then only reliable channels
+  // give uniformity — Prop 2.4 vs Prop 3.1 in broadcast clothing).
+  Outcome execute(const SimConfig& config, const CrashPlan& plan,
+                  FdOracle* detector) const;
+
+  const std::vector<ActionId>& messages() const { return messages_; }
+
+ private:
+  int n_;
+  std::vector<InitDirective> workload_;
+  std::vector<ActionId> messages_;
+  std::vector<ActionId> next_seq_;  // per sender
+};
+
+}  // namespace udc

@@ -1,0 +1,85 @@
+#include "udc/event/causality.h"
+
+#include <algorithm>
+#include <map>
+
+namespace udc {
+
+// The index stores the delivery edges sorted by receive time; a chain query
+// is one forward pass (chains only move forward in time).  With message
+// retransmission a receive may correspond to several sends of the same
+// content; a chain may ride ANY of them (the paper's chains are about
+// information flow, and identical payloads carry identical information), so
+// every (send <= receive) pairing becomes an edge.
+
+std::vector<CausalIndex::Edge> CausalIndex::collect_edges(const Run& r) {
+  // Gather send times and receive times per (sender, recipient, message).
+  struct Times {
+    std::vector<Time> sends;
+    std::vector<Time> recvs;
+  };
+  std::map<std::tuple<ProcessId, ProcessId, std::string>, Times> by_msg;
+  for (ProcessId p = 0; p < r.n(); ++p) {
+    const History& h = r.history(p);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const Event& e = h[i];
+      if (e.kind == EventKind::kSend) {
+        by_msg[{p, e.peer, e.msg.to_string()}].sends.push_back(
+            r.event_time(p, i));
+      } else if (e.kind == EventKind::kRecv) {
+        by_msg[{e.peer, p, e.msg.to_string()}].recvs.push_back(
+            r.event_time(p, i));
+      }
+    }
+  }
+  std::vector<Edge> edges;
+  for (auto& [key, times] : by_msg) {
+    for (Time tr : times.recvs) {
+      for (Time ts : times.sends) {
+        if (ts <= tr) {
+          edges.push_back(Edge{std::get<0>(key), std::get<1>(key), ts, tr});
+        }
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.received_at < b.received_at;
+  });
+  return edges;
+}
+
+CausalIndex::CausalIndex(const Run& r) : run_(r), n_(r.n()) {
+  edges_storage_ = collect_edges(r);
+}
+
+Time CausalIndex::earliest_reach(ProcessId from, Time from_m,
+                                 ProcessId q) const {
+  if (q == from) return from_m;
+  auto key = std::pair<ProcessId, Time>(from, from_m);
+  auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    std::vector<Time> earliest(static_cast<std::size_t>(n_), kTimeMax);
+    earliest[static_cast<std::size_t>(from)] = from_m;
+    for (const Edge& e : edges_storage_) {
+      Time at_sender = earliest[static_cast<std::size_t>(e.from)];
+      if (at_sender != kTimeMax && e.sent_at >= at_sender) {
+        Time& dst = earliest[static_cast<std::size_t>(e.to)];
+        if (e.received_at < dst) dst = e.received_at;
+      }
+    }
+    it = memo_.emplace(key, std::move(earliest)).first;
+  }
+  return it->second[static_cast<std::size_t>(q)];
+}
+
+bool chain_from_init(const CausalIndex& idx, const Run& r, ProcessId owner,
+                     ActionId alpha, ProcessId q, Time by) {
+  auto m_init = r.first_event_time(owner, [alpha](const Event& e) {
+    return e.kind == EventKind::kInit && e.action == alpha;
+  });
+  if (!m_init) return false;
+  if (q == owner) return *m_init <= by;
+  return idx.has_chain(owner, *m_init, q, by);
+}
+
+}  // namespace udc

@@ -1,0 +1,72 @@
+// Causal structure of a run: Lamport happens-before and the paper's
+// message chains (§3, footnote 5).
+//
+// "There is a message chain from p to q between m_p and m > m_p if there is
+//  a sequence of messages msg_1..msg_k and processes p_1..p_{k+1} such that
+//  msg_i is sent by p_i to p_{i+1} and is received, p_{i+1} sends msg_{i+1}
+//  after receiving msg_i, p = p_1, q = p_{k+1}, p sends msg_1 at or after
+//  m_p, and q receives msg_k at or before m."
+//
+// Chains are what carry knowledge in full-information protocols: the A4
+// discussion and the Theorem 3.6 machinery quantify over them.  CausalIndex
+// computes, for every (source process, source time), the earliest time each
+// other process is causally reachable — one forward sweep over the run's
+// receive events — and answers chain queries in O(1).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "udc/event/run.h"
+
+namespace udc {
+
+class CausalIndex {
+ public:
+  explicit CausalIndex(const Run& r);
+
+  // Earliest time m such that there is a message chain from (from, from_m)
+  // to q receiving at or before m — or kTimeMax if no chain exists within
+  // the horizon.  For q == from the answer is from_m itself (empty chain).
+  Time earliest_reach(ProcessId from, Time from_m, ProcessId q) const;
+
+  // The footnote-5 predicate verbatim.
+  bool has_chain(ProcessId from, Time from_m, ProcessId to, Time to_m) const {
+    return earliest_reach(from, from_m, to) <= to_m;
+  }
+
+  // Lamport happens-before on (process, time) pairs: (p, m1) -> (q, m2)
+  // iff p == q and m1 <= m2, or a chain from (p, m1) reaches q by m2.
+  bool happens_before(ProcessId p, Time m1, ProcessId q, Time m2) const {
+    if (p == q) return m1 <= m2;
+    return has_chain(p, m1, q, m2);
+  }
+
+ private:
+  struct Edge {
+    ProcessId from;
+    ProcessId to;
+    Time sent_at;
+    Time received_at;
+  };
+
+  static std::vector<Edge> collect_edges(const Run& r);
+
+  const Run& run_;
+  int n_;
+  // Delivery edges sorted by receive time; a chain query is one forward
+  // pass over them (chains only move forward in time), memoized per
+  // (source, start-time) pair.
+  std::vector<Edge> edges_storage_;
+  mutable std::map<std::pair<ProcessId, Time>, std::vector<Time>> memo_;
+};
+
+// Knowledge-transfer sanity predicate used by property tests: in the
+// flooding/ack protocols, a process q with an α-message-derived fact must
+// have a chain from the initiator's init point to q (messages are the only
+// channel of information).
+bool chain_from_init(const CausalIndex& idx, const Run& r, ProcessId owner,
+                     ActionId alpha, ProcessId q, Time by);
+
+}  // namespace udc

@@ -1,0 +1,61 @@
+#include "udc/event/event.h"
+
+#include <sstream>
+
+namespace udc {
+
+namespace {
+const char* kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kAlpha: return "alpha";
+    case MsgKind::kAck: return "ack";
+    case MsgKind::kSuspicionGossip: return "suspicions";
+    case MsgKind::kInitGossip: return "init-gossip";
+    case MsgKind::kEstimate: return "estimate";
+    case MsgKind::kPropose: return "propose";
+    case MsgKind::kEstimateAck: return "estimate-ack";
+    case MsgKind::kDecide: return "decide";
+    case MsgKind::kApp: return "app";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Message::to_string() const {
+  std::ostringstream out;
+  out << kind_name(kind);
+  if (action != kInvalidAction) out << " α" << action;
+  if (!procs.empty()) out << ' ' << procs.to_string();
+  if (a != 0 || b != 0) out << " (" << a << ',' << b << ')';
+  return out.str();
+}
+
+std::string Event::to_string() const {
+  std::ostringstream out;
+  switch (kind) {
+    case EventKind::kSend:
+      out << "send(" << peer << ", " << msg.to_string() << ')';
+      break;
+    case EventKind::kRecv:
+      out << "recv(" << peer << ", " << msg.to_string() << ')';
+      break;
+    case EventKind::kDo:
+      out << "do(α" << action << ')';
+      break;
+    case EventKind::kInit:
+      out << "init(α" << action << ')';
+      break;
+    case EventKind::kCrash:
+      out << "crash";
+      break;
+    case EventKind::kSuspect:
+      out << "suspect" << suspects.to_string();
+      break;
+    case EventKind::kSuspectGen:
+      out << "suspect(" << suspects.to_string() << ", " << k << ')';
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace udc

@@ -1,0 +1,114 @@
+// Events, exactly as enumerated in Section 2.1 of the paper:
+//
+//   send_p(q, msg)    p sends msg to q
+//   recv_p(q, msg)    p receives msg from q
+//   do_p(alpha)       p executes coordination action alpha
+//   init_p(alpha)     p initiates alpha (at most once per run, only at the
+//                     action's owner)
+//   crash_p           p fails (last event in p's history, R4)
+//   suspect_p(S)      standard failure-detector report "S are faulty" (§2.2)
+//   suspect_p(S, k)   generalized report "at least k processes in S are
+//                     faulty" (§4)
+//
+// An Event is a value: histories are sequences of Events, runs are tuples of
+// histories, and both knowledge (indistinguishability of local histories)
+// and every spec checker operate on these values.  We use one flat struct
+// with a kind tag instead of std::variant: every consumer switches on the
+// kind anyway, and a flat struct hashes and compares cheaply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "udc/common/check.h"
+#include "udc/common/proc_set.h"
+#include "udc/common/types.h"
+#include "udc/event/message.h"
+
+namespace udc {
+
+enum class EventKind : std::uint8_t {
+  kSend,
+  kRecv,
+  kDo,
+  kInit,
+  kCrash,
+  kSuspect,     // standard report suspect_p(S)
+  kSuspectGen,  // generalized report suspect_p(S, k)
+};
+
+struct Event {
+  EventKind kind = EventKind::kCrash;
+  ProcessId peer = kInvalidProcess;  // kSend: recipient; kRecv: sender
+  Message msg;                       // kSend / kRecv payload
+  ActionId action = kInvalidAction;  // kDo / kInit
+  ProcSet suspects;                  // kSuspect / kSuspectGen: the set S
+  std::int32_t k = 0;                // kSuspectGen: the count k
+
+  // -- factories (the only sanctioned way to build events) ------------------
+  static Event send(ProcessId to, Message msg) {
+    Event e;
+    e.kind = EventKind::kSend;
+    e.peer = to;
+    e.msg = std::move(msg);
+    return e;
+  }
+  static Event recv(ProcessId from, Message msg) {
+    Event e;
+    e.kind = EventKind::kRecv;
+    e.peer = from;
+    e.msg = std::move(msg);
+    return e;
+  }
+  static Event do_action(ActionId a) {
+    Event e;
+    e.kind = EventKind::kDo;
+    e.action = a;
+    return e;
+  }
+  static Event init(ActionId a) {
+    Event e;
+    e.kind = EventKind::kInit;
+    e.action = a;
+    return e;
+  }
+  static Event crash() { return Event{}; }
+  static Event suspect(ProcSet s) {
+    Event e;
+    e.kind = EventKind::kSuspect;
+    e.suspects = s;
+    return e;
+  }
+  static Event suspect_gen(ProcSet s, std::int32_t k) {
+    UDC_CHECK(k >= 0 && k <= s.size(), "generalized report needs k <= |S|");
+    Event e;
+    e.kind = EventKind::kSuspectGen;
+    e.suspects = s;
+    e.k = k;
+    return e;
+  }
+
+  bool is_failure_detector_event() const {
+    return kind == EventKind::kSuspect || kind == EventKind::kSuspectGen;
+  }
+
+  friend bool operator==(const Event&, const Event&) = default;
+
+  std::string to_string() const;
+
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(kind));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(peer)));
+    mix(MessageHash{}(msg));
+    mix(static_cast<std::uint64_t>(action));
+    mix(suspects.bits());
+    mix(static_cast<std::uint64_t>(k));
+    return h;
+  }
+};
+
+}  // namespace udc

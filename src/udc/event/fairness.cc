@@ -1,0 +1,56 @@
+#include "udc/event/fairness.h"
+
+#include <sstream>
+#include <tuple>
+
+namespace udc {
+
+std::string FairnessViolation::to_string() const {
+  std::ostringstream out;
+  out << "p" << sender << " sent [" << msg.to_string() << "] to p" << recipient
+      << ' ' << times_sent << " times with no receive";
+  return out.str();
+}
+
+FairnessReport check_fairness(const Run& r, std::size_t threshold) {
+  struct Tally {
+    std::size_t sent = 0;
+    std::size_t received = 0;
+  };
+  // Keyed by (sender, recipient, message); Message lacks operator<, so key
+  // on a stable rendering plus the endpoints.
+  std::map<std::tuple<ProcessId, ProcessId, std::string>,
+           std::pair<Message, Tally>>
+      tallies;
+
+  for (ProcessId p = 0; p < r.n(); ++p) {
+    const History& h = r.history(p);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const Event& e = h[i];
+      if (e.kind == EventKind::kSend) {
+        // Only sends while the recipient is still alive count toward R5.
+        if (r.crashed_by(e.peer, r.event_time(p, i))) continue;
+        auto& entry =
+            tallies[{p, e.peer, e.msg.to_string()}];
+        entry.first = e.msg;
+        entry.second.sent++;
+      } else if (e.kind == EventKind::kRecv) {
+        auto& entry = tallies[{e.peer, p, e.msg.to_string()}];
+        entry.first = e.msg;
+        entry.second.received++;
+      }
+    }
+  }
+
+  FairnessReport report;
+  for (const auto& [key, entry] : tallies) {
+    const auto& [msg, tally] = entry;
+    if (tally.sent >= threshold && tally.received == 0) {
+      report.violations.push_back(FairnessViolation{
+          std::get<0>(key), std::get<1>(key), msg, tally.sent});
+    }
+  }
+  return report;
+}
+
+}  // namespace udc

@@ -1,0 +1,71 @@
+// History: the totally-ordered sequence of events at one process (§2.1).
+//
+// Histories are append-only.  A History maintains, alongside its events, a
+// rolling hash of every prefix: the knowledge operator K_p quantifies over
+// points with *identical local histories* (r,m) ~_p (r',m'), and systems may
+// contain thousands of points, so prefix comparison must be O(1) expected
+// (hash compare, with a full verify on hash hit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "udc/common/check.h"
+#include "udc/event/event.h"
+
+namespace udc {
+
+class History {
+ public:
+  History() { prefix_hash_.push_back(kSeed); }
+
+  void append(Event e) {
+    std::uint64_t h = prefix_hash_.back();
+    // Combine previous prefix hash with event hash (order-sensitive).
+    h = h * 0x100000001b3ull + e.hash();
+    prefix_hash_.push_back(h);
+    events_.push_back(std::move(e));
+  }
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& operator[](std::size_t i) const { return events_[i]; }
+  const Event& back() const { return events_.back(); }
+
+  std::span<const Event> events() const { return events_; }
+  std::span<const Event> prefix(std::size_t len) const {
+    UDC_CHECK(len <= events_.size(), "prefix longer than history");
+    return {events_.data(), len};
+  }
+
+  // Hash of the first `len` events.
+  std::uint64_t prefix_hash(std::size_t len) const {
+    UDC_CHECK(len < prefix_hash_.size(), "prefix longer than history");
+    return prefix_hash_[len];
+  }
+  std::uint64_t hash() const { return prefix_hash_.back(); }
+
+  // True iff the first `len_a` events of `a` equal the first `len_b` events
+  // of `b`.  Hash-accelerated; falls back to element compare on hash match.
+  static bool prefixes_equal(const History& a, std::size_t len_a,
+                             const History& b, std::size_t len_b) {
+    if (len_a != len_b) return false;
+    if (a.prefix_hash(len_a) != b.prefix_hash(len_b)) return false;
+    for (std::size_t i = 0; i < len_a; ++i) {
+      if (!(a.events_[i] == b.events_[i])) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const History& a, const History& b) {
+    return prefixes_equal(a, a.size(), b, b.size());
+  }
+
+ private:
+  static constexpr std::uint64_t kSeed = 0x243f6a8885a308d3ull;  // pi
+  std::vector<Event> events_;
+  std::vector<std::uint64_t> prefix_hash_;  // prefix_hash_[i] covers events [0,i)
+};
+
+}  // namespace udc

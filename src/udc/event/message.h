@@ -1,0 +1,67 @@
+// Messages exchanged by udckit protocols.
+//
+// The paper treats messages abstractly ("msg").  The one structural property
+// it relies on is message *identity*: fairness R5 speaks of "the same message
+// msg" being sent infinitely often, so a retransmission must be equal (as a
+// value) to the original.  Message is therefore a small value type with
+// field-wise equality and hashing, and NO per-send sequence number.
+//
+// The fixed field set below is the union of what the paper's protocols need:
+//   - UDC/nUDC:      kAlpha / kAck carrying an ActionId
+//   - FD conversion: kSuspicionGossip carrying a ProcSet (Prop 2.1's
+//                    "communicate their suspicions")
+//   - FIP gossip:    kInitGossip carrying a set of initiated actions encoded
+//                    as (action, procs) pairs streamed one per message
+//   - consensus:     kEstimate / kAck2 / kDecide with round and value fields
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "udc/common/proc_set.h"
+#include "udc/common/types.h"
+
+namespace udc {
+
+enum class MsgKind : std::uint8_t {
+  kAlpha,            // "perform action `action`" (UDC/nUDC flooding)
+  kAck,              // acknowledgment of a kAlpha message for `action`
+  kSuspicionGossip,  // "my FD has (cumulatively) suspected `procs`"
+  kInitGossip,       // "action `action` was initiated" (FIP piggyback)
+  kEstimate,         // consensus: estimate for round a (payload in b)
+  kPropose,          // consensus: coordinator's round-a proposal, value b
+  kEstimateAck,      // consensus: ack/nack of round a (b = 1 ack / 0 nack)
+  kDecide,           // consensus: decide value b
+  kApp,              // free-form application payload (examples)
+};
+
+struct Message {
+  MsgKind kind = MsgKind::kApp;
+  ActionId action = kInvalidAction;  // for kAlpha/kAck/kInitGossip
+  ProcSet procs;                     // for kSuspicionGossip
+  std::int64_t a = 0;                // generic small field (round, ...)
+  std::int64_t b = 0;                // generic small field (value, ...)
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+  std::string to_string() const;
+};
+
+// FNV-1a-style field mix; stable across platforms.
+struct MessageHash {
+  std::size_t operator()(const Message& m) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(m.kind));
+    mix(static_cast<std::uint64_t>(m.action));
+    mix(m.procs.bits());
+    mix(static_cast<std::uint64_t>(m.a));
+    mix(static_cast<std::uint64_t>(m.b));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace udc

@@ -1,0 +1,159 @@
+#include "udc/event/run.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+Run::Builder::Builder(int n) : n_(n) {
+  UDC_CHECK(n > 0 && n <= kMaxProcesses, "process count out of range");
+  histories_.resize(n);
+  first_len_at_.assign(n, {0u});  // R1: empty histories at time 0
+  appended_this_step_.assign(n, false);
+}
+
+Run::Builder& Run::Builder::append(ProcessId p, Event e) {
+  UDC_CHECK(p >= 0 && p < n_, "process id out of range");
+  UDC_CHECK(!appended_this_step_[static_cast<std::size_t>(p)],
+            "R2: at most one event per process per step");
+  UDC_CHECK(!crashed(p), "R4: no events after crash");
+  appended_this_step_[static_cast<std::size_t>(p)] = true;
+  histories_[p].append(std::move(e));
+  return *this;
+}
+
+Run::Builder& Run::Builder::end_step() {
+  for (ProcessId p = 0; p < n_; ++p) {
+    first_len_at_[p].push_back(static_cast<std::uint32_t>(histories_[p].size()));
+    appended_this_step_[static_cast<std::size_t>(p)] = false;
+  }
+  return *this;
+}
+
+Run Run::Builder::build() && {
+  Run r;
+  r.n_ = n_;
+  r.horizon_ = static_cast<Time>(first_len_at_.front().size()) - 1;
+  r.histories_ = std::move(histories_);
+  r.len_at_ = std::move(first_len_at_);
+  r.event_time_.resize(n_);
+  r.last_suspect_at_.resize(n_);
+  r.last_gen_suspect_at_.resize(n_);
+  r.crash_time_.assign(n_, kTimeMax);
+
+  for (ProcessId p = 0; p < n_; ++p) {
+    const History& h = r.histories_[p];
+    // event_time: invert len_at_.
+    auto& et = r.event_time_[p];
+    et.resize(h.size());
+    {
+      std::size_t i = 0;
+      for (Time m = 1; m <= r.horizon_; ++m) {
+        while (i < r.len_at_[p][static_cast<std::size_t>(m)]) {
+          et[i++] = m;
+        }
+      }
+      UDC_CHECK(i == h.size(), "len_at inconsistent with history length");
+    }
+    // Suspect-report indices and crash/init validation.
+    auto& ls = r.last_suspect_at_[p];
+    auto& lg = r.last_gen_suspect_at_[p];
+    ls.assign(h.size() + 1, -1);
+    lg.assign(h.size() + 1, -1);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      ls[i + 1] = h[i].kind == EventKind::kSuspect ? static_cast<std::int32_t>(i)
+                                                   : ls[i];
+      lg[i + 1] = h[i].kind == EventKind::kSuspectGen
+                      ? static_cast<std::int32_t>(i)
+                      : lg[i];
+      if (h[i].kind == EventKind::kCrash) {
+        UDC_CHECK(i + 1 == h.size(), "R4: crash must be the last event");
+        r.faulty_.insert(p);
+        r.crash_time_[p] = et[i];
+      }
+    }
+  }
+
+  // init_p(alpha) at most once per run and only in one history (§2.4).
+  {
+    std::map<ActionId, ProcessId> init_owner;
+    for (ProcessId p = 0; p < n_; ++p) {
+      for (const Event& e : r.histories_[p].events()) {
+        if (e.kind != EventKind::kInit) continue;
+        auto [it, inserted] = init_owner.emplace(e.action, p);
+        UDC_CHECK(inserted, "init event duplicated (within or across histories)");
+        (void)it;
+      }
+    }
+  }
+
+  // R3: at every cut, receive counts never exceed send counts, per
+  // (sender, recipient, message) triple, and each receive's matching send is
+  // no later than the receive.
+  {
+    // Gather timed sends and receives.
+    struct Timed {
+      Time t;
+      Message msg;
+    };
+    std::map<std::pair<ProcessId, ProcessId>, std::vector<Timed>> sends, recvs;
+    for (ProcessId p = 0; p < n_; ++p) {
+      const History& h = r.histories_[p];
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        const Event& e = h[i];
+        if (e.kind == EventKind::kSend) {
+          sends[{p, e.peer}].push_back({r.event_time_[p][i], e.msg});
+        } else if (e.kind == EventKind::kRecv) {
+          recvs[{e.peer, p}].push_back({r.event_time_[p][i], e.msg});
+        }
+      }
+    }
+    for (auto& [chan, rlist] : recvs) {
+      auto sit = sends.find(chan);
+      for (const Timed& rv : rlist) {
+        UDC_CHECK(sit != sends.end(), "R3: receive with no send on channel");
+        // Count sends of this message at time <= rv.t vs receives <= rv.t.
+        std::size_t nsend = 0;
+        for (const Timed& sd : sit->second) {
+          if (sd.msg == rv.msg && sd.t <= rv.t) ++nsend;
+        }
+        std::size_t nrecv = 0;
+        for (const Timed& rv2 : rlist) {
+          if (rv2.msg == rv.msg && rv2.t <= rv.t) ++nrecv;
+        }
+        UDC_CHECK(nrecv <= nsend,
+                  "R3: more receives than sends of a message by some cut");
+      }
+    }
+  }
+
+  return r;
+}
+
+ProcSet Run::suspects_at(ProcessId p, Time m) const {
+  std::size_t len = history_len(p, m);
+  std::int32_t idx = last_suspect_at_[p][len];
+  if (idx < 0) return ProcSet{};
+  return histories_[p][static_cast<std::size_t>(idx)].suspects;
+}
+
+std::optional<Run::GenReport> Run::gen_suspects_at(ProcessId p, Time m) const {
+  std::size_t len = history_len(p, m);
+  std::int32_t idx = last_gen_suspect_at_[p][len];
+  if (idx < 0) return std::nullopt;
+  const Event& e = histories_[p][static_cast<std::size_t>(idx)];
+  return GenReport{e.suspects, e.k};
+}
+
+std::vector<Run::GenReport> Run::gen_reports_up_to(ProcessId p, Time m) const {
+  std::vector<GenReport> out;
+  for (const Event& e : local_state(p, m)) {
+    if (e.kind == EventKind::kSuspectGen) out.push_back({e.suspects, e.k});
+  }
+  return out;
+}
+
+}  // namespace udc

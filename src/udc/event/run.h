@@ -1,0 +1,178 @@
+// Run: a function from time to cuts (§2.1), realized as one History per
+// process plus, for each process, the history length at every time step.
+//
+// The paper's conditions on runs:
+//   R1  r(0) is the tuple of empty histories
+//   R2  per step, each process appends at most one event
+//   R3  every receive has a matching earlier-or-same-cut send
+//   R4  crash_p, if present, is the last event of p's history
+//   R5  fairness: a message sent infinitely often to a live process is
+//       received infinitely often
+//
+// R1/R2 hold by construction (Builder); R3/R4 (plus "init at most once") are
+// enforced by validate().  R5 is a property of infinite runs; FairnessReport
+// (fairness.h) checks the finite-horizon surrogate.
+//
+// Runs are immutable once built.  All spec checkers (coord/, fd/), the logic
+// model checker, and the knowledge-theoretic constructions (kt/) consume
+// this type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/common/types.h"
+#include "udc/event/history.h"
+
+namespace udc {
+
+class Run {
+ public:
+  // Incrementally assembles a run: repeat { append*(≤1 per process) ;
+  // end_step() } then build().  The number of end_step() calls becomes the
+  // horizon.
+  class Builder {
+   public:
+    explicit Builder(int n);
+
+    // Appends `e` to p's history within the current time step.  At most one
+    // event per process per step (R2).
+    Builder& append(ProcessId p, Event e);
+
+    // Closes the current time step.
+    Builder& end_step();
+
+    // Validates and finalizes.  Throws InvariantViolation on R3/R4 breach
+    // or a duplicated init event.
+    Run build() &&;
+
+    int n() const { return n_; }
+    Time current_time() const {
+      return static_cast<Time>(first_len_at_.front().size()) - 1;
+    }
+    // Length of p's history right now (including events this step).
+    std::size_t len(ProcessId p) const { return histories_[p].size(); }
+    const History& history(ProcessId p) const { return histories_[p]; }
+    bool crashed(ProcessId p) const {
+      return !histories_[p].empty() &&
+             histories_[p].back().kind == EventKind::kCrash;
+    }
+
+   private:
+    int n_;
+    std::vector<History> histories_;
+    // first_len_at_[p][m] = |r_p(m)|.
+    std::vector<std::vector<std::uint32_t>> first_len_at_;
+    std::vector<bool> appended_this_step_;
+  };
+
+  int n() const { return n_; }
+  Time horizon() const { return horizon_; }
+
+  // |r_p(m)|.  m is clamped to the horizon (histories are constant after it).
+  std::size_t history_len(ProcessId p, Time m) const {
+    if (m > horizon_) m = horizon_;
+    return len_at_[p][static_cast<std::size_t>(m)];
+  }
+  const History& history(ProcessId p) const { return histories_[p]; }
+  std::span<const Event> local_state(ProcessId p, Time m) const {
+    return histories_[p].prefix(history_len(p, m));
+  }
+  std::uint64_t local_state_hash(ProcessId p, Time m) const {
+    return histories_[p].prefix_hash(history_len(p, m));
+  }
+
+  // (r,m) ~_p (r',m'): identical local histories for p.
+  static bool indistinguishable(const Run& r, Time m, const Run& r2, Time m2,
+                                ProcessId p) {
+    return History::prefixes_equal(r.histories_[p], r.history_len(p, m),
+                                   r2.histories_[p], r2.history_len(p, m2));
+  }
+
+  // Time at which event index i of p entered the history (i.e. the least m
+  // with |r_p(m)| > i).
+  Time event_time(ProcessId p, std::size_t i) const {
+    return event_time_[p][i];
+  }
+
+  // F(r): processes whose history contains crash (anywhere up to horizon).
+  ProcSet faulty_set() const { return faulty_; }
+  bool is_faulty(ProcessId p) const { return faulty_.contains(p); }
+  ProcSet correct_set() const { return faulty_.complement(n_); }
+  // Time the crash event entered p's history, or nullopt if p is correct.
+  std::optional<Time> crash_time(ProcessId p) const {
+    return is_faulty(p) ? std::optional<Time>(crash_time_[p]) : std::nullopt;
+  }
+  // crash(p) holds at (r, m): the crash event is in r_p(m).
+  bool crashed_by(ProcessId p, Time m) const {
+    return is_faulty(p) && crash_time_[p] <= m;
+  }
+
+  // Suspects_p(r,m): set carried by the most recent standard suspect event
+  // in r_p(m); empty if none (§2.2).  Generalized reports are ignored here;
+  // see gen_suspects_at for §4.
+  ProcSet suspects_at(ProcessId p, Time m) const;
+
+  // Most recent generalized report (S, k) in r_p(m), if any (§4).
+  struct GenReport {
+    ProcSet s;
+    std::int32_t k = 0;
+  };
+  std::optional<GenReport> gen_suspects_at(ProcessId p, Time m) const;
+
+  // All generalized reports in r_p(m) (the §4 checkers quantify over every
+  // report in the history, not just the latest).
+  std::vector<GenReport> gen_reports_up_to(ProcessId p, Time m) const;
+
+  // Event-existence queries used by primitive propositions (§2.3): does an
+  // event satisfying `pred` occur in r_p(m)?
+  template <typename Pred>
+  bool has_event(ProcessId p, Time m, Pred&& pred) const {
+    auto state = local_state(p, m);
+    for (const Event& e : state) {
+      if (pred(e)) return true;
+    }
+    return false;
+  }
+  // First time an event satisfying pred enters p's history, or nullopt.
+  template <typename Pred>
+  std::optional<Time> first_event_time(ProcessId p, Pred&& pred) const {
+    const History& h = histories_[p];
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (pred(h[i])) return event_time(p, i);
+    }
+    return std::nullopt;
+  }
+
+  bool init_in(ProcessId p, Time m, ActionId a) const {
+    return has_event(p, m, [a](const Event& e) {
+      return e.kind == EventKind::kInit && e.action == a;
+    });
+  }
+  bool do_in(ProcessId p, Time m, ActionId a) const {
+    return has_event(p, m, [a](const Event& e) {
+      return e.kind == EventKind::kDo && e.action == a;
+    });
+  }
+
+ private:
+  friend class Builder;
+  Run() = default;
+
+  int n_ = 0;
+  Time horizon_ = 0;
+  std::vector<History> histories_;
+  std::vector<std::vector<std::uint32_t>> len_at_;
+  std::vector<std::vector<Time>> event_time_;
+  // last_suspect_at_[p][i]: index of the most recent kSuspect event among
+  // the first i events of p, or -1.  Likewise for generalized reports.
+  std::vector<std::vector<std::int32_t>> last_suspect_at_;
+  std::vector<std::vector<std::int32_t>> last_gen_suspect_at_;
+  ProcSet faulty_;
+  std::vector<Time> crash_time_;
+};
+
+}  // namespace udc

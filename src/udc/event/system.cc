@@ -1,0 +1,63 @@
+#include "udc/event/system.h"
+
+#include <algorithm>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+System::System(std::vector<Run> runs) : runs_(std::move(runs)) {
+  UDC_CHECK(!runs_.empty(), "a system must contain at least one run");
+  n_ = runs_.front().n();
+  for (const Run& r : runs_) {
+    UDC_CHECK(r.n() == n_, "all runs in a system must share the same n");
+    max_horizon_ = std::max(max_horizon_, r.horizon());
+  }
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    const Run& r = runs_[i];
+    for (ProcessId p = 0; p < n_; ++p) {
+      for (Time m = 0; m <= r.horizon(); ++m) {
+        Key key{p, r.local_state_hash(p, m), r.history_len(p, m)};
+        auto& groups = index_[key];
+        Group* home = nullptr;
+        for (Group& g : groups) {
+          const Run& rep = runs_[g.representative.run];
+          if (Run::indistinguishable(r, m, rep, g.representative.m, p)) {
+            home = &g;
+            break;
+          }
+        }
+        if (home == nullptr) {
+          groups.push_back(Group{Point{i, m}, {}});
+          home = &groups.back();
+        }
+        home->members.push_back(Point{i, m});
+      }
+    }
+  }
+}
+
+const System::Group* System::find_group(ProcessId p, Point at) const {
+  const Run& r = runs_[at.run];
+  Key key{p, r.local_state_hash(p, at.m), r.history_len(p, at.m)};
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  for (const Group& g : it->second) {
+    const Run& rep = runs_[g.representative.run];
+    if (Run::indistinguishable(r, at.m, rep, g.representative.m, p)) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+std::span<const Point> System::equivalence_class(ProcessId p, Point at) const {
+  UDC_CHECK(at.run < runs_.size(), "point refers to a run outside the system");
+  UDC_CHECK(at.m >= 0 && at.m <= runs_[at.run].horizon(),
+            "point beyond run horizon");
+  const Group* g = find_group(p, at);
+  UDC_CHECK(g != nullptr, "every in-system point must be indexed");
+  return g->members;
+}
+
+}  // namespace udc

@@ -1,0 +1,89 @@
+// System: a set of runs (§2.1), with an indistinguishability index.
+//
+// Knowledge is defined relative to a system:  (R,r,m) |= K_p(phi)  iff  phi
+// holds at every point (r',m') of R with r'_p(m') = r_p(m).  The index maps
+// (process, local history) to the equivalence class of points sharing that
+// local history, so the model checker's K_p evaluation is linear in the size
+// of the class instead of the size of the system.
+//
+// All runs in a system share the same n.  Points beyond a run's horizon are
+// not represented: each run contributes exactly (horizon + 1) points per
+// process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "udc/event/run.h"
+
+namespace udc {
+
+struct Point {
+  std::size_t run = 0;  // index into System::runs()
+  Time m = 0;
+
+  friend bool operator==(Point, Point) = default;
+};
+
+class System {
+ public:
+  explicit System(std::vector<Run> runs);
+
+  // Movable, non-copyable: the index references run storage.
+  System(System&&) = default;
+  System& operator=(System&&) = default;
+
+  std::size_t size() const { return runs_.size(); }
+  int n() const { return n_; }
+  const Run& run(std::size_t i) const { return runs_[i]; }
+  const std::vector<Run>& runs() const { return runs_; }
+  Time max_horizon() const { return max_horizon_; }
+
+  // All points (r', m') in the system with r'_p(m') = r_p(m), where (r,m) is
+  // the point `at` — including `at` itself.
+  std::span<const Point> equivalence_class(ProcessId p, Point at) const;
+
+  // Convenience for the logic layer: iterate every point of the system.
+  template <typename Fn>
+  void for_each_point(Fn&& fn) const {
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      for (Time m = 0; m <= runs_[i].horizon(); ++m) {
+        fn(Point{i, m});
+      }
+    }
+  }
+
+ private:
+  struct Key {
+    ProcessId p;
+    std::uint64_t hash;
+    std::size_t len;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.hash;
+      h ^= (static_cast<std::uint64_t>(k.p) << 48) ^ k.len;
+      h *= 0x9e3779b97f4a7c15ull;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  std::vector<Run> runs_;
+  int n_ = 0;
+  Time max_horizon_ = 0;
+  // Buckets keyed by (p, prefix hash, prefix length); each bucket holds one
+  // or more *groups* of genuinely-equal local histories (collision-safe).
+  struct Group {
+    Point representative;
+    std::vector<Point> members;
+  };
+  std::unordered_map<Key, std::vector<Group>, KeyHash> index_;
+
+  const Group* find_group(ProcessId p, Point at) const;
+};
+
+}  // namespace udc

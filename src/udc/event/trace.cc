@@ -1,0 +1,222 @@
+#include "udc/event/trace.h"
+
+#include <sstream>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+namespace {
+
+const char* msg_kind_token(MsgKind k) {
+  switch (k) {
+    case MsgKind::kAlpha: return "alpha";
+    case MsgKind::kAck: return "ack";
+    case MsgKind::kSuspicionGossip: return "sgossip";
+    case MsgKind::kInitGossip: return "igossip";
+    case MsgKind::kEstimate: return "estimate";
+    case MsgKind::kPropose: return "propose";
+    case MsgKind::kEstimateAck: return "eack";
+    case MsgKind::kDecide: return "decide";
+    case MsgKind::kApp: return "app";
+  }
+  return "?";
+}
+
+MsgKind parse_msg_kind(const std::string& token) {
+  if (token == "alpha") return MsgKind::kAlpha;
+  if (token == "ack") return MsgKind::kAck;
+  if (token == "sgossip") return MsgKind::kSuspicionGossip;
+  if (token == "igossip") return MsgKind::kInitGossip;
+  if (token == "estimate") return MsgKind::kEstimate;
+  if (token == "propose") return MsgKind::kPropose;
+  if (token == "eack") return MsgKind::kEstimateAck;
+  if (token == "decide") return MsgKind::kDecide;
+  if (token == "app") return MsgKind::kApp;
+  UDC_CHECK(false, "unknown message kind token: " + token);
+}
+
+void format_message(std::ostringstream& out, const Message& m) {
+  out << " kind=" << msg_kind_token(m.kind) << " action=" << m.action
+      << " procs=" << m.procs.bits() << " a=" << m.a << " b=" << m.b;
+}
+
+}  // namespace
+
+// Reads "key=value" and returns value; enforces the expected key.  Shared
+// by the run and system parsers.
+static std::string expect_field(std::istringstream& in,
+                                const std::string& key) {
+  std::string token;
+  UDC_CHECK(static_cast<bool>(in >> token), "trace truncated, wanted " + key);
+  auto eq = token.find('=');
+  UDC_CHECK(eq != std::string::npos && token.substr(0, eq) == key,
+            "trace expected field '" + key + "', got '" + token + "'");
+  return token.substr(eq + 1);
+}
+
+namespace {
+
+Message parse_message(std::istringstream& in) {
+  Message m;
+  m.kind = parse_msg_kind(expect_field(in, "kind"));
+  m.action = std::stoll(expect_field(in, "action"));
+  m.procs = ProcSet(std::stoull(expect_field(in, "procs")));
+  m.a = std::stoll(expect_field(in, "a"));
+  m.b = std::stoll(expect_field(in, "b"));
+  return m;
+}
+
+}  // namespace
+
+std::string format_run(const Run& r, const TraceOptions& opts) {
+  std::ostringstream out;
+  out << "run n=" << r.n() << " horizon=" << r.horizon() << '\n';
+  Time to = opts.to < 0 ? r.horizon() : opts.to;
+  for (Time m = std::max<Time>(opts.from, 1); m <= to; ++m) {
+    for (ProcessId p = 0; p < r.n(); ++p) {
+      if (opts.only_process != kInvalidProcess && p != opts.only_process) {
+        continue;
+      }
+      std::size_t prev = r.history_len(p, m - 1);
+      if (r.history_len(p, m) == prev) continue;
+      const Event& e = r.history(p)[prev];
+      if (!opts.include_fd_events && e.is_failure_detector_event()) continue;
+      out << "t=" << m << " p=" << p << ' ';
+      switch (e.kind) {
+        case EventKind::kSend:
+          out << "send to=" << e.peer;
+          format_message(out, e.msg);
+          break;
+        case EventKind::kRecv:
+          out << "recv from=" << e.peer;
+          format_message(out, e.msg);
+          break;
+        case EventKind::kDo:
+          out << "do action=" << e.action;
+          break;
+        case EventKind::kInit:
+          out << "init action=" << e.action;
+          break;
+        case EventKind::kCrash:
+          out << "crash";
+          break;
+        case EventKind::kSuspect:
+          out << "suspect s=" << e.suspects.bits();
+          break;
+        case EventKind::kSuspectGen:
+          out << "gensuspect s=" << e.suspects.bits() << " k=" << e.k;
+          break;
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+Run parse_run(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  UDC_CHECK(static_cast<bool>(std::getline(lines, line)),
+            "empty trace");
+  int n = 0;
+  Time horizon = 0;
+  {
+    std::istringstream header(line);
+    std::string token;
+    header >> token;
+    UDC_CHECK(token == "run", "trace must start with 'run'");
+    n = std::stoi(expect_field(header, "n"));
+    horizon = std::stoll(expect_field(header, "horizon"));
+  }
+  Run::Builder b(n);
+  Time now = 0;
+  auto advance_to = [&](Time t) {
+    UDC_CHECK(t >= now, "trace times must be nondecreasing");
+    while (now < t) {
+      b.end_step();
+      ++now;
+    }
+  };
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    Time t = std::stoll(expect_field(in, "t"));
+    advance_to(t - 1);  // events of step t are appended before end_step t
+    ProcessId p = static_cast<ProcessId>(std::stoi(expect_field(in, "p")));
+    std::string kind;
+    UDC_CHECK(static_cast<bool>(in >> kind), "trace line missing event kind");
+    // Same-step events: builder time must be t-1 with this step open; if we
+    // already closed step t, the trace is out of order.
+    UDC_CHECK(now == t - 1, "trace step already closed");
+    if (kind == "send") {
+      ProcessId to = static_cast<ProcessId>(std::stoi(expect_field(in, "to")));
+      b.append(p, Event::send(to, parse_message(in)));
+    } else if (kind == "recv") {
+      ProcessId from =
+          static_cast<ProcessId>(std::stoi(expect_field(in, "from")));
+      b.append(p, Event::recv(from, parse_message(in)));
+    } else if (kind == "do") {
+      b.append(p, Event::do_action(std::stoll(expect_field(in, "action"))));
+    } else if (kind == "init") {
+      b.append(p, Event::init(std::stoll(expect_field(in, "action"))));
+    } else if (kind == "crash") {
+      b.append(p, Event::crash());
+    } else if (kind == "suspect") {
+      b.append(p, Event::suspect(ProcSet(std::stoull(expect_field(in, "s")))));
+    } else if (kind == "gensuspect") {
+      ProcSet s(std::stoull(expect_field(in, "s")));
+      int k = std::stoi(expect_field(in, "k"));
+      b.append(p, Event::suspect_gen(s, k));
+    } else {
+      UDC_CHECK(false, "unknown event kind in trace: " + kind);
+    }
+  }
+  advance_to(horizon);
+  return std::move(b).build();
+}
+
+std::string format_system(const System& sys) {
+  std::ostringstream out;
+  out << "system runs=" << sys.size() << '\n';
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    out << "--- run " << i << '\n';
+    out << format_run(sys.run(i));
+  }
+  return out.str();
+}
+
+System parse_system(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  UDC_CHECK(static_cast<bool>(std::getline(lines, line)), "empty system");
+  std::size_t expected = 0;
+  {
+    std::istringstream header(line);
+    std::string token;
+    header >> token;
+    UDC_CHECK(token == "system", "system trace must start with 'system'");
+    expected = std::stoull(expect_field(header, "runs"));
+  }
+  std::vector<Run> runs;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      runs.push_back(parse_run(current));
+      current.clear();
+    }
+  };
+  while (std::getline(lines, line)) {
+    if (line.rfind("--- run", 0) == 0) {
+      flush();
+      continue;
+    }
+    current += line;
+    current += '\n';
+  }
+  flush();
+  UDC_CHECK(runs.size() == expected, "system trace run count mismatch");
+  return System(std::move(runs));
+}
+
+}  // namespace udc

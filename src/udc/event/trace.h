@@ -1,0 +1,42 @@
+// Human-readable run traces, with a parse-back path for golden tests.
+//
+// format_run() renders a run as one line per (time, process, event), in the
+// global time order the simulator produced; parse_run() reconstructs a
+// validated Run from that text.  Round-tripping through the trace is a
+// strong structural test (it re-runs the R1-R4 validators on the parsed
+// side), and the text form is the debugging workhorse: every protocol bug
+// found while building udckit was diagnosed by reading one of these.
+#pragma once
+
+#include <string>
+
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+
+namespace udc {
+
+struct TraceOptions {
+  // Omit failure-detector events (they often dominate line count).
+  bool include_fd_events = true;
+  // Only events of this process (-1 = all).
+  ProcessId only_process = kInvalidProcess;
+  // Only events in [from, to] (inclusive; to = -1 means horizon).
+  Time from = 0;
+  Time to = -1;
+};
+
+std::string format_run(const Run& r, const TraceOptions& opts = {});
+
+// Parses the output of format_run (with default options) back into a Run.
+// The trace must carry every event and the `horizon:` header; throws
+// InvariantViolation on malformed input or R-condition violations.
+Run parse_run(const std::string& text);
+
+// Whole systems: runs concatenated under `system runs=<k>` with `--- run i`
+// separators.  Round-trips through parse_system reproduce the exact same
+// knowledge structure (the index is rebuilt from identical histories) —
+// generated experimental systems can be archived as text artifacts.
+std::string format_system(const System& sys);
+System parse_system(const std::string& text);
+
+}  // namespace udc

@@ -1,0 +1,71 @@
+#include "udc/fd/atd.h"
+
+#include <sstream>
+
+namespace udc {
+
+AtdAccuracyReport check_atd_accuracy(const Run& r) {
+  AtdAccuracyReport rep;
+  const int n = r.n();
+  for (Time m = 0; m <= r.horizon(); ++m) {
+    // Correct processes at this run (the paper's F(r) is per-run, and ATD
+    // accuracy — like weak accuracy — is vacuous when everyone fails).
+    ProcSet correct = r.correct_set();
+    if (correct.empty()) continue;
+    ProcSet suspected_now;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (r.crashed_by(p, m)) continue;  // frozen post-crash reports
+      suspected_now |= r.suspects_at(p, m);
+    }
+    if ((correct - suspected_now).empty()) {
+      rep.holds = false;
+      std::ostringstream out;
+      out << "ATD accuracy: at time " << m
+          << " every correct process is suspected by someone";
+      rep.violations.push_back(out.str());
+      return rep;  // one witness suffices
+    }
+  }
+  return rep;
+}
+
+AtdAccuracyReport check_atd_accuracy(const System& sys) {
+  AtdAccuracyReport rep;
+  for (const Run& r : sys.runs()) {
+    AtdAccuracyReport one = check_atd_accuracy(r);
+    rep.holds &= one.holds;
+    rep.violations.insert(rep.violations.end(), one.violations.begin(),
+                          one.violations.end());
+  }
+  return rep;
+}
+
+void AtdOracle::begin_run(const CrashPlan& plan, std::uint64_t) {
+  plan_ = plan;
+  last_round_.assign(static_cast<std::size_t>(plan.n()), -1);
+}
+
+std::optional<Event> AtdOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0) return std::nullopt;
+  std::int64_t round = now / period_;
+  if (round == 0) return std::nullopt;
+  auto& last = last_round_[static_cast<std::size_t>(p)];
+  if (round == last) return std::nullopt;  // change-driven per round, with
+  last = round;                            // catch-up after missed slots
+  ProcSet correct = plan_.faulty_set().complement(plan_.n());
+  ProcSet suspicions = plan_.crashed_by(now);  // strong completeness
+  if (!correct.empty()) {
+    // Spared window: the round-th and (round+1)-th correct process (cyclic).
+    std::vector<ProcessId> ordered;
+    for (ProcessId q : correct) ordered.push_back(q);
+    std::size_t c = ordered.size();
+    ProcessId spare_a = ordered[static_cast<std::size_t>(round) % c];
+    ProcessId spare_b = ordered[(static_cast<std::size_t>(round) + 1) % c];
+    for (ProcessId q : correct) {
+      if (q != spare_a && q != spare_b && q != p) suspicions.insert(q);
+    }
+  }
+  return Event::suspect(suspicions);
+}
+
+}  // namespace udc

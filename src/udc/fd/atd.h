@@ -1,0 +1,58 @@
+// The Aguilera-Toueg-Deianov detector class (paper §5, [ATD99]).
+//
+// Responding to the conference version of this paper, ATD99 characterized
+// the WEAKEST failure detector for uniform reliable broadcast (≅ UDC):
+// strong completeness plus an accuracy strictly weaker than weak accuracy —
+//
+//   ATD accuracy: at ALL times, SOME correct process is not suspected by
+//   anyone — but it may be a DIFFERENT correct process at different times.
+//
+// Weak accuracy fixes one forever-unsuspected q*; ATD accuracy only needs a
+// rotating witness.  This module provides:
+//   - check_atd_accuracy: the per-time property on runs/systems;
+//   - AtdOracle: strong completeness + ATD accuracy, deliberately violating
+//     weak accuracy (the spared correct process rotates round-robin), the
+//     separating example between the two classes;
+// and coord/udc_atd.h provides the protocol that attains UDC with it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+
+namespace udc {
+
+struct AtdAccuracyReport {
+  bool holds = true;
+  std::vector<std::string> violations;
+};
+
+// For every time m with a correct process alive: some correct q is in no
+// live process's Suspects_p(r, m).
+AtdAccuracyReport check_atd_accuracy(const Run& r);
+AtdAccuracyReport check_atd_accuracy(const System& sys);
+
+// Strong completeness (crashed-so-far always included) + ATD accuracy, with
+// weak accuracy deliberately broken: each report round spares a rotating
+// WINDOW of two adjacent correct processes and suspects the rest.  All
+// observers rotate in phase off the global clock, and adjacent rounds'
+// windows overlap in one process — so even when one observer's report is a
+// round late (its slot was taken by an init or a delivery), the overlap
+// process stays unsuspected by everyone and ATD accuracy holds at every
+// instant.  With 3+ correct processes the rotation still suspects each of
+// them eventually, breaking weak accuracy.
+class AtdOracle final : public FdOracle {
+ public:
+  explicit AtdOracle(Time period = 4) : period_(period) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  Time period_;
+  CrashPlan plan_;
+  std::vector<std::int64_t> last_round_;  // catch-up for missed slots
+};
+
+}  // namespace udc

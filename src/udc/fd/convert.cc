@@ -1,0 +1,165 @@
+#include "udc/fd/convert.h"
+
+#include <vector>
+
+namespace udc {
+
+Run interleave_reports(
+    const Run& r,
+    const std::function<std::optional<Event>(ProcessId, Time)>& reporter) {
+  Run::Builder b(r.n());
+  for (Time m = 0; m <= r.horizon(); ++m) {
+    // Odd step 2m+1: fresh reports computed at the original point (r, m).
+    for (ProcessId p = 0; p < r.n(); ++p) {
+      if (b.crashed(p)) continue;
+      if (auto e = reporter(p, m)) b.append(p, *e);
+    }
+    b.end_step();
+    if (m == r.horizon()) break;
+    // Even step 2m+2: replay the original events entering at m+1.
+    for (ProcessId p = 0; p < r.n(); ++p) {
+      std::size_t prev = r.history_len(p, m);
+      if (r.history_len(p, m + 1) == prev) continue;
+      const Event& e = r.history(p)[prev];
+      if (!e.is_failure_detector_event()) b.append(p, e);
+    }
+    b.end_step();
+  }
+  return std::move(b).build();
+}
+
+namespace {
+
+// Shared skeleton: replay the run verbatim except that each FD event is
+// replaced by suspect(state[p]) after `absorb` folds the event (or a
+// received gossip message) into state[p].
+Run replay_accumulating(const Run& r, bool absorb_gossip) {
+  std::vector<ProcSet> acc(static_cast<std::size_t>(r.n()));
+  Run::Builder b(r.n());
+  for (Time m = 1; m <= r.horizon(); ++m) {
+    for (ProcessId p = 0; p < r.n(); ++p) {
+      std::size_t prev = r.history_len(p, m - 1);
+      if (r.history_len(p, m) == prev) continue;
+      const Event& e = r.history(p)[prev];
+      auto& mine = acc[static_cast<std::size_t>(p)];
+      if (e.kind == EventKind::kSuspect) {
+        mine |= e.suspects;
+        b.append(p, Event::suspect(mine));
+        continue;
+      }
+      if (absorb_gossip && e.kind == EventKind::kRecv &&
+          e.msg.kind == MsgKind::kSuspicionGossip) {
+        mine |= e.msg.procs;
+        // The receive itself stays in the run (non-FD events are preserved);
+        // the refreshed report appears at p's next detector event.  To make
+        // "eventually permanently" hold even if the original detector goes
+        // quiet, we cannot append a second event this step (R2) — instead
+        // the gossip contribution is folded into every later report.
+      }
+      b.append(p, e);
+    }
+    b.end_step();
+  }
+  // A final sweep of reports so processes whose own detector never fired
+  // after the last gossip still end with the full union (strong
+  // completeness is judged on the final report).
+  for (ProcessId p = 0; p < r.n(); ++p) {
+    if (b.crashed(p)) continue;
+    b.append(p, Event::suspect(acc[static_cast<std::size_t>(p)]));
+  }
+  b.end_step();
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Run convert_impermanent_to_permanent(const Run& r) {
+  return replay_accumulating(r, /*absorb_gossip=*/false);
+}
+
+System convert_impermanent_to_permanent(const System& sys) {
+  std::vector<Run> out;
+  out.reserve(sys.size());
+  for (const Run& r : sys.runs()) {
+    out.push_back(convert_impermanent_to_permanent(r));
+  }
+  return System(std::move(out));
+}
+
+Run convert_weak_to_strong_via_gossip(const Run& r) {
+  return replay_accumulating(r, /*absorb_gossip=*/true);
+}
+
+System convert_weak_to_strong_via_gossip(const System& sys) {
+  std::vector<Run> out;
+  out.reserve(sys.size());
+  for (const Run& r : sys.runs()) {
+    out.push_back(convert_weak_to_strong_via_gossip(r));
+  }
+  return System(std::move(out));
+}
+
+Run convert_eventually_weak_to_strong(const Run& r, Time lease) {
+  const int n = r.n();
+  // latest[p][src]: the most recent suspicion set process p holds from
+  // source src, with the time it arrived (own reports, src == p, never
+  // expire: they ARE the current local detector output).
+  struct Contribution {
+    ProcSet set;
+    Time at = -1;  // -1 = never heard from this source
+  };
+  std::vector<std::vector<Contribution>> latest(
+      static_cast<std::size_t>(n),
+      std::vector<Contribution>(static_cast<std::size_t>(n)));
+  auto union_for = [&](ProcessId p, Time now) {
+    ProcSet u = latest[static_cast<std::size_t>(p)]
+                      [static_cast<std::size_t>(p)]
+                          .set;
+    for (ProcessId src = 0; src < n; ++src) {
+      if (src == p) continue;
+      const Contribution& c =
+          latest[static_cast<std::size_t>(p)][static_cast<std::size_t>(src)];
+      if (c.at >= 0 && now - c.at <= lease) u |= c.set;
+    }
+    return u;
+  };
+  Run::Builder b(n);
+  for (Time m = 1; m <= r.horizon(); ++m) {
+    for (ProcessId p = 0; p < n; ++p) {
+      std::size_t prev = r.history_len(p, m - 1);
+      if (r.history_len(p, m) == prev) continue;
+      const Event& e = r.history(p)[prev];
+      auto idx = static_cast<std::size_t>(p);
+      if (e.kind == EventKind::kSuspect) {
+        latest[idx][idx] = {e.suspects, m};
+        b.append(p, Event::suspect(union_for(p, m)));
+        continue;
+      }
+      if (e.kind == EventKind::kRecv &&
+          e.msg.kind == MsgKind::kSuspicionGossip) {
+        latest[idx][static_cast<std::size_t>(e.peer)] = {e.msg.procs, m};
+        // The receive stays (non-FD events are preserved); the refreshed
+        // union lands at the final sweep and at p's next own report.
+      }
+      b.append(p, e);
+    }
+    b.end_step();
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    if (b.crashed(p)) continue;
+    b.append(p, Event::suspect(union_for(p, r.horizon() + 1)));
+  }
+  b.end_step();
+  return std::move(b).build();
+}
+
+System convert_eventually_weak_to_strong(const System& sys, Time lease) {
+  std::vector<Run> out;
+  out.reserve(sys.size());
+  for (const Run& r : sys.runs()) {
+    out.push_back(convert_eventually_weak_to_strong(r, lease));
+  }
+  return System(std::move(out));
+}
+
+}  // namespace udc

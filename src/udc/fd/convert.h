@@ -1,0 +1,61 @@
+// Failure-detector conversions (Propositions 2.1 and 2.2) and the run
+// transformation machinery shared with the knowledge-theoretic
+// constructions of Theorems 3.6 / 4.3.
+//
+// §2.2 frames a conversion as a function f mapping runs to runs: all non-FD
+// events of r appear in f(r) in order, while failure-detector events may be
+// replaced and extra events inserted.  The new FD events are the ones
+// checked when asking whether the converted system satisfies a property.
+#pragma once
+
+#include <functional>
+
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+
+namespace udc {
+
+// The paper's P1-P2 doubling: even steps of f(r) replay r's non-FD events
+// (the event entering r_p at original time m+1 enters f(r)_p at 2m+2);
+// original FD events are dropped; at each odd step 2m+1, `reporter(p, m)`
+// may emit a fresh FD event for each still-live process, computed from the
+// original point (r, m).  P3 of Theorem 3.6 instantiates `reporter` with
+// knowledge-based suspicions (see kt/simulate_fd.h).
+Run interleave_reports(
+    const Run& r,
+    const std::function<std::optional<Event>(ProcessId, Time)>& reporter);
+
+// Proposition 2.2: impermanent-strong completeness -> strong completeness,
+// by making each process's report the running union of everything its
+// detector has ever reported.  Accuracy is preserved: the union only
+// contains processes that were (accurately) reported crashed earlier.
+Run convert_impermanent_to_permanent(const Run& r);
+System convert_impermanent_to_permanent(const System& sys);
+
+// Proposition 2.1: weak completeness -> strong completeness via suspicion
+// gossip.  This conversion needs the extra communication to already be in
+// the run: processes must exchange kSuspicionGossip messages carrying their
+// cumulative suspicions (the SuspicionGossiper protocol mixin in
+// coord/nudc_protocol.h does this).  Each process's converted report is the
+// union of its own detector reports and every gossiped set it has received.
+// Weak accuracy is preserved: the union over all processes still excludes
+// the never-suspected correct process.
+Run convert_weak_to_strong_via_gossip(const Run& r);
+System convert_weak_to_strong_via_gossip(const System& sys);
+
+// The CT96 dW -> dS conversion: processes gossip their CURRENT suspicions
+// (SuspicionGossiper::Mode::kCurrent), and the converted report is the
+// union of each source's LATEST contribution — so a pre-stabilization
+// false suspicion is eventually retracted everywhere, preserving EVENTUAL
+// weak accuracy, while the union upgrades weak completeness to strong.
+//
+// `lease`: a source's contribution expires unless refreshed within `lease`
+// ticks.  Without it, a process that crashed while holding pre-
+// stabilization noise would poison the union forever (its gossip is never
+// retracted), killing eventual weak accuracy; with it, only sources that
+// keep talking — the correct ones, whose post-stabilization reports are
+// clean — contribute in the limit.
+Run convert_eventually_weak_to_strong(const Run& r, Time lease = 60);
+System convert_eventually_weak_to_strong(const System& sys, Time lease = 60);
+
+}  // namespace udc

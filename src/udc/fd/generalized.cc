@@ -1,0 +1,196 @@
+#include "udc/fd/generalized.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+bool is_t_useful_report(ProcSet s, int k, ProcSet faulty, int n, int t) {
+  if (!faulty.subset_of(s)) return false;                 // (a)
+  if (n - s.size() <= std::min(t, n - 1) - k) return false;  // (b)
+  return k <= s.size();                                   // (c)
+}
+
+void GenFdReport::merge(const GenFdReport& other) {
+  generalized_strong_accuracy &= other.generalized_strong_accuracy;
+  generalized_impermanent_strong_completeness &=
+      other.generalized_impermanent_strong_completeness;
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+GenFdReport check_t_useful(const Run& r, int t, Time grace) {
+  GenFdReport rep;
+  const int n = r.n();
+  const ProcSet faulty = r.faulty_set();
+
+  // Generalized strong accuracy: at each report (S,k), at least k processes
+  // of S have crash events in their histories already.
+  for (ProcessId p = 0; p < n; ++p) {
+    const History& h = r.history(p);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (h[i].kind != EventKind::kSuspectGen) continue;
+      Time m = r.event_time(p, i);
+      int crashed_in_s = 0;
+      for (ProcessId q : h[i].suspects) {
+        if (r.crashed_by(q, m)) ++crashed_in_s;
+      }
+      if (crashed_in_s < h[i].k) {
+        rep.generalized_strong_accuracy = false;
+        std::ostringstream out;
+        out << "generalized strong accuracy: p" << p << " reported ("
+            << h[i].suspects.to_string() << ", " << h[i].k << ") at time " << m
+            << " with only " << crashed_in_s << " crashed in S";
+        rep.violations.push_back(out.str());
+      }
+    }
+  }
+
+  // Generalized impermanent strong completeness: every correct process
+  // eventually holds a report that is t-useful for this run.  Grace: skip
+  // runs whose last crash lands within `grace` of the horizon.
+  Time last_crash = 0;
+  for (ProcessId q : faulty) last_crash = std::max(last_crash, *r.crash_time(q));
+  if (last_crash <= r.horizon() - grace) {
+    for (ProcessId p : r.correct_set()) {
+      bool found = false;
+      for (const auto& g : r.gen_reports_up_to(p, r.horizon())) {
+        if (is_t_useful_report(g.s, g.k, faulty, n, t)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        rep.generalized_impermanent_strong_completeness = false;
+        std::ostringstream out;
+        out << "generalized completeness: correct p" << p
+            << " never holds a " << t << "-useful report (F(r)="
+            << faulty.to_string() << ")";
+        rep.violations.push_back(out.str());
+      }
+    }
+  }
+  return rep;
+}
+
+GenFdReport check_t_useful(const System& sys, int t, Time grace) {
+  GenFdReport rep;
+  for (const Run& r : sys.runs()) rep.merge(check_t_useful(r, t, grace));
+  return rep;
+}
+
+// ------------------------------------------------------------------ oracles
+
+void TUsefulOracle::begin_run(const CrashPlan& plan, std::uint64_t seed) {
+  plan_ = plan;
+  const int n = plan.n();
+  s_ = plan.faulty_set();
+  // Padding with non-faulty processes keeps reports "generalized" (S strictly
+  // larger than the truth) while preserving eventual usefulness: we need
+  // |S| - n + min(t, n-1) < |F(r)|, i.e. padding < n - min(t, n-1).
+  int max_pad = n - std::min(t_, n - 1) - 1;
+  int pad = std::min(pad_, max_pad);
+  Rng rng(seed ^ 0x7f4a7c15);
+  while (pad > 0 && s_.size() < n) {
+    ProcSet candidates = s_.complement(n);
+    std::uint64_t idx =
+        rng.next_below(static_cast<std::uint64_t>(candidates.size()));
+    for (ProcessId q : candidates) {
+      if (idx-- == 0) {
+        s_.insert(q);
+        break;
+      }
+    }
+    --pad;
+  }
+  last_k_.assign(static_cast<std::size_t>(n), -1);
+}
+
+std::optional<Event> TUsefulOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  // Change-driven: S is fixed per run, so re-emit only when k grows.
+  int k = (plan_.crashed_by(now) & s_).size();
+  int& last = last_k_[static_cast<std::size_t>(p)];
+  if (k == last) return std::nullopt;
+  last = k;
+  return Event::suspect_gen(s_, k);
+}
+
+void TrivialGeneralizedOracle::begin_run(const CrashPlan& plan,
+                                         std::uint64_t) {
+  n_ = plan.n();
+  subsets_.clear();
+  // Enumerate all subsets of {0..n-1} of size exactly t, in mask order.
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n_); ++mask) {
+    if (__builtin_popcountll(mask) == t_) subsets_.push_back(ProcSet(mask));
+  }
+  UDC_CHECK(!subsets_.empty(), "no size-t subsets (t > n?)");
+  next_subset_.assign(static_cast<std::size_t>(n_), 0);
+}
+
+std::optional<Event> TrivialGeneralizedOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  auto& cursor = next_subset_[static_cast<std::size_t>(p)];
+  if (cursor >= subsets_.size() * static_cast<std::size_t>(cycles_)) {
+    return std::nullopt;  // every report has been held `cycles` times
+  }
+  ProcSet s = subsets_[cursor % subsets_.size()];
+  ++cursor;
+  return Event::suspect_gen(s, 0);
+}
+
+// -------------------------------------------------------------- conversions
+
+namespace {
+
+// Replays `r` step by step, mapping each failure-detector event through
+// `map_fd` (return nullopt to drop it) and copying everything else.
+Run replay_with_fd_map(
+    const Run& r,
+    const std::function<std::optional<Event>(ProcessId, const Event&)>&
+        map_fd) {
+  Run::Builder b(r.n());
+  for (Time m = 1; m <= r.horizon(); ++m) {
+    for (ProcessId p = 0; p < r.n(); ++p) {
+      std::size_t prev = r.history_len(p, m - 1);
+      if (r.history_len(p, m) == prev) continue;
+      const Event& e = r.history(p)[prev];
+      if (e.is_failure_detector_event()) {
+        if (auto mapped = map_fd(p, e)) b.append(p, *mapped);
+      } else {
+        b.append(p, e);
+      }
+    }
+    b.end_step();
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Run convert_gen_to_perfect(const Run& r) {
+  std::vector<ProcSet> known(static_cast<std::size_t>(r.n()));
+  return replay_with_fd_map(r, [&known](ProcessId p, const Event& e) {
+    if (e.kind == EventKind::kSuspectGen && e.k == e.suspects.size()) {
+      known[static_cast<std::size_t>(p)] |= e.suspects;
+    }
+    return std::optional<Event>(
+        Event::suspect(known[static_cast<std::size_t>(p)]));
+  });
+}
+
+Run convert_perfect_to_gen(const Run& r) {
+  std::vector<ProcSet> known(static_cast<std::size_t>(r.n()));
+  return replay_with_fd_map(r, [&known](ProcessId p, const Event& e) {
+    if (e.kind == EventKind::kSuspect) {
+      known[static_cast<std::size_t>(p)] |= e.suspects;
+    }
+    ProcSet s = known[static_cast<std::size_t>(p)];
+    return std::optional<Event>(Event::suspect_gen(s, s.size()));
+  });
+}
+
+}  // namespace udc

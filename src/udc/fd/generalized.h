@@ -1,0 +1,109 @@
+// Generalized failure detectors (§4).
+//
+// A generalized report suspect_p(S, k) says "at least k of the processes in
+// S are faulty" without naming which k.  Given a failure bound t, a report
+// is *t-useful for run r* (paper §4) iff
+//     (a) F(r) ⊆ S,
+//     (b) n - |S| > min(t, n-1) - k,    and
+//     (c) k ≤ |S|.
+// A detector is t-useful iff it satisfies Generalized Strong Accuracy (each
+// report (S,k) has k already-crashed processes inside S) and Generalized
+// Impermanent Strong Completeness (every correct process eventually holds a
+// t-useful report).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+#include "udc/fd/oracle.h"
+
+namespace udc {
+
+// (a)-(c) above, for a report already known to be generalized-accurate.
+bool is_t_useful_report(ProcSet s, int k, ProcSet faulty, int n, int t);
+
+struct GenFdReport {
+  bool generalized_strong_accuracy = true;
+  bool generalized_impermanent_strong_completeness = true;
+  std::vector<std::string> violations;
+
+  bool t_useful() const {
+    return generalized_strong_accuracy &&
+           generalized_impermanent_strong_completeness;
+  }
+  void merge(const GenFdReport& other);
+};
+
+// Checks one run against the two t-useful clauses.  Completeness binds only
+// for runs whose last crash is at or before horizon - grace.
+GenFdReport check_t_useful(const Run& r, int t, Time grace = 0);
+GenFdReport check_t_useful(const System& sys, int t, Time grace = 0);
+
+// ---------------------------------------------------------------------------
+// Oracles.
+// ---------------------------------------------------------------------------
+
+// Emits generalized reports (S, k) where S is F(r) padded with `pad` extra
+// (possibly correct) processes, and k = |crashed-so-far ∩ S|.  Reports are
+// accurate by construction and become t-useful once enough of F(r) has
+// crashed; the oracle keeps reporting every `period` ticks so every correct
+// process eventually holds a t-useful report (provided the padded S keeps
+// n - |S| > min(t, n-1) - k reachable, which the oracle enforces by capping
+// the padding).
+class TUsefulOracle final : public FdOracle {
+ public:
+  explicit TUsefulOracle(int t, Time period = 4, int pad = 1)
+      : t_(t), period_(period), pad_(pad) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  int t_;
+  Time period_;
+  int pad_;
+  CrashPlan plan_;
+  ProcSet s_;  // fixed per-run suspicion set, F(r) plus padding
+  std::vector<int> last_k_;  // change-driven: last k emitted per observer
+};
+
+// The trivial construction for t < n/2 (paper §4): cycle through all subsets
+// S of size t, reporting (S, 0).  Every report is vacuously accurate, and
+// whichever S contains F(r) yields a t-useful report.  Demonstrates
+// Corollary 4.2 (Gopal-Toueg): no real failure information is needed when
+// t < n/2.  The paper's construction cycles forever; ours stops after
+// `cycles` full passes — by then every observer has held every report, and
+// consumers (UdcGeneralizedProcess) remember reports, so the paper-level
+// behaviour is preserved without permanently taxing the event budget.
+class TrivialGeneralizedOracle final : public FdOracle {
+ public:
+  explicit TrivialGeneralizedOracle(int t, Time period = 2, int cycles = 3)
+      : t_(t), period_(period), cycles_(cycles) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  int t_;
+  Time period_;
+  int cycles_;
+  int n_ = 0;
+  std::vector<ProcSet> subsets_;          // all |S| = t subsets, fixed order
+  std::vector<std::size_t> next_subset_;  // per-process cursor
+};
+
+// ---------------------------------------------------------------------------
+// §4 conversions between generalized and perfect detectors.
+// ---------------------------------------------------------------------------
+
+// n-useful / (n-1)-useful reports force |S| = k, i.e. every process in S has
+// crashed; replacing each generalized report by the running union of such
+// fully-determined sets yields a standard perfect detector (paper §4).
+Run convert_gen_to_perfect(const Run& r);
+
+// The reverse direction: each standard report S becomes (S', |S'|) where S'
+// is the running union of reported sets; the result is n-useful.
+Run convert_perfect_to_gen(const Run& r);
+
+}  // namespace udc

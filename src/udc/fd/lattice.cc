@@ -1,0 +1,110 @@
+#include "udc/fd/lattice.h"
+
+namespace udc {
+
+const char* ct_class_name(CtLatticeClass c) {
+  switch (c) {
+    case CtLatticeClass::kP: return "P (Perfect)";
+    case CtLatticeClass::kS: return "S (Strong)";
+    case CtLatticeClass::kQ: return "Q";
+    case CtLatticeClass::kW: return "W (Weak)";
+    case CtLatticeClass::kDiamondP: return "<>P";
+    case CtLatticeClass::kDiamondS: return "<>S";
+    case CtLatticeClass::kDiamondQ: return "<>Q";
+    case CtLatticeClass::kDiamondW: return "<>W";
+    case CtLatticeClass::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+CtLatticeClass combine(bool strong_comp, bool weak_comp, bool strong_acc,
+                       bool weak_acc, bool ev_strong_acc, bool ev_weak_acc) {
+  if (strong_comp) {
+    if (strong_acc) return CtLatticeClass::kP;
+    if (weak_acc) return CtLatticeClass::kS;
+    if (ev_strong_acc) return CtLatticeClass::kDiamondP;
+    if (ev_weak_acc) return CtLatticeClass::kDiamondS;
+    return CtLatticeClass::kNone;
+  }
+  if (weak_comp) {
+    if (strong_acc) return CtLatticeClass::kQ;
+    if (weak_acc) return CtLatticeClass::kW;
+    if (ev_strong_acc) return CtLatticeClass::kDiamondQ;
+    if (ev_weak_acc) return CtLatticeClass::kDiamondW;
+  }
+  return CtLatticeClass::kNone;
+}
+
+}  // namespace
+
+CtLatticeClass classify_ct(const Run& r, Time grace) {
+  FdPropertyReport perpetual = check_fd_properties(r, grace);
+  EventualAccuracyReport eventual = check_eventual_accuracy(r);
+  return combine(perpetual.strong_completeness, perpetual.weak_completeness,
+                 perpetual.strong_accuracy, perpetual.weak_accuracy,
+                 eventual.eventually_strong(), eventual.eventually_weak());
+}
+
+CtLatticeClass classify_ct(const System& sys, Time grace) {
+  FdPropertyReport perpetual = check_fd_properties(sys, grace);
+  EventualAccuracyReport eventual = check_eventual_accuracy(sys);
+  return combine(perpetual.strong_completeness, perpetual.weak_completeness,
+                 perpetual.strong_accuracy, perpetual.weak_accuracy,
+                 eventual.eventually_strong(), eventual.eventually_weak());
+}
+
+bool ct_at_least(CtLatticeClass have, CtLatticeClass want) {
+  auto rank_completeness = [](CtLatticeClass c) {
+    switch (c) {
+      case CtLatticeClass::kP:
+      case CtLatticeClass::kS:
+      case CtLatticeClass::kDiamondP:
+      case CtLatticeClass::kDiamondS:
+        return 2;
+      case CtLatticeClass::kQ:
+      case CtLatticeClass::kW:
+      case CtLatticeClass::kDiamondQ:
+      case CtLatticeClass::kDiamondW:
+        return 1;
+      case CtLatticeClass::kNone:
+        return 0;
+    }
+    return 0;
+  };
+  // Accuracy order: strong(3) > weak(2) > ev-strong... CT96 treat weak and
+  // eventual-strong as incomparable; rank them on separate axes.
+  auto acc_perpetual = [](CtLatticeClass c) {
+    switch (c) {
+      case CtLatticeClass::kP:
+      case CtLatticeClass::kQ:
+        return 2;  // strong accuracy
+      case CtLatticeClass::kS:
+      case CtLatticeClass::kW:
+        return 1;  // weak accuracy
+      default:
+        return 0;  // only eventual accuracy
+    }
+  };
+  auto acc_eventual = [](CtLatticeClass c) {
+    switch (c) {
+      case CtLatticeClass::kP:
+      case CtLatticeClass::kQ:
+      case CtLatticeClass::kDiamondP:
+      case CtLatticeClass::kDiamondQ:
+        return 2;  // (eventually-)strong accuracy
+      case CtLatticeClass::kNone:
+        return 0;
+      default:
+        return 1;  // (eventually-)weak accuracy
+    }
+  };
+  if (want == CtLatticeClass::kNone) return true;
+  if (have == CtLatticeClass::kNone) return false;
+  return rank_completeness(have) >= rank_completeness(want) &&
+         acc_perpetual(have) >= acc_perpetual(want) &&
+         acc_eventual(have) >= acc_eventual(want);
+}
+
+}  // namespace udc

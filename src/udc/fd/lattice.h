@@ -1,0 +1,49 @@
+// The full Chandra-Toueg failure-detector lattice.
+//
+// CT96 classify detectors by completeness {strong, weak} × accuracy
+// {strong, weak, eventually-strong, eventually-weak}, giving eight classes:
+//
+//                 strong acc   weak acc   ev-strong acc   ev-weak acc
+//   strong comp       P            S           ◇P             ◇S
+//   weak comp         Q            W           ◇Q             ◇W
+//
+// The paper's Table 1 lives in the left half plus ◇W; the benches print
+// this whole lattice as measured from generated runs (bench_fd_lattice).
+// classify_ct() combines the perpetual property checkers with the eventual
+// accuracy checkers into the strongest class a run/system certifies.
+#pragma once
+
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+
+namespace udc {
+
+enum class CtLatticeClass {
+  kP,          // strong completeness, strong accuracy  (Perfect)
+  kS,          // strong completeness, weak accuracy    (Strong)
+  kQ,          // weak completeness, strong accuracy
+  kW,          // weak completeness, weak accuracy      (Weak)
+  kDiamondP,   // strong completeness, eventual strong accuracy
+  kDiamondS,   // strong completeness, eventual weak accuracy
+  kDiamondQ,   // weak completeness, eventual strong accuracy
+  kDiamondW,   // weak completeness, eventual weak accuracy
+  kNone,
+};
+
+const char* ct_class_name(CtLatticeClass c);
+
+// The strongest lattice class certified by the run/system: completeness
+// from the perpetual checkers, accuracy preferring perpetual over eventual.
+// `grace` excuses near-horizon crashes as in check_fd_properties.
+CtLatticeClass classify_ct(const Run& r, Time grace = 0);
+CtLatticeClass classify_ct(const System& sys, Time grace = 0);
+
+// Partial order on the lattice: a ≼ b iff every detector in class b also
+// belongs to class a (b is stronger).  kNone is the bottom.
+bool ct_at_least(CtLatticeClass have, CtLatticeClass want);
+
+// The detector oracle for class Q: weak completeness with never a false
+// suspicion — exactly a zero-noise WeakOracle, named for discoverability.
+using QOracle = WeakOracle;  // construct with false_rate = 0.0
+
+}  // namespace udc

@@ -1,0 +1,275 @@
+#include "udc/fd/oracle.h"
+
+#include <algorithm>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+namespace {
+
+// Picks one correct process (the q* that weak accuracy protects), or
+// kInvalidProcess if every process is faulty (weak accuracy is then vacuous).
+ProcessId pick_protected(const CrashPlan& plan, Rng& rng) {
+  ProcSet correct = plan.faulty_set().complement(plan.n());
+  if (correct.empty()) return kInvalidProcess;
+  std::uint64_t idx = rng.next_below(static_cast<std::uint64_t>(correct.size()));
+  for (ProcessId p : correct) {
+    if (idx-- == 0) return p;
+  }
+  return kInvalidProcess;  // unreachable
+}
+
+// Change-driven emission helper shared by the "permanent" oracles.
+std::optional<Event> emit_if_changed(ProcSet output, ProcessId p,
+                                     std::vector<ProcSet>& last_emitted,
+                                     std::vector<bool>& emitted_once) {
+  auto idx = static_cast<std::size_t>(p);
+  if (emitted_once[idx] && last_emitted[idx] == output) return std::nullopt;
+  emitted_once[idx] = true;
+  last_emitted[idx] = output;
+  return Event::suspect(output);
+}
+
+// Draws one new sticky FALSE suspicion for observer p: a correct process
+// other than the observer and the protected one.  Restricting to correct
+// victims keeps the noise purely an accuracy defect — noise that happened
+// to land on (eventually-)faulty processes would smuggle in completeness,
+// blurring the detector's lattice class.
+void maybe_add_false_suspicion(double rate, Rng& rng, const CrashPlan& plan,
+                               ProcessId p, ProcessId protected_process,
+                               ProcSet& sticky) {
+  if (rate <= 0 || !rng.chance(rate)) return;
+  ProcSet candidates = plan.faulty_set().complement(plan.n());
+  candidates.erase(p);
+  if (protected_process != kInvalidProcess) candidates.erase(protected_process);
+  candidates = candidates - sticky;
+  if (candidates.empty()) return;
+  std::uint64_t idx =
+      rng.next_below(static_cast<std::uint64_t>(candidates.size()));
+  for (ProcessId q : candidates) {
+    if (idx-- == 0) {
+      sticky.insert(q);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Perfect --
+
+void PerfectOracle::begin_run(const CrashPlan& plan, std::uint64_t) {
+  plan_ = plan;
+  last_emitted_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  emitted_once_.assign(static_cast<std::size_t>(plan.n()), false);
+}
+
+std::optional<Event> PerfectOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  return emit_if_changed(plan_.crashed_by(now), p, last_emitted_,
+                         emitted_once_);
+}
+
+// ----------------------------------------------------------------- Strong --
+
+void StrongOracle::begin_run(const CrashPlan& plan, std::uint64_t seed) {
+  plan_ = plan;
+  rng_.emplace(seed ^ 0x5f3759df);
+  protected_ = pick_protected(plan_, *rng_);
+  false_suspicions_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  last_emitted_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  emitted_once_.assign(static_cast<std::size_t>(plan.n()), false);
+}
+
+std::optional<Event> StrongOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  auto& sticky = false_suspicions_[static_cast<std::size_t>(p)];
+  maybe_add_false_suspicion(false_rate_, *rng_, plan_, p, protected_,
+                            sticky);
+  return emit_if_changed(plan_.crashed_by(now) | sticky, p, last_emitted_,
+                         emitted_once_);
+}
+
+// ------------------------------------------------------------------- Weak --
+
+void WeakOracle::begin_run(const CrashPlan& plan, std::uint64_t seed) {
+  plan_ = plan;
+  rng_.emplace(seed ^ 0xa02bdbf7);
+  protected_ = pick_protected(plan_, *rng_);
+  ProcSet correct = plan.faulty_set().complement(plan.n());
+  watcher_.assign(static_cast<std::size_t>(plan.n()), kInvalidProcess);
+  for (ProcessId q = 0; q < plan.n(); ++q) {
+    if (!plan.is_faulty(q) || correct.empty()) continue;
+    std::uint64_t idx =
+        rng_->next_below(static_cast<std::uint64_t>(correct.size()));
+    for (ProcessId w : correct) {
+      if (idx-- == 0) {
+        watcher_[static_cast<std::size_t>(q)] = w;
+        break;
+      }
+    }
+  }
+  false_suspicions_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  last_emitted_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  emitted_once_.assign(static_cast<std::size_t>(plan.n()), false);
+}
+
+std::optional<Event> WeakOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  ProcSet watched;
+  for (ProcessId q : plan_.crashed_by(now)) {
+    if (watcher_[static_cast<std::size_t>(q)] == p) watched.insert(q);
+  }
+  auto& sticky = false_suspicions_[static_cast<std::size_t>(p)];
+  maybe_add_false_suspicion(false_rate_, *rng_, plan_, p, protected_,
+                            sticky);
+  return emit_if_changed(watched | sticky, p, last_emitted_, emitted_once_);
+}
+
+// --------------------------------------------------- Impermanent (strong) --
+
+void ImpermanentStrongOracle::begin_run(const CrashPlan& plan, std::uint64_t) {
+  plan_ = plan;
+  reported_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  retraction_pending_.assign(static_cast<std::size_t>(plan.n()), false);
+}
+
+std::optional<Event> ImpermanentStrongOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  auto idx = static_cast<std::size_t>(p);
+  ProcSet fresh = plan_.crashed_by(now) - reported_[idx];
+  if (!fresh.empty()) {
+    reported_[idx] |= fresh;
+    // Fresh crashes are reported exactly once; the retraction that follows
+    // makes the suspicion impermanent.
+    retraction_pending_[idx] = true;
+    return Event::suspect(fresh);
+  }
+  if (retraction_pending_[idx]) {
+    retraction_pending_[idx] = false;
+    return Event::suspect(ProcSet{});
+  }
+  return std::nullopt;
+}
+
+// ----------------------------------------------------- Impermanent (weak) --
+
+void ImpermanentWeakOracle::begin_run(const CrashPlan& plan,
+                                      std::uint64_t seed) {
+  plan_ = plan;
+  Rng rng(seed ^ 0x2545f491);
+  ProcSet correct = plan.faulty_set().complement(plan.n());
+  watcher_.assign(static_cast<std::size_t>(plan.n()), kInvalidProcess);
+  for (ProcessId q = 0; q < plan.n(); ++q) {
+    if (!plan.is_faulty(q) || correct.empty()) continue;
+    std::uint64_t idx = rng.next_below(static_cast<std::uint64_t>(correct.size()));
+    for (ProcessId w : correct) {
+      if (idx-- == 0) {
+        watcher_[static_cast<std::size_t>(q)] = w;
+        break;
+      }
+    }
+  }
+  reported_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  retraction_pending_.assign(static_cast<std::size_t>(plan.n()), false);
+}
+
+std::optional<Event> ImpermanentWeakOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  auto idx = static_cast<std::size_t>(p);
+  ProcSet fresh;
+  for (ProcessId q : plan_.crashed_by(now)) {
+    if (watcher_[static_cast<std::size_t>(q)] == p &&
+        !reported_[idx].contains(q)) {
+      fresh.insert(q);
+    }
+  }
+  if (!fresh.empty()) {
+    reported_[idx] |= fresh;
+    retraction_pending_[idx] = true;
+    return Event::suspect(fresh);
+  }
+  if (retraction_pending_[idx]) {
+    retraction_pending_[idx] = false;
+    return Event::suspect(ProcSet{});
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------- Eventually strong --
+
+void EventuallyStrongOracle::begin_run(const CrashPlan& plan,
+                                       std::uint64_t seed) {
+  plan_ = plan;
+  rng_.emplace(seed ^ 0x8cb92ba7);
+  stabilization_ =
+      max_stabilization_ > 0
+          ? static_cast<Time>(rng_->next_below(
+                static_cast<std::uint64_t>(max_stabilization_) + 1))
+          : 0;
+  last_emitted_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  emitted_once_.assign(static_cast<std::size_t>(plan.n()), false);
+}
+
+std::optional<Event> EventuallyStrongOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  ProcSet suspicions = plan_.crashed_by(now);
+  if (now < stabilization_) {
+    for (ProcessId q = 0; q < plan_.n(); ++q) {
+      if (q != p && !suspicions.contains(q) && rng_->chance(noise_)) {
+        suspicions.insert(q);
+      }
+    }
+  }
+  // Pre-stabilization noise changes on its own; post-stabilization this is
+  // exactly the change-driven perfect report (which also emits the
+  // stabilizing retraction of the last noisy set).
+  return emit_if_changed(suspicions, p, last_emitted_, emitted_once_);
+}
+
+// -------------------------------------------------------- Eventually weak --
+
+void EventuallyWeakOracle::begin_run(const CrashPlan& plan,
+                                     std::uint64_t seed) {
+  plan_ = plan;
+  rng_.emplace(seed ^ 0x1f83d9ab);
+  stabilization_ =
+      max_stabilization_ > 0
+          ? static_cast<Time>(rng_->next_below(
+                static_cast<std::uint64_t>(max_stabilization_) + 1))
+          : 0;
+  ProcSet correct = plan.faulty_set().complement(plan.n());
+  watcher_.assign(static_cast<std::size_t>(plan.n()), kInvalidProcess);
+  for (ProcessId q = 0; q < plan.n(); ++q) {
+    if (!plan.is_faulty(q) || correct.empty()) continue;
+    std::uint64_t idx =
+        rng_->next_below(static_cast<std::uint64_t>(correct.size()));
+    for (ProcessId w : correct) {
+      if (idx-- == 0) {
+        watcher_[static_cast<std::size_t>(q)] = w;
+        break;
+      }
+    }
+  }
+  last_emitted_.assign(static_cast<std::size_t>(plan.n()), ProcSet{});
+  emitted_once_.assign(static_cast<std::size_t>(plan.n()), false);
+}
+
+std::optional<Event> EventuallyWeakOracle::report(ProcessId p, Time now) {
+  if (period_ == 0 || now == 0 || now % period_ != 0) return std::nullopt;
+  ProcSet suspicions;
+  for (ProcessId q : plan_.crashed_by(now)) {
+    if (watcher_[static_cast<std::size_t>(q)] == p) suspicions.insert(q);
+  }
+  if (now < stabilization_) {
+    for (ProcessId q = 0; q < plan_.n(); ++q) {
+      if (q != p && !suspicions.contains(q) && rng_->chance(noise_)) {
+        suspicions.insert(q);
+      }
+    }
+  }
+  return emit_if_changed(suspicions, p, last_emitted_, emitted_once_);
+}
+
+}  // namespace udc

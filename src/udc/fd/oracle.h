@@ -1,0 +1,242 @@
+// Failure-detector oracles.
+//
+// §2.2: a failure detector is a per-process oracle emitting suspicion
+// reports; the report lands in the process's history as a suspect_p(S) (or
+// generalized suspect_p(S,k)) event.  Our oracles see the ground-truth crash
+// schedule (exactly the Chandra-Toueg model, where the "special tape" is a
+// function of the failure pattern) and are constructed so that the system a
+// simulation generates satisfies the advertised accuracy/completeness
+// properties.  fd/properties.h re-verifies those properties on every
+// generated run — oracles are trusted for construction, never for checking.
+//
+// One oracle instance serves one run: begin_run() is called with the crash
+// schedule before the first tick.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/common/rng.h"
+#include "udc/common/types.h"
+#include "udc/event/event.h"
+
+namespace udc {
+
+// Ground truth handed to oracles: who will crash and when.
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+  CrashPlan(int n, std::vector<std::optional<Time>> times)
+      : n_(n), times_(std::move(times)) {}
+
+  int n() const { return n_; }
+  std::optional<Time> crash_time(ProcessId p) const { return times_[p]; }
+  bool is_faulty(ProcessId p) const { return times_[p].has_value(); }
+  ProcSet faulty_set() const {
+    ProcSet s;
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (times_[p]) s.insert(p);
+    }
+    return s;
+  }
+  ProcSet crashed_by(Time m) const {
+    ProcSet s;
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (times_[p] && *times_[p] <= m) s.insert(p);
+    }
+    return s;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<std::optional<Time>> times_;
+};
+
+class FdOracle {
+ public:
+  virtual ~FdOracle() = default;
+
+  // Called once per run, before any report() call.
+  virtual void begin_run(const CrashPlan& plan, std::uint64_t seed) = 0;
+
+  // Possibly emits a failure-detector event for process p at time `now`.
+  // Returning nullopt means p's slot this tick is free for other events.
+  virtual std::optional<Event> report(ProcessId p, Time now) = 0;
+};
+
+// Factory signature: benches/system generators create one oracle per run.
+using FdOracleFactory = std::unique_ptr<FdOracle> (*)();
+
+// ---------------------------------------------------------------------------
+// Standard oracles.  `period` is how often (in ticks) the detector gets a
+// chance to report.  Reports are CHANGE-DRIVEN: at a period tick the oracle
+// emits only if its output for that observer differs from its last emission
+// (the impermanent oracles additionally emit one explicit retraction).
+// Rationale: each report consumes the observer's one-event-per-tick slot, so
+// an always-chattering detector starves the message plane; a change-driven
+// one leaves Suspects_p(r, m) — the "most recent report" semantics of §2.2 —
+// identical while touching only O(#failures) slots.
+// ---------------------------------------------------------------------------
+
+// Strong completeness + strong accuracy: reports exactly the set of
+// processes that have crashed so far.
+class PerfectOracle final : public FdOracle {
+ public:
+  explicit PerfectOracle(Time period = 4) : period_(period) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  Time period_;
+  CrashPlan plan_;
+  std::vector<ProcSet> last_emitted_;
+  std::vector<bool> emitted_once_;
+};
+
+// Strong completeness + weak accuracy: reports crashed-so-far plus sticky
+// false suspicions of correct processes, never touching one designated
+// correct process ("the protected process", the q* of Prop 3.1's proof).
+class StrongOracle final : public FdOracle {
+ public:
+  // false_rate: per-report probability of adding one new false suspicion.
+  explicit StrongOracle(Time period = 4, double false_rate = 0.2)
+      : period_(period), false_rate_(false_rate) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  Time period_;
+  double false_rate_;
+  CrashPlan plan_;
+  std::optional<Rng> rng_;
+  ProcessId protected_ = kInvalidProcess;
+  std::vector<ProcSet> false_suspicions_;  // per observer, sticky
+  std::vector<ProcSet> last_emitted_;
+  std::vector<bool> emitted_once_;
+};
+
+// Weak completeness + weak accuracy: each faulty process is permanently
+// suspected by one designated correct watcher only (others may never hear
+// of it); plus optional sticky false suspicions away from the protected
+// process.
+class WeakOracle final : public FdOracle {
+ public:
+  explicit WeakOracle(Time period = 4, double false_rate = 0.0)
+      : period_(period), false_rate_(false_rate) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  Time period_;
+  double false_rate_;
+  CrashPlan plan_;
+  std::optional<Rng> rng_;
+  ProcessId protected_ = kInvalidProcess;
+  std::vector<ProcessId> watcher_;  // per faulty process, correct watcher
+  std::vector<ProcSet> false_suspicions_;
+  std::vector<ProcSet> last_emitted_;
+  std::vector<bool> emitted_once_;
+};
+
+// Impermanent strong completeness + weak accuracy: every correct process
+// suspects each faulty process at least once, but the suspicion is then
+// dropped (subsequent reports may be empty).  This is the detector class of
+// Cor 3.2 / Prop 2.2's input.
+class ImpermanentStrongOracle final : public FdOracle {
+ public:
+  explicit ImpermanentStrongOracle(Time period = 4) : period_(period) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  Time period_;
+  CrashPlan plan_;
+  std::vector<ProcSet> reported_;  // per observer: already reported once
+  std::vector<bool> retraction_pending_;
+};
+
+// Impermanent weak completeness + weak accuracy.
+class ImpermanentWeakOracle final : public FdOracle {
+ public:
+  explicit ImpermanentWeakOracle(Time period = 4) : period_(period) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  Time period_;
+  CrashPlan plan_;
+  std::vector<ProcessId> watcher_;
+  std::vector<ProcSet> reported_;
+  std::vector<bool> retraction_pending_;
+};
+
+// Eventually-strong (◇S): before the (per-run, randomized) stabilization
+// time reports are noisy — correct processes may be suspected; from
+// stabilization on, reports equal the crashed-so-far set.  Used by the
+// rotating-coordinator consensus baseline (Table 1's ✸W row; ✸W ≅ ✸S by
+// the CT96 gossip conversion).
+class EventuallyStrongOracle final : public FdOracle {
+ public:
+  EventuallyStrongOracle(Time period = 4, Time max_stabilization = 40,
+                         double noise = 0.3)
+      : period_(period), max_stabilization_(max_stabilization), noise_(noise) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+  Time stabilization_time() const { return stabilization_; }
+
+ private:
+  Time period_;
+  Time max_stabilization_;
+  double noise_;
+  CrashPlan plan_;
+  std::optional<Rng> rng_;
+  Time stabilization_ = 0;
+  std::vector<ProcSet> last_emitted_;
+  std::vector<bool> emitted_once_;
+};
+
+// Eventually-weak (◇W): weak completeness (one designated watcher per
+// faulty process) + EVENTUAL weak accuracy — pre-stabilization reports may
+// suspect anyone; post-stabilization only genuinely crashed, watched
+// processes are reported.  The weakest class in Table 1's consensus column;
+// CT96 convert it to ◇S by gossiping CURRENT suspicions (retractions must
+// propagate), which convert_eventually_weak_to_strong realizes.
+class EventuallyWeakOracle final : public FdOracle {
+ public:
+  EventuallyWeakOracle(Time period = 4, Time max_stabilization = 40,
+                       double noise = 0.3)
+      : period_(period), max_stabilization_(max_stabilization), noise_(noise) {}
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+  Time stabilization_time() const { return stabilization_; }
+
+ private:
+  Time period_;
+  Time max_stabilization_;
+  double noise_;
+  CrashPlan plan_;
+  std::optional<Rng> rng_;
+  Time stabilization_ = 0;
+  std::vector<ProcessId> watcher_;
+  std::vector<ProcSet> last_emitted_;
+  std::vector<bool> emitted_once_;
+};
+
+// Eventually-perfect (◇P): noisy before stabilization, exactly the crashed
+// set after — i.e. strong completeness + eventual strong accuracy.
+// Identical machinery to EventuallyStrongOracle; the distinct name records
+// that the post-stabilization output is the full crashed set (◇P) rather
+// than merely containing no false suspicion of some fixed process.
+using EventuallyPerfectOracle = EventuallyStrongOracle;
+
+// No failure detector at all (never reports).  The "no FD" cells of Table 1.
+class NullOracle final : public FdOracle {
+ public:
+  void begin_run(const CrashPlan&, std::uint64_t) override {}
+  std::optional<Event> report(ProcessId, Time) override { return std::nullopt; }
+};
+
+}  // namespace udc

@@ -1,0 +1,229 @@
+#include "udc/fd/properties.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace udc {
+
+void FdPropertyReport::merge(const FdPropertyReport& other) {
+  strong_accuracy &= other.strong_accuracy;
+  weak_accuracy &= other.weak_accuracy;
+  strong_completeness &= other.strong_completeness;
+  weak_completeness &= other.weak_completeness;
+  impermanent_strong_completeness &= other.impermanent_strong_completeness;
+  impermanent_weak_completeness &= other.impermanent_weak_completeness;
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+std::string FdPropertyReport::summary() const {
+  std::ostringstream out;
+  auto flag = [&out](const char* name, bool v) {
+    out << name << '=' << (v ? 'Y' : 'N') << ' ';
+  };
+  flag("strong-acc", strong_accuracy);
+  flag("weak-acc", weak_accuracy);
+  flag("strong-comp", strong_completeness);
+  flag("weak-comp", weak_completeness);
+  flag("imp-strong-comp", impermanent_strong_completeness);
+  flag("imp-weak-comp", impermanent_weak_completeness);
+  return out.str();
+}
+
+FdPropertyReport check_fd_properties(const Run& r, Time grace) {
+  FdPropertyReport rep;
+  const int n = r.n();
+  const Time T = r.horizon();
+  const ProcSet faulty = r.faulty_set();
+  const ProcSet correct = r.correct_set();
+
+  // --- accuracy -----------------------------------------------------------
+  // Strong accuracy: every suspicion names an already-crashed process.
+  // Suspicions only persist between reports and crashes only accumulate, so
+  // checking at each report event suffices.
+  ProcSet ever_suspected;
+  for (ProcessId p = 0; p < n; ++p) {
+    const History& h = r.history(p);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (h[i].kind != EventKind::kSuspect) continue;
+      Time m = r.event_time(p, i);
+      ever_suspected |= h[i].suspects;
+      for (ProcessId q : h[i].suspects) {
+        if (!r.crashed_by(q, m)) {
+          rep.strong_accuracy = false;
+          std::ostringstream out;
+          out << "strong accuracy: p" << p << " suspects live p" << q
+              << " at time " << m;
+          rep.violations.push_back(out.str());
+        }
+      }
+    }
+  }
+  // Weak accuracy: if any process is correct, some correct process is never
+  // suspected by anyone.
+  if (!correct.empty() && (correct - ever_suspected).empty()) {
+    rep.weak_accuracy = false;
+    rep.violations.push_back(
+        "weak accuracy: every correct process was suspected at some point");
+  }
+
+  // --- completeness -------------------------------------------------------
+  // Only crashes with enough slack before the horizon bind.
+  ProcSet binding_faulty;
+  for (ProcessId q : faulty) {
+    if (*r.crash_time(q) <= T - grace) binding_faulty.insert(q);
+  }
+
+  for (ProcessId q : binding_faulty) {
+    bool some_correct_final = false;
+    bool some_correct_ever = false;
+    for (ProcessId p : correct) {
+      // Final report = Suspects_p(r, T); membership there means "suspected
+      // from some time through the horizon".
+      bool final_has = r.suspects_at(p, T).contains(q);
+      bool ever_has = r.has_event(p, T, [q](const Event& e) {
+        return e.kind == EventKind::kSuspect && e.suspects.contains(q);
+      });
+      some_correct_final |= final_has;
+      some_correct_ever |= ever_has;
+      if (!final_has) {
+        rep.strong_completeness = false;
+        std::ostringstream out;
+        out << "strong completeness: correct p" << p
+            << " does not permanently suspect faulty p" << q;
+        rep.violations.push_back(out.str());
+      }
+      if (!ever_has) {
+        rep.impermanent_strong_completeness = false;
+        std::ostringstream out;
+        out << "impermanent strong completeness: correct p" << p
+            << " never suspects faulty p" << q;
+        rep.violations.push_back(out.str());
+      }
+    }
+    if (!correct.empty()) {
+      if (!some_correct_final) {
+        rep.weak_completeness = false;
+        std::ostringstream out;
+        out << "weak completeness: no correct process permanently suspects p"
+            << q;
+        rep.violations.push_back(out.str());
+      }
+      if (!some_correct_ever) {
+        rep.impermanent_weak_completeness = false;
+        std::ostringstream out;
+        out << "impermanent weak completeness: no correct process ever "
+               "suspects p"
+            << q;
+        rep.violations.push_back(out.str());
+      }
+    }
+  }
+  return rep;
+}
+
+FdPropertyReport check_fd_properties(const System& sys, Time grace) {
+  FdPropertyReport rep;
+  for (const Run& r : sys.runs()) {
+    rep.merge(check_fd_properties(r, grace));
+  }
+  return rep;
+}
+
+EventualAccuracyReport check_eventual_accuracy(const Run& r) {
+  EventualAccuracyReport rep;
+  const int n = r.n();
+  const Time T = r.horizon();
+
+  // Least m0 with all IN-FORCE suspicion sets accurate from m0 through the
+  // horizon.  A report stays current until superseded, so the scan runs
+  // over Suspects_p(r, m) at every time, not just over report events: a
+  // pre-stabilization noisy report keeps the detector inaccurate until the
+  // correcting report lands.  Following CT96, the eventual (◇) accuracy
+  // classes constrain LIVE observers only — a crashed process's frozen last
+  // report is dead state, not an ongoing suspicion.
+  std::optional<Time> latest_bad;
+  for (ProcessId p = 0; p < n; ++p) {
+    for (Time m = T; m >= 0; --m) {
+      if (r.crashed_by(p, m)) continue;  // frozen post-crash state
+      bool bad = false;
+      for (ProcessId q : r.suspects_at(p, m)) {
+        if (!r.crashed_by(q, m)) bad = true;
+      }
+      if (bad) {
+        if (!latest_bad || m > *latest_bad) latest_bad = m;
+        break;  // earlier times cannot raise this process's latest-bad
+      }
+    }
+  }
+  Time candidate = latest_bad ? *latest_bad + 1 : 0;
+  if (candidate <= T) rep.strong_from = candidate;
+
+  // Eventual weak accuracy: some correct q unsuspected from some m0 on.
+  // For each correct q, its last suspicion time determines its candidate;
+  // take the min over correct processes.
+  if (!r.correct_set().empty()) {
+    std::optional<Time> best;
+    for (ProcessId q : r.correct_set()) {
+      std::optional<Time> last_suspected;
+      for (ProcessId p = 0; p < n; ++p) {
+        for (Time m = T;; --m) {
+          if (!r.crashed_by(p, m) && r.suspects_at(p, m).contains(q)) {
+            if (!last_suspected || m > *last_suspected) last_suspected = m;
+            break;
+          }
+          if (m == 0) break;
+        }
+      }
+      Time cand = last_suspected ? *last_suspected + 1 : 0;
+      if (cand <= T && (!best || cand < *best)) best = cand;
+    }
+    rep.weak_from = best;
+  } else {
+    rep.weak_from = 0;  // vacuous: no correct process
+  }
+  return rep;
+}
+
+EventualAccuracyReport check_eventual_accuracy(const System& sys) {
+  EventualAccuracyReport rep;
+  rep.strong_from = 0;
+  rep.weak_from = 0;
+  for (const Run& r : sys.runs()) {
+    EventualAccuracyReport one = check_eventual_accuracy(r);
+    if (!one.strong_from) {
+      rep.strong_from = std::nullopt;
+    } else if (rep.strong_from) {
+      rep.strong_from = std::max(*rep.strong_from, *one.strong_from);
+    }
+    if (!one.weak_from) {
+      rep.weak_from = std::nullopt;
+    } else if (rep.weak_from) {
+      rep.weak_from = std::max(*rep.weak_from, *one.weak_from);
+    }
+  }
+  return rep;
+}
+
+FdClass strongest_class(const FdPropertyReport& rep) {
+  if (rep.perfect()) return FdClass::kPerfect;
+  if (rep.strong()) return FdClass::kStrong;
+  if (rep.weak()) return FdClass::kWeak;
+  if (rep.impermanent_strong()) return FdClass::kImpermanentStrong;
+  if (rep.impermanent_weak()) return FdClass::kImpermanentWeak;
+  return FdClass::kNone;
+}
+
+const char* fd_class_name(FdClass c) {
+  switch (c) {
+    case FdClass::kPerfect: return "Perfect";
+    case FdClass::kStrong: return "Strong";
+    case FdClass::kWeak: return "Weak";
+    case FdClass::kImpermanentStrong: return "Impermanent-Strong";
+    case FdClass::kImpermanentWeak: return "Impermanent-Weak";
+    case FdClass::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace udc

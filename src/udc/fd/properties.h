@@ -1,0 +1,85 @@
+// Run- and system-level verification of failure-detector properties (§2.2).
+//
+// These checkers evaluate the paper's six properties against the suspect
+// events recorded in runs.  "Eventually permanently" is checked on the
+// finite horizon as "in Suspects_p(r, m) for every m from some point to the
+// horizon" — equivalently, membership in the *final* report — and a `grace`
+// window excuses crashes too close to the horizon for any detector to have
+// reported them (the documented finite surrogate; see DESIGN.md §2).
+//
+// Oracles construct; checkers verify.  Every experiment re-checks the
+// detector class it claims to use.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+
+namespace udc {
+
+struct FdPropertyReport {
+  bool strong_accuracy = true;
+  bool weak_accuracy = true;
+  bool strong_completeness = true;
+  bool weak_completeness = true;
+  bool impermanent_strong_completeness = true;
+  bool impermanent_weak_completeness = true;
+  std::vector<std::string> violations;  // human-readable witnesses
+
+  bool perfect() const { return strong_accuracy && strong_completeness; }
+  bool strong() const { return weak_accuracy && strong_completeness; }
+  bool weak() const { return weak_accuracy && weak_completeness; }
+  bool impermanent_strong() const {
+    return weak_accuracy && impermanent_strong_completeness;
+  }
+  bool impermanent_weak() const {
+    return weak_accuracy && impermanent_weak_completeness;
+  }
+
+  void merge(const FdPropertyReport& other);
+  std::string summary() const;
+};
+
+// Checks one run.  Completeness clauses only bind for processes that crash
+// at or before horizon - grace.
+FdPropertyReport check_fd_properties(const Run& r, Time grace = 0);
+
+// A system satisfies a property iff every run does (§2.2).
+FdPropertyReport check_fd_properties(const System& sys, Time grace = 0);
+
+// Eventual accuracy (the ◇-classes of CT96): does there exist a
+// stabilization time m0 from which accuracy holds through the horizon?
+//   eventual strong accuracy: from m0 on, every suspicion names a crashed
+//                             process;
+//   eventual weak accuracy:   from m0 on, some correct process is never
+//                             suspected by anyone.
+// The finite surrogate reports the least such m0 (nullopt if none exists
+// within the horizon).
+struct EventualAccuracyReport {
+  std::optional<Time> strong_from;
+  std::optional<Time> weak_from;
+  bool eventually_strong() const { return strong_from.has_value(); }
+  bool eventually_weak() const { return weak_from.has_value(); }
+};
+
+EventualAccuracyReport check_eventual_accuracy(const Run& r);
+// System-level: every run must stabilize; reports the max stabilization
+// time across runs (nullopt if any run never does).
+EventualAccuracyReport check_eventual_accuracy(const System& sys);
+
+// The strongest Chandra-Toueg class the report certifies, for display.
+enum class FdClass {
+  kPerfect,
+  kStrong,
+  kWeak,
+  kImpermanentStrong,
+  kImpermanentWeak,
+  kNone,
+};
+FdClass strongest_class(const FdPropertyReport& report);
+const char* fd_class_name(FdClass c);
+
+}  // namespace udc

@@ -1,0 +1,93 @@
+#include "udc/fd/quality.h"
+
+#include <algorithm>
+
+namespace udc {
+
+FdQuality measure_fd_quality(const Run& r) {
+  FdQuality q;
+  const int n = r.n();
+  const Time T = r.horizon();
+  double latency_sum = 0;
+
+  // Detection latency per (correct observer, faulty victim).
+  for (ProcessId obs = 0; obs < n; ++obs) {
+    if (r.is_faulty(obs)) continue;
+    for (ProcessId victim : r.faulty_set()) {
+      Time crash = *r.crash_time(victim);
+      std::optional<Time> detected;
+      for (Time m = crash; m <= T; ++m) {
+        if (r.suspects_at(obs, m).contains(victim)) {
+          detected = m;
+          break;
+        }
+      }
+      if (detected) {
+        ++q.detections;
+        double lat = static_cast<double>(*detected - crash);
+        latency_sum += lat;
+        q.max_detection_latency =
+            std::max(q.max_detection_latency, *detected - crash);
+      } else {
+        ++q.missed;
+      }
+    }
+  }
+  if (q.detections > 0) {
+    q.mean_detection_latency = latency_sum / static_cast<double>(q.detections);
+  }
+
+  // Integrated false positives and report load.
+  std::size_t false_ticks = 0;
+  std::size_t observer_ticks = 0;
+  std::size_t reports = 0;
+  for (ProcessId obs = 0; obs < n; ++obs) {
+    const History& h = r.history(obs);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (h[i].is_failure_detector_event()) ++reports;
+    }
+    for (Time m = 1; m <= T; ++m) {
+      if (r.crashed_by(obs, m)) break;
+      ++observer_ticks;
+      for (ProcessId victim : r.suspects_at(obs, m)) {
+        if (!r.crashed_by(victim, m)) ++false_ticks;
+      }
+    }
+  }
+  if (observer_ticks > 0) {
+    q.false_positive_rate =
+        static_cast<double>(false_ticks) / static_cast<double>(observer_ticks);
+    q.report_load =
+        static_cast<double>(reports) / static_cast<double>(observer_ticks);
+  }
+  return q;
+}
+
+FdQuality measure_fd_quality(const System& sys) {
+  FdQuality agg;
+  double latency_sum = 0;
+  double fp_sum = 0;
+  double load_sum = 0;
+  for (const Run& r : sys.runs()) {
+    FdQuality one = measure_fd_quality(r);
+    latency_sum += one.mean_detection_latency *
+                   static_cast<double>(one.detections);
+    agg.detections += one.detections;
+    agg.missed += one.missed;
+    agg.max_detection_latency =
+        std::max(agg.max_detection_latency, one.max_detection_latency);
+    fp_sum += one.false_positive_rate;
+    load_sum += one.report_load;
+  }
+  if (agg.detections > 0) {
+    agg.mean_detection_latency =
+        latency_sum / static_cast<double>(agg.detections);
+  }
+  if (!sys.runs().empty()) {
+    agg.false_positive_rate = fp_sum / static_cast<double>(sys.size());
+    agg.report_load = load_sum / static_cast<double>(sys.size());
+  }
+  return agg;
+}
+
+}  // namespace udc

@@ -1,0 +1,38 @@
+// Failure-detector quality-of-service metrics (in the spirit of Chen,
+// Toueg & Aguilera's QoS framework): the quantitative axis behind the
+// class labels.  The paper's results say WHICH class is needed; these
+// metrics say what a class instance costs and delivers in a run:
+//
+//   detection latency   — crash_q -> first time a given correct observer's
+//                         in-force report contains q;
+//   false-positive time — total observer-time during which a live process
+//                         is suspected (the accuracy defect, integrated);
+//   report load         — failure-detector events per process per tick
+//                         (what the detector costs the event budget).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "udc/event/run.h"
+#include "udc/event/system.h"
+
+namespace udc {
+
+struct FdQuality {
+  // Over all (correct observer, faulty process) pairs that were detected:
+  std::size_t detections = 0;
+  std::size_t missed = 0;  // pairs never detected within the horizon
+  double mean_detection_latency = 0;
+  Time max_detection_latency = 0;
+  // Integrated false suspicion: sum over (observer, victim, tick) of
+  // "victim suspected while alive", normalized per observer-tick.
+  double false_positive_rate = 0;
+  // Failure-detector events per process-tick.
+  double report_load = 0;
+};
+
+FdQuality measure_fd_quality(const Run& r);
+FdQuality measure_fd_quality(const System& sys);
+
+}  // namespace udc

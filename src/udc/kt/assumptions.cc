@@ -1,0 +1,247 @@
+#include "udc/kt/assumptions.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "udc/coord/action.h"
+#include "udc/logic/eval.h"
+#include "udc/logic/properties.h"
+
+namespace udc {
+
+namespace {
+
+// r' extends (r, m): identical cuts at every time up to m.  Content
+// equality at m plus equal per-step lengths implies equality of all earlier
+// cuts (histories are prefix-monotone).
+bool extends(const Run& rp, const Run& r, Time m) {
+  if (m > rp.horizon() || m > r.horizon()) return false;
+  for (ProcessId p = 0; p < r.n(); ++p) {
+    if (!Run::indistinguishable(rp, m, r, m, p)) return false;
+    for (Time m2 = 0; m2 < m; ++m2) {
+      if (rp.history_len(p, m2) != r.history_len(p, m2)) return false;
+    }
+  }
+  return true;
+}
+
+// Joint-cut hash at time m (all processes), for candidate filtering.
+std::uint64_t joint_hash(const Run& r, Time m) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (ProcessId p = 0; p < r.n(); ++p) {
+    h = h * 0x100000001b3ull + r.local_state_hash(p, m);
+    h ^= r.history_len(p, m);
+  }
+  return h;
+}
+
+// q's local state in rp at m is a prefix of its state in r at m, optionally
+// followed by crash_q (the (b) clause of A4).
+bool is_prefix_or_crashed_prefix(const Run& rp, const Run& r, ProcessId q,
+                                 Time m) {
+  std::size_t len_p = rp.history_len(q, m);
+  std::size_t len = r.history_len(q, m);
+  const History& hp = rp.history(q);
+  const History& h = r.history(q);
+  bool ends_in_crash =
+      len_p > 0 && hp[len_p - 1].kind == EventKind::kCrash;
+  std::size_t body = ends_in_crash ? len_p - 1 : len_p;
+  if (body > len) return false;
+  // The body must be a prefix of r_q(m).
+  if (hp.prefix_hash(body) != h.prefix_hash(body)) return false;
+  for (std::size_t i = 0; i < body; ++i) {
+    if (!(hp[i] == h[i])) return false;
+  }
+  if (ends_in_crash) {
+    // "... or r'_q(m) = h · crash_q and q crashes by time m in r"
+    return r.crashed_by(q, m);
+  }
+  return true;
+}
+
+}  // namespace
+
+AssumptionReport check_a5t(const System& sys, int t) {
+  AssumptionReport rep{.name = "A5t"};
+  std::unordered_set<std::uint64_t> present;
+  for (const Run& r : sys.runs()) present.insert(r.faulty_set().bits());
+  const int n = sys.n();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    if (__builtin_popcountll(mask) > t) continue;
+    ++rep.checked;
+    if (present.count(mask) != 0) ++rep.satisfied;
+  }
+  return rep;
+}
+
+AssumptionReport check_a1(const System& sys, Time stride, Time max_time) {
+  AssumptionReport rep{.name = "A1"};
+  std::unordered_set<std::uint64_t> faulty_sets;
+  for (const Run& r : sys.runs()) faulty_sets.insert(r.faulty_set().bits());
+
+  if (max_time < 0 || max_time > sys.max_horizon()) {
+    max_time = sys.max_horizon();
+  }
+  for (Time m = 0; m <= max_time; m += stride) {
+    // Candidate extensions, grouped by joint cut.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      if (m > sys.run(i).horizon()) continue;
+      groups[joint_hash(sys.run(i), m)].push_back(i);
+    }
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      const Run& r = sys.run(i);
+      if (m > r.horizon()) continue;
+      ProcSet crashed_now;
+      for (ProcessId q = 0; q < sys.n(); ++q) {
+        if (r.crashed_by(q, m)) crashed_now.insert(q);
+      }
+      for (std::uint64_t s_bits : faulty_sets) {
+        ProcSet s(s_bits);
+        // Hypothesis: some run has F = S (true, S came from the system) and
+        // no process outside S has crashed at (r, m).
+        if (!(crashed_now - s).empty()) {
+          ++rep.vacuous;
+          continue;
+        }
+        ++rep.checked;
+        bool found = false;
+        for (std::size_t j : groups[joint_hash(r, m)]) {
+          if (sys.run(j).faulty_set() == s && extends(sys.run(j), r, m)) {
+            found = true;
+            break;
+          }
+        }
+        if (found) ++rep.satisfied;
+      }
+    }
+  }
+  return rep;
+}
+
+AssumptionReport check_a2(const System& sys, Time stride) {
+  AssumptionReport rep{.name = "A2"};
+  const int n = sys.n();
+  // Pre-compute, for every run, the time by which all its faulty processes
+  // have crashed (kTimeMax if F empty never matters: F = {} pairs are
+  // vacuous for the "crash by m+1" clause but still need indistinguishable
+  // extensions, which the runs themselves provide).
+  auto all_crashed_by = [](const Run& r) {
+    Time t = 0;
+    for (ProcessId q : r.faulty_set()) t = std::max(t, *r.crash_time(q));
+    return t;
+  };
+  auto indist_outside_f = [n](const Run& a, Time ma, const Run& b, Time mb,
+                              ProcSet f) {
+    for (ProcessId q = 0; q < n; ++q) {
+      if (f.contains(q)) continue;
+      if (!Run::indistinguishable(a, ma, b, mb, q)) return false;
+    }
+    return true;
+  };
+
+  for (Time m = 0; m <= sys.max_horizon(); m += stride) {
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      const Run& r1 = sys.run(i);
+      if (m > r1.horizon()) continue;
+      for (std::size_t j = i; j < sys.size(); ++j) {
+        const Run& r2 = sys.run(j);
+        if (m > r2.horizon()) continue;
+        ProcSet f = r1.faulty_set();
+        if (r2.faulty_set() != f) continue;
+        if (!indist_outside_f(r1, m, r2, m, f)) {
+          ++rep.vacuous;
+          continue;
+        }
+        ++rep.checked;
+        // Witness search: extensions of (r1, m) and (r2, m) in which all of
+        // F crashed by m+1 and that stay indistinguishable outside F.
+        bool found = false;
+        for (std::size_t a = 0; a < sys.size() && !found; ++a) {
+          const Run& e1 = sys.run(a);
+          if (e1.faulty_set() != f || all_crashed_by(e1) > m + 1) continue;
+          if (!extends(e1, r1, m)) continue;
+          for (std::size_t c = 0; c < sys.size() && !found; ++c) {
+            const Run& e2 = sys.run(c);
+            if (e2.faulty_set() != f || all_crashed_by(e2) > m + 1) continue;
+            if (!extends(e2, r2, m)) continue;
+            bool indist_forever = true;
+            Time top = std::max(e1.horizon(), e2.horizon());
+            for (Time m2 = m; m2 <= top && indist_forever; m2 += 1) {
+              indist_forever = indist_outside_f(e1, m2, e2, m2, f);
+            }
+            found = indist_forever;
+          }
+        }
+        if (found) ++rep.satisfied;
+      }
+    }
+  }
+  return rep;
+}
+
+AssumptionReport check_a3(const System& sys,
+                          std::span<const ActionId> actions) {
+  AssumptionReport rep{.name = "A3"};
+  ModelChecker mc(sys);
+  for (ActionId alpha : actions) {
+    ProcessId owner = action_owner(alpha);
+    for (ProcessId q = 0; q < sys.n(); ++q) {
+      ++rep.checked;
+      if (is_insensitive_to_failure_by(mc, sys, q,
+                                       f_knows(q, f_init(owner, alpha)))) {
+        ++rep.satisfied;
+      }
+    }
+  }
+  return rep;
+}
+
+AssumptionReport check_a4(const System& sys,
+                          std::span<const ActionId> actions, Time stride) {
+  AssumptionReport rep{.name = "A4"};
+  for (ActionId alpha : actions) {
+    ProcessId owner = action_owner(alpha);
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      const Run& r = sys.run(i);
+      for (Time m = 0; m <= r.horizon(); m += stride) {
+        // S := the processes that do not know init_owner(alpha) at (r, m).
+        ProcSet s;
+        for (ProcessId q = 0; q < sys.n(); ++q) {
+          bool knows = true;
+          for (Point other : sys.equivalence_class(q, Point{i, m})) {
+            if (!sys.run(other.run).init_in(owner, other.m, alpha)) {
+              knows = false;
+              break;
+            }
+          }
+          if (!knows) s.insert(q);
+        }
+        if (s.empty()) {
+          ++rep.vacuous;
+          continue;
+        }
+        ++rep.checked;
+        bool found = false;
+        for (std::size_t j = 0; j < sys.size() && !found; ++j) {
+          const Run& rp = sys.run(j);
+          if (m > rp.horizon()) continue;
+          if (rp.init_in(owner, m, alpha)) continue;  // (c) fails
+          bool ok = true;
+          for (ProcessId q = 0; q < sys.n() && ok; ++q) {
+            if (s.contains(q)) {
+              ok = Run::indistinguishable(rp, m, r, m, q);  // (a)
+            } else {
+              ok = is_prefix_or_crashed_prefix(rp, r, q, m);  // (b)
+            }
+          }
+          found = ok;
+        }
+        if (found) ++rep.satisfied;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace udc

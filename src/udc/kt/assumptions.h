@@ -1,0 +1,76 @@
+// Empirical checkers for the paper's context assumptions A1-A5t (§3).
+//
+// A1, A2 and A4 quantify over run *extensions* and so are properties of the
+// (infinite) context; on a finite generated system they can only be checked
+// as witness coverage: of the instances whose hypotheses arise in the
+// system, how many have a witness in the system?  The reports therefore
+// carry (checked, satisfied) counts rather than a single boolean — 100%
+// coverage on a rich system is strong evidence the generating context has
+// the property, and the benches report the fractions alongside the main
+// results (see DESIGN.md §2 on substitutions).
+//
+// A5t (every |S| <= t fails in some run) and A3 (K_q init_p(α) insensitive
+// to failure by q, via Def 3.3) are checked exactly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "udc/common/types.h"
+#include "udc/event/system.h"
+
+namespace udc {
+
+struct AssumptionReport {
+  std::string name;
+  std::size_t checked = 0;
+  std::size_t satisfied = 0;
+  std::size_t vacuous = 0;  // instances whose hypothesis never arose
+
+  bool holds() const { return checked == satisfied; }
+  double coverage() const {
+    return checked == 0 ? 1.0
+                        : static_cast<double>(satisfied) /
+                              static_cast<double>(checked);
+  }
+};
+
+// A5t: for every S with |S| <= t there is a run with F(r) = S.
+AssumptionReport check_a5t(const System& sys, int t);
+
+// A1 (failure independence): for each faulty-set S occurring in the system
+// and each point (r,m) where no process outside S has crashed and the joint
+// cut matches some other run's cut, is there a run extending (r,m) with
+// F = S?  Instances are sampled every `stride` time steps up to `max_time`
+// (default: the full horizon).  A finite system can only witness
+// extensions whose crash times were generated, so meaningful coverage
+// checks scope max_time below the plans' crash window.
+AssumptionReport check_a1(const System& sys, Time stride = 4,
+                          Time max_time = -1);
+
+// A2 (prompt crashability): for sampled pairs of points (r1, m), (r2, m)
+// with F(r1) = F(r2) = F that are indistinguishable to every process
+// outside F, does the system contain extensions in which every process of
+// F has crashed by m+1 and that remain indistinguishable outside F through
+// the horizon?  Like A1 this quantifies over extensions, so on a finite
+// system it is witness coverage; unlike A1 the hypothesis pairs are rare
+// unless the generator deliberately pairs crash plans (same seed, same
+// faulty set, different crash times).
+AssumptionReport check_a2(const System& sys, Time stride = 8);
+
+// A3: K_q(init_p(alpha)) is insensitive to failure by q, for every process
+// q and every action in `actions` (exact, via Def 3.3 witness pairs).
+AssumptionReport check_a3(const System& sys,
+                          std::span<const ActionId> actions);
+
+// A4 for the formulas Theorem 3.6 actually uses (phi = init_p(alpha)):
+// at each sampled point where some nonempty S of processes fail to know
+// phi, does the system contain a point (r', m) with (a) r'_q(m) = r_q(m)
+// for q in S, (b) for q not in S, r'_q(m) a prefix of r_q(m) possibly
+// followed by crash_q, and (c) phi false at (r', m)?
+AssumptionReport check_a4(const System& sys,
+                          std::span<const ActionId> actions,
+                          Time stride = 8);
+
+}  // namespace udc

@@ -1,0 +1,57 @@
+#include "udc/kt/kbp.h"
+
+#include <sstream>
+
+namespace udc {
+
+KbpReport check_kbp(ModelChecker& mc, const System& sys,
+                    std::span<const ActionId> actions) {
+  KbpReport rep;
+  const int n = sys.n();
+  for (ActionId alpha : actions) {
+    ProcessId owner = action_owner(alpha);
+    // The Prop 3.5 consequent, built once per action.
+    std::vector<FormulaPtr> someone_up;
+    std::vector<FormulaPtr> witness;
+    for (ProcessId q = 0; q < n; ++q) {
+      someone_up.push_back(f_always(f_not(f_crash(q))));
+      witness.push_back(f_and(f_knows(q, f_init(owner, alpha)),
+                              f_always(f_not(f_crash(q)))));
+    }
+    auto consequent = f_implies(Formula::disjunction(someone_up),
+                                Formula::disjunction(witness));
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      const Run& r = sys.run(i);
+      for (ProcessId p = 0; p < n; ++p) {
+        auto m_do = r.first_event_time(p, [alpha](const Event& e) {
+          return e.kind == EventKind::kDo && e.action == alpha;
+        });
+        if (!m_do) continue;
+        Point at{i, *m_do};
+        ++rep.perform_points;
+        if (mc.holds_at(at, f_knows(p, f_init(owner, alpha)))) {
+          ++rep.k1_holds;
+        } else {
+          std::ostringstream out;
+          out << "K1: p" << p << " performed α" << alpha << " in run " << i
+              << " at t=" << *m_do << " without knowing init";
+          rep.violations.push_back(out.str());
+        }
+        if (r.is_faulty(p)) continue;
+        ++rep.k2_points;
+        if (mc.holds_at(at, f_knows(p, consequent))) {
+          ++rep.k2_holds;
+        } else {
+          std::ostringstream out;
+          out << "K2: correct p" << p << " performed α" << alpha << " in run "
+              << i << " at t=" << *m_do
+              << " without knowing a correct knower exists";
+          rep.violations.push_back(out.str());
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace udc

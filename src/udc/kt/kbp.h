@@ -1,0 +1,47 @@
+// Knowledge-based program verification ([FHMV97], cited by the paper).
+//
+// A knowledge-based program specifies actions by knowledge guards instead
+// of message-level mechanics: the derived specification of a UDC protocol
+// is, per the paper's §3 analysis,
+//
+//   (K1)  a process performs α only if it KNOWS α was initiated
+//         (DC3 lifted to knowledge: doing implies knowing-why), and
+//   (K2)  a CORRECT process performing α knows that, if anyone at all stays
+//         up, some never-crashing process knows the init NOW
+//         (Proposition 3.5's consequent at the perform point).
+//
+// check_kbp verifies that a generated system IMPLEMENTS this knowledge-
+// based program: every perform point is checked against both guards via
+// the model checker.  This is the reusable core of the Prop 3.5 experiment
+// and of Theorem 3.6's completeness argument.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "udc/coord/action.h"
+#include "udc/event/system.h"
+#include "udc/logic/eval.h"
+
+namespace udc {
+
+struct KbpReport {
+  std::size_t perform_points = 0;
+  std::size_t k1_holds = 0;  // do implies K(init)
+  std::size_t k2_holds = 0;  // Prop 3.5 consequent at correct performers
+  std::size_t k2_points = 0;  // perform points at correct processes
+  std::vector<std::string> violations;
+
+  bool implements() const {
+    return k1_holds == perform_points && k2_holds == k2_points;
+  }
+};
+
+// Verifies the knowledge-based specification over every perform point of
+// the system's runs.  `mc` must be a checker over `sys` (sharing it lets
+// callers reuse the memo across analyses).
+KbpReport check_kbp(ModelChecker& mc, const System& sys,
+                    std::span<const ActionId> actions);
+
+}  // namespace udc

@@ -1,0 +1,48 @@
+#include "udc/kt/knowledge_fd.h"
+
+#include <algorithm>
+
+#include "udc/logic/eval.h"
+
+namespace udc {
+
+ProcSet known_crashed(const System& sys, Point at, ProcessId p) {
+  ProcSet known = ProcSet::full(sys.n());
+  for (Point other : sys.equivalence_class(p, at)) {
+    const Run& r = sys.run(other.run);
+    ProcSet crashed_here;
+    for (ProcessId q = 0; q < sys.n(); ++q) {
+      if (r.crashed_by(q, other.m)) crashed_here.insert(q);
+    }
+    known &= crashed_here;
+    if (known.empty()) break;
+  }
+  return known;
+}
+
+int known_crashed_count_in(const System& sys, Point at, ProcessId p,
+                           ProcSet s) {
+  int known = s.size();
+  for (Point other : sys.equivalence_class(p, at)) {
+    const Run& r = sys.run(other.run);
+    int crashed_here = 0;
+    for (ProcessId q : s) {
+      if (r.crashed_by(q, other.m)) ++crashed_here;
+    }
+    known = std::min(known, crashed_here);
+    if (known == 0) break;
+  }
+  return known;
+}
+
+std::optional<Time> first_knowledge_time(ModelChecker& mc, const System& sys,
+                                         std::size_t run_index, ProcessId p,
+                                         const FormulaPtr& phi) {
+  auto knows = f_knows(p, phi);
+  for (Time m = 0; m <= sys.run(run_index).horizon(); ++m) {
+    if (mc.holds_at(Point{run_index, m}, knows)) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace udc

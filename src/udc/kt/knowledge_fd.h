@@ -1,0 +1,42 @@
+// Knowledge-based suspicion: what a process KNOWS about crashes, in the
+// [FHMV95] sense, relative to a system.
+//
+//   known_crashed(R, (r,m), p)  =  { q : (R, r, m) |= K_p crash(q) }
+//
+// K_p crash(q) holds iff crash_q has occurred at *every* point of R that p
+// cannot distinguish from (r,m).  Because (r,m) is in its own equivalence
+// class, knowledge is veridical: known_crashed ⊆ actually-crashed, which is
+// exactly why the Theorem 3.6 detector is strongly accurate for free — the
+// entire content of the theorem is completeness.
+//
+// Both functions are computed directly from the equivalence classes (no
+// formula machinery), with formula-based twins used in tests to cross-check
+// the model checker.
+#pragma once
+
+#include "udc/common/proc_set.h"
+#include <optional>
+
+#include "udc/event/system.h"
+#include "udc/logic/formula.h"
+
+namespace udc {
+
+// { q : (R, r, m) |= K_p crash(q) } for the point `at`.
+ProcSet known_crashed(const System& sys, Point at, ProcessId p);
+
+// max k' such that (R, r, m) |= K_p("at least k' processes of S have
+// crashed") — i.e. the minimum of |crashed ∩ S| over p's equivalence class.
+int known_crashed_count_in(const System& sys, Point at, ProcessId p,
+                           ProcSet s);
+
+// Knowledge frontier: the first time in run `run_index` at which
+// (R, r, m) |= K_p(phi) — the workhorse behind the udc_explore tool's
+// frontier view and the FIP experiments.  nullopt if never within the
+// horizon.  `mc` must be a checker over `sys`.
+std::optional<Time> first_knowledge_time(class ModelChecker& mc,
+                                         const System& sys,
+                                         std::size_t run_index, ProcessId p,
+                                         const FormulaPtr& phi);
+
+}  // namespace udc

@@ -1,0 +1,45 @@
+#include "udc/kt/simulate_fd.h"
+
+#include <vector>
+
+#include "udc/common/check.h"
+#include "udc/fd/convert.h"
+#include "udc/kt/knowledge_fd.h"
+
+namespace udc {
+
+System build_rf(const System& sys) {
+  std::vector<Run> out;
+  out.reserve(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    out.push_back(interleave_reports(
+        sys.run(i), [&sys, i](ProcessId p, Time m) -> std::optional<Event> {
+          return Event::suspect(known_crashed(sys, Point{i, m}, p));
+        }));
+  }
+  return System(std::move(out));
+}
+
+System build_rf_prime(const System& sys) {
+  const int n = sys.n();
+  UDC_CHECK(n <= 16, "subset enumeration requires n <= 16");
+  std::vector<Run> out;
+  out.reserve(sys.size());
+  const std::uint64_t subsets = std::uint64_t{1} << n;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const Run& r = sys.run(i);
+    out.push_back(interleave_reports(
+        r,
+        [&sys, &r, i, subsets](ProcessId p, Time m) -> std::optional<Event> {
+          // P3': the subset index is |r_p(m+1)| mod 2^n.
+          std::uint64_t l =
+              static_cast<std::uint64_t>(r.history_len(p, m + 1)) % subsets;
+          ProcSet s(l);
+          int k = known_crashed_count_in(sys, Point{i, m}, p, s);
+          return Event::suspect_gen(s, k);
+        }));
+  }
+  return System(std::move(out));
+}
+
+}  // namespace udc

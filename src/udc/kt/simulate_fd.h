@@ -1,0 +1,35 @@
+// The simulation constructions at the heart of the paper's converse
+// results.
+//
+// Theorem 3.6 (P1-P3): from a system R that attains UDC, build
+// R^f = { f(r) : r ∈ R } where f doubles time, replays r's non-FD events at
+// even steps, and at each odd step 2m+1 gives every live process p the
+// report  suspect'_p({ q : (R, r, m) |= K_p crash(q) }).
+// If R satisfies A1-A4, A5_{n-1} and actions are initiated throughout, the
+// suspect' detectors of R^f are PERFECT.
+//
+// Theorem 4.3 (P3'): same skeleton, but the odd-step report is the
+// generalized pair (S_l, k) with l = |r_p(m+1)| mod 2^n (a fixed enumeration
+// S_0..S_{2^n - 1} of subsets of Proc, mask order) and k the largest k' such
+// that p knows at least k' processes of S_l have crashed.  Under the bound-t
+// analogue of the assumptions, R^f' has t-useful generalized detectors.
+//
+// Both functions are total on any System — the theorems' preconditions
+// govern what the resulting detectors satisfy, which the fd/ checkers then
+// measure.  That split is exactly how the benches demonstrate necessity:
+// UDC-attaining source systems yield perfect detectors, while the nUDC
+// control system yields detectors that fail completeness.
+#pragma once
+
+#include "udc/event/system.h"
+
+namespace udc {
+
+// f applied pointwise; n <= kMaxProcesses as usual.
+System build_rf(const System& sys);
+
+// f' applied pointwise; requires n small enough to enumerate subsets
+// (n <= 16 enforced).
+System build_rf_prime(const System& sys);
+
+}  // namespace udc

@@ -1,0 +1,196 @@
+#include "udc/logic/eval.h"
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+bool ModelChecker::holds_at(Point at, const FormulaPtr& f) {
+  UDC_CHECK(f != nullptr, "null formula");
+  retained_.push_back(f);
+  return eval(at, *f);
+}
+
+bool ModelChecker::valid(const FormulaPtr& f) {
+  return !find_counterexample(f).has_value();
+}
+
+std::optional<Point> ModelChecker::find_counterexample(const FormulaPtr& f) {
+  UDC_CHECK(f != nullptr, "null formula");
+  retained_.push_back(f);
+  std::optional<Point> witness;
+  sys_.for_each_point([&](Point at) {
+    if (!witness && !eval(at, *f)) witness = at;
+  });
+  return witness;
+}
+
+bool ModelChecker::eval(Point at, const Formula& f) {
+  auto& slots = cache_[&f];
+  if (slots.empty()) {
+    slots.assign(sys_.size() * static_cast<std::size_t>(sys_.max_horizon() + 1),
+                 Tri::kUnknown);
+  }
+  Tri& slot = slots[point_index(at)];
+  if (slot != Tri::kUnknown) return slot == Tri::kTrue;
+
+  bool value = false;
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      value = true;
+      break;
+    case FormulaKind::kPrim:
+      value = f.prim()(sys_.run(at.run), at.m);
+      break;
+    case FormulaKind::kNot:
+      value = !eval(at, *f.children()[0]);
+      break;
+    case FormulaKind::kAnd: {
+      value = true;
+      for (const auto& child : f.children()) {
+        if (!eval(at, *child)) {
+          value = false;
+          break;
+        }
+      }
+      break;
+    }
+    case FormulaKind::kOr: {
+      value = false;
+      for (const auto& child : f.children()) {
+        if (eval(at, *child)) {
+          value = true;
+          break;
+        }
+      }
+      break;
+    }
+    case FormulaKind::kImplies:
+      value = !eval(at, *f.children()[0]) || eval(at, *f.children()[1]);
+      break;
+    case FormulaKind::kAlways:
+    case FormulaKind::kEventually: {
+      // Fill the whole suffix of this run iteratively (avoids horizon-deep
+      // recursion): □ is a suffix conjunction, ◇ a suffix disjunction.
+      const Run& r = sys_.run(at.run);
+      const Formula& child = *f.children()[0];
+      bool acc = f.kind() == FormulaKind::kAlways;
+      for (Time m = r.horizon(); m >= at.m; --m) {
+        bool here = eval(Point{at.run, m}, child);
+        acc = f.kind() == FormulaKind::kAlways ? (acc && here) : (acc || here);
+        Tri& s = slots[point_index(Point{at.run, m})];
+        if (s == Tri::kUnknown) s = acc ? Tri::kTrue : Tri::kFalse;
+        ++cache_size_;
+      }
+      return slots[point_index(at)] == Tri::kTrue;
+    }
+    case FormulaKind::kUntil: {
+      // Strong until, filled iteratively over the run suffix:
+      //   U(T) = b(T);  U(m) = b(m) ∨ (a(m) ∧ U(m+1)).
+      const Run& r = sys_.run(at.run);
+      const Formula& a = *f.children()[0];
+      const Formula& b = *f.children()[1];
+      bool acc = false;
+      for (Time m = r.horizon(); m >= at.m; --m) {
+        bool here = eval(Point{at.run, m}, b) ||
+                    (eval(Point{at.run, m}, a) && acc);
+        acc = here;
+        Tri& s = slots[point_index(Point{at.run, m})];
+        if (s == Tri::kUnknown) s = acc ? Tri::kTrue : Tri::kFalse;
+        ++cache_size_;
+      }
+      return slots[point_index(at)] == Tri::kTrue;
+    }
+    case FormulaKind::kKnows: {
+      value = true;
+      for (Point other : sys_.equivalence_class(f.agent(), at)) {
+        if (!eval(other, *f.children()[0])) {
+          value = false;
+          break;
+        }
+      }
+      break;
+    }
+    case FormulaKind::kEveryoneKnows: {
+      value = true;
+      for (ProcessId p : f.group()) {
+        for (Point other : sys_.equivalence_class(p, at)) {
+          if (!eval(other, *f.children()[0])) {
+            value = false;
+            break;
+          }
+        }
+        if (!value) break;
+      }
+      break;
+    }
+    case FormulaKind::kCommonKnows: {
+      // Greatest fixpoint: φ must hold everywhere in the component of `at`
+      // under the union of the group's indistinguishability relations.
+      // The relation is symmetric, so every visited point shares `at`'s
+      // verdict — cache the whole frontier at once.
+      std::vector<Point> stack{at};
+      std::vector<Point> visited;
+      std::vector<char> seen(sys_.size() *
+                                 static_cast<std::size_t>(sys_.max_horizon() + 1),
+                             0);
+      seen[point_index(at)] = 1;
+      bool all_hold = true;
+      while (!stack.empty() && all_hold) {
+        Point cur = stack.back();
+        stack.pop_back();
+        visited.push_back(cur);
+        if (!eval(cur, *f.children()[0])) {
+          all_hold = false;
+          break;
+        }
+        for (ProcessId p : f.group()) {
+          for (Point next : sys_.equivalence_class(p, cur)) {
+            char& mark = seen[point_index(next)];
+            if (mark == 0) {
+              mark = 1;
+              stack.push_back(next);
+            }
+          }
+        }
+      }
+      for (Point v : visited) {
+        Tri& s = slots[point_index(v)];
+        if (s == Tri::kUnknown) {
+          s = all_hold ? Tri::kTrue : Tri::kFalse;
+          ++cache_size_;
+        }
+      }
+      value = all_hold;
+      break;
+    }
+    case FormulaKind::kDistKnows: {
+      // Points considered possible by *everyone* in the group: intersect by
+      // filtering one member's class through pairwise indistinguishability.
+      ProcessId first = *f.group().begin();
+      value = true;
+      const Run& here = sys_.run(at.run);
+      for (Point other : sys_.equivalence_class(first, at)) {
+        bool in_intersection = true;
+        for (ProcessId q : f.group()) {
+          if (q == first) continue;
+          if (!Run::indistinguishable(here, at.m, sys_.run(other.run), other.m,
+                                      q)) {
+            in_intersection = false;
+            break;
+          }
+        }
+        if (in_intersection && !eval(other, *f.children()[0])) {
+          value = false;
+          break;
+        }
+      }
+      break;
+    }
+  }
+
+  slot = value ? Tri::kTrue : Tri::kFalse;
+  ++cache_size_;
+  return value;
+}
+
+}  // namespace udc

@@ -1,0 +1,57 @@
+// Model checker for the §2.3 language over finite systems of runs.
+//
+//   (R, r, m) |= K_p(phi)  iff phi holds at every (r', m') in R with
+//                          r'_p(m') = r_p(m)         — via System's index
+//   (R, r, m) |= □phi      iff phi holds at (r, m') for all m' in [m, T_r]
+//                                                    — finite surrogate
+//   (R, r, m) |= D_S(phi)  iff phi holds at every point indistinguishable
+//                          from (r, m) to *all* processes in S
+//
+// Truth values are memoized per (formula node, point); temporal operators
+// are filled bottom-up over each run to stay linear in the horizon.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "udc/event/system.h"
+#include "udc/logic/formula.h"
+
+namespace udc {
+
+class ModelChecker {
+ public:
+  explicit ModelChecker(const System& sys) : sys_(sys) {}
+
+  bool holds_at(Point at, const FormulaPtr& f);
+
+  // R |= phi: true at every point of the system.
+  bool valid(const FormulaPtr& f);
+
+  // The first point where f fails, if any (diagnostic witness).
+  std::optional<Point> find_counterexample(const FormulaPtr& f);
+
+  std::size_t cache_entries() const { return cache_size_; }
+
+ private:
+  enum class Tri : std::uint8_t { kUnknown, kTrue, kFalse };
+
+  std::size_t point_index(Point at) const {
+    return at.run * static_cast<std::size_t>(sys_.max_horizon() + 1) +
+           static_cast<std::size_t>(at.m);
+  }
+
+  bool eval(Point at, const Formula& f);
+
+  const System& sys_;
+  // Per formula node, one tri-state per point of the system.  The cache is
+  // keyed by node address, so every queried root is retained: releasing a
+  // formula and allocating a new one at the same address must not resurrect
+  // stale entries.
+  std::vector<FormulaPtr> retained_;
+  std::unordered_map<const Formula*, std::vector<Tri>> cache_;
+  std::size_t cache_size_ = 0;
+};
+
+}  // namespace udc

@@ -1,0 +1,199 @@
+#include "udc/logic/formula.h"
+
+#include <sstream>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+FormulaPtr Formula::truth() {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kTrue;
+  f->label_ = "true";
+  return f;
+}
+
+FormulaPtr Formula::prim(std::string label, PrimFn fn) {
+  UDC_CHECK(fn != nullptr, "primitive needs an evaluator");
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kPrim;
+  f->label_ = std::move(label);
+  f->prim_ = std::move(fn);
+  return f;
+}
+
+FormulaPtr Formula::negation(FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kNot;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::conjunction(std::vector<FormulaPtr> fs) {
+  UDC_CHECK(!fs.empty(), "empty conjunction (use truth())");
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kAnd;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaPtr Formula::disjunction(std::vector<FormulaPtr> fs) {
+  UDC_CHECK(!fs.empty(), "empty disjunction");
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kOr;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaPtr Formula::implies(FormulaPtr a, FormulaPtr b) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kImplies;
+  f->children_ = {std::move(a), std::move(b)};
+  return f;
+}
+
+FormulaPtr Formula::always(FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kAlways;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::eventually(FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kEventually;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::until(FormulaPtr a, FormulaPtr b) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kUntil;
+  f->children_ = {std::move(a), std::move(b)};
+  return f;
+}
+
+FormulaPtr Formula::everyone_knows(ProcSet g, FormulaPtr child) {
+  UDC_CHECK(!g.empty(), "E_G needs a nonempty group");
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kEveryoneKnows;
+  f->group_ = g;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::common_knows(ProcSet g, FormulaPtr child) {
+  UDC_CHECK(!g.empty(), "C_G needs a nonempty group");
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kCommonKnows;
+  f->group_ = g;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::knows(ProcessId p, FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kKnows;
+  f->agent_ = p;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::dist_knows(ProcSet s, FormulaPtr child) {
+  UDC_CHECK(!s.empty(), "distributed knowledge needs a nonempty group");
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kDistKnows;
+  f->group_ = s;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+std::string Formula::to_string() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case FormulaKind::kTrue:
+      out << "true";
+      break;
+    case FormulaKind::kPrim:
+      out << label_;
+      break;
+    case FormulaKind::kNot:
+      out << "¬(" << children_[0]->to_string() << ')';
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const char* op = kind_ == FormulaKind::kAnd ? " ∧ " : " ∨ ";
+      out << '(';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out << op;
+        out << children_[i]->to_string();
+      }
+      out << ')';
+      break;
+    }
+    case FormulaKind::kImplies:
+      out << '(' << children_[0]->to_string() << " ⇒ "
+          << children_[1]->to_string() << ')';
+      break;
+    case FormulaKind::kAlways:
+      out << "□(" << children_[0]->to_string() << ')';
+      break;
+    case FormulaKind::kEventually:
+      out << "◇(" << children_[0]->to_string() << ')';
+      break;
+    case FormulaKind::kUntil:
+      out << '(' << children_[0]->to_string() << " U "
+          << children_[1]->to_string() << ')';
+      break;
+    case FormulaKind::kKnows:
+      out << 'K' << agent_ << '(' << children_[0]->to_string() << ')';
+      break;
+    case FormulaKind::kDistKnows:
+      out << 'D' << group_.to_string() << '(' << children_[0]->to_string()
+          << ')';
+      break;
+    case FormulaKind::kEveryoneKnows:
+      out << 'E' << group_.to_string() << '(' << children_[0]->to_string()
+          << ')';
+      break;
+    case FormulaKind::kCommonKnows:
+      out << 'C' << group_.to_string() << '(' << children_[0]->to_string()
+          << ')';
+      break;
+  }
+  return out.str();
+}
+
+FormulaPtr f_init(ProcessId p, ActionId alpha) {
+  std::ostringstream label;
+  label << "init_" << p << "(α" << alpha << ')';
+  return Formula::prim(label.str(), [p, alpha](const Run& r, Time m) {
+    return r.init_in(p, m, alpha);
+  });
+}
+
+FormulaPtr f_do(ProcessId p, ActionId alpha) {
+  std::ostringstream label;
+  label << "do_" << p << "(α" << alpha << ')';
+  return Formula::prim(label.str(), [p, alpha](const Run& r, Time m) {
+    return r.do_in(p, m, alpha);
+  });
+}
+
+FormulaPtr f_crash(ProcessId p) {
+  std::ostringstream label;
+  label << "crash(" << p << ')';
+  return Formula::prim(label.str(), [p](const Run& r, Time m) {
+    return r.crashed_by(p, m);
+  });
+}
+
+FormulaPtr f_suspected_by(ProcessId p, ProcessId q) {
+  std::ostringstream label;
+  label << q << "∈Suspects_" << p;
+  return Formula::prim(label.str(), [p, q](const Run& r, Time m) {
+    return r.suspects_at(p, m).contains(q);
+  });
+}
+
+}  // namespace udc

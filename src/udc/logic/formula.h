@@ -1,0 +1,125 @@
+// The formal language of §2.3: linear-time temporal logic with knowledge.
+//
+//   phi ::= true | prim | ¬phi | phi ∧ phi | phi ∨ phi | phi ⇒ phi
+//         | □phi | ◇phi | K_p(phi) | D_S(phi)
+//
+// Primitives are predicates over a point's cut (e.g. init_p(alpha),
+// do_p(alpha), crash(p), send/recv occurrences); their truth is determined
+// by the histories, as in the paper.  D_S is distributed knowledge
+// (footnote 4 / [FHMV95]), used to state A4's consequence.
+//
+// Formulas are immutable DAGs shared via FormulaPtr; the model checker
+// memoizes per (node, point).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/common/types.h"
+#include "udc/event/run.h"
+
+namespace udc {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+enum class FormulaKind {
+  kTrue,
+  kPrim,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kAlways,        // □
+  kEventually,    // ◇
+  kUntil,         // U (strong until)
+  kKnows,         // K_p
+  kDistKnows,     // D_S
+  kEveryoneKnows, // E_G  = ∧_{p∈G} K_p
+  kCommonKnows,   // C_G  = greatest fixpoint of E_G(φ ∧ ·)
+};
+
+class Formula {
+ public:
+  using PrimFn = std::function<bool(const Run&, Time)>;
+
+  FormulaKind kind() const { return kind_; }
+  const std::string& label() const { return label_; }
+  const PrimFn& prim() const { return prim_; }
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  ProcessId agent() const { return agent_; }
+  ProcSet group() const { return group_; }
+
+  std::string to_string() const;
+
+  // -- constructors -----------------------------------------------------
+  static FormulaPtr truth();
+  static FormulaPtr prim(std::string label, PrimFn fn);
+  static FormulaPtr negation(FormulaPtr f);
+  static FormulaPtr conjunction(std::vector<FormulaPtr> fs);
+  static FormulaPtr disjunction(std::vector<FormulaPtr> fs);
+  static FormulaPtr implies(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr always(FormulaPtr f);
+  static FormulaPtr eventually(FormulaPtr f);
+  // Strong until: a U b holds iff b holds at some future point and a holds
+  // at every point strictly before it (within the run's horizon).
+  static FormulaPtr until(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr knows(ProcessId p, FormulaPtr f);
+  static FormulaPtr dist_knows(ProcSet s, FormulaPtr f);
+  // E_G(φ): every process in G knows φ.
+  static FormulaPtr everyone_knows(ProcSet g, FormulaPtr f);
+  // C_G(φ): common knowledge of φ in G — φ holds at every point reachable
+  // from here by any finite chain of ~_p steps (p ∈ G).  Evaluated as the
+  // greatest fixpoint over the finite system ([FHMV95] Ch. 2); the engine
+  // of the coordinated-attack impossibility.
+  static FormulaPtr common_knows(ProcSet g, FormulaPtr f);
+
+ private:
+  Formula() = default;
+
+  FormulaKind kind_ = FormulaKind::kTrue;
+  std::string label_;
+  PrimFn prim_;
+  std::vector<FormulaPtr> children_;
+  ProcessId agent_ = kInvalidProcess;
+  ProcSet group_;
+};
+
+// -- the paper's primitive propositions --------------------------------
+FormulaPtr f_init(ProcessId p, ActionId alpha);   // init_p(alpha)
+FormulaPtr f_do(ProcessId p, ActionId alpha);     // do_p(alpha)
+FormulaPtr f_crash(ProcessId p);                  // crash(p)
+FormulaPtr f_suspected_by(ProcessId p, ProcessId q);  // q ∈ Suspects_p
+
+// Convenience binary forms.
+inline FormulaPtr f_and(FormulaPtr a, FormulaPtr b) {
+  return Formula::conjunction({std::move(a), std::move(b)});
+}
+inline FormulaPtr f_or(FormulaPtr a, FormulaPtr b) {
+  return Formula::disjunction({std::move(a), std::move(b)});
+}
+inline FormulaPtr f_not(FormulaPtr a) { return Formula::negation(std::move(a)); }
+inline FormulaPtr f_implies(FormulaPtr a, FormulaPtr b) {
+  return Formula::implies(std::move(a), std::move(b));
+}
+inline FormulaPtr f_always(FormulaPtr a) { return Formula::always(std::move(a)); }
+inline FormulaPtr f_eventually(FormulaPtr a) {
+  return Formula::eventually(std::move(a));
+}
+inline FormulaPtr f_knows(ProcessId p, FormulaPtr a) {
+  return Formula::knows(p, std::move(a));
+}
+inline FormulaPtr f_until(FormulaPtr a, FormulaPtr b) {
+  return Formula::until(std::move(a), std::move(b));
+}
+inline FormulaPtr f_everyone_knows(ProcSet g, FormulaPtr a) {
+  return Formula::everyone_knows(g, std::move(a));
+}
+inline FormulaPtr f_common_knows(ProcSet g, FormulaPtr a) {
+  return Formula::common_knows(g, std::move(a));
+}
+
+}  // namespace udc

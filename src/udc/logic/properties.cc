@@ -1,0 +1,59 @@
+#include "udc/logic/properties.h"
+
+#include <unordered_map>
+
+namespace udc {
+
+bool is_local_to(ModelChecker& mc, ProcessId p, const FormulaPtr& f) {
+  return mc.valid(f_or(f_knows(p, f), f_knows(p, f_not(f))));
+}
+
+bool is_stable(ModelChecker& mc, const FormulaPtr& f) {
+  return mc.valid(f_implies(f, f_always(f)));
+}
+
+bool is_insensitive_to_failure_by(ModelChecker& mc, const System& sys,
+                                  ProcessId q, const FormulaPtr& f) {
+  // Group points by q's local history (hash + length; hash collisions are
+  // resolved by the paired truth comparison being conservative: a collision
+  // could only produce a spurious *failure*, which the caller investigates,
+  // never a spurious pass -- and 64-bit prefix hashes make even that
+  // vanishingly unlikely).
+  struct Key {
+    std::uint64_t hash;
+    std::size_t len;
+    bool operator==(const Key& other) const {
+      return hash == other.hash && len == other.len;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(k.hash ^ (k.len * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  std::unordered_map<Key, Point, KeyHash> representative;
+  sys.for_each_point([&](Point at) {
+    const Run& r = sys.run(at.run);
+    Key key{r.local_state_hash(q, at.m), r.history_len(q, at.m)};
+    representative.emplace(key, at);
+  });
+
+  bool ok = true;
+  sys.for_each_point([&](Point at) {
+    if (!ok) return;
+    const Run& r = sys.run(at.run);
+    std::size_t len = r.history_len(q, at.m);
+    if (len == 0) return;
+    const History& h = r.history(q);
+    if (h[len - 1].kind != EventKind::kCrash) return;
+    // This point's q-history is h' · crash_q; find a point whose q-history
+    // is exactly h'.
+    Key stripped{h.prefix_hash(len - 1), len - 1};
+    auto it = representative.find(stripped);
+    if (it == representative.end()) return;  // no witness pair in the system
+    if (mc.holds_at(at, f) != mc.holds_at(it->second, f)) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace udc

@@ -1,0 +1,29 @@
+// Semantic properties of formulas relative to a system (§2.3, Def 3.3).
+//
+//   local to p:     K_p(phi) ∨ K_p(¬phi) valid — p always knows whether phi
+//   stable:         phi ⇒ □phi valid — once true, stays true
+//   insensitive to failure by q (Def 3.3): appending crash_q to q's local
+//                   history never changes phi's truth value
+//
+// These are the side conditions of assumption A4 and of Theorem 3.6's use
+// of phi = K_q(init_p(alpha)); tests verify them on generated systems, and
+// the A-assumption checkers (kt/assumptions.h) require them as inputs.
+#pragma once
+
+#include "udc/event/system.h"
+#include "udc/logic/eval.h"
+#include "udc/logic/formula.h"
+
+namespace udc {
+
+bool is_local_to(ModelChecker& mc, ProcessId p, const FormulaPtr& f);
+
+bool is_stable(ModelChecker& mc, const FormulaPtr& f);
+
+// Empirical check of Def 3.3 over the finite system: for every pair of
+// points (r,m), (r',m') with r'_q(m') = r_q(m) · crash_q, phi agrees.
+// `f` should be local to q for the notion to match the paper's definition.
+bool is_insensitive_to_failure_by(ModelChecker& mc, const System& sys,
+                                  ProcessId q, const FormulaPtr& f);
+
+}  // namespace udc

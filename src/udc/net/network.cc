@@ -1,0 +1,59 @@
+#include "udc/net/network.h"
+
+#include <algorithm>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+Network::Network(int n, std::shared_ptr<DropPolicy> policy, int max_delay,
+                 std::uint64_t seed)
+    : n_(n),
+      policy_(std::move(policy)),
+      max_delay_(max_delay),
+      inbox_(static_cast<std::size_t>(n)) {
+  channel_rngs_.reserve(static_cast<std::size_t>(n) * n);
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < n; ++to) {
+      channel_rngs_.emplace_back(
+          seed ^ (0x9e3779b97f4a7c15ull *
+                  (static_cast<std::uint64_t>(from) * 64 + to + 1)));
+    }
+  }
+  UDC_CHECK(max_delay_ >= 1, "max_delay must be at least 1");
+  UDC_CHECK(policy_ != nullptr, "drop policy required");
+}
+
+void Network::send(ProcessId from, ProcessId to, const Message& msg,
+                   Time now) {
+  UDC_CHECK(to >= 0 && to < n_ && from >= 0 && from < n_,
+            "endpoint out of range");
+  ++total_sent_;
+  Rng& rng = channel_rng(from, to);
+  if (policy_->drop(from, to, msg, now, rng)) {
+    ++total_dropped_;
+    return;
+  }
+  Time delay = 1 + static_cast<Time>(
+                       rng.next_below(static_cast<std::uint64_t>(max_delay_)));
+  inbox_[to].push_back(Pending{now + delay, from, msg});
+  ++in_flight_count_;
+}
+
+std::optional<Delivery> Network::pop_deliverable(ProcessId to, Time now) {
+  auto& box = inbox_[to];
+  // Deques are ordered by send time; scan for the first ripe message.  Boxes
+  // stay small (protocols pace themselves on acknowledgments) so the linear
+  // scan is fine.
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->deliver_at <= now) {
+      Delivery d{it->from, it->msg};
+      box.erase(it);
+      --in_flight_count_;
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace udc

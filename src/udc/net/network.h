@@ -1,0 +1,191 @@
+// Simulated point-to-point network.
+//
+// The paper's channel model (§2.1): completely connected, no corruption, no
+// spontaneous messages (R3), unbounded delay, possibly lossy, but *fair*
+// (R5).  We realize this as:
+//
+//   - reliable channel  = drop probability 0
+//   - fair lossy channel = i.i.d. Bernoulli(drop_prob) loss per send; since
+//     protocols retransmit, a message sent repeatedly is delivered with
+//     probability 1 - drop_prob^k, which realizes R5 statistically on any
+//     horizon long enough for the retransmission count
+//   - unbounded delay   = per-message uniform delay in [1, max_delay],
+//     which also yields reordering
+//
+// For the necessity probes (the daggered cells of Table 1) a DropPolicy can
+// instead be adversarial — e.g. silence a set of channels after a cut time —
+// which deliberately violates fairness to exhibit spec-violation witnesses.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "udc/common/rng.h"
+#include "udc/common/types.h"
+#include "udc/event/message.h"
+
+namespace udc {
+
+// Decides the fate of each send.  Implementations must be deterministic
+// given the Rng stream.
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+  virtual bool drop(ProcessId from, ProcessId to, const Message& msg, Time now,
+                    Rng& rng) = 0;
+};
+
+class IidDropPolicy final : public DropPolicy {
+ public:
+  explicit IidDropPolicy(double drop_prob) : drop_prob_(drop_prob) {}
+  bool drop(ProcessId, ProcessId, const Message&, Time, Rng& rng) override {
+    return drop_prob_ > 0 && rng.chance(drop_prob_);
+  }
+
+ private:
+  double drop_prob_;
+};
+
+// Heterogeneous links: an explicit per-ordered-channel loss matrix, for
+// experiments where one flaky link must not be smeared into a global rate
+// (e.g. "only the p0->p2 path is bad").  Unset entries use default_drop.
+class PerLinkDropPolicy final : public DropPolicy {
+ public:
+  explicit PerLinkDropPolicy(double default_drop)
+      : default_drop_(default_drop) {}
+
+  PerLinkDropPolicy& set(ProcessId from, ProcessId to, double drop) {
+    rates_[key(from, to)] = drop;
+    return *this;
+  }
+
+  bool drop(ProcessId from, ProcessId to, const Message&, Time,
+            Rng& rng) override {
+    auto it = rates_.find(key(from, to));
+    double p = it == rates_.end() ? default_drop_ : it->second;
+    return p > 0 && rng.chance(p);
+  }
+
+ private:
+  static std::uint32_t key(ProcessId from, ProcessId to) {
+    return static_cast<std::uint32_t>(from) * kMaxProcesses +
+           static_cast<std::uint32_t>(to);
+  }
+  double default_drop_;
+  std::map<std::uint32_t, double> rates_;
+};
+
+// Gilbert-Elliott burst loss: each ordered channel is a two-state Markov
+// chain (Good/Bad); messages sent while the channel is Bad are dropped.
+// Models the correlated loss of real links (congestion episodes, route
+// flaps) rather than i.i.d. coin flips — fairness R5 still holds as long
+// as p_bad_to_good > 0, since Bad episodes are almost surely finite.  The
+// state advances one step per send on that channel.
+class GilbertElliottPolicy final : public DropPolicy {
+ public:
+  GilbertElliottPolicy(double p_good_to_bad, double p_bad_to_good)
+      : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good) {}
+
+  bool drop(ProcessId from, ProcessId to, const Message&, Time,
+            Rng& rng) override {
+    auto key = static_cast<std::size_t>(from) * kMaxProcesses +
+               static_cast<std::size_t>(to);
+    if (bad_.size() <= key) bad_.resize(key + 1, false);
+    bool was_bad = bad_[key];
+    bad_[key] = was_bad ? !rng.chance(p_bg_) : rng.chance(p_gb_);
+    return was_bad;
+  }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  std::vector<bool> bad_;  // per ordered channel
+};
+
+// Drops everything sent on channels (from in `senders`, to in `recipients`)
+// at or after `cut_time`.  Violates fairness by design; used for
+// impossibility/necessity experiments.
+class PartitionDropPolicy final : public DropPolicy {
+ public:
+  PartitionDropPolicy(ProcSet senders, ProcSet recipients, Time cut_time,
+                      double background_drop)
+      : senders_(senders),
+        recipients_(recipients),
+        cut_time_(cut_time),
+        background_drop_(background_drop) {}
+
+  bool drop(ProcessId from, ProcessId to, const Message&, Time now,
+            Rng& rng) override {
+    if (now >= cut_time_ && senders_.contains(from) &&
+        recipients_.contains(to)) {
+      return true;
+    }
+    return background_drop_ > 0 && rng.chance(background_drop_);
+  }
+
+ private:
+  ProcSet senders_;
+  ProcSet recipients_;
+  Time cut_time_;
+  double background_drop_;
+};
+
+struct Delivery {
+  ProcessId from = kInvalidProcess;
+  Message msg;
+};
+
+class Network {
+ public:
+  // max_delay >= 1.  One seed determines the whole run; internally every
+  // ordered channel (from, to) gets its OWN PRNG stream derived from it, so
+  // traffic on one channel never perturbs the drop/delay draws of another.
+  // That isolation is what makes same-seed runs with different workloads
+  // diverge only along actual information flow — the property the
+  // knowledge/causality experiments (A3/A4 richness, chain==knowledge)
+  // depend on.
+  Network(int n, std::shared_ptr<DropPolicy> policy, int max_delay,
+          std::uint64_t seed);
+
+  // Sends msg from -> to at time `now`.  May drop (per policy); otherwise
+  // schedules delivery at now + Uniform[1, max_delay].
+  void send(ProcessId from, ProcessId to, const Message& msg, Time now);
+
+  // Pops one message deliverable to `to` at time `now` (delivery time
+  // reached), if any.  Among ripe messages the earliest-scheduled is
+  // delivered first (FIFO per ripeness, not per channel — reordering is
+  // intended).
+  std::optional<Delivery> pop_deliverable(ProcessId to, Time now);
+
+  std::size_t in_flight() const { return in_flight_count_; }
+  std::size_t total_sent() const { return total_sent_; }
+  std::size_t total_dropped() const { return total_dropped_; }
+
+ private:
+  struct Pending {
+    Time deliver_at;
+    ProcessId from;
+    Message msg;
+  };
+
+  Rng& channel_rng(ProcessId from, ProcessId to) {
+    return channel_rngs_[static_cast<std::size_t>(from) *
+                             static_cast<std::size_t>(n_) +
+                         static_cast<std::size_t>(to)];
+  }
+
+  int n_;
+  std::shared_ptr<DropPolicy> policy_;
+  int max_delay_;
+  std::vector<Rng> channel_rngs_;           // per ordered channel
+  std::vector<std::deque<Pending>> inbox_;  // per recipient, ordered by send
+  std::size_t in_flight_count_ = 0;
+  std::size_t total_sent_ = 0;
+  std::size_t total_dropped_ = 0;
+};
+
+}  // namespace udc

@@ -1,0 +1,48 @@
+#include "udc/sim/adversary.h"
+
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+
+namespace udc {
+
+namespace {
+
+template <typename Pred>
+std::optional<CrashPlan> crash_after(const SimConfig& config,
+                                     std::span<const InitDirective> workload,
+                                     const OracleFactory& oracle_factory,
+                                     const ProtocolFactory& protocol,
+                                     ProcessId victim, Time delay,
+                                     Pred&& pred) {
+  std::unique_ptr<FdOracle> oracle;
+  if (oracle_factory) oracle = oracle_factory();
+  SimResult recon = simulate(config, no_crashes(config.n), oracle.get(),
+                             workload, protocol);
+  auto at = recon.run.first_event_time(victim, pred);
+  if (!at) return std::nullopt;
+  // NOTE: the strike is exact only insofar as the crash does not perturb
+  // events BEFORE it — which it cannot: the prefix up to the crash tick is
+  // identical by determinism (the plan only differs from the recon run at
+  // the crash itself).
+  return make_crash_plan(config.n, {{victim, *at + delay}});
+}
+
+}  // namespace
+
+std::optional<CrashPlan> crash_after_first_do(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay) {
+  return crash_after(config, workload, oracle, protocol, victim, delay,
+                     [](const Event& e) { return e.kind == EventKind::kDo; });
+}
+
+std::optional<CrashPlan> crash_after_first_send(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay) {
+  return crash_after(config, workload, oracle, protocol, victim, delay,
+                     [](const Event& e) { return e.kind == EventKind::kSend; });
+}
+
+}  // namespace udc

@@ -1,0 +1,38 @@
+// Adversarial schedule construction.
+//
+// The necessity probes need crashes placed at the WORST moment — e.g.
+// "right after the initiator performs, before anything escapes".  Since
+// runs are deterministic functions of (config, plan, workload, protocol),
+// the adversary can afford a reconnaissance pass: simulate without the
+// crash, observe when the interesting event happens, then emit the plan
+// that strikes just after it.  This two-phase trick is exactly the
+// adversary quantification in the paper's impossibility arguments, made
+// executable.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "udc/fd/oracle.h"
+#include "udc/sim/context.h"
+#include "udc/sim/process.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+
+// Runs a reconnaissance simulation (no crashes, `oracle` may be null) and
+// returns a plan crashing `victim` `delay` ticks after its first do event —
+// or nullopt if the victim never performs (nothing to strike at).
+std::optional<CrashPlan> crash_after_first_do(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay = 1);
+
+// Same reconnaissance, striking `delay` ticks after the victim's first SEND
+// (the "performer dies before its message is even out" schedules).
+std::optional<CrashPlan> crash_after_first_send(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay = 1);
+
+}  // namespace udc

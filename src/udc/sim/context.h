@@ -1,0 +1,48 @@
+// Contexts (§2.1): "a bound on the number of processes that can fail, a
+// specification of properties of failure detectors, and a specification of
+// communication properties."  SimConfig is the machine form of a context,
+// plus simulation-only knobs (horizon, seed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "udc/common/types.h"
+#include "udc/net/network.h"
+
+namespace udc {
+
+struct ChannelConfig {
+  // 0.0 => reliable channels; > 0 => fair-lossy with i.i.d. loss.
+  double drop_prob = 0.0;
+  // Per-message delivery delay is uniform in [1, max_delay] ticks.
+  int max_delay = 3;
+  // If set, overrides the i.i.d. policy (e.g. PartitionDropPolicy for the
+  // necessity probes).  NOTE: a custom policy may violate fairness R5 — that
+  // is the point of the impossibility experiments.
+  std::shared_ptr<DropPolicy> custom_policy;
+
+  std::shared_ptr<DropPolicy> make_policy() const {
+    if (custom_policy) return custom_policy;
+    return std::make_shared<IidDropPolicy>(drop_prob);
+  }
+  bool reliable() const { return custom_policy == nullptr && drop_prob == 0.0; }
+};
+
+// The environment initiates action `action` at process `p` at time `at`
+// (the workload; §2.4's init_p events).
+struct InitDirective {
+  Time at = 1;
+  ProcessId p = 0;
+  ActionId action = kInvalidAction;
+};
+
+struct SimConfig {
+  int n = 4;
+  Time horizon = 240;
+  ChannelConfig channel;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace udc

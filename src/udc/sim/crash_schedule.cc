@@ -1,0 +1,76 @@
+#include "udc/sim/crash_schedule.h"
+
+#include <algorithm>
+
+#include "udc/common/check.h"
+#include "udc/common/rng.h"
+
+namespace udc {
+
+CrashPlan no_crashes(int n) {
+  return CrashPlan(n, std::vector<std::optional<Time>>(
+                          static_cast<std::size_t>(n), std::nullopt));
+}
+
+CrashPlan make_crash_plan(int n,
+                          std::vector<std::pair<ProcessId, Time>> crashes) {
+  std::vector<std::optional<Time>> times(static_cast<std::size_t>(n),
+                                         std::nullopt);
+  for (auto& [p, t] : crashes) {
+    UDC_CHECK(p >= 0 && p < n, "crash plan names out-of-range process");
+    UDC_CHECK(t >= 1, "crash time must be >= 1");
+    UDC_CHECK(!times[static_cast<std::size_t>(p)].has_value(),
+              "process crashes twice in plan");
+    times[static_cast<std::size_t>(p)] = t;
+  }
+  return CrashPlan(n, std::move(times));
+}
+
+std::vector<CrashPlan> all_crash_plans_up_to(int n, int t, Time earliest,
+                                             Time latest) {
+  UDC_CHECK(t >= 0 && t <= n, "failure bound out of range");
+  UDC_CHECK(earliest >= 1 && latest >= earliest, "bad crash time window");
+  std::vector<CrashPlan> plans;
+  Time stagger =
+      t > 1 ? std::max<Time>(1, (latest - earliest) / (t - 1)) : 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    if (__builtin_popcountll(mask) > t) continue;
+    std::vector<std::pair<ProcessId, Time>> crashes;
+    int i = 0;
+    for (ProcessId p : ProcSet(mask)) {
+      crashes.emplace_back(p, std::min(latest, earliest + i * stagger));
+      ++i;
+    }
+    plans.push_back(make_crash_plan(n, std::move(crashes)));
+  }
+  return plans;
+}
+
+std::vector<CrashPlan> sampled_crash_plans(int n, int t, int count,
+                                           Time earliest, Time latest,
+                                           std::uint64_t seed) {
+  UDC_CHECK(t >= 0 && t <= n, "failure bound out of range");
+  UDC_CHECK(earliest >= 1 && latest >= earliest, "bad crash time window");
+  Rng rng(seed);
+  std::vector<CrashPlan> plans;
+  plans.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int f = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(t) + 1));
+    // Choose f distinct processes.
+    ProcSet chosen;
+    while (chosen.size() < f) {
+      chosen.insert(
+          static_cast<ProcessId>(rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    std::vector<std::pair<ProcessId, Time>> crashes;
+    for (ProcessId p : chosen) {
+      Time at = earliest + static_cast<Time>(rng.next_below(
+                               static_cast<std::uint64_t>(latest - earliest + 1)));
+      crashes.emplace_back(p, at);
+    }
+    plans.push_back(make_crash_plan(n, std::move(crashes)));
+  }
+  return plans;
+}
+
+}  // namespace udc

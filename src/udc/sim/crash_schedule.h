@@ -1,0 +1,37 @@
+// Crash-plan generators.
+//
+// A CrashPlan (fd/oracle.h) fixes which processes crash and when — the
+// "failure pattern" of the Chandra-Toueg model.  System generation sweeps
+// plans: exhaustively over subsets (assumption A5t says every subset of size
+// <= t fails in some run, so system-level experiments must include them
+// all), or sampled for the larger Monte-Carlo benches.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "udc/fd/oracle.h"
+
+namespace udc {
+
+CrashPlan no_crashes(int n);
+
+CrashPlan make_crash_plan(int n,
+                          std::vector<std::pair<ProcessId, Time>> crashes);
+
+// All plans with faulty set S for every S with |S| <= t.  Crash times are
+// assigned deterministically, staggered across [earliest, latest]: the i-th
+// member of S (ascending) crashes at earliest + i * stagger (clamped to
+// latest).  One plan per subset — enough for the A5t sweep while keeping
+// system sizes tractable.
+std::vector<CrashPlan> all_crash_plans_up_to(int n, int t, Time earliest,
+                                             Time latest);
+
+// `count` random plans, each with 0..t faulty processes and crash times
+// uniform in [earliest, latest].
+std::vector<CrashPlan> sampled_crash_plans(int n, int t, int count,
+                                           Time earliest, Time latest,
+                                           std::uint64_t seed);
+
+}  // namespace udc

@@ -1,0 +1,58 @@
+// Protocol interface for simulated processes.
+//
+// R2 requires at most one event per process per time step, so protocol
+// callbacks never emit events directly: they enqueue *intents* (sends and
+// action executions) into a per-process outbox via Env, and the simulator
+// materializes one intent per tick.  This makes every protocol R2-correct
+// by construction and matches the paper's model of a protocol as a function
+// from local histories to actions.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "udc/common/proc_set.h"
+#include "udc/common/types.h"
+#include "udc/event/message.h"
+
+namespace udc {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+  virtual ProcessId self() const = 0;
+  virtual int n() const = 0;
+  virtual Time now() const = 0;
+
+  // Enqueues a send intent (one send event on a later tick).
+  virtual void send(ProcessId to, const Message& msg) = 0;
+  // Enqueues a do_p(alpha) intent.
+  virtual void perform(ActionId alpha) = 0;
+
+  virtual bool outbox_empty() const = 0;
+  virtual std::size_t outbox_size() const = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  // Called once, before the first tick.
+  virtual void on_start(Env&) {}
+  // Called every tick while the process is alive, before event selection.
+  // Typical use: pace retransmissions (enqueue only when the outbox is
+  // empty, so a lossy channel sees the same message again and again — the
+  // repetition R5's fairness clause rewards).
+  virtual void on_tick(Env&) {}
+  // The environment initiated a coordination action at this process.
+  virtual void on_init(ActionId /*alpha*/, Env&) {}
+  virtual void on_receive(ProcessId from, const Message& msg, Env&) = 0;
+  // Standard failure-detector report (§2.2).
+  virtual void on_suspect(ProcSet /*suspects*/, Env&) {}
+  // Generalized report (§4).
+  virtual void on_suspect_gen(ProcSet /*s*/, int /*k*/, Env&) {}
+};
+
+using ProtocolFactory = std::function<std::unique_ptr<Process>(ProcessId)>;
+
+}  // namespace udc

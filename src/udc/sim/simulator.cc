@@ -1,0 +1,174 @@
+#include "udc/sim/simulator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "udc/common/check.h"
+#include "udc/net/network.h"
+
+namespace udc {
+
+namespace {
+
+// One queued intent: either a send or a do.
+struct Intent {
+  enum class Kind { kSend, kDo } kind;
+  ProcessId to = kInvalidProcess;  // kSend
+  Message msg;                     // kSend
+  ActionId action = kInvalidAction;  // kDo
+};
+
+class EnvImpl final : public Env {
+ public:
+  EnvImpl(ProcessId self, int n) : self_(self), n_(n) {}
+
+  ProcessId self() const override { return self_; }
+  int n() const override { return n_; }
+  Time now() const override { return now_; }
+  void send(ProcessId to, const Message& msg) override {
+    UDC_CHECK(to >= 0 && to < n_ && to != self_,
+              "send target out of range or self");
+    outbox_.push_back(Intent{Intent::Kind::kSend, to, msg, kInvalidAction});
+  }
+  void perform(ActionId alpha) override {
+    outbox_.push_back(
+        Intent{Intent::Kind::kDo, kInvalidProcess, Message{}, alpha});
+  }
+  bool outbox_empty() const override { return outbox_.empty(); }
+  std::size_t outbox_size() const override { return outbox_.size(); }
+
+  void set_now(Time t) { now_ = t; }
+  std::deque<Intent>& outbox() { return outbox_; }
+
+ private:
+  ProcessId self_;
+  int n_;
+  Time now_ = 0;
+  std::deque<Intent> outbox_;
+};
+
+}  // namespace
+
+SimResult simulate(const SimConfig& config, const CrashPlan& plan,
+                   FdOracle* oracle, std::span<const InitDirective> workload,
+                   const ProtocolFactory& factory) {
+  const int n = config.n;
+  UDC_CHECK(plan.n() == n, "crash plan size mismatch");
+
+  Network net(n, config.channel.make_policy(), config.channel.max_delay,
+              config.seed ^ 0x6e657477u /* "netw" */);
+  if (oracle != nullptr) {
+    oracle->begin_run(plan, config.seed ^ 0x6f7261u /* "ora" */);
+  }
+
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<EnvImpl> envs;
+  envs.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(factory(p));
+    envs.emplace_back(p, n);
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    procs[p]->on_start(envs[p]);
+  }
+
+  // Pending workload, sorted by time; one pass cursor per tick.
+  std::vector<InitDirective> inits(workload.begin(), workload.end());
+  std::stable_sort(inits.begin(), inits.end(),
+                   [](const InitDirective& a, const InitDirective& b) {
+                     return a.at < b.at;
+                   });
+  std::vector<bool> init_done(inits.size(), false);
+
+  Run::Builder builder(n);
+  std::vector<bool> crashed(static_cast<std::size_t>(n), false);
+  for (Time m = 1; m <= config.horizon; ++m) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (crashed[static_cast<std::size_t>(p)]) continue;
+      EnvImpl& env = envs[p];
+      env.set_now(m);
+
+      // 1. scheduled crash
+      if (plan.crash_time(p) == m) {
+        builder.append(p, Event::crash());
+        crashed[static_cast<std::size_t>(p)] = true;
+        continue;
+      }
+
+      procs[p]->on_tick(env);
+
+      // 2. workload init directive
+      {
+        bool took_slot = false;
+        for (std::size_t i = 0; i < inits.size() && inits[i].at <= m; ++i) {
+          if (init_done[i] || inits[i].p != p) continue;
+          init_done[i] = true;
+          builder.append(p, Event::init(inits[i].action));
+          procs[p]->on_init(inits[i].action, env);
+          took_slot = true;
+          break;
+        }
+        if (took_slot) continue;
+      }
+
+      // 3. failure-detector report
+      if (oracle != nullptr) {
+        if (auto report = oracle->report(p, m)) {
+          builder.append(p, *report);
+          if (report->kind == EventKind::kSuspect) {
+            procs[p]->on_suspect(report->suspects, env);
+          } else {
+            procs[p]->on_suspect_gen(report->suspects, report->k, env);
+          }
+          continue;
+        }
+      }
+
+      // 4./5. message delivery vs head-of-outbox intent.  The priority
+      // alternates per tick: under sustained traffic a fixed recv-first
+      // rule starves the outbox (the process can never send its own acks,
+      // so its peers retransmit forever — a livelock), while send-first
+      // starves delivery.  Alternation guarantees each side at least every
+      // other slot, which keeps both queues live (R5-friendly).
+      // Hash-based coin (not plain parity: a parity rule can phase-lock
+      // against periodic failure-detector reports, permanently starving one
+      // side on the remaining ticks).
+      std::uint64_t coin = static_cast<std::uint64_t>(m) * 0x9e3779b97f4a7c15ull +
+                           static_cast<std::uint64_t>(p) * 0xbf58476d1ce4e5b9ull;
+      coin ^= coin >> 29;
+      bool recv_first = (coin & 1) == 0;
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        bool try_recv = recv_first == (attempt == 0);
+        if (try_recv) {
+          if (auto delivery = net.pop_deliverable(p, m)) {
+            builder.append(p, Event::recv(delivery->from, delivery->msg));
+            procs[p]->on_receive(delivery->from, delivery->msg, env);
+            break;
+          }
+        } else if (!env.outbox().empty()) {
+          Intent intent = std::move(env.outbox().front());
+          env.outbox().pop_front();
+          if (intent.kind == Intent::Kind::kSend) {
+            net.send(p, intent.to, intent.msg, m);
+            builder.append(p, Event::send(intent.to, intent.msg));
+          } else {
+            builder.append(p, Event::do_action(intent.action));
+          }
+          break;
+        }
+      }
+    }
+    builder.end_step();
+  }
+
+  // Workload directives whose process crashed first.
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < inits.size(); ++i) {
+    if (!init_done[i]) ++skipped;
+  }
+
+  return SimResult{std::move(builder).build(), net.total_sent(),
+                   net.total_dropped(), skipped};
+}
+
+}  // namespace udc

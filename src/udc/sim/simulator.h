@@ -1,0 +1,39 @@
+// The discrete-event simulator: runs a joint protocol in a context and
+// produces a validated Run.
+//
+// Per tick, for each live process, exactly one of the following becomes the
+// process's event (priority order):
+//   1. crash            — the plan says it crashes now (R4: final event)
+//   2. init_p(alpha)    — a pending workload directive for this process
+//   3. suspect_p(...)   — the failure-detector oracle emits a report
+//   4. recv_p(q, msg)   — a ripe message is delivered
+//   5. send / do        — the head of the process's intent outbox
+// and protocol callbacks fire accordingly.  Everything is a deterministic
+// function of (config, plan, workload, protocol), so runs regenerate
+// bit-identically from a seed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "udc/event/run.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/context.h"
+#include "udc/sim/process.h"
+
+namespace udc {
+
+struct SimResult {
+  Run run;
+  std::size_t messages_sent = 0;
+  std::size_t messages_dropped = 0;
+  // Init directives skipped because their process had already crashed.
+  std::size_t inits_skipped = 0;
+};
+
+// `oracle` may be nullptr (the "no failure detector" context).
+SimResult simulate(const SimConfig& config, const CrashPlan& plan,
+                   FdOracle* oracle, std::span<const InitDirective> workload,
+                   const ProtocolFactory& factory);
+
+}  // namespace udc

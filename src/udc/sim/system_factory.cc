@@ -1,0 +1,132 @@
+#include "udc/sim/system_factory.h"
+
+#include <atomic>
+#include <thread>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+System generate_system(const SimConfig& base,
+                       std::span<const CrashPlan> plans,
+                       std::span<const InitDirective> workload,
+                       const OracleFactory& oracle_factory,
+                       const ProtocolFactory& protocol_factory,
+                       int seeds_per_plan, SystemStats* stats) {
+  UDC_CHECK(!plans.empty(), "need at least one crash plan");
+  UDC_CHECK(seeds_per_plan >= 1, "need at least one seed per plan");
+  std::vector<Run> runs;
+  runs.reserve(plans.size() * static_cast<std::size_t>(seeds_per_plan));
+  std::uint64_t seed = base.seed;
+  for (const CrashPlan& plan : plans) {
+    for (int s = 0; s < seeds_per_plan; ++s, ++seed) {
+      SimConfig config = base;
+      config.seed = seed;
+      std::unique_ptr<FdOracle> oracle;
+      if (oracle_factory) oracle = oracle_factory();
+      SimResult result = simulate(config, plan, oracle.get(), workload,
+                                  protocol_factory);
+      if (stats != nullptr) {
+        stats->runs++;
+        stats->messages_sent += result.messages_sent;
+        stats->messages_dropped += result.messages_dropped;
+      }
+      runs.push_back(std::move(result.run));
+    }
+  }
+  return System(std::move(runs));
+}
+
+System generate_system_multi(const SimConfig& base,
+                             std::span<const CrashPlan> plans,
+                             std::span<const std::vector<InitDirective>> workloads,
+                             const OracleFactory& oracle_factory,
+                             const ProtocolFactory& protocol_factory,
+                             int seeds_per_combo, SystemStats* stats) {
+  UDC_CHECK(!plans.empty(), "need at least one crash plan");
+  UDC_CHECK(!workloads.empty(), "need at least one workload");
+  UDC_CHECK(seeds_per_combo >= 1, "need at least one seed per combination");
+  std::vector<Run> runs;
+  runs.reserve(plans.size() * workloads.size() *
+               static_cast<std::size_t>(seeds_per_combo));
+  for (int s = 0; s < seeds_per_combo; ++s) {
+    SimConfig config = base;
+    config.seed = base.seed + static_cast<std::uint64_t>(s);
+    // Crucially, the SAME seed is reused across plans and workloads within
+    // one offset: divergence between runs then comes only from the failure
+    // and init patterns themselves.
+    for (const CrashPlan& plan : plans) {
+      for (const auto& workload : workloads) {
+        std::unique_ptr<FdOracle> oracle;
+        if (oracle_factory) oracle = oracle_factory();
+        SimResult result = simulate(config, plan, oracle.get(), workload,
+                                    protocol_factory);
+        if (stats != nullptr) {
+          stats->runs++;
+          stats->messages_sent += result.messages_sent;
+          stats->messages_dropped += result.messages_dropped;
+        }
+        runs.push_back(std::move(result.run));
+      }
+    }
+  }
+  return System(std::move(runs));
+}
+
+System generate_system_parallel(const SimConfig& base,
+                                std::span<const CrashPlan> plans,
+                                std::span<const InitDirective> workload,
+                                const OracleFactory& oracle_factory,
+                                const ProtocolFactory& protocol_factory,
+                                int seeds_per_plan, unsigned threads,
+                                SystemStats* stats) {
+  UDC_CHECK(!plans.empty(), "need at least one crash plan");
+  UDC_CHECK(seeds_per_plan >= 1, "need at least one seed per plan");
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  struct Job {
+    const CrashPlan* plan;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  std::uint64_t seed = base.seed;
+  for (const CrashPlan& plan : plans) {
+    for (int s = 0; s < seeds_per_plan; ++s, ++seed) {
+      jobs.push_back(Job{&plan, seed});
+    }
+  }
+
+  std::vector<Run> runs(jobs.size(), std::move(Run::Builder(base.n)).build());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> total_sent{0};
+  std::atomic<std::size_t> total_dropped{0};
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      SimConfig config = base;
+      config.seed = jobs[i].seed;
+      std::unique_ptr<FdOracle> oracle;
+      if (oracle_factory) oracle = oracle_factory();
+      SimResult result = simulate(config, *jobs[i].plan, oracle.get(),
+                                  workload, protocol_factory);
+      total_sent += result.messages_sent;
+      total_dropped += result.messages_dropped;
+      runs[i] = std::move(result.run);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  if (stats != nullptr) {
+    stats->runs += jobs.size();
+    stats->messages_sent += total_sent.load();
+    stats->messages_dropped += total_dropped.load();
+  }
+  return System(std::move(runs));
+}
+
+}  // namespace udc

@@ -1,0 +1,73 @@
+// System generation: sweep crash plans × seeds for one protocol/context and
+// collect the validated runs into a System.
+//
+// The knowledge operator and the Theorem 3.6 / 4.3 constructions are defined
+// relative to a *system*, so experiments need whole systems, not single
+// runs.  Assumption A5t ("every subset of size <= t fails in some run") is
+// realized by sweeping all_crash_plans_up_to; A1-style failure independence
+// is approximated by crossing crash plans with independent channel seeds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "udc/event/system.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/context.h"
+#include "udc/sim/process.h"
+#include "udc/sim/simulator.h"
+
+namespace udc {
+
+using OracleFactory = std::function<std::unique_ptr<FdOracle>()>;
+
+struct SystemStats {
+  std::size_t runs = 0;
+  std::size_t messages_sent = 0;
+  std::size_t messages_dropped = 0;
+};
+
+// One run per (plan, seed) pair; seeds are base.seed, base.seed+1, ....
+// `oracle_factory` may be null (no failure detector).
+System generate_system(const SimConfig& base,
+                       std::span<const CrashPlan> plans,
+                       std::span<const InitDirective> workload,
+                       const OracleFactory& oracle_factory,
+                       const ProtocolFactory& protocol_factory,
+                       int seeds_per_plan, SystemStats* stats = nullptr);
+
+// One run per (plan, workload, seed-offset) triple, with the SAME seed
+// stream across plans and workloads for each offset, so runs differ only
+// where the failure pattern or init pattern forces them to.  This is what
+// makes a finite system rich in the paper's sense: crashing or not, and
+// initiating or not, become genuinely independent (A1/A3/A4's richness) —
+// e.g. a process that crashes before hearing of an action has an
+// indistinguishable twin in the workload variant where the action never
+// happened.  Typical workload sets include the full workload plus, per
+// action, a variant omitting it (see workload_variants in coord/action.h).
+System generate_system_multi(const SimConfig& base,
+                             std::span<const CrashPlan> plans,
+                             std::span<const std::vector<InitDirective>> workloads,
+                             const OracleFactory& oracle_factory,
+                             const ProtocolFactory& protocol_factory,
+                             int seeds_per_combo,
+                             SystemStats* stats = nullptr);
+
+// Multithreaded twin of generate_system: each (plan, seed) run is a pure
+// function of its inputs, so runs are produced on `threads` workers and
+// assembled in the same deterministic order — the result is bit-identical
+// to the serial version (test_parallel.cc asserts it).  Factories must be
+// thread-compatible: they are invoked concurrently, so they must not share
+// mutable state across the protocol/oracle instances they return (all
+// factories in this repository qualify).
+System generate_system_parallel(const SimConfig& base,
+                                std::span<const CrashPlan> plans,
+                                std::span<const InitDirective> workload,
+                                const OracleFactory& oracle_factory,
+                                const ProtocolFactory& protocol_factory,
+                                int seeds_per_plan, unsigned threads = 0,
+                                SystemStats* stats = nullptr);
+
+}  // namespace udc

@@ -1,0 +1,171 @@
+// The A1-A5t assumption checkers (kt/assumptions.h).
+#include "udc/kt/assumptions.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 3;
+
+// A system designed to satisfy A1/A5 richly: same seed across all crash
+// plans, so runs share prefixes until the first crash diverges them, and
+// every faulty set up to t occurs.
+System rich_system(int t, double drop, Time horizon = 90) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = horizon;
+  cfg.channel.drop_prob = drop;
+  cfg.seed = 7;
+  auto workload = make_workload(kN, 1, 3, 5);
+  auto plans = all_crash_plans_up_to(kN, t, 30, 70);
+  return generate_system(
+      cfg, plans, workload, nullptr,
+      [](ProcessId) { return std::make_unique<NUdcProcess>(); },
+      /*seeds_per_plan=*/1);
+}
+
+TEST(A5t, ExhaustivePlansSatisfyIt) {
+  System sys = rich_system(2, 0.2);
+  AssumptionReport rep = check_a5t(sys, 2);
+  EXPECT_TRUE(rep.holds()) << rep.satisfied << "/" << rep.checked;
+  EXPECT_EQ(rep.checked, 7u);  // C(3,0)+C(3,1)+C(3,2)
+}
+
+TEST(A5t, MissingSubsetDetected) {
+  System sys = rich_system(1, 0.2);
+  AssumptionReport rep = check_a5t(sys, 2);
+  EXPECT_FALSE(rep.holds());
+  EXPECT_EQ(rep.checked, 7u);
+  EXPECT_EQ(rep.satisfied, 4u);  // {} and the three singletons
+}
+
+TEST(A1, SharedSeedFamilyHasFullCoverageBeforeCrashes) {
+  System sys = rich_system(2, 0.2);
+  // Before the earliest crash (t=30) every run in the same seed family has
+  // the same prefix, so any still-possible faulty set has an extension.
+  // (NOTE: generate_system increments the seed per run; with one seed per
+  // plan the streams differ, but the network/oracle draws are identical
+  // until behaviour diverges... they are NOT identical across seeds, so we
+  // regenerate with a fixed seed manually here.)
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 90;
+  cfg.channel.drop_prob = 0.2;
+  cfg.seed = 7;
+  auto workload = make_workload(kN, 1, 3, 5);
+  std::vector<udc::Run> runs;
+  for (const CrashPlan& plan : all_crash_plans_up_to(kN, 2, 30, 70)) {
+    runs.push_back(simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+                     return std::make_unique<NUdcProcess>();
+                   }).run);
+  }
+  System shared(std::move(runs));
+  AssumptionReport rep = check_a1(shared, /*stride=*/7, /*max_time=*/28);
+  EXPECT_GT(rep.checked, 0u);
+  EXPECT_EQ(rep.coverage(), 1.0)
+      << rep.satisfied << "/" << rep.checked << " A1 instances";
+  (void)sys;
+}
+
+TEST(A1, CoverageDropsOnceCrashTimesAreFixed) {
+  // Past the plans' crash window, the finite system lacks extensions that
+  // would crash a process later than the generated plan did: coverage < 1,
+  // quantifying the finite-horizon substitution (DESIGN.md §2).
+  System sys = rich_system(2, 0.2);
+  AssumptionReport rep = check_a1(sys, 10);
+  EXPECT_GT(rep.checked, 0u);
+  EXPECT_LT(rep.coverage(), 1.0);
+}
+
+// A workload-varied system (generate_system_multi): runs where each action
+// is never initiated exist alongside the full-workload runs, which is the
+// richness A3/A4 presuppose.
+System multi_system(double drop) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 90;
+  cfg.channel.drop_prob = drop;
+  cfg.seed = 7;
+  auto workload = make_workload(kN, 1, 3, 5);
+  auto workloads = workload_power_set(workload);
+  auto plans = all_crash_plans_up_to(kN, 2, 30, 70);
+  return generate_system_multi(
+      cfg, plans, workloads, nullptr,
+      [](ProcessId) { return std::make_unique<NUdcProcess>(); },
+      /*seeds_per_combo=*/1);
+}
+
+TEST(A3, KnowledgeOfInitIsFailureInsensitive) {
+  System sys = multi_system(0.2);
+  auto workload = make_workload(kN, 1, 3, 5);
+  auto actions = workload_actions(workload);
+  AssumptionReport rep = check_a3(sys, actions);
+  EXPECT_EQ(rep.checked, actions.size() * kN);
+  EXPECT_TRUE(rep.holds()) << rep.satisfied << "/" << rep.checked;
+}
+
+TEST(A4, HighCoverageOnWorkloadVariedFloodingSystems) {
+  // The flooding protocol is FIP-like for init facts (everything a process
+  // knows about an action it broadcasts), so A4 instances should be
+  // largely witnessed.  We assert high coverage rather than perfection:
+  // finite systems can lack the exact (crash-truncated) witness run.
+  System sys = multi_system(0.2);
+  auto workload = make_workload(kN, 1, 3, 5);
+  auto actions = workload_actions(workload);
+  AssumptionReport rep = check_a4(sys, actions, /*stride=*/10);
+  EXPECT_GT(rep.checked, 0u);
+  EXPECT_GE(rep.coverage(), 0.9)
+      << rep.satisfied << "/" << rep.checked << " A4 instances";
+}
+
+TEST(A2, PairedCrashTimesGiveWitnesses) {
+  // A2 needs extension pairs where all faulty processes crash by m+1; build
+  // a system that contains them: same faulty set {1}, same seed, crash
+  // times sweeping a window, so for sampled m below a plan's crash time the
+  // run crashing at m+1 is the required extension.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 60;
+  cfg.channel.drop_prob = 0.0;
+  cfg.seed = 4;
+  auto workload = make_workload(kN, 1, 3, 5);
+  std::vector<udc::Run> runs;
+  for (Time crash_at = 9; crash_at <= 49; ++crash_at) {
+    CrashPlan plan = make_crash_plan(kN, {{1, crash_at}});
+    runs.push_back(simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+                     return std::make_unique<NUdcProcess>();
+                   }).run);
+  }
+  System sys(std::move(runs));
+  AssumptionReport rep = check_a2(sys, /*stride=*/8);
+  EXPECT_GT(rep.checked, 0u);
+  EXPECT_GT(rep.coverage(), 0.5)
+      << rep.satisfied << "/" << rep.checked << " A2 instances";
+}
+
+TEST(A2, SparseSystemHasLowCoverage) {
+  // With one crash time per faulty set, the "crash by m+1" extensions
+  // mostly do not exist: coverage collapses — quantifying exactly what the
+  // finite system is missing relative to the paper's context.
+  System sys = rich_system(2, 0.2);
+  AssumptionReport rep = check_a2(sys, 10);
+  EXPECT_GT(rep.checked, 0u);
+  EXPECT_LT(rep.coverage(), 0.6);
+}
+
+TEST(Reports, VacuousInstancesCounted) {
+  System sys = rich_system(1, 0.0);
+  AssumptionReport rep = check_a1(sys, 10);
+  // Points where a process outside S has crashed are vacuous for that S.
+  EXPECT_GT(rep.vacuous, 0u);
+}
+
+}  // namespace
+}  // namespace udc

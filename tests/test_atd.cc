@@ -1,0 +1,166 @@
+// §5 / [ATD99]: the weakest-detector class for UDC — strong completeness +
+// rotating ("at all times some correct process is unsuspected") accuracy.
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/coord/udc_atd.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/atd.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 5;  // 3+ correct survivors so rotation can bite
+constexpr Time kHorizon = 500;
+constexpr Time kGrace = 180;
+
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+System atd_system(const ProtocolFactory& protocol, int t = kN - 3) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.25;
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto plans = all_crash_plans_up_to(kN, t, 25, 120);
+  return generate_system(cfg, plans, workload,
+                         [] { return std::make_unique<AtdOracle>(6); },
+                         protocol, 2);
+}
+
+TEST(AtdOracle, SatisfiesAtdAccuracyButNotWeakAccuracy) {
+  System sys = atd_system([](ProcessId) {
+    return std::make_unique<IdleProcess>();
+  });
+  AtdAccuracyReport atd = check_atd_accuracy(sys);
+  EXPECT_TRUE(atd.holds)
+      << (atd.violations.empty() ? "" : atd.violations[0]);
+  FdPropertyReport classic = check_fd_properties(sys, kGrace);
+  EXPECT_TRUE(classic.strong_completeness) << classic.summary();
+  // The strict separation: with >= 3 correct processes every one of them
+  // gets suspected at some point, so weak accuracy fails.
+  EXPECT_FALSE(classic.weak_accuracy);
+}
+
+TEST(AtdOracle, WeakAccuracyImpliesAtdAccuracy) {
+  // The inclusion direction: any weakly-accurate detector run also passes
+  // the ATD check (the fixed q* is a constant rotating witness).
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 300;
+  auto plans = all_crash_plans_up_to(kN, 2, 25, 120);
+  System sys = generate_system(
+      cfg, plans, {}, [] { return std::make_unique<StrongOracle>(4, 0.3); },
+      [](ProcessId) { return std::make_unique<IdleProcess>(); }, 2);
+  ASSERT_TRUE(check_fd_properties(sys, 100).weak_accuracy);
+  EXPECT_TRUE(check_atd_accuracy(sys).holds);
+}
+
+TEST(Atd, CurrentSuspicionProtocolAttainsUdc) {
+  System sys = atd_system([](ProcessId) {
+    return std::make_unique<UdcAtdProcess>();
+  });
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  CoordReport rep = check_udc(sys, actions, kGrace);
+  EXPECT_TRUE(rep.achieved())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(Atd, CumulativeProtocolIsUnsoundUnderAtdAccuracy) {
+  // The Prop 3.1 protocol accumulates suspicions; under the rotating
+  // detector every peer is eventually "suspected", so a process can
+  // perform WITHOUT A SINGLE ACK, crash immediately, and strand the
+  // action.  Deterministic witness: fast rotation covers all peers before
+  // the init; the initiator's do-intent (queued ahead of its sends)
+  // executes, then it crashes before any α-message escapes.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 400;
+  cfg.channel.drop_prob = 0.0;
+  std::vector<InitDirective> workload{{30, 0, make_action(0, 0)}};
+  auto actions = workload_actions(workload);
+  CrashPlan plan = make_crash_plan(kN, {{0, 32}});
+  AtdOracle oracle(4);  // full rotation well before t=30, and no report due
+                        // between the init (t=30) and the crash (t=32), so
+                        // the queued do-intent drains at t=31
+  SimResult res = simulate(cfg, plan, &oracle, workload, [](ProcessId) {
+    return std::make_unique<UdcStrongFdProcess>();
+  });
+  // The initiator performed...
+  EXPECT_TRUE(res.run.do_in(0, 32, make_action(0, 0)));
+  // ...and uniformity is gone.
+  CoordReport rep = check_udc(res.run, actions, 150);
+  EXPECT_FALSE(rep.dc2);
+  // The ATD-gated protocol refuses this trap on the same schedule: with no
+  // acks and only the CURRENT (partial) suspicion set, the gate stays
+  // closed, so the initiator crashes without performing — DC1 satisfied by
+  // the crash, DC2 vacuous, UDC intact.
+  AtdOracle oracle2(4);
+  SimResult res2 = simulate(cfg, plan, &oracle2, workload, [](ProcessId) {
+    return std::make_unique<UdcAtdProcess>();
+  });
+  EXPECT_TRUE(check_udc(res2.run, actions, 150).achieved());
+}
+
+TEST(Atd, CurrentSuspicionProtocolAlsoWorksWithWeakAccuracy) {
+  // The ATD protocol is not specialized to the rotating detector: under a
+  // plain strong detector it degrades gracefully to Prop 3.1 behaviour.
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.3;
+  auto workload = make_workload(4, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  auto plans = all_crash_plans_up_to(4, 3, 25, 120);
+  System sys = generate_system(
+      cfg, plans, workload,
+      [] { return std::make_unique<StrongOracle>(4, 0.2); },
+      [](ProcessId) { return std::make_unique<UdcAtdProcess>(); }, 2);
+  CoordReport rep = check_udc(sys, actions, kGrace);
+  EXPECT_TRUE(rep.achieved())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(AtdAccuracyChecker, FlagsTheViolation) {
+  // Hand-built: two processes suspect each other simultaneously.
+  Run::Builder b(2);
+  b.append(0, Event::suspect(ProcSet::singleton(1)))
+      .append(1, Event::suspect(ProcSet::singleton(0)))
+      .end_step();
+  udc::Run r = std::move(b).build();
+  AtdAccuracyReport rep = check_atd_accuracy(r);
+  EXPECT_FALSE(rep.holds);
+  ASSERT_FALSE(rep.violations.empty());
+}
+
+TEST(AtdAccuracyChecker, RotationIsAllowed) {
+  // p0 suspects p1 now and p2 later; at each instant someone correct is
+  // clean — exactly what separates ATD accuracy from weak accuracy.
+  Run::Builder b(3);
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+  b.append(0, Event::suspect(ProcSet::singleton(2))).end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_TRUE(check_atd_accuracy(r).holds);
+  FdPropertyReport classic = check_fd_properties(r);
+  EXPECT_TRUE(classic.weak_accuracy);  // p1? no — p1 suspected at t=1...
+  // Careful: weak accuracy here still holds because p0 itself is never
+  // suspected.  The separating 2-process case needs the first suspicion
+  // RETRACTED before the second lands (in-force sets are what count):
+  Run::Builder b2(2);
+  b2.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+  b2.append(0, Event::suspect(ProcSet{})).end_step();  // retraction
+  b2.append(1, Event::suspect(ProcSet::singleton(0))).end_step();
+  udc::Run r2 = std::move(b2).build();
+  EXPECT_TRUE(check_atd_accuracy(r2).holds);  // never both at once
+  EXPECT_FALSE(check_fd_properties(r2).weak_accuracy);
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,123 @@
+// Happens-before and message chains (§3 footnote 5).
+#include "udc/event/causality.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/kt/knowledge_fd.h"
+#include "udc/logic/eval.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+Message app(std::int64_t tag) {
+  Message m;
+  m.kind = MsgKind::kApp;
+  m.a = tag;
+  return m;
+}
+
+// p0 -t1-> p1 -t4-> p2: a two-hop chain.
+udc::Run chain_run() {
+  Run::Builder b(3);
+  b.append(0, Event::send(1, app(1))).end_step();              // t=1
+  b.append(1, Event::recv(0, app(1))).end_step();              // t=2
+  b.end_step();                                                // t=3
+  b.append(1, Event::send(2, app(2))).end_step();              // t=4
+  b.append(2, Event::recv(1, app(2))).end_step();              // t=5
+  return std::move(b).build();
+}
+
+TEST(Causality, DirectAndTransitiveChains) {
+  udc::Run r = chain_run();
+  CausalIndex idx(r);
+  EXPECT_EQ(idx.earliest_reach(0, 1, 1), 2);
+  EXPECT_EQ(idx.earliest_reach(0, 1, 2), 5);  // via p1
+  EXPECT_EQ(idx.earliest_reach(1, 4, 2), 5);
+  EXPECT_TRUE(idx.has_chain(0, 1, 2, 5));
+  EXPECT_FALSE(idx.has_chain(0, 1, 2, 4));
+  // No chain backwards.
+  EXPECT_EQ(idx.earliest_reach(2, 0, 0), kTimeMax);
+}
+
+TEST(Causality, ChainRequiresSendAfterStart) {
+  udc::Run r = chain_run();
+  CausalIndex idx(r);
+  // Starting AFTER p0's only send: nothing reachable.
+  EXPECT_EQ(idx.earliest_reach(0, 2, 1), kTimeMax);
+  // Starting exactly at the send time counts ("at or after m_p").
+  EXPECT_EQ(idx.earliest_reach(0, 1, 1), 2);
+}
+
+TEST(Causality, ChainRequiresSendAfterIntermediateReceive) {
+  // p1's relay at t=4 is AFTER its receive at t=2: chain valid.  But a
+  // hypothetical start at p1 later than 4 finds nothing.
+  udc::Run r = chain_run();
+  CausalIndex idx(r);
+  EXPECT_EQ(idx.earliest_reach(1, 5, 2), kTimeMax);
+}
+
+TEST(Causality, HappensBefore) {
+  udc::Run r = chain_run();
+  CausalIndex idx(r);
+  EXPECT_TRUE(idx.happens_before(0, 1, 0, 3));   // same process, later
+  EXPECT_FALSE(idx.happens_before(0, 3, 0, 1));
+  EXPECT_TRUE(idx.happens_before(0, 1, 2, 5));
+  EXPECT_FALSE(idx.happens_before(2, 1, 0, 5));  // never any path back
+}
+
+TEST(Causality, RetransmissionsAllUsable) {
+  // Two sends of the same message; a chain starting after the first send
+  // can still ride the second.
+  Run::Builder b(2);
+  b.append(0, Event::send(1, app(1))).end_step();  // t=1
+  b.append(0, Event::send(1, app(1))).end_step();  // t=2 (retransmission)
+  b.append(1, Event::recv(0, app(1))).end_step();  // t=3
+  udc::Run r = std::move(b).build();
+  CausalIndex idx(r);
+  EXPECT_EQ(idx.earliest_reach(0, 2, 1), 3);
+  EXPECT_EQ(idx.earliest_reach(0, 1, 1), 3);
+  EXPECT_EQ(idx.earliest_reach(0, 3, 1), kTimeMax);
+}
+
+TEST(Causality, KnowledgeOfInitImpliesChainFromInitiator) {
+  // The information-flow property behind A4/Thm 3.6: in a flooding system,
+  // a process (other than the owner) knows init_p'(α) at (r,m) only if a
+  // message chain from the init point reaches it by m.
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 120;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 5;
+  auto workload = make_workload(3, 1, 4, 6);
+  auto workloads = workload_power_set(workload);
+  auto plans = all_crash_plans_up_to(3, 2, 20, 60);
+  System sys = generate_system_multi(
+      cfg, plans, workloads, nullptr,
+      [](ProcessId) { return std::make_unique<NUdcProcess>(); }, 1);
+  ModelChecker mc(sys);
+  int knowledge_points = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const udc::Run& r = sys.run(i);
+    CausalIndex idx(r);
+    for (const InitDirective& d : workload) {
+      for (ProcessId q = 0; q < 3; ++q) {
+        if (q == d.p) continue;
+        for (Time m = 0; m <= r.horizon(); m += 9) {
+          if (mc.holds_at(Point{i, m}, f_knows(q, f_init(d.p, d.action)))) {
+            ++knowledge_points;
+            EXPECT_TRUE(chain_from_init(idx, r, d.p, d.action, q, m))
+                << "run " << i << " q" << q << " m=" << m;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(knowledge_points, 10);
+}
+
+}  // namespace
+}  // namespace udc

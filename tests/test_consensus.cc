@@ -1,0 +1,147 @@
+// The consensus baselines: CT-S (strong FD, up to n-1 failures) and the
+// rotating-coordinator ◇S algorithm (t < n/2), under loss and crashes.
+#include <gtest/gtest.h>
+
+#include "udc/consensus/ct_strong.h"
+#include "udc/consensus/rotating.h"
+#include "udc/consensus/spec.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 600;
+
+const std::vector<std::int64_t> kValues{3, 1, 4, 1};
+
+TEST(ConsensusSpec, DecideActionEncoding) {
+  EXPECT_TRUE(is_decide_action(decide_action(0)));
+  EXPECT_TRUE(is_decide_action(decide_action(57)));
+  EXPECT_FALSE(is_decide_action(0));
+  EXPECT_EQ(decided_value(decide_action(57)), 57);
+}
+
+TEST(ConsensusSpec, ChecksAgreementAndValidity) {
+  Run::Builder b(2);
+  b.append(0, Event::do_action(decide_action(3)))
+      .append(1, Event::do_action(decide_action(1)))
+      .end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<std::int64_t> initial{3, 1};
+  ConsensusReport rep = check_consensus(r, initial);
+  EXPECT_FALSE(rep.uniform_agreement);
+  EXPECT_FALSE(rep.agreement);
+  EXPECT_TRUE(rep.validity);
+  EXPECT_TRUE(rep.termination);
+
+  Run::Builder b2(2);
+  b2.append(0, Event::do_action(decide_action(9))).end_step();
+  ConsensusReport rep2 = check_consensus(std::move(b2).build(), initial);
+  EXPECT_FALSE(rep2.validity);
+  EXPECT_FALSE(rep2.termination);  // p1 never decides
+}
+
+TEST(ConsensusSpec, IntegrityCatchesDoubleDecide) {
+  Run::Builder b(1);
+  b.append(0, Event::do_action(decide_action(1))).end_step();
+  b.append(0, Event::do_action(decide_action(1))).end_step();
+  ConsensusReport rep =
+      check_consensus(std::move(b).build(), std::vector<std::int64_t>{1});
+  EXPECT_FALSE(rep.integrity);
+}
+
+System consensus_system(const OracleFactory& oracle,
+                        const ProtocolFactory& protocol, int t, double drop) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = drop;
+  auto plans = all_crash_plans_up_to(kN, t, 20, 120);
+  return generate_system(cfg, plans, {}, oracle, protocol, 2);
+}
+
+TEST(CtStrong, SolvesUniformConsensusUpToNMinus1Failures) {
+  System sys = consensus_system(
+      [] { return std::make_unique<StrongOracle>(4, 0.2); },
+      ct_strong_factory(kValues), kN - 1, 0.3);
+  ConsensusReport rep = check_consensus(sys, kValues);
+  EXPECT_TRUE(rep.achieved_uniform())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(CtStrong, PerfectFdAlsoWorks) {
+  System sys =
+      consensus_system([] { return std::make_unique<PerfectOracle>(4); },
+                       ct_strong_factory(kValues), kN - 1, 0.3);
+  EXPECT_TRUE(check_consensus(sys, kValues).achieved_uniform());
+}
+
+TEST(CtStrong, ReliableChannelsToo) {
+  System sys =
+      consensus_system([] { return std::make_unique<StrongOracle>(4, 0.2); },
+                       ct_strong_factory(kValues), kN - 1, 0.0);
+  EXPECT_TRUE(check_consensus(sys, kValues).achieved_uniform());
+}
+
+TEST(CtStrong, NoFdBlocksTermination) {
+  // FLP in action: with a crash and no detector, phase 1 never completes.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  CrashPlan plan = make_crash_plan(kN, {{2, 15}});
+  SimResult res =
+      simulate(cfg, plan, nullptr, {}, ct_strong_factory(kValues));
+  ConsensusReport rep = check_consensus(res.run, kValues);
+  EXPECT_FALSE(rep.termination);
+  EXPECT_TRUE(rep.uniform_agreement);  // safety is never lost
+}
+
+TEST(Rotating, SolvesConsensusBelowHalfWithDiamondS) {
+  System sys = consensus_system(
+      [] { return std::make_unique<EventuallyStrongOracle>(4, 60, 0.3); },
+      rotating_consensus_factory(kValues), /*t=*/1, 0.3);
+  ConsensusReport rep = check_consensus(sys, kValues);
+  EXPECT_TRUE(rep.achieved_uniform())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(Rotating, PerfectFdIsAlsoFine) {
+  // ◇S is weaker than P; the algorithm must a fortiori work with P.
+  System sys =
+      consensus_system([] { return std::make_unique<PerfectOracle>(4); },
+                       rotating_consensus_factory(kValues), 1, 0.2);
+  EXPECT_TRUE(check_consensus(sys, kValues).achieved_uniform());
+}
+
+TEST(Rotating, SafetyHoldsEvenAtHalfFailures) {
+  // With t = 2 = n/2 termination may be lost (coordinator majorities can
+  // die), but decisions that do happen must stay consistent.
+  System sys = consensus_system(
+      [] { return std::make_unique<EventuallyStrongOracle>(4, 60, 0.3); },
+      rotating_consensus_factory(kValues), 2, 0.3);
+  ConsensusReport rep = check_consensus(sys, kValues);
+  EXPECT_TRUE(rep.uniform_agreement);
+  EXPECT_TRUE(rep.validity);
+  EXPECT_TRUE(rep.integrity);
+}
+
+TEST(Consensus, DecisionIsDeterministicGivenSeed) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 424242;
+  StrongOracle o1(4, 0.2), o2(4, 0.2);
+  SimResult a = simulate(cfg, no_crashes(kN), &o1, {}, ct_strong_factory(kValues));
+  SimResult b = simulate(cfg, no_crashes(kN), &o2, {}, ct_strong_factory(kValues));
+  for (ProcessId p = 0; p < kN; ++p) {
+    EXPECT_EQ(decision_of(a.run, p), decision_of(b.run, p));
+  }
+}
+
+}  // namespace
+}  // namespace udc

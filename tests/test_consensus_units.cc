@@ -1,0 +1,129 @@
+// Consensus internals: the CT-S value-vector packing, spec edge cases, and
+// a parameterized (n, drop, t) grid for both algorithms.
+#include <gtest/gtest.h>
+
+#include "udc/consensus/ct_strong.h"
+#include "udc/consensus/rotating.h"
+#include "udc/consensus/spec.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+TEST(CtPacking, RoundTripsAllEntryStates) {
+  std::vector<std::int8_t> v{-1, 0, 5, 126, -1, 7, -1, 1};
+  std::uint64_t bits = CtStrongConsensus::pack(v);
+  std::vector<std::int8_t> out(8, 99);
+  CtStrongConsensus::unpack(bits, out);
+  EXPECT_EQ(v, out);
+}
+
+TEST(CtPacking, UnknownIsNotValueZero) {
+  // The known-flag bit must distinguish "no entry" from "value 0".
+  std::vector<std::int8_t> unknown{-1};
+  std::vector<std::int8_t> zero{0};
+  EXPECT_NE(CtStrongConsensus::pack(unknown), CtStrongConsensus::pack(zero));
+}
+
+TEST(CtPacking, ShorterVectorsUseLowBytes) {
+  std::vector<std::int8_t> v{3, -1, 4};
+  std::uint64_t bits = CtStrongConsensus::pack(v);
+  std::vector<std::int8_t> out(3, 0);
+  CtStrongConsensus::unpack(bits, out);
+  EXPECT_EQ(v, out);
+  // High bytes untouched (zero).
+  EXPECT_EQ(bits >> 24, 0u);
+}
+
+TEST(ConsensusSpec, SingleProcessDecidesAlone) {
+  const std::vector<std::int64_t> values{9};
+  SimConfig cfg;
+  cfg.n = 1;
+  cfg.horizon = 20;
+  SimResult res =
+      simulate(cfg, no_crashes(1), nullptr, {}, ct_strong_factory(values));
+  ConsensusReport rep = check_consensus(res.run, values);
+  EXPECT_TRUE(rep.achieved_uniform());
+  EXPECT_EQ(decision_of(res.run, 0), std::optional<std::int64_t>(9));
+}
+
+TEST(ConsensusSpec, AllFaultyRunIsVacuouslyTerminated) {
+  Run::Builder b(2);
+  b.append(0, Event::crash()).append(1, Event::crash()).end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<std::int64_t> values{1, 2};
+  ConsensusReport rep = check_consensus(r, values);
+  EXPECT_TRUE(rep.termination);  // no correct process left to bind it
+  EXPECT_TRUE(rep.achieved_uniform());
+}
+
+TEST(ConsensusSpec, FaultyDeciderStillBindsUniformAgreement) {
+  Run::Builder b(2);
+  b.append(0, Event::do_action(decide_action(1))).end_step();
+  b.append(0, Event::crash())
+      .append(1, Event::do_action(decide_action(2)))
+      .end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<std::int64_t> values{1, 2};
+  ConsensusReport rep = check_consensus(r, values);
+  EXPECT_FALSE(rep.uniform_agreement);
+  EXPECT_TRUE(rep.agreement);  // only one CORRECT decider
+}
+
+// ------------------------------------------------------------- grid sweep
+struct ConsensusParam {
+  int n;
+  double drop;
+  int t;
+  bool rotating;  // rotating coordinator (t < n/2) vs CT-S
+};
+
+class ConsensusGrid : public ::testing::TestWithParam<ConsensusParam> {};
+
+TEST_P(ConsensusGrid, UniformConsensusAcrossCrashPlans) {
+  const ConsensusParam param = GetParam();
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < param.n; ++i) values.push_back((i * 3 + 1) % 7);
+  SimConfig cfg;
+  cfg.n = param.n;
+  cfg.horizon = 900;
+  cfg.channel.drop_prob = param.drop;
+  auto plans = all_crash_plans_up_to(param.n, param.t, 25, 120);
+  OracleFactory oracle =
+      param.rotating
+          ? OracleFactory([] {
+              return std::make_unique<EventuallyStrongOracle>(4, 60, 0.3);
+            })
+          : OracleFactory(
+                [] { return std::make_unique<StrongOracle>(4, 0.2); });
+  System sys = generate_system(cfg, plans, {}, oracle,
+                               param.rotating
+                                   ? rotating_consensus_factory(values)
+                                   : ct_strong_factory(values),
+                               1);
+  ConsensusReport rep = check_consensus(sys, values);
+  EXPECT_TRUE(rep.achieved_uniform())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConsensusGrid,
+    ::testing::Values(ConsensusParam{3, 0.0, 1, true},
+                      ConsensusParam{3, 0.3, 1, true},
+                      ConsensusParam{5, 0.3, 2, true},
+                      ConsensusParam{5, 0.5, 2, true},
+                      ConsensusParam{3, 0.3, 2, false},
+                      ConsensusParam{4, 0.3, 3, false},
+                      ConsensusParam{5, 0.3, 4, false},
+                      ConsensusParam{6, 0.2, 5, false}),
+    [](const ::testing::TestParamInfo<ConsensusParam>& info) {
+      return std::string(info.param.rotating ? "rotating" : "cts") + "_n" +
+             std::to_string(info.param.n) + "_t" +
+             std::to_string(info.param.t) + "_drop" +
+             std::to_string(static_cast<int>(info.param.drop * 10));
+    });
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,193 @@
+// DC1-DC3 / DC2' checkers on hand-built runs, and agreement between the
+// direct checkers and the formula semantics.
+#include "udc/coord/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/logic/eval.h"
+
+namespace udc {
+namespace {
+
+const ActionId kAlpha = make_action(0, 0);  // owned by p0
+
+TEST(CoordSpec, VacuouslyAchievedWithNoActivity) {
+  udc::Run r = std::move(Run::Builder(3).end_step()).build();
+  std::vector<ActionId> actions{kAlpha};
+  EXPECT_TRUE(check_udc(r, actions).achieved());
+  EXPECT_TRUE(check_nudc(r, actions).achieved());
+}
+
+TEST(CoordSpec, HappyPathSatisfiesUdc) {
+  Run::Builder b(2);
+  b.append(0, Event::init(kAlpha)).end_step();
+  b.append(0, Event::do_action(kAlpha)).end_step();
+  b.append(1, Event::do_action(kAlpha)).end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  CoordReport rep = check_udc(r, actions);
+  EXPECT_TRUE(rep.achieved()) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(CoordSpec, Dc1ViolatedWhenInitiatorStalls) {
+  Run::Builder b(2);
+  b.append(0, Event::init(kAlpha)).end_step();
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  CoordReport rep = check_udc(r, actions);
+  EXPECT_FALSE(rep.dc1);
+  EXPECT_TRUE(rep.dc2);  // nobody performed, so DC2 is vacuous
+}
+
+TEST(CoordSpec, Dc1SatisfiedByCrashInsteadOfDo) {
+  Run::Builder b(2);
+  b.append(0, Event::init(kAlpha)).end_step();
+  b.append(0, Event::crash()).end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  EXPECT_TRUE(check_udc(r, actions).dc1);
+}
+
+TEST(CoordSpec, Dc2ViolationIsTheUniformityGap) {
+  // p0 inits, performs, crashes; p1 never performs.  UDC is violated (DC2)
+  // but nUDC holds (DC2' exempts the crashed performer).
+  Run::Builder b(2);
+  b.append(0, Event::init(kAlpha)).end_step();
+  b.append(0, Event::do_action(kAlpha)).end_step();
+  b.append(0, Event::crash()).end_step();
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  CoordReport udc = check_udc(r, actions);
+  EXPECT_FALSE(udc.dc2);
+  EXPECT_TRUE(udc.dc1);
+  EXPECT_TRUE(udc.dc3);
+  CoordReport nudc = check_nudc(r, actions);
+  EXPECT_TRUE(nudc.achieved())
+      << (nudc.violations.empty() ? "" : nudc.violations[0]);
+}
+
+TEST(CoordSpec, Dc2PrimeStillBindsForCorrectPerformers) {
+  Run::Builder b(2);
+  b.append(0, Event::init(kAlpha)).end_step();
+  b.append(0, Event::do_action(kAlpha)).end_step();
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  EXPECT_FALSE(check_nudc(r, actions).dc2);
+}
+
+TEST(CoordSpec, Dc3CatchesSpuriousPerform) {
+  Run::Builder b(2);
+  b.append(1, Event::do_action(kAlpha)).end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  CoordReport rep = check_udc(r, actions);
+  EXPECT_FALSE(rep.dc3);
+}
+
+TEST(CoordSpec, Dc3CatchesPerformBeforeInit) {
+  Run::Builder b(2);
+  b.append(1, Event::do_action(kAlpha)).end_step();
+  b.append(0, Event::init(kAlpha)).end_step();
+  b.append(0, Event::do_action(kAlpha)).end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  EXPECT_FALSE(check_udc(r, actions).dc3);
+}
+
+TEST(CoordSpec, GraceExemptsLateInits) {
+  Run::Builder b(2);
+  for (int i = 0; i < 8; ++i) b.end_step();
+  b.append(0, Event::init(kAlpha)).end_step();  // init at 9 of horizon 10
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  EXPECT_FALSE(check_udc(r, actions, /*grace=*/0).dc1);
+  EXPECT_TRUE(check_udc(r, actions, /*grace=*/3).dc1);
+}
+
+TEST(CoordSpec, FaultyNonPerformerSatisfiesDc2ByCrashing) {
+  Run::Builder b(2);
+  b.append(0, Event::init(kAlpha)).end_step();
+  b.append(0, Event::do_action(kAlpha)).append(1, Event::crash()).end_step();
+  udc::Run r = std::move(b).build();
+  std::vector<ActionId> actions{kAlpha};
+  EXPECT_TRUE(check_udc(r, actions).achieved());
+}
+
+// The formula semantics and the direct checker agree on a batch of runs
+// covering all the cases above (grace = 0 on runs with enough slack).
+TEST(CoordSpec, FormulaAndDirectCheckersAgree) {
+  auto make_runs = [] {
+    std::vector<udc::Run> runs;
+    {
+      Run::Builder b(2);  // happy path
+      b.append(0, Event::init(kAlpha)).end_step();
+      b.append(0, Event::do_action(kAlpha)).end_step();
+      b.append(1, Event::do_action(kAlpha)).end_step();
+      runs.push_back(std::move(b).build());
+    }
+    {
+      Run::Builder b(2);  // DC2 violation
+      b.append(0, Event::init(kAlpha)).end_step();
+      b.append(0, Event::do_action(kAlpha)).end_step();
+      b.append(0, Event::crash()).end_step();
+      runs.push_back(std::move(b).build());
+    }
+    {
+      Run::Builder b(2);  // DC3 violation
+      b.append(1, Event::do_action(kAlpha)).end_step();
+      b.end_step();
+      b.end_step();
+      runs.push_back(std::move(b).build());
+    }
+    return runs;
+  };
+  std::vector<ActionId> actions{kAlpha};
+  std::vector<udc::Run> runs = make_runs();
+  std::vector<bool> direct_udc, direct_nudc;
+  for (const udc::Run& r : runs) {
+    direct_udc.push_back(check_udc(r, actions).achieved());
+    direct_nudc.push_back(check_nudc(r, actions).achieved());
+  }
+  System sys(make_runs());
+  ModelChecker mc(sys);
+  auto udc_f = udc_formula(kAlpha, 2);
+  auto nudc_f = nudc_formula(kAlpha, 2);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    bool formula_udc = true;
+    bool formula_nudc = true;
+    for (Time m = 0; m <= sys.run(i).horizon(); ++m) {
+      formula_udc &= mc.holds_at(Point{i, m}, udc_f);
+      formula_nudc &= mc.holds_at(Point{i, m}, nudc_f);
+    }
+    EXPECT_EQ(formula_udc, direct_udc[i]) << "run " << i;
+    EXPECT_EQ(formula_nudc, direct_nudc[i]) << "run " << i;
+  }
+}
+
+TEST(Workload, MakeWorkloadShape) {
+  auto w = make_workload(3, 2, 5, 4);
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_EQ(w[0].at, 5);
+  EXPECT_EQ(w[0].p, 0);
+  EXPECT_EQ(w[1].at, 9);
+  EXPECT_EQ(w[1].p, 1);
+  EXPECT_EQ(action_owner(w[4].action), 1);
+  auto actions = workload_actions(w);
+  EXPECT_EQ(actions.size(), 6u);
+  // All distinct.
+  std::sort(actions.begin(), actions.end());
+  EXPECT_EQ(std::unique(actions.begin(), actions.end()), actions.end());
+}
+
+TEST(Workload, ActionOwnerEncoding) {
+  EXPECT_EQ(action_owner(make_action(5, 123)), 5);
+  EXPECT_EQ(action_owner(make_action(0, 0)), 0);
+  EXPECT_NE(make_action(1, 0), make_action(0, 1));
+}
+
+}  // namespace
+}  // namespace udc

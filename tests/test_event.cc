@@ -1,0 +1,117 @@
+#include "udc/event/event.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/common/check.h"
+#include "udc/event/history.h"
+
+namespace udc {
+namespace {
+
+Message alpha_msg(ActionId a) {
+  Message m;
+  m.kind = MsgKind::kAlpha;
+  m.action = a;
+  return m;
+}
+
+TEST(Event, FactoriesSetKind) {
+  EXPECT_EQ(Event::send(1, alpha_msg(7)).kind, EventKind::kSend);
+  EXPECT_EQ(Event::recv(1, alpha_msg(7)).kind, EventKind::kRecv);
+  EXPECT_EQ(Event::do_action(7).kind, EventKind::kDo);
+  EXPECT_EQ(Event::init(7).kind, EventKind::kInit);
+  EXPECT_EQ(Event::crash().kind, EventKind::kCrash);
+  EXPECT_EQ(Event::suspect(ProcSet::singleton(2)).kind, EventKind::kSuspect);
+  EXPECT_EQ(Event::suspect_gen(ProcSet::singleton(2), 1).kind,
+            EventKind::kSuspectGen);
+}
+
+TEST(Event, GeneralizedReportRejectsOversizedK) {
+  EXPECT_THROW(Event::suspect_gen(ProcSet::singleton(2), 2),
+               InvariantViolation);
+  EXPECT_THROW(Event::suspect_gen(ProcSet{}, 1), InvariantViolation);
+  EXPECT_NO_THROW(Event::suspect_gen(ProcSet{}, 0));
+}
+
+TEST(Event, EqualityIsStructural) {
+  EXPECT_EQ(Event::send(1, alpha_msg(7)), Event::send(1, alpha_msg(7)));
+  EXPECT_FALSE(Event::send(1, alpha_msg(7)) == Event::send(2, alpha_msg(7)));
+  EXPECT_FALSE(Event::send(1, alpha_msg(7)) == Event::recv(1, alpha_msg(7)));
+  EXPECT_FALSE(Event::do_action(1) == Event::do_action(2));
+}
+
+TEST(Event, IsFailureDetectorEvent) {
+  EXPECT_TRUE(Event::suspect(ProcSet{}).is_failure_detector_event());
+  EXPECT_TRUE(Event::suspect_gen(ProcSet{}, 0).is_failure_detector_event());
+  EXPECT_FALSE(Event::crash().is_failure_detector_event());
+  EXPECT_FALSE(Event::do_action(1).is_failure_detector_event());
+}
+
+TEST(Event, HashRespectsEquality) {
+  Event a = Event::send(1, alpha_msg(7));
+  Event b = Event::send(1, alpha_msg(7));
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), Event::send(1, alpha_msg(8)).hash());
+  EXPECT_NE(Event::suspect(ProcSet::singleton(1)).hash(),
+            Event::suspect(ProcSet::singleton(2)).hash());
+}
+
+TEST(Event, ToStringRoundtripsKind) {
+  EXPECT_EQ(Event::crash().to_string(), "crash");
+  EXPECT_EQ(Event::do_action(3).to_string(), "do(α3)");
+  EXPECT_NE(Event::suspect_gen(ProcSet::singleton(1), 1).to_string().find(
+                "suspect"),
+            std::string::npos);
+}
+
+TEST(History, AppendAndPrefixHash) {
+  History h;
+  EXPECT_TRUE(h.empty());
+  h.append(Event::init(1));
+  h.append(Event::do_action(1));
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].kind, EventKind::kInit);
+  EXPECT_EQ(h.back().kind, EventKind::kDo);
+
+  History h2;
+  h2.append(Event::init(1));
+  EXPECT_EQ(h.prefix_hash(1), h2.prefix_hash(1));
+  EXPECT_NE(h.prefix_hash(2), h.prefix_hash(1));
+}
+
+TEST(History, PrefixesEqualIsOrderSensitive) {
+  History a;
+  a.append(Event::init(1));
+  a.append(Event::do_action(1));
+  History b;
+  b.append(Event::do_action(1));
+  b.append(Event::init(1));
+  EXPECT_TRUE(History::prefixes_equal(a, 2, a, 2));
+  EXPECT_FALSE(History::prefixes_equal(a, 2, b, 2));
+  EXPECT_FALSE(History::prefixes_equal(a, 1, b, 2));
+  // Empty prefixes always match.
+  EXPECT_TRUE(History::prefixes_equal(a, 0, b, 0));
+}
+
+TEST(History, EqualityComparesWholeHistories) {
+  History a;
+  a.append(Event::crash());
+  History b;
+  b.append(Event::crash());
+  EXPECT_TRUE(a == b);
+  b.append(Event::crash());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(History, PrefixSpanView) {
+  History h;
+  h.append(Event::init(4));
+  h.append(Event::do_action(4));
+  auto span = h.prefix(1);
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(span[0].kind, EventKind::kInit);
+  EXPECT_THROW(h.prefix(3), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace udc

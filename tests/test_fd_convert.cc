@@ -1,0 +1,145 @@
+// Propositions 2.1 and 2.2: conversions between detector classes preserve
+// accuracy while upgrading completeness.
+#include "udc/fd/convert.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/coord/nudc_protocol.h"
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 240;
+constexpr Time kGrace = 80;
+
+System gossiping_system(OracleFactory oracle_factory) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.2;
+  auto plans = std::vector<CrashPlan>{
+      no_crashes(kN),
+      make_crash_plan(kN, {{2, 30}}),
+      make_crash_plan(kN, {{0, 20}, {3, 60}}),
+  };
+  return generate_system(cfg, plans, {}, oracle_factory, [](ProcessId) {
+    return std::make_unique<SuspicionGossiper>();
+  }, /*seeds_per_plan=*/2);
+}
+
+TEST(Prop22, ImpermanentStrongBecomesStrong) {
+  System sys = gossiping_system(
+      [] { return std::make_unique<ImpermanentStrongOracle>(4); });
+  FdPropertyReport before = check_fd_properties(sys, kGrace);
+  ASSERT_TRUE(before.impermanent_strong()) << before.summary();
+  ASSERT_FALSE(before.strong_completeness);
+
+  System converted = convert_impermanent_to_permanent(sys);
+  FdPropertyReport after = check_fd_properties(converted, kGrace);
+  EXPECT_TRUE(after.strong_completeness) << after.summary();
+  // Accuracy preserved: the impermanent-strong oracle is strongly accurate,
+  // and the union of accurate reports stays accurate.
+  EXPECT_TRUE(after.strong_accuracy);
+  EXPECT_TRUE(after.weak_accuracy);
+}
+
+TEST(Prop21, WeakBecomesStrongViaGossip) {
+  System sys =
+      gossiping_system([] { return std::make_unique<WeakOracle>(4, 0.0); });
+  FdPropertyReport before = check_fd_properties(sys, kGrace);
+  ASSERT_TRUE(before.weak()) << before.summary();
+  ASSERT_FALSE(before.strong_completeness);
+
+  System converted = convert_weak_to_strong_via_gossip(sys);
+  FdPropertyReport after = check_fd_properties(converted, kGrace);
+  EXPECT_TRUE(after.strong_completeness) << after.summary();
+  EXPECT_TRUE(after.weak_accuracy);  // protected process still unsuspected
+}
+
+TEST(Prop21, ImpermanentWeakBecomesImpermanentStrongThenStrong) {
+  // The two propositions compose: impermanent-weak -> (gossip) ->
+  // impermanent-strong -> (union) -> strong.
+  System sys = gossiping_system(
+      [] { return std::make_unique<ImpermanentWeakOracle>(4); });
+  FdPropertyReport before = check_fd_properties(sys, kGrace);
+  ASSERT_TRUE(before.impermanent_weak()) << before.summary();
+
+  System converted = convert_weak_to_strong_via_gossip(sys);
+  FdPropertyReport after = check_fd_properties(converted, kGrace);
+  EXPECT_TRUE(after.strong_completeness) << after.summary();
+  EXPECT_TRUE(after.weak_accuracy);
+}
+
+TEST(Conversions, PreserveNonFdEventsInOrder) {
+  System sys =
+      gossiping_system([] { return std::make_unique<WeakOracle>(4, 0.0); });
+  System converted = convert_weak_to_strong_via_gossip(sys);
+  ASSERT_EQ(sys.size(), converted.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (ProcessId p = 0; p < kN; ++p) {
+      std::vector<Event> orig, conv;
+      for (const Event& e : sys.run(i).history(p).events()) {
+        if (!e.is_failure_detector_event()) orig.push_back(e);
+      }
+      for (const Event& e : converted.run(i).history(p).events()) {
+        if (!e.is_failure_detector_event()) conv.push_back(e);
+      }
+      ASSERT_EQ(orig.size(), conv.size());
+      for (std::size_t j = 0; j < orig.size(); ++j) {
+        EXPECT_TRUE(orig[j] == conv[j]);
+      }
+    }
+  }
+}
+
+TEST(InterleaveReports, DoublesTimeAndDropsOldReports) {
+  Run::Builder b(2);
+  b.append(0, Event::init(1))
+      .append(1, Event::suspect(ProcSet::singleton(0)))
+      .end_step();
+  b.append(0, Event::do_action(1)).end_step();
+  udc::Run r = std::move(b).build();
+
+  int calls = 0;
+  udc::Run f = interleave_reports(r, [&calls](ProcessId, Time) {
+    ++calls;
+    return std::optional<Event>(Event::suspect(ProcSet{}));
+  });
+  EXPECT_EQ(f.horizon(), 2 * r.horizon() + 1);
+  // Reporter runs for each process at each original time 0..horizon.
+  EXPECT_EQ(calls, 2 * (static_cast<int>(r.horizon()) + 1));
+  // p1's original suspect event is gone; its history is fresh reports only.
+  for (const Event& e : f.history(1).events()) {
+    EXPECT_TRUE(e.is_failure_detector_event());
+    EXPECT_TRUE(e.suspects.empty());
+  }
+  // p0's init lands at even step 2 (P2: original time 1 -> 2m+2 = 2).
+  EXPECT_FALSE(f.init_in(0, 1, 1));
+  EXPECT_TRUE(f.init_in(0, 2, 1));
+  EXPECT_TRUE(f.do_in(0, 4, 1));
+  EXPECT_FALSE(f.do_in(0, 3, 1));
+}
+
+TEST(InterleaveReports, NoReportsAfterCrash) {
+  Run::Builder b(1);
+  b.append(0, Event::crash()).end_step();
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  udc::Run f = interleave_reports(r, [](ProcessId, Time) {
+    return std::optional<Event>(Event::suspect(ProcSet{}));
+  });
+  // History: one report at odd step 1 (pre-crash), crash at even step 2,
+  // then nothing (R4).
+  ASSERT_EQ(f.history(0).size(), 2u);
+  EXPECT_EQ(f.history(0)[0].kind, EventKind::kSuspect);
+  EXPECT_EQ(f.history(0)[1].kind, EventKind::kCrash);
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,157 @@
+// The eventually-X detector classes (◇W, ◇S, ◇P), the eventual-accuracy
+// checkers, and the CT96 ◇W -> ◇S conversion via current-suspicion gossip.
+#include <gtest/gtest.h>
+
+#include "udc/coord/nudc_protocol.h"
+#include "udc/fd/convert.h"
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 260;
+constexpr Time kGrace = 80;
+
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+udc::Run run_with(FdOracle& oracle, const CrashPlan& plan,
+                  std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.seed = seed;
+  return simulate(cfg, plan, &oracle, {}, [](ProcessId) {
+           return std::make_unique<IdleProcess>();
+         }).run;
+}
+
+TEST(EventualAccuracy, PerfectDetectorStabilizesAtZero) {
+  PerfectOracle oracle(4);
+  udc::Run r = run_with(oracle, make_crash_plan(kN, {{1, 30}}), 1);
+  EventualAccuracyReport rep = check_eventual_accuracy(r);
+  ASSERT_TRUE(rep.eventually_strong());
+  EXPECT_EQ(*rep.strong_from, 0);
+  ASSERT_TRUE(rep.eventually_weak());
+  EXPECT_EQ(*rep.weak_from, 0);
+}
+
+TEST(EventualAccuracy, NoisyThenAccurateReportsStabilization) {
+  EventuallyStrongOracle oracle(4, 60, 0.5);
+  udc::Run r = run_with(oracle, make_crash_plan(kN, {{1, 100}}), 7);
+  EventualAccuracyReport rep = check_eventual_accuracy(r);
+  ASSERT_TRUE(rep.eventually_strong());
+  // Stabilization happens by the oracle's cutoff plus one reporting period.
+  EXPECT_LE(*rep.strong_from, oracle.stabilization_time() + 4 + 1);
+  EXPECT_TRUE(rep.eventually_weak());
+}
+
+TEST(EventualAccuracy, StickyFalseSuspicionNeverStabilizesStrongly) {
+  // A Strong oracle's false suspicions are permanent: eventual STRONG
+  // accuracy fails (some live process suspected through the horizon), but
+  // eventual WEAK accuracy holds (the protected process).
+  StrongOracle oracle(4, 0.9);
+  udc::Run r = run_with(oracle, make_crash_plan(kN, {{1, 30}}), 3);
+  EventualAccuracyReport rep = check_eventual_accuracy(r);
+  EXPECT_FALSE(rep.eventually_strong());
+  EXPECT_TRUE(rep.eventually_weak());
+}
+
+TEST(EventuallyWeakOracle, ProfileIsDiamondW) {
+  // Per run: weak completeness; eventual weak accuracy; pre-stabilization
+  // noise generally breaks (perpetual) weak accuracy across a sweep.
+  FdPropertyReport perpetual;
+  bool all_eventually_weak = true;
+  std::uint64_t seed = 40;
+  for (const CrashPlan& plan :
+       {make_crash_plan(kN, {{1, 60}}), make_crash_plan(kN, {{0, 60}, {2, 90}}),
+        no_crashes(kN)}) {
+    EventuallyWeakOracle oracle(4, 80, 0.5);
+    udc::Run r = run_with(oracle, plan, seed++);
+    perpetual.merge(check_fd_properties(r, kGrace));
+    all_eventually_weak &= check_eventual_accuracy(r).eventually_weak();
+  }
+  EXPECT_TRUE(perpetual.weak_completeness);
+  EXPECT_FALSE(perpetual.strong_completeness);  // only the watcher reports
+  EXPECT_FALSE(perpetual.weak_accuracy);        // noise hit everyone at times
+  EXPECT_TRUE(all_eventually_weak);
+}
+
+TEST(DiamondConversion, CurrentGossipUpgradesCompletenessAndRetracts) {
+  // ◇W + current-suspicion gossip -> ◇S: strong completeness, eventual
+  // weak accuracy preserved (retractions propagate).
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 400;
+  cfg.channel.drop_prob = 0.2;
+  auto plans = std::vector<CrashPlan>{
+      make_crash_plan(kN, {{1, 120}}),
+      make_crash_plan(kN, {{0, 120}, {3, 180}}),
+  };
+  System sys = generate_system(
+      cfg, plans, {},
+      [] { return std::make_unique<EventuallyWeakOracle>(4, 60, 0.4); },
+      [](ProcessId) {
+        return std::make_unique<SuspicionGossiper>(
+            SuspicionGossiper::Mode::kCurrent);
+      },
+      2);
+  FdPropertyReport before = check_fd_properties(sys, /*grace=*/120);
+  ASSERT_FALSE(before.strong_completeness);
+
+  System converted = convert_eventually_weak_to_strong(sys);
+  FdPropertyReport after = check_fd_properties(converted, /*grace=*/120);
+  EXPECT_TRUE(after.strong_completeness) << after.summary();
+  EventualAccuracyReport acc = check_eventual_accuracy(converted);
+  EXPECT_TRUE(acc.eventually_weak());
+}
+
+TEST(DiamondConversion, CumulativeGossipWouldNotRetract) {
+  // Contrast: the Prop 2.1 (cumulative) conversion freezes pre-
+  // stabilization noise forever — eventual weak accuracy can be lost.
+  // This is exactly why CT96's ◇-conversion gossips CURRENT suspicions.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 400;
+  cfg.channel.drop_prob = 0.2;
+  cfg.seed = 77;
+  auto plans = std::vector<CrashPlan>{make_crash_plan(kN, {{1, 120}})};
+  System sys = generate_system(
+      cfg, plans, {},
+      [] { return std::make_unique<EventuallyWeakOracle>(4, 60, 0.9); },
+      [](ProcessId) {
+        return std::make_unique<SuspicionGossiper>(
+            SuspicionGossiper::Mode::kCumulative);
+      },
+      3);
+  System converted = convert_weak_to_strong_via_gossip(sys);
+  EventualAccuracyReport acc = check_eventual_accuracy(converted);
+  // With noise 0.9 for ~60 ticks, every correct process gets falsely
+  // suspected and the cumulative union never forgets.
+  EXPECT_FALSE(acc.eventually_weak());
+}
+
+TEST(EventualAccuracy, SystemLevelTakesWorstRun) {
+  std::vector<udc::Run> runs;
+  {
+    PerfectOracle oracle(4);
+    runs.push_back(run_with(oracle, no_crashes(kN), 1));
+  }
+  {
+    EventuallyStrongOracle oracle(4, 100, 0.5);
+    runs.push_back(run_with(oracle, make_crash_plan(kN, {{2, 60}}), 2));
+  }
+  System sys(std::move(runs));
+  EventualAccuracyReport rep = check_eventual_accuracy(sys);
+  ASSERT_TRUE(rep.eventually_strong());
+  EXPECT_GT(*rep.strong_from, 0);  // dominated by the noisy run
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,121 @@
+// The full CT96 detector lattice: every oracle lands in its class, and the
+// partial order behaves.
+#include "udc/fd/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 260;
+constexpr Time kGrace = 80;
+
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+System oracle_system(const OracleFactory& oracle) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  auto plans = std::vector<CrashPlan>{
+      no_crashes(kN),
+      make_crash_plan(kN, {{1, 60}}),
+      make_crash_plan(kN, {{0, 60}, {2, 110}}),
+  };
+  return generate_system(cfg, plans, {}, oracle, [](ProcessId) {
+    return std::make_unique<IdleProcess>();
+  }, 2);
+}
+
+struct LatticeCase {
+  const char* name;
+  OracleFactory oracle;
+  CtLatticeClass expected;
+};
+
+TEST(CtLattice, EveryOracleLandsInItsClass) {
+  std::vector<LatticeCase> cases;
+  cases.push_back({"perfect", [] { return std::make_unique<PerfectOracle>(4); },
+                   CtLatticeClass::kP});
+  cases.push_back({"strong",
+                   [] { return std::make_unique<StrongOracle>(4, 0.4); },
+                   CtLatticeClass::kS});
+  cases.push_back({"Q (weak oracle, no noise)",
+                   [] { return std::make_unique<QOracle>(4, 0.0); },
+                   CtLatticeClass::kQ});
+  cases.push_back({"weak (noisy)",
+                   [] { return std::make_unique<WeakOracle>(4, 0.4); },
+                   CtLatticeClass::kW});
+  cases.push_back({"eventually strong (= <>P here)",
+                   [] {
+                     return std::make_unique<EventuallyStrongOracle>(4, 50,
+                                                                     0.5);
+                   },
+                   CtLatticeClass::kDiamondP});
+  cases.push_back({"eventually weak",
+                   [] {
+                     return std::make_unique<EventuallyWeakOracle>(4, 50, 0.5);
+                   },
+                   CtLatticeClass::kDiamondQ});
+  for (auto& c : cases) {
+    System sys = oracle_system(c.oracle);
+    CtLatticeClass got = classify_ct(sys, kGrace);
+    EXPECT_TRUE(ct_at_least(got, c.expected))
+        << c.name << ": got " << ct_class_name(got) << ", wanted at least "
+        << ct_class_name(c.expected);
+  }
+}
+
+TEST(CtLattice, NoisyStrongIsNotPerfect) {
+  System sys =
+      oracle_system([] { return std::make_unique<StrongOracle>(4, 0.4); });
+  CtLatticeClass got = classify_ct(sys, kGrace);
+  EXPECT_EQ(got, CtLatticeClass::kS) << ct_class_name(got);
+  EXPECT_FALSE(ct_at_least(got, CtLatticeClass::kP));
+}
+
+TEST(CtLattice, PartialOrderSanity) {
+  using C = CtLatticeClass;
+  // P is top: at least everything.
+  for (C c : {C::kP, C::kS, C::kQ, C::kW, C::kDiamondP, C::kDiamondS,
+              C::kDiamondQ, C::kDiamondW, C::kNone}) {
+    EXPECT_TRUE(ct_at_least(C::kP, c)) << ct_class_name(c);
+    EXPECT_TRUE(ct_at_least(c, C::kNone));
+  }
+  // Column/row relations.
+  EXPECT_TRUE(ct_at_least(C::kS, C::kW));
+  EXPECT_TRUE(ct_at_least(C::kQ, C::kW));
+  EXPECT_TRUE(ct_at_least(C::kS, C::kDiamondS));
+  EXPECT_TRUE(ct_at_least(C::kDiamondP, C::kDiamondS));
+  EXPECT_TRUE(ct_at_least(C::kDiamondS, C::kDiamondW));
+  EXPECT_TRUE(ct_at_least(C::kDiamondQ, C::kDiamondW));
+  // Incomparabilities.
+  EXPECT_FALSE(ct_at_least(C::kS, C::kQ));
+  EXPECT_FALSE(ct_at_least(C::kQ, C::kS));
+  EXPECT_FALSE(ct_at_least(C::kDiamondP, C::kS));
+  EXPECT_FALSE(ct_at_least(C::kW, C::kDiamondP));
+  // Nothing (but P/S) dominates S.
+  EXPECT_FALSE(ct_at_least(C::kDiamondS, C::kS));
+  EXPECT_FALSE(ct_at_least(C::kW, C::kS));
+}
+
+TEST(CtLattice, ClassNamesAreDistinct) {
+  using C = CtLatticeClass;
+  std::vector<C> all{C::kP, C::kS, C::kQ, C::kW, C::kDiamondP, C::kDiamondS,
+                     C::kDiamondQ, C::kDiamondW, C::kNone};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_STRNE(ct_class_name(all[i]), ct_class_name(all[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,175 @@
+// Oracles are verified through the run-level property checkers: for each
+// oracle class we generate runs across crash plans and assert exactly the
+// advertised accuracy/completeness profile.
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 160;
+constexpr Time kGrace = 40;
+
+// The FD consumer doesn't matter for oracle properties; an idle protocol
+// keeps the runs small.
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+udc::Run run_with(FdOracle& oracle, const CrashPlan& plan, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.seed = seed;
+  return simulate(cfg, plan, &oracle, {}, [](ProcessId) {
+           return std::make_unique<IdleProcess>();
+         }).run;
+}
+
+std::vector<CrashPlan> standard_plans() {
+  return {
+      no_crashes(kN),
+      make_crash_plan(kN, {{2, 20}}),
+      make_crash_plan(kN, {{0, 10}, {3, 50}}),
+      make_crash_plan(kN, {{0, 10}, {1, 30}, {2, 60}}),
+  };
+}
+
+template <typename OracleT, typename... Args>
+FdPropertyReport sweep(Args... args) {
+  FdPropertyReport rep;
+  std::uint64_t seed = 1;
+  for (const CrashPlan& plan : standard_plans()) {
+    OracleT oracle(args...);
+    rep.merge(check_fd_properties(run_with(oracle, plan, seed++), kGrace));
+  }
+  return rep;
+}
+
+TEST(PerfectOracle, IsPerfect) {
+  FdPropertyReport rep = sweep<PerfectOracle>(Time{4});
+  EXPECT_TRUE(rep.perfect()) << rep.summary();
+  EXPECT_TRUE(rep.weak_accuracy);
+  EXPECT_TRUE(rep.weak_completeness);
+}
+
+TEST(StrongOracle, StrongButNotPerfect) {
+  FdPropertyReport rep = sweep<StrongOracle>(Time{4}, 0.5);
+  EXPECT_TRUE(rep.strong()) << rep.summary();
+  // False suspicions must eventually appear across this sweep.
+  EXPECT_FALSE(rep.strong_accuracy);
+}
+
+TEST(StrongOracle, ZeroFalseRateDegeneratesToPerfect) {
+  FdPropertyReport rep = sweep<StrongOracle>(Time{4}, 0.0);
+  EXPECT_TRUE(rep.perfect()) << rep.summary();
+}
+
+TEST(WeakOracle, WeakButNotStrong) {
+  FdPropertyReport rep = sweep<WeakOracle>(Time{4}, 0.0);
+  EXPECT_TRUE(rep.weak()) << rep.summary();
+  // With n-1 > 1 correct observers and a single watcher per faulty process,
+  // strong completeness must fail somewhere in the sweep.
+  EXPECT_FALSE(rep.strong_completeness);
+}
+
+TEST(ImpermanentStrongOracle, CompletenessOnlyImpermanent) {
+  FdPropertyReport rep = sweep<ImpermanentStrongOracle>(Time{4});
+  EXPECT_TRUE(rep.impermanent_strong()) << rep.summary();
+  EXPECT_TRUE(rep.strong_accuracy);  // it never lies, it just forgets
+  EXPECT_FALSE(rep.strong_completeness);
+}
+
+TEST(ImpermanentWeakOracle, WeakestOfAll) {
+  FdPropertyReport rep = sweep<ImpermanentWeakOracle>(Time{4});
+  EXPECT_TRUE(rep.impermanent_weak()) << rep.summary();
+  EXPECT_FALSE(rep.weak_completeness);
+  EXPECT_FALSE(rep.impermanent_strong_completeness);
+}
+
+TEST(EventuallyStrongOracle, CompleteAndEventuallyAccurate) {
+  FdPropertyReport rep = sweep<EventuallyStrongOracle>(Time{4}, Time{40}, 0.5);
+  EXPECT_TRUE(rep.strong_completeness) << rep.summary();
+  // Pre-stabilization noise breaks (perpetual) weak accuracy in the sweep.
+  EXPECT_FALSE(rep.weak_accuracy);
+}
+
+TEST(EventuallyStrongOracle, AccurateFromStabilizationOn) {
+  EventuallyStrongOracle oracle(2, 40, 0.6);
+  CrashPlan plan = make_crash_plan(kN, {{1, 30}});
+  udc::Run r = run_with(oracle, plan, 3);
+  Time stab = oracle.stabilization_time();
+  for (ProcessId p = 0; p < kN; ++p) {
+    if (plan.is_faulty(p)) continue;
+    for (Time m = stab; m <= r.horizon(); ++m) {
+      for (ProcessId q : r.suspects_at(p, m)) {
+        EXPECT_TRUE(r.crashed_by(q, m))
+            << "post-stabilization suspicion of live p" << q;
+      }
+    }
+  }
+}
+
+TEST(NullOracle, NeverReports) {
+  NullOracle oracle;
+  udc::Run r = run_with(oracle, make_crash_plan(kN, {{1, 20}}), 5);
+  for (ProcessId p = 0; p < kN; ++p) {
+    for (const Event& e : r.history(p).events()) {
+      EXPECT_FALSE(e.is_failure_detector_event());
+    }
+  }
+  // With no reports at all, completeness fails but accuracy holds.
+  FdPropertyReport rep = check_fd_properties(r, kGrace);
+  EXPECT_TRUE(rep.strong_accuracy);
+  EXPECT_TRUE(rep.weak_accuracy);
+  EXPECT_FALSE(rep.impermanent_weak_completeness);
+}
+
+TEST(Oracles, AllFaultyRunIsVacuouslyFine) {
+  // F(r) = Proc: weak accuracy/completeness are vacuous by the paper's
+  // definitions (they require F(r) != Proc).
+  CrashPlan plan = make_crash_plan(
+      kN, {{0, 10}, {1, 20}, {2, 30}, {3, 40}});
+  WeakOracle oracle(4, 0.3);
+  udc::Run r = run_with(oracle, plan, 9);
+  FdPropertyReport rep = check_fd_properties(r, kGrace);
+  EXPECT_TRUE(rep.weak_accuracy);
+  EXPECT_TRUE(rep.weak_completeness);
+}
+
+TEST(Oracles, ChangeDrivenEmission) {
+  // Oracles are change-driven: a crash-free run gets exactly one report per
+  // observer (the initial empty set), and a run with two crashes gets three
+  // (initial + one per change), all on period boundaries.
+  {
+    PerfectOracle oracle(8);
+    udc::Run r = run_with(oracle, no_crashes(kN), 2);
+    ASSERT_EQ(r.history(0).size(), 1u);
+    EXPECT_EQ(r.history(0)[0].kind, EventKind::kSuspect);
+    EXPECT_TRUE(r.history(0)[0].suspects.empty());
+    EXPECT_EQ(r.event_time(0, 0) % 8, 0);
+  }
+  {
+    PerfectOracle oracle(8);
+    udc::Run r = run_with(oracle, make_crash_plan(kN, {{1, 20}, {2, 50}}), 2);
+    ASSERT_EQ(r.history(0).size(), 3u);
+    EXPECT_TRUE(r.history(0)[0].suspects.empty());
+    EXPECT_EQ(r.history(0)[1].suspects, ProcSet::singleton(1));
+    EXPECT_EQ(r.history(0)[2].suspects,
+              ProcSet::singleton(1) | ProcSet::singleton(2));
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(r.event_time(0, i) % 8, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udc

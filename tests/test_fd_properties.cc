@@ -1,0 +1,133 @@
+// Direct unit tests of the §2.2 property checkers on hand-built runs, where
+// every clause can be exercised in isolation.
+#include "udc/fd/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace udc {
+namespace {
+
+// Two processes; p1 crashes at time 2; p0 observes.
+Run::Builder two_proc_with_crash() {
+  Run::Builder b(2);
+  b.end_step();                               // time 1
+  b.append(1, Event::crash()).end_step();     // time 2
+  return b;
+}
+
+TEST(FdProperties, EmptyRunSatisfiesEverything) {
+  udc::Run r = std::move(Run::Builder(2).end_step()).build();
+  FdPropertyReport rep = check_fd_properties(r);
+  EXPECT_TRUE(rep.perfect());
+  EXPECT_TRUE(rep.weak());
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+TEST(FdProperties, AccurateAndPermanentSuspicionIsPerfect) {
+  Run::Builder b = two_proc_with_crash();
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+  udc::Run r = std::move(b).build();
+  FdPropertyReport rep = check_fd_properties(r);
+  EXPECT_TRUE(rep.perfect()) << rep.summary();
+}
+
+TEST(FdProperties, EarlySuspicionBreaksStrongAccuracyOnly) {
+  Run::Builder b(2);
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();  // p1 alive!
+  b.append(1, Event::crash()).end_step();
+  udc::Run r = std::move(b).build();
+  FdPropertyReport rep = check_fd_properties(r);
+  EXPECT_FALSE(rep.strong_accuracy);
+  EXPECT_TRUE(rep.weak_accuracy);  // p0 itself is never suspected
+  EXPECT_TRUE(rep.strong_completeness);
+  ASSERT_FALSE(rep.violations.empty());
+  EXPECT_NE(rep.violations[0].find("strong accuracy"), std::string::npos);
+}
+
+TEST(FdProperties, SuspectingEveryCorrectProcessBreaksWeakAccuracy) {
+  Run::Builder b(2);
+  b.append(0, Event::suspect(ProcSet::singleton(1)))
+      .append(1, Event::suspect(ProcSet::singleton(0)))
+      .end_step();
+  udc::Run r = std::move(b).build();
+  FdPropertyReport rep = check_fd_properties(r);
+  EXPECT_FALSE(rep.weak_accuracy);
+  EXPECT_FALSE(rep.strong_accuracy);
+}
+
+TEST(FdProperties, MissingSuspicionBreaksCompleteness) {
+  udc::Run r = std::move(two_proc_with_crash().end_step()).build();
+  FdPropertyReport rep = check_fd_properties(r);
+  EXPECT_FALSE(rep.strong_completeness);
+  EXPECT_FALSE(rep.weak_completeness);
+  EXPECT_FALSE(rep.impermanent_strong_completeness);
+  EXPECT_FALSE(rep.impermanent_weak_completeness);
+  EXPECT_TRUE(rep.strong_accuracy);
+}
+
+TEST(FdProperties, RetractedSuspicionIsOnlyImpermanent) {
+  Run::Builder b = two_proc_with_crash();
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+  b.append(0, Event::suspect(ProcSet{})).end_step();  // retract
+  udc::Run r = std::move(b).build();
+  FdPropertyReport rep = check_fd_properties(r);
+  EXPECT_FALSE(rep.strong_completeness);
+  EXPECT_FALSE(rep.weak_completeness);
+  EXPECT_TRUE(rep.impermanent_strong_completeness);
+  EXPECT_TRUE(rep.impermanent_weak_completeness);
+}
+
+TEST(FdProperties, GraceWindowExemptsLateCrashes) {
+  Run::Builder b(2);
+  for (int i = 0; i < 8; ++i) b.end_step();
+  b.append(1, Event::crash()).end_step();  // crash at time 9 of 10
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_FALSE(check_fd_properties(r, /*grace=*/0).strong_completeness);
+  EXPECT_TRUE(check_fd_properties(r, /*grace=*/5).strong_completeness);
+}
+
+TEST(FdProperties, WeakCompletenessNeedsOnlyOneWatcher) {
+  Run::Builder b(3);
+  b.append(2, Event::crash()).end_step();
+  b.append(0, Event::suspect(ProcSet::singleton(2))).end_step();
+  udc::Run r = std::move(b).build();
+  FdPropertyReport rep = check_fd_properties(r);
+  EXPECT_TRUE(rep.weak_completeness);
+  EXPECT_FALSE(rep.strong_completeness);  // p1 never suspects p2
+}
+
+TEST(FdProperties, SystemCheckIsConjunctionOverRuns) {
+  udc::Run good = [] {
+    Run::Builder b = two_proc_with_crash();
+    b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+    return std::move(b).build();
+  }();
+  udc::Run bad = std::move(two_proc_with_crash().end_step()).build();
+  std::vector<udc::Run> runs;
+  runs.push_back(std::move(good));
+  runs.push_back(std::move(bad));
+  System sys(std::move(runs));
+  FdPropertyReport rep = check_fd_properties(sys);
+  EXPECT_TRUE(rep.strong_accuracy);
+  EXPECT_FALSE(rep.strong_completeness);
+}
+
+TEST(FdProperties, StrongestClassLadder) {
+  FdPropertyReport rep;  // all true
+  EXPECT_EQ(strongest_class(rep), FdClass::kPerfect);
+  rep.strong_accuracy = false;
+  EXPECT_EQ(strongest_class(rep), FdClass::kStrong);
+  rep.strong_completeness = false;
+  EXPECT_EQ(strongest_class(rep), FdClass::kWeak);
+  rep.weak_completeness = false;
+  EXPECT_EQ(strongest_class(rep), FdClass::kImpermanentStrong);
+  rep.impermanent_strong_completeness = false;
+  EXPECT_EQ(strongest_class(rep), FdClass::kImpermanentWeak);
+  rep.impermanent_weak_completeness = false;
+  EXPECT_EQ(strongest_class(rep), FdClass::kNone);
+  EXPECT_STREQ(fd_class_name(FdClass::kNone), "none");
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,102 @@
+// fd/quality.h: the QoS measurements behind the class labels.
+#include "udc/fd/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+TEST(FdQuality, HandBuiltLatencyAccounting) {
+  // p1 crashes at 2; p0 detects at 5 (latency 3); p2 never detects.
+  Run::Builder b(3);
+  b.end_step();                                                   // 1
+  b.append(1, Event::crash()).end_step();                         // 2
+  b.end_step();                                                   // 3
+  b.end_step();                                                   // 4
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();  // 5
+  b.end_step();                                                   // 6
+  udc::Run r = std::move(b).build();
+  FdQuality q = measure_fd_quality(r);
+  EXPECT_EQ(q.detections, 1u);
+  EXPECT_EQ(q.missed, 1u);  // p2 never reports
+  EXPECT_DOUBLE_EQ(q.mean_detection_latency, 3.0);
+  EXPECT_EQ(q.max_detection_latency, 3);
+  EXPECT_DOUBLE_EQ(q.false_positive_rate, 0.0);
+}
+
+TEST(FdQuality, FalsePositiveIntegration) {
+  // p0 suspects live p1 during ticks 2..4 (suspicion in force from the
+  // t=2 report until retracted at t=5): 3 false observer-ticks out of
+  // 2 observers x 6 ticks.
+  Run::Builder b(2);
+  b.end_step();
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+  b.end_step();
+  b.end_step();
+  b.append(0, Event::suspect(ProcSet{})).end_step();
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  FdQuality q = measure_fd_quality(r);
+  EXPECT_NEAR(q.false_positive_rate, 3.0 / 12.0, 1e-9);
+  EXPECT_EQ(q.detections, 0u);
+  EXPECT_EQ(q.missed, 0u);
+}
+
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+System oracle_system(const OracleFactory& oracle) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = 300;
+  auto plans = all_crash_plans_up_to(4, 2, 40, 120);
+  return generate_system(cfg, plans, {}, oracle, [](ProcessId) {
+    return std::make_unique<IdleProcess>();
+  }, 2);
+}
+
+TEST(FdQuality, PerfectOracleDetectsEverythingCleanly) {
+  System sys =
+      oracle_system([] { return std::make_unique<PerfectOracle>(4); });
+  FdQuality q = measure_fd_quality(sys);
+  EXPECT_EQ(q.missed, 0u);
+  EXPECT_DOUBLE_EQ(q.false_positive_rate, 0.0);
+  // Detection comes on the next report tick: latency in [0, period].
+  EXPECT_LE(q.max_detection_latency, 4);
+}
+
+TEST(FdQuality, NoisyStrongTradesAccuracyNotLatency) {
+  System clean =
+      oracle_system([] { return std::make_unique<PerfectOracle>(4); });
+  System noisy =
+      oracle_system([] { return std::make_unique<StrongOracle>(4, 0.5); });
+  FdQuality qc = measure_fd_quality(clean);
+  FdQuality qn = measure_fd_quality(noisy);
+  EXPECT_EQ(qn.missed, 0u);
+  EXPECT_GT(qn.false_positive_rate, qc.false_positive_rate);
+  // Same reporting cadence: latencies comparable.
+  EXPECT_LE(qn.max_detection_latency, qc.max_detection_latency + 4);
+}
+
+TEST(FdQuality, SlowerPeriodMeansSlowerDetectionAndLowerLoad) {
+  System fast =
+      oracle_system([] { return std::make_unique<PerfectOracle>(2); });
+  System slow =
+      oracle_system([] { return std::make_unique<PerfectOracle>(16); });
+  FdQuality qf = measure_fd_quality(fast);
+  FdQuality qs = measure_fd_quality(slow);
+  EXPECT_LT(qf.max_detection_latency, qs.max_detection_latency + 1);
+  EXPECT_LE(qs.max_detection_latency, 16);
+  // Change-driven reporting: load differences are small, but the fast
+  // detector can never be the lazier one.
+  EXPECT_GE(qf.report_load, qs.report_load);
+}
+
+}  // namespace
+}  // namespace udc

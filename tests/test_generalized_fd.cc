@@ -1,0 +1,168 @@
+// §4: generalized (S, k) detectors, t-usefulness, and the gen<->perfect
+// conversions.
+#include "udc/fd/generalized.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/fd/properties.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 5;
+
+TEST(TUseful, ReportPredicateMatchesPaperDefinition) {
+  ProcSet faulty;
+  faulty.insert(0);
+  faulty.insert(1);
+  // n = 5, t = 3, F = {0,1}.
+  // S = {0,1,2}: n - |S| = 2 > min(3,4) - k  iff  k > 1.
+  ProcSet s;
+  s.insert(0);
+  s.insert(1);
+  s.insert(2);
+  EXPECT_FALSE(is_t_useful_report(s, 1, faulty, 5, 3));
+  EXPECT_TRUE(is_t_useful_report(s, 2, faulty, 5, 3));
+  // (a): F ⊄ S kills it regardless of k.
+  ProcSet not_covering = ProcSet::singleton(0) | ProcSet::singleton(2);
+  EXPECT_FALSE(is_t_useful_report(not_covering, 2, faulty, 5, 3));
+  // (c): k > |S| is never useful.
+  EXPECT_FALSE(is_t_useful_report(s, 4, faulty, 5, 3));
+}
+
+TEST(TUseful, TrivialReportUsefulIffTBelowHalf) {
+  // (S, 0) with |S| = t covering F: useful iff n - t > t.
+  ProcSet faulty;  // no failures
+  for (int t = 0; t <= kN; ++t) {
+    ProcSet s;
+    for (int i = 0; i < t; ++i) s.insert(i);
+    EXPECT_EQ(is_t_useful_report(s, 0, faulty, kN, t), t < (kN + 1) / 2 || 2 * t < kN)
+        << "t=" << t;
+  }
+}
+
+TEST(TUseful, NMinus1UsefulForcesFullyCrashedSet) {
+  // For t >= n-1, usefulness requires k > |S| - 1, i.e. k = |S| (§4).
+  ProcSet faulty = ProcSet::singleton(1);
+  for (int size = 1; size <= kN; ++size) {
+    ProcSet s;
+    s.insert(1);
+    for (int i = 0; s.size() < size; ++i) s.insert(i == 1 ? kN - 1 : i);
+    EXPECT_FALSE(is_t_useful_report(s, s.size() - 1, faulty, kN, kN - 1));
+    // k = |S| needs |F ∩ S| >= k for accuracy, but usefulness alone holds:
+    EXPECT_TRUE(is_t_useful_report(s, s.size(), faulty, kN, kN - 1) ==
+                faulty.subset_of(s));
+  }
+}
+
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+udc::Run gen_run(FdOracle& oracle, const CrashPlan& plan, Time horizon = 200) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = horizon;
+  cfg.seed = 17;
+  return simulate(cfg, plan, &oracle, {}, [](ProcessId) {
+           return std::make_unique<IdleProcess>();
+         }).run;
+}
+
+TEST(TUsefulOracle, SatisfiesBothClauses) {
+  for (int t : {2, 3, 4}) {
+    std::vector<CrashPlan> plans = {
+        no_crashes(kN),
+        make_crash_plan(kN, {{1, 30}}),
+        make_crash_plan(kN, {{0, 20}, {4, 50}}),
+    };
+    for (const CrashPlan& plan : plans) {
+      if (plan.faulty_set().size() > t) continue;
+      TUsefulOracle oracle(t, 4, 1);
+      udc::Run r = gen_run(oracle, plan);
+      GenFdReport rep = check_t_useful(r, t, /*grace=*/60);
+      EXPECT_TRUE(rep.t_useful())
+          << "t=" << t << " F=" << plan.faulty_set().to_string() << ": "
+          << (rep.violations.empty() ? "" : rep.violations[0]);
+    }
+  }
+}
+
+TEST(TrivialGeneralizedOracle, TUsefulForSmallT) {
+  // t < n/2: the content-free cycling detector is t-useful (Cor 4.2's
+  // engine).  Horizon must cover a full cycle of C(n,t) subsets.
+  for (int t : {0, 1, 2}) {
+    TrivialGeneralizedOracle oracle(t, 2);
+    CrashPlan plan = t >= 1 ? make_crash_plan(kN, {{2, 10}}) : no_crashes(kN);
+    udc::Run r = gen_run(oracle, plan, /*horizon=*/120);
+    GenFdReport rep = check_t_useful(r, t, /*grace=*/40);
+    EXPECT_TRUE(rep.t_useful()) << "t=" << t;
+  }
+}
+
+TEST(TrivialGeneralizedOracle, NotUsefulWhenTAtLeastHalf) {
+  // For t >= n/2 the (S, 0) reports can never satisfy the inequality:
+  // completeness must fail in a run with crashes.
+  TrivialGeneralizedOracle oracle(3, 2);
+  udc::Run r = gen_run(oracle, make_crash_plan(kN, {{2, 10}}), 200);
+  GenFdReport rep = check_t_useful(r, 3, /*grace=*/60);
+  EXPECT_TRUE(rep.generalized_strong_accuracy);
+  EXPECT_FALSE(rep.generalized_impermanent_strong_completeness);
+}
+
+TEST(GenAccuracy, OverclaimingKIsCaught) {
+  Run::Builder b(3);
+  b.append(0, Event::suspect_gen(ProcSet::full(3), 1)).end_step();  // lie
+  b.append(2, Event::crash()).end_step();
+  udc::Run r = std::move(b).build();
+  GenFdReport rep = check_t_useful(r, 2);
+  EXPECT_FALSE(rep.generalized_strong_accuracy);
+  // Same report after the crash is fine.
+  Run::Builder b2(3);
+  b2.append(2, Event::crash()).end_step();
+  b2.append(0, Event::suspect_gen(ProcSet::full(3), 1)).end_step();
+  GenFdReport rep2 = check_t_useful(std::move(b2).build(), 2, /*grace=*/0);
+  EXPECT_TRUE(rep2.generalized_strong_accuracy);
+}
+
+TEST(Conversions, GenToPerfectOnFullyDeterminedReports) {
+  // An (n-1)-useful detector only emits (S, |S|); converting gives a
+  // standard perfect detector.
+  Run::Builder b(3);
+  b.append(1, Event::crash()).end_step();
+  b.append(0, Event::suspect_gen(ProcSet::singleton(1), 1)).end_step();
+  b.append(2, Event::suspect_gen(ProcSet::singleton(1), 1)).end_step();
+  udc::Run r = std::move(b).build();
+  udc::Run converted = convert_gen_to_perfect(r);
+  FdPropertyReport rep = check_fd_properties(converted);
+  EXPECT_TRUE(rep.perfect()) << rep.summary();
+  EXPECT_EQ(converted.suspects_at(0, converted.horizon()),
+            ProcSet::singleton(1));
+}
+
+TEST(Conversions, GenToPerfectIgnoresPartialReports) {
+  Run::Builder b(3);
+  b.append(1, Event::crash()).end_step();
+  // Partial report (|S| > k) carries no definite crash: must not be folded.
+  b.append(0, Event::suspect_gen(ProcSet::full(3), 1)).end_step();
+  udc::Run converted = convert_gen_to_perfect(std::move(b).build());
+  EXPECT_TRUE(converted.suspects_at(0, converted.horizon()).empty());
+}
+
+TEST(Conversions, PerfectToGenIsNUseful) {
+  Run::Builder b(3);
+  b.append(1, Event::crash()).end_step();
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+  b.append(2, Event::suspect(ProcSet::singleton(1))).end_step();
+  udc::Run r = std::move(b).build();
+  udc::Run converted = convert_perfect_to_gen(r);
+  GenFdReport rep = check_t_useful(converted, /*t=*/3);
+  EXPECT_TRUE(rep.t_useful())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+}  // namespace
+}  // namespace udc

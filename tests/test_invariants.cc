@@ -1,0 +1,118 @@
+// Deep structural invariants: the indistinguishability index partitions
+// the point space; the Theorem 3.6 constructions behave at the all-crash
+// edge; generated systems honor the §2.4 init-ownership discipline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "udc/coord/action.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+#include "udc/kt/simulate_fd.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+System small_system() {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 100;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 13;
+  auto workload = make_workload(3, 1, 4, 6);
+  auto plans = all_crash_plans_up_to(3, 3, 15, 60);  // includes all-crash
+  return generate_system(
+      cfg, plans, workload, [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 2);
+}
+
+TEST(Invariants, EquivalenceClassesPartitionThePointSpace) {
+  System sys = small_system();
+  for (ProcessId p = 0; p < sys.n(); ++p) {
+    std::set<std::pair<std::size_t, Time>> seen;
+    std::size_t total = 0;
+    sys.for_each_point([&](Point at) {
+      ++total;
+      // Take the class only from its canonical representative (the first
+      // member); every point must appear in exactly one class.
+      auto cls = sys.equivalence_class(p, at);
+      if (!(cls.front() == at)) return;
+      for (Point q : cls) {
+        bool inserted = seen.insert({q.run, q.m}).second;
+        EXPECT_TRUE(inserted) << "point in two classes for p" << p;
+      }
+    });
+    EXPECT_EQ(seen.size(), total) << "classes do not cover for p" << p;
+  }
+}
+
+TEST(Invariants, EquivalenceIsSymmetricAndTransitiveInPractice) {
+  System sys = small_system();
+  // Spot-check: membership is mutual and classes are identical objects.
+  sys.for_each_point([&](Point at) {
+    auto cls = sys.equivalence_class(0, at);
+    for (Point other : cls) {
+      auto cls2 = sys.equivalence_class(0, other);
+      ASSERT_EQ(cls.size(), cls2.size());
+      ASSERT_EQ(cls.data(), cls2.data());  // same stored group
+    }
+  });
+}
+
+TEST(Invariants, BuildRfSurvivesAllCrashRuns) {
+  // F(r) = Proc runs have no correct process: completeness is vacuous and
+  // the construction must simply not misbehave (reports stop at crashes).
+  System sys = small_system();
+  bool has_all_crash = false;
+  for (const udc::Run& r : sys.runs()) {
+    has_all_crash |= r.correct_set().empty();
+  }
+  ASSERT_TRUE(has_all_crash);
+  System rf = build_rf(sys);
+  FdPropertyReport rep = check_fd_properties(rf, /*grace=*/80);
+  EXPECT_TRUE(rep.strong_accuracy);
+  for (std::size_t i = 0; i < rf.size(); ++i) {
+    const udc::Run& r = rf.run(i);
+    for (ProcessId p = 0; p < rf.n(); ++p) {
+      // R4 in the image: nothing after crash.
+      const History& h = r.history(p);
+      for (std::size_t e = 0; e + 1 < h.size(); ++e) {
+        EXPECT_NE(h[e].kind, EventKind::kCrash);
+      }
+    }
+  }
+}
+
+TEST(Invariants, GeneratedRunsHonorInitOwnership) {
+  // §2.4: init_p(α) only ever appears at α's owner, at most once.
+  System sys = small_system();
+  for (const udc::Run& r : sys.runs()) {
+    for (ProcessId p = 0; p < sys.n(); ++p) {
+      for (const Event& e : r.history(p).events()) {
+        if (e.kind != EventKind::kInit) continue;
+        EXPECT_EQ(action_owner(e.action), p);
+      }
+    }
+  }
+}
+
+TEST(Invariants, SuspectReportsOnlyAtLiveProcesses) {
+  System sys = small_system();
+  for (const udc::Run& r : sys.runs()) {
+    for (ProcessId p = 0; p < sys.n(); ++p) {
+      const History& h = r.history(p);
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        if (h[i].is_failure_detector_event()) {
+          EXPECT_FALSE(r.crashed_by(p, r.event_time(p, i) - 1))
+              << "report after crash";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,116 @@
+// Knowledge-based suspicion (kt/knowledge_fd) against both hand-built
+// systems and the formula-based definition.
+#include "udc/kt/knowledge_fd.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/logic/eval.h"
+#include "udc/logic/formula.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+// Two 2-process runs; in run 0, p1 crashes and p0 RECEIVES a message first
+// (so p0's view distinguishes the runs after the receive); in run 1 nothing
+// crashes and the message is not sent.
+System crash_knowledge_system() {
+  std::vector<udc::Run> runs;
+  {
+    Run::Builder b(2);
+    Message m;
+    m.kind = MsgKind::kApp;
+    m.a = 7;
+    b.append(1, Event::send(0, m)).end_step();
+    b.append(1, Event::crash()).end_step();
+    b.append(0, Event::recv(1, m)).end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);
+    b.end_step();
+    b.end_step();
+    b.end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  return System(std::move(runs));
+}
+
+TEST(KnowledgeFd, VeridicalAndMonotoneWithEvidence) {
+  System sys = crash_knowledge_system();
+  // Before the receive, p0 cannot distinguish the runs: no knowledge.
+  EXPECT_TRUE(known_crashed(sys, Point{0, 2}, 0).empty());
+  // After the receive, every point p0 considers possible has p1 crashed...
+  // EXCEPT that run 0's own earlier times are not in the class (different
+  // history), and the class is exactly {(0,3),(0,4)} where p1 has crashed.
+  EXPECT_EQ(known_crashed(sys, Point{0, 3}, 0), ProcSet::singleton(1));
+  // Knowledge of one's own crash is never queried in the constructions, but
+  // the definition gives: p1 at (0,2..) has history [send, crash].
+  EXPECT_EQ(known_crashed(sys, Point{0, 2}, 1), ProcSet::singleton(1));
+  // In run 1 nothing is ever known crashed.
+  for (Time m = 0; m <= 4; ++m) {
+    EXPECT_TRUE(known_crashed(sys, Point{1, m}, 0).empty());
+  }
+}
+
+TEST(KnowledgeFd, AgreesWithFormulaDefinition) {
+  System sys = crash_knowledge_system();
+  ModelChecker mc(sys);
+  sys.for_each_point([&](Point at) {
+    for (ProcessId p = 0; p < sys.n(); ++p) {
+      ProcSet direct = known_crashed(sys, at, p);
+      for (ProcessId q = 0; q < sys.n(); ++q) {
+        EXPECT_EQ(direct.contains(q),
+                  mc.holds_at(at, f_knows(p, f_crash(q))))
+            << "p=" << p << " q=" << q << " at (" << at.run << "," << at.m
+            << ")";
+      }
+    }
+  });
+}
+
+TEST(KnowledgeFd, CountKnowledgeMinimizesOverClass) {
+  System sys = crash_knowledge_system();
+  ProcSet s = ProcSet::full(2);
+  // p0 pre-receive: some indistinguishable point has zero crashes.
+  EXPECT_EQ(known_crashed_count_in(sys, Point{0, 2}, 0, s), 0);
+  // post-receive: every possible point has exactly one crash in S.
+  EXPECT_EQ(known_crashed_count_in(sys, Point{0, 3}, 0, s), 1);
+  // Restricting S away from the crashed process gives zero.
+  EXPECT_EQ(known_crashed_count_in(sys, Point{0, 3}, 0, ProcSet::singleton(0)),
+            0);
+  // Empty S trivially yields zero.
+  EXPECT_EQ(known_crashed_count_in(sys, Point{0, 3}, 0, ProcSet{}), 0);
+}
+
+TEST(KnowledgeFd, PerfectOracleYieldsKnowledgeOfCrashes) {
+  // In a generated system with a perfect detector, a suspicion event IS
+  // knowledge: every indistinguishable point carries the same (accurate)
+  // report.
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 60;
+  auto plans = all_crash_plans_up_to(3, 2, 10, 30);
+  System sys = generate_system(
+      cfg, plans, {}, [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 1);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const udc::Run& r = sys.run(i);
+    for (ProcessId p = 0; p < 3; ++p) {
+      if (r.is_faulty(p)) continue;
+      ProcSet reported = r.suspects_at(p, r.horizon());
+      ProcSet known = known_crashed(sys, Point{i, r.horizon()}, p);
+      EXPECT_TRUE(reported.subset_of(known))
+          << "run " << i << " p" << p << ": reported "
+          << reported.to_string() << " known " << known.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,148 @@
+// The §2.3 language and its model checker, on hand-built miniature systems
+// where every truth value can be computed by inspection.
+#include "udc/logic/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/logic/formula.h"
+
+namespace udc {
+namespace {
+
+// System of two 2-process runs over 3 steps:
+//   run 0: p0 inits α1 at t=1, does α1 at t=2; p1 idle.
+//   run 1: p0 idle;                            p1 crashes at t=2.
+System mini_system() {
+  std::vector<udc::Run> runs;
+  {
+    Run::Builder b(2);
+    b.append(0, Event::init(1)).end_step();
+    b.append(0, Event::do_action(1)).end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);
+    b.end_step();
+    b.append(1, Event::crash()).end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  return System(std::move(runs));
+}
+
+TEST(Logic, PrimitivesFollowCuts) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  EXPECT_FALSE(mc.holds_at(Point{0, 0}, f_init(0, 1)));
+  EXPECT_TRUE(mc.holds_at(Point{0, 1}, f_init(0, 1)));
+  EXPECT_TRUE(mc.holds_at(Point{0, 3}, f_init(0, 1)));  // stable
+  EXPECT_FALSE(mc.holds_at(Point{0, 1}, f_do(0, 1)));
+  EXPECT_TRUE(mc.holds_at(Point{0, 2}, f_do(0, 1)));
+  EXPECT_FALSE(mc.holds_at(Point{1, 1}, f_crash(1)));
+  EXPECT_TRUE(mc.holds_at(Point{1, 2}, f_crash(1)));
+}
+
+TEST(Logic, BooleanConnectives) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  Point at{0, 1};
+  auto t = f_init(0, 1);   // true at (0,1)
+  auto f = f_do(0, 1);     // false at (0,1)
+  EXPECT_TRUE(mc.holds_at(at, f_not(f)));
+  EXPECT_FALSE(mc.holds_at(at, f_not(t)));
+  EXPECT_TRUE(mc.holds_at(at, f_or(t, f)));
+  EXPECT_FALSE(mc.holds_at(at, f_and(t, f)));
+  EXPECT_TRUE(mc.holds_at(at, f_implies(f, t)));
+  EXPECT_TRUE(mc.holds_at(at, f_implies(f, f)));  // ex falso
+  EXPECT_FALSE(mc.holds_at(at, f_implies(t, f)));
+  EXPECT_TRUE(mc.holds_at(at, Formula::truth()));
+}
+
+TEST(Logic, TemporalOperators) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  // ◇do_0(α1) holds from the start of run 0 but never in run 1.
+  EXPECT_TRUE(mc.holds_at(Point{0, 0}, f_eventually(f_do(0, 1))));
+  EXPECT_FALSE(mc.holds_at(Point{1, 0}, f_eventually(f_do(0, 1))));
+  // □init_0(α1) holds from t=1 in run 0 (stable primitive), not at t=0.
+  EXPECT_TRUE(mc.holds_at(Point{0, 1}, f_always(f_init(0, 1))));
+  EXPECT_FALSE(mc.holds_at(Point{0, 0}, f_always(f_init(0, 1))));
+  // ◇ is the dual of □.
+  EXPECT_TRUE(mc.holds_at(Point{0, 0},
+                          f_not(f_always(f_not(f_do(0, 1))))));
+}
+
+TEST(Logic, KnowledgeQuantifiesOverIndistinguishablePoints) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  // At (1,2), p0's history is empty — p0 cannot rule out run 0 at t=0, so
+  // it does not know crash(1).
+  EXPECT_TRUE(mc.holds_at(Point{1, 2}, f_crash(1)));
+  EXPECT_FALSE(mc.holds_at(Point{1, 2}, f_knows(0, f_crash(1))));
+  // p0 knows its own init as soon as it happens (local formula).
+  EXPECT_TRUE(mc.holds_at(Point{0, 1}, f_knows(0, f_init(0, 1))));
+  // p1 never learns of the init in this system: no messages flow.
+  EXPECT_FALSE(mc.holds_at(Point{0, 3}, f_knows(1, f_init(0, 1))));
+  // Knowledge is veridical: K_p phi -> phi, everywhere.
+  EXPECT_TRUE(mc.valid(f_implies(f_knows(0, f_init(0, 1)), f_init(0, 1))));
+}
+
+TEST(Logic, KnowledgeIntrospection) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  auto phi = f_init(0, 1);
+  // Positive introspection K0 phi -> K0 K0 phi is valid in S5.
+  EXPECT_TRUE(mc.valid(
+      f_implies(f_knows(0, phi), f_knows(0, f_knows(0, phi)))));
+  // And locality of knowledge: K0 phi ∨ K0 ¬(K0 phi)... the classic
+  // K_p(K_p phi) ∨ K_p(¬K_p phi) validity.
+  EXPECT_TRUE(mc.valid(f_or(f_knows(0, f_knows(0, phi)),
+                            f_knows(0, f_not(f_knows(0, phi))))));
+}
+
+TEST(Logic, DistributedKnowledge) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  // p0 alone distinguishes the runs via its init; the group {p0, p1}
+  // therefore has distributed knowledge of init wherever p0 knows it.
+  ProcSet both = ProcSet::full(2);
+  EXPECT_TRUE(
+      mc.holds_at(Point{0, 1}, Formula::dist_knows(both, f_init(0, 1))));
+  // D_S is at least as strong as any single member's knowledge:
+  EXPECT_TRUE(mc.valid(f_implies(f_knows(1, f_crash(1)),
+                                 Formula::dist_knows(both, f_crash(1)))));
+}
+
+TEST(Logic, ValidAndCounterexample) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  EXPECT_TRUE(mc.valid(f_implies(f_do(0, 1), f_init(0, 1))));  // DC3-ish
+  auto bad = f_init(0, 1);
+  auto cex = mc.find_counterexample(bad);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_FALSE(mc.holds_at(*cex, bad));
+}
+
+TEST(Logic, CacheIsConsistentAcrossQueries) {
+  System sys = mini_system();
+  ModelChecker mc(sys);
+  auto phi = f_eventually(f_do(0, 1));
+  bool first = mc.holds_at(Point{0, 0}, phi);
+  std::size_t entries = mc.cache_entries();
+  bool second = mc.holds_at(Point{0, 0}, phi);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(mc.cache_entries(), entries);  // fully memoized
+}
+
+TEST(Logic, FormulaToString) {
+  auto phi = f_implies(f_knows(0, f_init(0, 1)),
+                       f_eventually(f_or(f_do(1, 1), f_crash(1))));
+  std::string s = phi->to_string();
+  EXPECT_NE(s.find("K0"), std::string::npos);
+  EXPECT_NE(s.find("◇"), std::string::npos);
+  EXPECT_NE(s.find("crash(1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,201 @@
+// Until, E_G, C_G, and the S5/epistemic axiom suite — including the
+// coordinated-attack shape: over unreliable channels, E_G levels of "the
+// message went through" are attainable but common knowledge is not.
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/logic/eval.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+// One 2-process run: a at times 0..2, b first true at time 3.
+System until_system() {
+  std::vector<udc::Run> runs;
+  Run::Builder b(2);
+  b.end_step();
+  b.end_step();
+  b.append(0, Event::init(1)).end_step();  // "b" = init_0(α1), true from 3
+  b.end_step();
+  runs.push_back(std::move(b).build());
+  return System(std::move(runs));
+}
+
+TEST(Until, StrongUntilSemantics) {
+  System sys = until_system();
+  ModelChecker mc(sys);
+  auto before = Formula::prim("pre", [](const udc::Run&, Time m) {
+    return m < 3;
+  });
+  auto target = f_init(0, 1);
+  // pre U init: holds at 0..3 (init reached at 3 with pre holding before).
+  for (Time m = 0; m <= 3; ++m) {
+    EXPECT_TRUE(mc.holds_at(Point{0, m}, f_until(before, target))) << m;
+  }
+  // At 4, init still holds, so b-now satisfies U trivially.
+  EXPECT_TRUE(mc.holds_at(Point{0, 4}, f_until(before, target)));
+  // Strong until fails when the target never comes.
+  auto never = f_do(1, 99);
+  EXPECT_FALSE(mc.holds_at(Point{0, 0}, f_until(before, never)));
+  // And when the guard breaks before the target: guard false from t=1.
+  auto early_guard = Formula::prim("t0", [](const udc::Run&, Time m) {
+    return m < 1;
+  });
+  EXPECT_FALSE(mc.holds_at(Point{0, 0}, f_until(early_guard, target)));
+}
+
+TEST(Until, EventuallyIsTrueUntil) {
+  System sys = until_system();
+  ModelChecker mc(sys);
+  auto target = f_init(0, 1);
+  sys.for_each_point([&](Point at) {
+    EXPECT_EQ(mc.holds_at(at, f_eventually(target)),
+              mc.holds_at(at, f_until(Formula::truth(), target)));
+  });
+}
+
+// Epistemic fixture: run 0 has the init; run 1 does not; p1 learns of it in
+// run 0 via a message.
+System epistemic_system() {
+  std::vector<udc::Run> runs;
+  {
+    Run::Builder b(2);
+    Message m;
+    m.kind = MsgKind::kInitGossip;
+    m.action = 1;
+    b.append(0, Event::init(1)).end_step();
+    b.append(0, Event::send(1, m)).end_step();
+    b.append(1, Event::recv(0, m)).end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);
+    b.end_step();
+    b.end_step();
+    b.end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  return System(std::move(runs));
+}
+
+TEST(EveryoneKnows, MatchesConjunctionOfKnows) {
+  System sys = epistemic_system();
+  ModelChecker mc(sys);
+  auto phi = f_init(0, 1);
+  ProcSet g = ProcSet::full(2);
+  sys.for_each_point([&](Point at) {
+    bool e = mc.holds_at(at, f_everyone_knows(g, phi));
+    bool k0 = mc.holds_at(at, f_knows(0, phi));
+    bool k1 = mc.holds_at(at, f_knows(1, phi));
+    EXPECT_EQ(e, k0 && k1) << "(" << at.run << "," << at.m << ")";
+  });
+  // After the message, everyone knows.
+  EXPECT_TRUE(mc.holds_at(Point{0, 3}, f_everyone_knows(g, phi)));
+  // But E is not E^2: p0 does not know that p1 knows (the ack never came).
+  EXPECT_FALSE(mc.holds_at(Point{0, 3},
+                           f_everyone_knows(g, f_everyone_knows(g, phi))));
+}
+
+TEST(CommonKnowledge, StrictlyStrongerThanIteratedE) {
+  System sys = epistemic_system();
+  ModelChecker mc(sys);
+  auto phi = f_init(0, 1);
+  ProcSet g = ProcSet::full(2);
+  // C implies every E^k; here even E^2 fails, so C must fail.
+  EXPECT_FALSE(mc.holds_at(Point{0, 3}, f_common_knows(g, phi)));
+  // C_G(true) is valid (the component trivially satisfies truth).
+  EXPECT_TRUE(mc.valid(f_common_knows(g, Formula::truth())));
+  // C_G φ ⇒ φ and C_G φ ⇒ E_G C_G φ (fixpoint) are valid.
+  auto c = f_common_knows(g, phi);
+  EXPECT_TRUE(mc.valid(f_implies(c, phi)));
+  EXPECT_TRUE(mc.valid(f_implies(c, f_everyone_knows(g, c))));
+}
+
+TEST(CommonKnowledge, CoordinatedAttackShape) {
+  // Generated flooding system over a lossy channel, with the no-init
+  // workload variant present (the "no attack" world): each extra message
+  // buys one more level of E, but common knowledge of the init is never
+  // attained at any point — the coordinated-attack impossibility.
+  SimConfig cfg;
+  cfg.n = 2;
+  cfg.horizon = 60;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 11;
+  std::vector<InitDirective> workload{{3, 0, make_action(0, 0)}};
+  auto workloads = workload_variants(workload);
+  auto plans = std::vector<CrashPlan>{no_crashes(2)};
+  System sys = generate_system_multi(
+      cfg, plans, workloads, nullptr,
+      [](ProcessId) { return std::make_unique<NUdcProcess>(); }, 3);
+  ModelChecker mc(sys);
+  auto phi = f_init(0, make_action(0, 0));
+  ProcSet g = ProcSet::full(2);
+  // E_G attained somewhere (flooding gets the fact across)...
+  bool e_attained = false;
+  sys.for_each_point([&](Point at) {
+    if (mc.holds_at(at, f_everyone_knows(g, phi))) e_attained = true;
+  });
+  EXPECT_TRUE(e_attained);
+  // ...but C_G never is.
+  sys.for_each_point([&](Point at) {
+    EXPECT_FALSE(mc.holds_at(at, f_common_knows(g, phi)))
+        << "(" << at.run << "," << at.m << ")";
+  });
+}
+
+TEST(S5Axioms, HoldOnGeneratedSystems) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 60;
+  cfg.channel.drop_prob = 0.25;
+  cfg.seed = 3;
+  auto workload = make_workload(3, 1, 3, 5);
+  auto plans = all_crash_plans_up_to(3, 2, 15, 40);
+  System sys = generate_system(
+      cfg, plans, workload, nullptr,
+      [](ProcessId) { return std::make_unique<NUdcProcess>(); }, 1);
+  ModelChecker mc(sys);
+  ActionId alpha = make_action(0, 0);
+  std::vector<FormulaPtr> phis{
+      f_init(0, alpha), f_crash(1), f_do(2, alpha),
+      f_and(f_init(0, alpha), f_not(f_crash(2)))};
+  for (ProcessId p = 0; p < 3; ++p) {
+    for (const auto& phi : phis) {
+      auto k = f_knows(p, phi);
+      // T (veridicality), 4 (positive introspection), 5 (negative
+      // introspection), K (distribution over implication).
+      EXPECT_TRUE(mc.valid(f_implies(k, phi)));
+      EXPECT_TRUE(mc.valid(f_implies(k, f_knows(p, k))));
+      EXPECT_TRUE(
+          mc.valid(f_implies(f_not(k), f_knows(p, f_not(k)))));
+      for (const auto& psi : phis) {
+        EXPECT_TRUE(mc.valid(f_implies(
+            f_and(f_knows(p, f_implies(phi, psi)), k), f_knows(p, psi))));
+      }
+    }
+  }
+}
+
+TEST(KnowledgeHierarchy, DistributedBelowIndividualBelowEveryoneBelowC) {
+  System sys = epistemic_system();
+  ModelChecker mc(sys);
+  auto phi = f_init(0, 1);
+  ProcSet g = ProcSet::full(2);
+  // C ⇒ E ⇒ K_p ⇒ D, validly.
+  EXPECT_TRUE(mc.valid(
+      f_implies(f_common_knows(g, phi), f_everyone_knows(g, phi))));
+  for (ProcessId p = 0; p < 2; ++p) {
+    EXPECT_TRUE(
+        mc.valid(f_implies(f_everyone_knows(g, phi), f_knows(p, phi))));
+    EXPECT_TRUE(mc.valid(
+        f_implies(f_knows(p, phi), Formula::dist_knows(g, phi))));
+  }
+}
+
+}  // namespace
+}  // namespace udc

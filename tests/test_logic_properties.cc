@@ -1,0 +1,116 @@
+// Locality, stability, and failure-insensitivity (§2.3, Def 3.3).
+#include "udc/logic/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace udc {
+namespace {
+
+// Four runs, 2 processes:
+//   run 0: p0 inits α1 at 1; p1 crashes at 2.
+//   run 1: p0 inits α1 at 1; p1 survives (same p0 view as run 0).
+//   run 2: nothing happens.
+//   run 3: no init; p1 crashes at 2 (de-correlates p1's crash from the
+//          init, as the paper's A1/A3 independence assumptions demand —
+//          without it, crashing would "teach" p1 about the init).
+System insensitivity_system() {
+  std::vector<udc::Run> runs;
+  {
+    Run::Builder b(2);
+    b.append(0, Event::init(1)).end_step();
+    b.append(1, Event::crash()).end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);
+    b.append(0, Event::init(1)).end_step();
+    b.end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);
+    b.end_step();
+    b.end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);
+    b.end_step();
+    b.append(1, Event::crash()).end_step();
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  return System(std::move(runs));
+}
+
+TEST(LogicProperties, InitIsLocalToItsOwner) {
+  System sys = insensitivity_system();
+  ModelChecker mc(sys);
+  EXPECT_TRUE(is_local_to(mc, 0, f_init(0, 1)));
+  // p1 cannot tell runs 0/1 (init) from run 2 (no init) early on.
+  EXPECT_FALSE(is_local_to(mc, 1, f_init(0, 1)));
+}
+
+TEST(LogicProperties, KnowledgeFormulasAreLocal) {
+  System sys = insensitivity_system();
+  ModelChecker mc(sys);
+  // K_p phi is local to p for ANY phi (standard S5 fact the checker must
+  // reproduce).
+  EXPECT_TRUE(is_local_to(mc, 1, f_knows(1, f_init(0, 1))));
+  EXPECT_TRUE(is_local_to(mc, 1, f_knows(1, f_crash(0))));
+  EXPECT_TRUE(is_local_to(mc, 0, f_knows(0, f_crash(1))));
+}
+
+TEST(LogicProperties, StableFormulas) {
+  System sys = insensitivity_system();
+  ModelChecker mc(sys);
+  EXPECT_TRUE(is_stable(mc, f_init(0, 1)));
+  EXPECT_TRUE(is_stable(mc, f_crash(1)));
+  EXPECT_TRUE(is_stable(mc, f_always(f_not(f_do(1, 1)))));
+  // K_q of a stable formula is stable in these systems (knowledge only
+  // grows along a run when histories only grow).
+  EXPECT_TRUE(is_stable(mc, f_knows(0, f_init(0, 1))));
+}
+
+TEST(LogicProperties, UnstableFormulaDetected) {
+  // "history length is even"-style toggling primitive.
+  System sys = insensitivity_system();
+  ModelChecker mc(sys);
+  auto toggling = Formula::prim("even-time", [](const udc::Run&, Time m) {
+    return m % 2 == 0;
+  });
+  EXPECT_FALSE(is_stable(mc, toggling));
+}
+
+TEST(LogicProperties, A3StyleInsensitivity) {
+  System sys = insensitivity_system();
+  ModelChecker mc(sys);
+  // K_1(init_0(α1)) is insensitive to failure by p1: runs 0 and 1 give the
+  // exact witness pair (same p1 prefix, ± crash).
+  EXPECT_TRUE(is_insensitive_to_failure_by(
+      mc, sys, 1, f_knows(1, f_init(0, 1))));
+  // crash(1) itself is maximally SENSITIVE to failure by p1.
+  EXPECT_FALSE(is_insensitive_to_failure_by(mc, sys, 1, f_crash(1)));
+  // Def 3.3 presupposes locality: a non-local formula like init_0(α1) can
+  // differ across an (h, h·crash) pair simply because the pair spans runs
+  // with different inits — the checker rightly reports it sensitive.
+  EXPECT_FALSE(is_insensitive_to_failure_by(mc, sys, 1, f_init(0, 1)));
+}
+
+TEST(LogicProperties, InsensitivityVacuousWithoutCrashPairs) {
+  // A system with no crash events has no witness pairs: the check passes
+  // vacuously (and must not crash).
+  std::vector<udc::Run> runs;
+  Run::Builder b(2);
+  b.append(0, Event::init(1)).end_step();
+  runs.push_back(std::move(b).build());
+  System sys(std::move(runs));
+  ModelChecker mc(sys);
+  EXPECT_TRUE(is_insensitive_to_failure_by(mc, sys, 1, f_crash(1)));
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,102 @@
+// The majority-echo protocol: UDC below n/2 failures with NO detector at
+// all, and the sharp failure of liveness at t >= n/2.
+#include "udc/coord/udc_majority.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr Time kHorizon = 500;
+constexpr Time kGrace = 180;
+
+CoordReport sweep(int n, int t, double drop) {
+  SimConfig cfg;
+  cfg.n = n;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = drop;
+  auto workload = make_workload(n, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  auto plans = all_crash_plans_up_to(n, t, 25, 120);
+  System sys = generate_system(cfg, plans, workload, nullptr, [](ProcessId) {
+    return std::make_unique<UdcMajorityProcess>();
+  }, 2);
+  return check_udc(sys, actions, kGrace);
+}
+
+TEST(Majority, UdcBelowHalfWithNoDetector) {
+  for (int n : {3, 4, 5, 7}) {
+    int t = (n - 1) / 2;
+    CoordReport rep = sweep(n, t, 0.3);
+    EXPECT_TRUE(rep.achieved())
+        << "n=" << n << " t=" << t << ": "
+        << (rep.violations.empty() ? "" : rep.violations[0]);
+  }
+}
+
+TEST(Majority, HeavyLossStillFine) {
+  CoordReport rep = sweep(5, 2, 0.5);
+  EXPECT_TRUE(rep.achieved())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(Majority, LivenessDiesAtHalf) {
+  // t = n/2 crashes can leave the survivors one echo short of a quorum
+  // forever: DC1 breaks (initiator neither performs nor crashes).
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.2;
+  std::vector<InitDirective> workload{{30, 0, make_action(0, 0)}};
+  auto actions = workload_actions(workload);
+  CrashPlan plan = make_crash_plan(4, {{2, 5}, {3, 5}});  // before the init
+  SimResult res = simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+    return std::make_unique<UdcMajorityProcess>();
+  });
+  CoordReport rep = check_udc(res.run, actions, kGrace);
+  EXPECT_FALSE(rep.dc1);
+}
+
+TEST(Majority, QuorumIntersectionPreventsStrandedActions) {
+  // The uniformity mechanism itself: engineer the initiator to perform and
+  // die immediately after its quorum forms; the quorum's correct members
+  // carry the action to everyone.
+  SimConfig cfg;
+  cfg.n = 5;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 3;
+  std::vector<InitDirective> workload{{10, 0, make_action(0, 0)}};
+  auto actions = workload_actions(workload);
+  // Crash the initiator shortly after it can first have performed.
+  for (Time crash_at : {30, 40, 60, 90}) {
+    CrashPlan plan = make_crash_plan(5, {{0, crash_at}});
+    SimResult res = simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+      return std::make_unique<UdcMajorityProcess>();
+    });
+    CoordReport rep = check_udc(res.run, actions, kGrace);
+    EXPECT_TRUE(rep.achieved())
+        << "crash at " << crash_at << ": "
+        << (rep.violations.empty() ? "" : rep.violations[0]);
+  }
+}
+
+TEST(Majority, SingleProcessGroupIsItsOwnQuorum) {
+  SimConfig cfg;
+  cfg.n = 1;
+  cfg.horizon = 20;
+  std::vector<InitDirective> workload{{3, 0, make_action(0, 0)}};
+  SimResult res = simulate(cfg, no_crashes(1), nullptr, workload,
+                           [](ProcessId) {
+                             return std::make_unique<UdcMajorityProcess>();
+                           });
+  EXPECT_TRUE(res.run.do_in(0, 20, make_action(0, 0)));
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,146 @@
+// coord/metrics and kt/kbp: the measurement layer and the knowledge-based
+// program checker.
+#include <gtest/gtest.h>
+
+#include "udc/coord/metrics.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/kt/kbp.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+TEST(Metrics, HandBuiltRunAccounting) {
+  const ActionId a = make_action(0, 0);
+  Run::Builder b(3);
+  b.append(0, Event::init(a)).end_step();           // t=1
+  b.append(0, Event::do_action(a)).end_step();      // t=2
+  b.append(1, Event::do_action(a)).end_step();      // t=3
+  b.append(2, Event::crash()).end_step();           // t=4
+  udc::Run r = std::move(b).build();
+  ActionMetrics m = measure_action(r, a);
+  EXPECT_EQ(m.initiated_at, std::optional<Time>(1));
+  EXPECT_EQ(m.first_do, std::optional<Time>(2));
+  // p2 crashed, so completion = last CORRECT do = t=3.
+  EXPECT_EQ(m.completed_at, std::optional<Time>(3));
+  EXPECT_EQ(m.latency(), std::optional<Time>(2));
+}
+
+TEST(Metrics, IncompleteActionHasNoLatency) {
+  const ActionId a = make_action(0, 0);
+  Run::Builder b(2);
+  b.append(0, Event::init(a)).end_step();
+  b.append(0, Event::do_action(a)).end_step();
+  b.end_step();  // p1 never performs
+  udc::Run r = std::move(b).build();
+  ActionMetrics m = measure_action(r, a);
+  EXPECT_TRUE(m.initiated_at.has_value());
+  EXPECT_FALSE(m.completed_at.has_value());
+  EXPECT_FALSE(m.latency().has_value());
+}
+
+TEST(Metrics, UninitiatedActionIsEmpty) {
+  udc::Run r = std::move(Run::Builder(2).end_step()).build();
+  ActionMetrics m = measure_action(r, make_action(1, 5));
+  EXPECT_FALSE(m.initiated_at.has_value());
+  EXPECT_FALSE(m.first_do.has_value());
+}
+
+TEST(Metrics, SystemAggregation) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = 400;
+  cfg.channel.drop_prob = 0.25;
+  auto workload = make_workload(4, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  auto plans = all_crash_plans_up_to(4, 2, 25, 100);
+  System sys = generate_system(
+      cfg, plans, workload, [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 1);
+  CoordinationMetrics agg = measure_coordination(sys, actions);
+  EXPECT_GT(agg.initiated, 0u);
+  // Some inits are skipped (owner crashed first); of the initiated ones,
+  // the protocol completes nearly all well inside the horizon.
+  EXPECT_GT(agg.completion_rate(), 0.9);
+  EXPECT_GT(agg.mean_latency, 0);
+  EXPECT_GE(agg.max_latency, static_cast<Time>(agg.mean_latency));
+}
+
+TEST(Metrics, LastSendTimeOnHandBuiltRun) {
+  Message m;
+  m.kind = MsgKind::kApp;
+  Run::Builder b(2);
+  b.append(0, Event::send(1, m)).end_step();
+  b.append(1, Event::recv(0, m)).end_step();
+  b.end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_EQ(last_send_time(r), 1);
+  udc::Run silent = std::move(Run::Builder(2).end_step()).build();
+  EXPECT_EQ(last_send_time(silent), 0);
+}
+
+TEST(Kbp, UdcProtocolImplementsItsKnowledgeProgram) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 200;
+  cfg.channel.drop_prob = 0.25;
+  cfg.seed = 21;
+  auto workload = make_workload(3, 1, 4, 6);
+  auto actions = workload_actions(workload);
+  auto workloads = workload_power_set(workload);
+  auto plans = all_crash_plans_up_to(3, 2, 20, 60);
+  System sys = generate_system_multi(
+      cfg, plans, workloads, [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 1);
+  ModelChecker mc(sys);
+  KbpReport rep = check_kbp(mc, sys, actions);
+  EXPECT_GT(rep.perform_points, 20u);
+  EXPECT_TRUE(rep.implements())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(Kbp, SpuriousPerformerViolatesK1) {
+  // A hand-built run where p1 performs without any initiation anywhere:
+  // the knowledge guard must flag it.
+  const ActionId a = make_action(0, 0);
+  std::vector<udc::Run> runs;
+  Run::Builder b(2);
+  b.append(1, Event::do_action(a)).end_step();
+  runs.push_back(std::move(b).build());
+  System sys(std::move(runs));
+  ModelChecker mc(sys);
+  std::vector<ActionId> actions{a};
+  KbpReport rep = check_kbp(mc, sys, actions);
+  EXPECT_EQ(rep.perform_points, 1u);
+  EXPECT_EQ(rep.k1_holds, 0u);
+  EXPECT_FALSE(rep.implements());
+  ASSERT_FALSE(rep.violations.empty());
+  EXPECT_NE(rep.violations[0].find("K1"), std::string::npos);
+}
+
+TEST(Kbp, NonUniformFloodingStillSatisfiesK1) {
+  // Even the nUDC protocol satisfies K1 (you only perform what you heard
+  // about); the UNIFORM guard K2 is where it can fall short — a process
+  // may perform knowing the init while no surviving process does.
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 160;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 9;
+  auto workload = make_workload(3, 1, 4, 6);
+  auto actions = workload_actions(workload);
+  auto workloads = workload_power_set(workload);
+  auto plans = all_crash_plans_up_to(3, 2, 10, 40);
+  System sys = generate_system_multi(
+      cfg, plans, workloads, nullptr,
+      [](ProcessId) { return std::make_unique<NUdcProcess>(); }, 1);
+  ModelChecker mc(sys);
+  KbpReport rep = check_kbp(mc, sys, actions);
+  EXPECT_EQ(rep.k1_holds, rep.perform_points);
+}
+
+}  // namespace
+}  // namespace udc

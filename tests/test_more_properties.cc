@@ -1,0 +1,183 @@
+// Second property-test wave: trace round-trips over real protocol runs,
+// fairness-threshold behaviour, the knowledge frontier helper, and the
+// gossip-lease parameter of the ◇-conversion.
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/coord/udc_fip.h"
+#include "udc/coord/udc_majority.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/event/fairness.h"
+#include "udc/event/trace.h"
+#include "udc/fd/convert.h"
+#include "udc/fd/oracle.h"
+#include "udc/fd/properties.h"
+#include "udc/kt/knowledge_fd.h"
+#include "udc/logic/eval.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trace round trip over every shipped protocol (the serializer must cover
+// whatever event mixes real executions produce).
+// ---------------------------------------------------------------------------
+struct TraceParam {
+  const char* protocol;
+  double drop;
+};
+
+class TraceRoundTrip : public ::testing::TestWithParam<TraceParam> {};
+
+TEST_P(TraceRoundTrip, ProtocolRunsSurviveSerialization) {
+  const TraceParam param = GetParam();
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = 250;
+  cfg.channel.drop_prob = param.drop;
+  cfg.seed = 77;
+  auto workload = make_workload(4, 1, 5, 7);
+  CrashPlan plan = make_crash_plan(4, {{1, 40}, {3, 90}});
+  ProtocolFactory factory;
+  std::string name = param.protocol;
+  if (name == "nudc") {
+    factory = [](ProcessId) { return std::make_unique<NUdcProcess>(); };
+  } else if (name == "strongfd") {
+    factory = [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); };
+  } else if (name == "fip") {
+    factory = [](ProcessId) { return std::make_unique<FipUdcProcess>(); };
+  } else {
+    factory = [](ProcessId) { return std::make_unique<UdcMajorityProcess>(); };
+  }
+  StrongOracle oracle(4, 0.2);
+  SimResult res = simulate(cfg, plan, &oracle, workload, factory);
+  udc::Run parsed = parse_run(format_run(res.run));
+  ASSERT_EQ(parsed.horizon(), res.run.horizon());
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(parsed.history(p) == res.run.history(p)) << "p" << p;
+  }
+  // And the parsed run is checker-equivalent.
+  auto actions = workload_actions(workload);
+  EXPECT_EQ(check_udc(parsed, actions, 100).achieved(),
+            check_udc(res.run, actions, 100).achieved());
+  EXPECT_EQ(check_fd_properties(parsed, 80).summary(),
+            check_fd_properties(res.run, 80).summary());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, TraceRoundTrip,
+    ::testing::Values(TraceParam{"nudc", 0.3}, TraceParam{"strongfd", 0.3},
+                      TraceParam{"fip", 0.5}, TraceParam{"majority", 0.3}),
+    [](const ::testing::TestParamInfo<TraceParam>& info) {
+      return std::string(info.param.protocol) + "_drop" +
+             std::to_string(static_cast<int>(info.param.drop * 10));
+    });
+
+// ---------------------------------------------------------------------------
+// Fairness-threshold monotonicity: raising the threshold can only remove
+// violations, and the same silenced channel is caught at every threshold
+// at or below its send count.
+// ---------------------------------------------------------------------------
+class FairnessThreshold : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FairnessThreshold, MonotoneInThreshold) {
+  std::size_t threshold = GetParam();
+  Message m;
+  m.kind = MsgKind::kApp;
+  Run::Builder b(2);
+  for (int i = 0; i < 12; ++i) {
+    b.append(0, Event::send(1, m)).end_step();
+  }
+  udc::Run r = std::move(b).build();
+  FairnessReport rep = check_fairness(r, threshold);
+  EXPECT_EQ(rep.fair(), threshold > 12);
+  FairnessReport higher = check_fairness(r, threshold + 1);
+  EXPECT_LE(higher.violations.size(), rep.violations.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FairnessThreshold,
+                         ::testing::Values(1u, 5u, 12u, 13u, 50u));
+
+// ---------------------------------------------------------------------------
+// first_knowledge_time: agrees with a manual scan and is monotone under
+// information (FIP learns no later than the plain protocol on the same
+// seeds).
+// ---------------------------------------------------------------------------
+TEST(KnowledgeFrontier, MatchesManualScanAndDetectsNever) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 120;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 5;
+  auto workload = make_workload(3, 1, 4, 6);
+  auto workloads = workload_power_set(workload);
+  auto plans = all_crash_plans_up_to(3, 2, 20, 60);
+  System sys = generate_system_multi(
+      cfg, plans, workloads, nullptr,
+      [](ProcessId) { return std::make_unique<NUdcProcess>(); }, 1);
+  ModelChecker mc(sys);
+  const InitDirective& d = workload[0];
+  for (std::size_t i = 0; i < sys.size(); i += 5) {
+    for (ProcessId q = 0; q < 3; ++q) {
+      auto fast = first_knowledge_time(mc, sys, i, q, f_init(d.p, d.action));
+      std::optional<Time> manual;
+      for (Time m = 0; m <= sys.run(i).horizon() && !manual; ++m) {
+        if (mc.holds_at(Point{i, m}, f_knows(q, f_init(d.p, d.action)))) {
+          manual = m;
+        }
+      }
+      EXPECT_EQ(fast, manual) << "run " << i << " q" << q;
+    }
+  }
+  // A no-init run: the owner itself never knows.
+  std::size_t empty_run = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    if (!sys.run(i).init_in(d.p, sys.run(i).horizon(), d.action) &&
+        !sys.run(i).is_faulty(d.p)) {
+      empty_run = i;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_FALSE(first_knowledge_time(mc, sys, empty_run, d.p,
+                                    f_init(d.p, d.action))
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The ◇-conversion lease: too-short leases expire live contributions and
+// cost completeness; adequate leases keep it.
+// ---------------------------------------------------------------------------
+TEST(DiamondLease, TooShortLeasesLoseCompleteness) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = 400;
+  cfg.channel.drop_prob = 0.2;
+  cfg.seed = 31;
+  auto plans = std::vector<CrashPlan>{make_crash_plan(4, {{1, 120}})};
+  System sys = generate_system(
+      cfg, plans, {},
+      [] { return std::make_unique<EventuallyWeakOracle>(4, 60, 0.4); },
+      [](ProcessId) {
+        return std::make_unique<SuspicionGossiper>(
+            SuspicionGossiper::Mode::kCurrent);
+      },
+      2);
+  System good = convert_eventually_weak_to_strong(sys, /*lease=*/60);
+  System starved = convert_eventually_weak_to_strong(sys, /*lease=*/1);
+  EXPECT_TRUE(check_fd_properties(good, 120).strong_completeness);
+  // lease=1 expires essentially every gossip contribution: only the
+  // watcher's own report survives, which is merely weak completeness.
+  FdPropertyReport rep = check_fd_properties(starved, 120);
+  EXPECT_FALSE(rep.strong_completeness);
+  EXPECT_TRUE(rep.weak_completeness);
+}
+
+}  // namespace
+}  // namespace udc

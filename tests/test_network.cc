@@ -1,0 +1,185 @@
+#include "udc/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace udc {
+namespace {
+
+Message app_msg(std::int64_t tag) {
+  Message m;
+  m.kind = MsgKind::kApp;
+  m.a = tag;
+  return m;
+}
+
+TEST(Network, ReliableDeliversWithinMaxDelay) {
+  Network net(2, std::make_shared<IidDropPolicy>(0.0), /*max_delay=*/3,
+              /*seed=*/1);
+  net.send(0, 1, app_msg(42), /*now=*/1);
+  EXPECT_EQ(net.in_flight(), 1u);
+  bool delivered = false;
+  for (Time m = 2; m <= 4 && !delivered; ++m) {
+    if (auto d = net.pop_deliverable(1, m)) {
+      delivered = true;
+      EXPECT_EQ(d->from, 0);
+      EXPECT_EQ(d->msg.a, 42);
+    }
+  }
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(Network, NoDeliveryBeforeMinimumDelay) {
+  Network net(2, std::make_shared<IidDropPolicy>(0.0), 3, 1);
+  net.send(0, 1, app_msg(1), 5);
+  EXPECT_FALSE(net.pop_deliverable(1, 5).has_value());  // delay >= 1
+}
+
+TEST(Network, AlwaysDropPolicyDropsEverything) {
+  Network net(2, std::make_shared<IidDropPolicy>(1.0), 3, 1);
+  for (int i = 0; i < 20; ++i) net.send(0, 1, app_msg(i), 1);
+  EXPECT_EQ(net.total_sent(), 20u);
+  EXPECT_EQ(net.total_dropped(), 20u);
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_FALSE(net.pop_deliverable(1, 100).has_value());
+}
+
+TEST(Network, FairLossyDeliversSomeOfMany) {
+  Network net(2, std::make_shared<IidDropPolicy>(0.5), 2, 7);
+  for (int i = 0; i < 200; ++i) net.send(0, 1, app_msg(1), i + 1);
+  std::size_t got = 0;
+  for (Time m = 1; m <= 300; ++m) {
+    while (net.pop_deliverable(1, m)) ++got;
+  }
+  // Statistically ~100; any generous bounds prove fairness-in-expectation.
+  EXPECT_GT(got, 50u);
+  EXPECT_LT(got, 150u);
+  EXPECT_EQ(got + net.total_dropped(), 200u);
+}
+
+TEST(Network, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Network net(2, std::make_shared<IidDropPolicy>(0.3), 4, seed);
+    std::vector<std::int64_t> order;
+    for (int i = 0; i < 50; ++i) net.send(0, 1, app_msg(i), 1);
+    for (Time m = 1; m <= 10; ++m) {
+      while (auto d = net.pop_deliverable(1, m)) order.push_back(d->msg.a);
+    }
+    return order;
+  };
+  EXPECT_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+TEST(Network, PartitionPolicySilencesChannelAfterCut) {
+  auto policy = std::make_shared<PartitionDropPolicy>(
+      ProcSet::singleton(0), ProcSet::singleton(1), /*cut_time=*/10,
+      /*background_drop=*/0.0);
+  Network net(3, policy, 1, 1);
+  net.send(0, 1, app_msg(1), 5);   // before the cut: kept
+  net.send(0, 1, app_msg(2), 10);  // at the cut: dropped
+  net.send(0, 2, app_msg(3), 20);  // different recipient: kept
+  net.send(2, 1, app_msg(4), 20);  // different sender: kept
+  EXPECT_EQ(net.total_dropped(), 1u);
+  EXPECT_TRUE(net.pop_deliverable(1, 6).has_value());
+  EXPECT_TRUE(net.pop_deliverable(2, 21).has_value());
+  EXPECT_TRUE(net.pop_deliverable(1, 21).has_value());
+  EXPECT_FALSE(net.pop_deliverable(1, 50).has_value());
+}
+
+TEST(Network, GilbertElliottProducesBursts) {
+  // With sticky states (low transition probabilities), losses cluster:
+  // measure the longest drop burst and compare against i.i.d. loss of the
+  // same average rate.
+  auto longest_burst = [](std::shared_ptr<DropPolicy> policy,
+                          std::uint64_t seed) {
+    Network net(2, std::move(policy), 1, seed);
+    int burst = 0, worst = 0;
+    std::size_t dropped_before = 0;
+    for (int i = 0; i < 2000; ++i) {
+      net.send(0, 1, app_msg(1), i + 1);
+      bool dropped = net.total_dropped() > dropped_before;
+      dropped_before = net.total_dropped();
+      burst = dropped ? burst + 1 : 0;
+      worst = std::max(worst, burst);
+    }
+    return worst;
+  };
+  // GE with p_gb=0.02, p_bg=0.1: stationary bad fraction ~1/6, mean burst
+  // length 10.
+  int ge = longest_burst(std::make_shared<GilbertElliottPolicy>(0.02, 0.1), 5);
+  int iid = longest_burst(std::make_shared<IidDropPolicy>(1.0 / 6.0), 5);
+  EXPECT_GT(ge, 15);
+  EXPECT_LT(iid, 15);
+}
+
+TEST(Network, GilbertElliottStatesArePerChannel) {
+  // A bad episode on 0->1 must not imply drops on 0->2.
+  auto policy = std::make_shared<GilbertElliottPolicy>(0.5, 0.05);
+  Network net(3, policy, 1, 9);
+  std::size_t delivered_12 = 0;
+  for (int i = 0; i < 400; ++i) {
+    net.send(0, 1, app_msg(1), i + 1);
+    net.send(0, 2, app_msg(1), i + 1);
+  }
+  for (Time m = 1; m <= 500; ++m) {
+    while (net.pop_deliverable(2, m)) ++delivered_12;
+  }
+  // Channel 0->2 has its own chain; it cannot be starved just because 0->1
+  // is (both see the same parameters, so both deliver a nontrivial share).
+  EXPECT_GT(delivered_12, 20u);
+}
+
+TEST(Network, GilbertElliottIsFairInTheLimit) {
+  // As long as p_bad_to_good > 0, repeated sends get through: the fairness
+  // R5 premise the simulator's protocols rely on.
+  auto policy = std::make_shared<GilbertElliottPolicy>(0.3, 0.2);
+  Network net(2, policy, 1, 11);
+  for (int i = 0; i < 300; ++i) net.send(0, 1, app_msg(1), i + 1);
+  std::size_t got = 0;
+  for (Time m = 1; m <= 400; ++m) {
+    while (net.pop_deliverable(1, m)) ++got;
+  }
+  EXPECT_GT(got, 50u);
+}
+
+TEST(Network, DelaysRespectConfiguredBounds) {
+  for (int max_delay : {1, 3, 7}) {
+    Network net(2, std::make_shared<IidDropPolicy>(0.0), max_delay, 99);
+    std::vector<Time> latencies;
+    for (int i = 0; i < 200; ++i) {
+      Time sent = i * 20 + 1;
+      net.send(0, 1, app_msg(i), sent);
+      for (Time m = sent; m <= sent + max_delay; ++m) {
+        if (auto d = net.pop_deliverable(1, m)) {
+          latencies.push_back(m - sent);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(latencies.size(), 200u) << "a message overshot max_delay";
+    Time lo = *std::min_element(latencies.begin(), latencies.end());
+    Time hi = *std::max_element(latencies.begin(), latencies.end());
+    EXPECT_GE(lo, 1);
+    EXPECT_LE(hi, max_delay);
+    if (max_delay > 1) {
+      EXPECT_LT(lo, hi);  // the delay really varies
+    }
+  }
+}
+
+TEST(Network, PerRecipientQueuesAreIndependent) {
+  Network net(3, std::make_shared<IidDropPolicy>(0.0), 1, 1);
+  net.send(0, 1, app_msg(1), 1);
+  net.send(0, 2, app_msg(2), 1);
+  auto d1 = net.pop_deliverable(1, 2);
+  auto d2 = net.pop_deliverable(2, 2);
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_EQ(d1->msg.a, 1);
+  EXPECT_EQ(d2->msg.a, 2);
+}
+
+}  // namespace
+}  // namespace udc

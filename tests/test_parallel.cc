@@ -1,0 +1,59 @@
+// Parallel system generation: bit-identical to the serial path, at any
+// thread count.
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+TEST(ParallelGeneration, BitIdenticalToSerial) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = 200;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 5;
+  auto workload = make_workload(4, 1, 5, 7);
+  auto plans = all_crash_plans_up_to(4, 3, 25, 100);
+  auto oracle = [] { return std::make_unique<StrongOracle>(4, 0.2); };
+  auto protocol = [](ProcessId) {
+    return std::make_unique<UdcStrongFdProcess>();
+  };
+  SystemStats serial_stats, parallel_stats;
+  System serial = generate_system(cfg, plans, workload, oracle, protocol, 2,
+                                  &serial_stats);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SystemStats stats;
+    System parallel = generate_system_parallel(cfg, plans, workload, oracle,
+                                               protocol, 2, threads, &stats);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      for (ProcessId p = 0; p < 4; ++p) {
+        ASSERT_TRUE(serial.run(i).history(p) == parallel.run(i).history(p))
+            << threads << " threads, run " << i << ", p" << p;
+      }
+    }
+    EXPECT_EQ(stats.messages_sent, serial_stats.messages_sent);
+    EXPECT_EQ(stats.messages_dropped, serial_stats.messages_dropped);
+    EXPECT_EQ(stats.runs, serial_stats.runs);
+  }
+  (void)parallel_stats;
+}
+
+TEST(ParallelGeneration, DefaultThreadCountWorks) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 120;
+  auto plans = all_crash_plans_up_to(3, 2, 20, 60);
+  System sys = generate_system_parallel(
+      cfg, plans, {}, [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 1);
+  EXPECT_EQ(sys.size(), plans.size());
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,108 @@
+#include "udc/common/proc_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace udc {
+namespace {
+
+TEST(ProcSet, EmptyByDefault) {
+  ProcSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(ProcSet, InsertEraseContains) {
+  ProcSet s;
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcSet, FullAndComplement) {
+  ProcSet all = ProcSet::full(5);
+  EXPECT_EQ(all.size(), 5);
+  for (ProcessId p = 0; p < 5; ++p) EXPECT_TRUE(all.contains(p));
+  EXPECT_FALSE(all.contains(5));
+
+  ProcSet s = ProcSet::singleton(2);
+  ProcSet comp = s.complement(5);
+  EXPECT_EQ(comp.size(), 4);
+  EXPECT_FALSE(comp.contains(2));
+  EXPECT_TRUE(comp.contains(4));
+}
+
+TEST(ProcSet, FullAt64DoesNotOverflow) {
+  ProcSet all = ProcSet::full(64);
+  EXPECT_EQ(all.size(), 64);
+  EXPECT_TRUE(all.contains(63));
+}
+
+TEST(ProcSet, SetAlgebra) {
+  ProcSet a;
+  a.insert(0);
+  a.insert(1);
+  ProcSet b;
+  b.insert(1);
+  b.insert(2);
+  EXPECT_EQ((a | b).size(), 3);
+  EXPECT_EQ((a & b).size(), 1);
+  EXPECT_TRUE((a & b).contains(1));
+  EXPECT_EQ((a - b).size(), 1);
+  EXPECT_TRUE((a - b).contains(0));
+}
+
+TEST(ProcSet, SubsetOf) {
+  ProcSet a = ProcSet::singleton(1);
+  ProcSet b;
+  b.insert(1);
+  b.insert(2);
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(ProcSet{}.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+}
+
+TEST(ProcSet, IterationAscending) {
+  ProcSet s;
+  s.insert(9);
+  s.insert(2);
+  s.insert(41);
+  std::vector<ProcessId> order;
+  for (ProcessId p : s) order.push_back(p);
+  EXPECT_EQ(order, (std::vector<ProcessId>{2, 9, 41}));
+}
+
+TEST(ProcSet, IterationOfEmptySet) {
+  int count = 0;
+  for (ProcessId p : ProcSet{}) {
+    (void)p;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ProcSet, ToString) {
+  ProcSet s;
+  EXPECT_EQ(s.to_string(), "{}");
+  s.insert(1);
+  s.insert(3);
+  EXPECT_EQ(s.to_string(), "{1,3}");
+}
+
+TEST(ProcSet, HashDistinguishes) {
+  ProcSetHash h;
+  EXPECT_NE(h(ProcSet::singleton(0)), h(ProcSet::singleton(1)));
+  EXPECT_EQ(h(ProcSet::singleton(3)), h(ProcSet::singleton(3)));
+}
+
+}  // namespace
+}  // namespace udc

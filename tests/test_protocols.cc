@@ -1,0 +1,241 @@
+// End-to-end protocol tests: Propositions 2.3, 2.4, 3.1 and 4.1, each as a
+// sweep over crash plans / drop rates, plus the negative results that
+// motivate the paper (flooding is NOT uniform under loss; reliable-channel
+// UDC breaks under loss).
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/coord/spec.h"
+#include "udc/coord/udc_generalized.h"
+#include "udc/coord/udc_reliable.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/generalized.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 420;
+constexpr Time kGrace = 160;
+
+std::vector<CrashPlan> plans_up_to(int t) {
+  return all_crash_plans_up_to(kN, t, /*earliest=*/20, /*latest=*/120);
+}
+
+struct SweepResult {
+  CoordReport udc;
+  CoordReport nudc;
+};
+
+SweepResult sweep(double drop, int t, const OracleFactory& oracle,
+                  const ProtocolFactory& protocol) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = drop;
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  auto plans = plans_up_to(t);
+  System sys = generate_system(cfg, plans, workload, oracle, protocol,
+                               /*seeds_per_plan=*/2);
+  return SweepResult{check_udc(sys, actions, kGrace),
+                     check_nudc(sys, actions, kGrace)};
+}
+
+// ---------------------------------------------------------------- Prop 2.3
+TEST(Prop23, NUdcFloodingAttainsNUdcUnderLossAndAnyFailures) {
+  auto res = sweep(0.4, kN, nullptr, [](ProcessId) {
+    return std::make_unique<NUdcProcess>();
+  });
+  EXPECT_TRUE(res.nudc.achieved())
+      << (res.nudc.violations.empty() ? "" : res.nudc.violations[0]);
+}
+
+TEST(Prop23, FloodingIsNotUniform) {
+  // The uniformity gap: a performer that crashes before its α-messages get
+  // through leaves UDC violated.  A targeted adversary makes it
+  // deterministic: p0 performs at init, then every p0 channel is dead and
+  // p0 crashes.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.custom_policy = std::make_shared<PartitionDropPolicy>(
+      ProcSet::singleton(0), ProcSet::full(kN), /*cut_time=*/0,
+      /*background_drop=*/0.0);
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto actions = workload_actions(workload);
+  CrashPlan plan = make_crash_plan(kN, {{0, 40}});
+  SimResult res = simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+    return std::make_unique<NUdcProcess>();
+  });
+  EXPECT_TRUE(res.run.do_in(0, kHorizon, actions[0]));
+  CoordReport udc = check_udc(res.run, actions, kGrace);
+  EXPECT_FALSE(udc.dc2);
+  // But nUDC is intact: the performer crashed.
+  EXPECT_TRUE(check_nudc(res.run, actions, kGrace).achieved());
+}
+
+// ---------------------------------------------------------------- Prop 2.4
+TEST(Prop24, ReliableChannelsGiveUdcWithNoFdAnyFailures) {
+  auto res = sweep(0.0, kN, nullptr, [](ProcessId) {
+    return std::make_unique<UdcReliableProcess>();
+  });
+  EXPECT_TRUE(res.udc.achieved())
+      << (res.udc.violations.empty() ? "" : res.udc.violations[0]);
+}
+
+TEST(Prop24, SendBeforeDoOrderingIsInHistories) {
+  // The protocol's proof obligation: whenever do_p(α) is in a history, all
+  // n-1 α-sends precede it.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 120;
+  std::vector<InitDirective> workload{{3, 1, make_action(1, 0)}};
+  SimResult res = simulate(cfg, no_crashes(kN), nullptr, workload,
+                           [](ProcessId) {
+                             return std::make_unique<UdcReliableProcess>();
+                           });
+  const History& h = res.run.history(1);
+  int sends_before_do = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i].kind == EventKind::kSend) ++sends_before_do;
+    if (h[i].kind == EventKind::kDo) break;
+  }
+  EXPECT_EQ(sends_before_do, kN - 1);
+}
+
+TEST(Prop24, ReliableProtocolBreaksUnderMessageLoss) {
+  // Motivates §3: run the Prop 2.4 protocol on a channel that silences the
+  // initiator, crash it after it performed — uniformity gone.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.custom_policy = std::make_shared<PartitionDropPolicy>(
+      ProcSet::singleton(0), ProcSet::full(kN), 0, 0.0);
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto actions = workload_actions(workload);
+  CrashPlan plan = make_crash_plan(kN, {{0, 60}});
+  SimResult res = simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+    return std::make_unique<UdcReliableProcess>();
+  });
+  EXPECT_FALSE(check_udc(res.run, actions, kGrace).achieved());
+}
+
+// ---------------------------------------------------------------- Prop 3.1
+TEST(Prop31, StrongFdGivesUdcUnderLossAnyFailures) {
+  auto res = sweep(0.4, kN, [] { return std::make_unique<StrongOracle>(4, 0.2); },
+                   [](ProcessId) {
+                     return std::make_unique<UdcStrongFdProcess>();
+                   });
+  EXPECT_TRUE(res.udc.achieved())
+      << (res.udc.violations.empty() ? "" : res.udc.violations[0]);
+}
+
+TEST(Prop31, PerfectFdAlsoWorks) {
+  auto res = sweep(0.4, kN, [] { return std::make_unique<PerfectOracle>(4); },
+                   [](ProcessId) {
+                     return std::make_unique<UdcStrongFdProcess>();
+                   });
+  EXPECT_TRUE(res.udc.achieved());
+}
+
+TEST(Cor32, ImpermanentStrongSuffices) {
+  // Corollary 3.2 via Prop 2.2: the protocol accumulates suspicions itself,
+  // so the impermanent-strong oracle is enough.
+  auto res = sweep(0.4, kN,
+                   [] { return std::make_unique<ImpermanentStrongOracle>(4); },
+                   [](ProcessId) {
+                     return std::make_unique<UdcStrongFdProcess>();
+                   });
+  EXPECT_TRUE(res.udc.achieved())
+      << (res.udc.violations.empty() ? "" : res.udc.violations[0]);
+}
+
+TEST(Prop31, NoFdFailsLiveness) {
+  // Without any detector the performer waits for acks forever once a peer
+  // crashes: DC1 is violated (initiator neither performs nor crashes).
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.2;
+  std::vector<InitDirective> workload{{30, 0, make_action(0, 0)}};
+  auto actions = workload_actions(workload);
+  CrashPlan plan = make_crash_plan(kN, {{1, 10}});
+  SimResult res = simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+    return std::make_unique<UdcStrongFdProcess>();
+  });
+  CoordReport rep = check_udc(res.run, actions, kGrace);
+  EXPECT_FALSE(rep.dc1);
+}
+
+// ---------------------------------------------------------------- Prop 4.1
+TEST(Prop41, TUsefulFdGivesUdcForEachT) {
+  for (int t = 1; t <= kN; ++t) {
+    auto res = sweep(0.3, t,
+                     [t_copy = t] {
+                       return std::make_unique<TUsefulOracle>(t_copy, 4, 1);
+                     },
+                     [t_copy = t](ProcessId) {
+                       return std::make_unique<UdcGeneralizedProcess>(t_copy);
+                     });
+    EXPECT_TRUE(res.udc.achieved())
+        << "t=" << t << ": "
+        << (res.udc.violations.empty() ? "" : res.udc.violations[0]);
+  }
+}
+
+TEST(Cor42, TrivialDetectorSufficesBelowHalf) {
+  // t < n/2 (t=1 for n=4): the content-free cycling detector gives UDC —
+  // Gopal-Toueg, no failure information needed.
+  auto res = sweep(0.3, 1,
+                   [] { return std::make_unique<TrivialGeneralizedOracle>(1, 2); },
+                   [](ProcessId) {
+                     return std::make_unique<UdcGeneralizedProcess>(1);
+                   });
+  EXPECT_TRUE(res.udc.achieved())
+      << (res.udc.violations.empty() ? "" : res.udc.violations[0]);
+}
+
+TEST(Prop41, TrivialDetectorFailsLivenessAboveHalf) {
+  // t >= n/2: (S, 0) reports never satisfy the inequality, so a process
+  // whose peer crashed can never perform: DC1 breaks.
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.2;
+  std::vector<InitDirective> workload{{30, 0, make_action(0, 0)}};
+  auto actions = workload_actions(workload);
+  CrashPlan plan = make_crash_plan(kN, {{1, 10}, {2, 15}});
+  TrivialGeneralizedOracle oracle(2, 2);
+  SimResult res = simulate(cfg, plan, &oracle, workload, [](ProcessId) {
+    return std::make_unique<UdcGeneralizedProcess>(2);
+  });
+  EXPECT_FALSE(check_udc(res.run, actions, kGrace).dc1);
+}
+
+TEST(Protocols, MessageCountsAreSane) {
+  // Ack-based UDC on a lossless channel settles: after the handshake no
+  // unbounded retransmission (all acks collected).
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = 400;
+  std::vector<InitDirective> workload{{3, 0, make_action(0, 0)}};
+  PerfectOracle oracle(4);
+  SimResult res = simulate(cfg, no_crashes(kN), &oracle, workload,
+                           [](ProcessId) {
+                             return std::make_unique<UdcStrongFdProcess>();
+                           });
+  // Handshake is ~2 messages per ordered pair plus a few retransmissions
+  // racing the acks; far below one message per tick per process.
+  EXPECT_LT(res.messages_sent, 200u);
+  auto actions = workload_actions(workload);
+  EXPECT_TRUE(check_udc(res.run, actions, 100).achieved());
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,106 @@
+// Footnote 11 of the paper: with a STRONGLY ACCURATE detector the Prop 3.1
+// protocol may stop retransmitting after performing (quiescence); with
+// merely weak accuracy, halting on a false suspicion strands a live peer
+// and uniformity is lost.
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+constexpr int kN = 4;
+constexpr Time kHorizon = 500;
+constexpr Time kGrace = 160;
+
+Time last_send_time(const udc::Run& r) {
+  Time last = 0;
+  for (ProcessId p = 0; p < r.n(); ++p) {
+    const History& h = r.history(p);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (h[i].kind == EventKind::kSend) {
+        last = std::max(last, r.event_time(p, i));
+      }
+    }
+  }
+  return last;
+}
+
+System quiescent_system(const OracleFactory& oracle, bool quiescent) {
+  SimConfig cfg;
+  cfg.n = kN;
+  cfg.horizon = kHorizon;
+  cfg.channel.drop_prob = 0.25;
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto plans = all_crash_plans_up_to(kN, kN - 1, 25, 120);
+  return generate_system(cfg, plans, workload, oracle,
+                         [quiescent](ProcessId) {
+                           return std::make_unique<UdcStrongFdProcess>(
+                               8, quiescent);
+                         },
+                         2);
+}
+
+TEST(Quiescence, PerfectDetectorAllowsQuiescentUdc) {
+  System sys = quiescent_system(
+      [] { return std::make_unique<PerfectOracle>(4); }, /*quiescent=*/true);
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  CoordReport rep = check_udc(sys, actions, kGrace);
+  EXPECT_TRUE(rep.achieved())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+  // Quiescence: the network goes silent well before the horizon in every
+  // run (all performs done, no residual retransmission).
+  for (const udc::Run& r : sys.runs()) {
+    EXPECT_LT(last_send_time(r), kHorizon - 100);
+  }
+}
+
+TEST(Quiescence, NonQuiescentModeKeepsChattering) {
+  // Without footnote 11, a process that performed keeps retransmitting to
+  // crashed peers forever — the price of not trusting accuracy.  Witness:
+  // a run with a crash has sends near the horizon.
+  System sys = quiescent_system(
+      [] { return std::make_unique<PerfectOracle>(4); }, /*quiescent=*/false);
+  bool some_run_chatters = false;
+  for (const udc::Run& r : sys.runs()) {
+    if (!r.faulty_set().empty() && last_send_time(r) > kHorizon - 50) {
+      some_run_chatters = true;
+    }
+  }
+  EXPECT_TRUE(some_run_chatters);
+}
+
+TEST(Quiescence, WeakAccuracyMakesQuiescentModeUnsound) {
+  // The converse direction of footnote 11: with false suspicions, stopping
+  // after performing can strand a falsely-suspected live process.  A noisy
+  // strong detector across a sweep must eventually produce the violation.
+  System sys = quiescent_system(
+      [] { return std::make_unique<StrongOracle>(4, 0.6); },
+      /*quiescent=*/true);
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  CoordReport rep = check_udc(sys, actions, kGrace);
+  EXPECT_FALSE(rep.achieved());
+}
+
+TEST(Quiescence, WeakAccuracyIsFineWithoutQuiescence) {
+  // Same noisy detector, quiescence off: the protocol keeps retransmitting
+  // to falsely-suspected peers and UDC survives (Prop 3.1 proper).
+  System sys = quiescent_system(
+      [] { return std::make_unique<StrongOracle>(4, 0.6); },
+      /*quiescent=*/false);
+  auto workload = make_workload(kN, 1, 5, 7);
+  auto actions = workload_actions(workload);
+  CoordReport rep = check_udc(sys, actions, kGrace);
+  EXPECT_TRUE(rep.achieved())
+      << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+}  // namespace
+}  // namespace udc

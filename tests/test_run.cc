@@ -1,0 +1,215 @@
+#include "udc/event/run.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/common/check.h"
+#include "udc/event/fairness.h"
+
+namespace udc {
+namespace {
+
+Message alpha_msg(ActionId a) {
+  Message m;
+  m.kind = MsgKind::kAlpha;
+  m.action = a;
+  return m;
+}
+
+TEST(RunBuilder, EmptyRunHasHorizonZero) {
+  udc::Run r = std::move(Run::Builder(3)).build();
+  EXPECT_EQ(r.n(), 3);
+  EXPECT_EQ(r.horizon(), 0);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(r.history_len(p, 0), 0u);  // R1
+  }
+  EXPECT_TRUE(r.faulty_set().empty());
+}
+
+TEST(RunBuilder, R2AtMostOneEventPerStep) {
+  Run::Builder b(2);
+  b.append(0, Event::init(1));
+  EXPECT_THROW(b.append(0, Event::do_action(1)), InvariantViolation);
+  // Other processes still have their slot this step.
+  EXPECT_NO_THROW(b.append(1, Event::init(2)));
+}
+
+TEST(RunBuilder, StepBoundariesTrackLengths) {
+  Run::Builder b(2);
+  b.append(0, Event::init(1)).end_step();
+  b.end_step();  // idle step
+  b.append(0, Event::do_action(1)).append(1, Event::do_action(1)).end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_EQ(r.horizon(), 3);
+  EXPECT_EQ(r.history_len(0, 0), 0u);
+  EXPECT_EQ(r.history_len(0, 1), 1u);
+  EXPECT_EQ(r.history_len(0, 2), 1u);
+  EXPECT_EQ(r.history_len(0, 3), 2u);
+  EXPECT_EQ(r.history_len(1, 2), 0u);
+  EXPECT_EQ(r.history_len(1, 3), 1u);
+  // Queries beyond the horizon clamp.
+  EXPECT_EQ(r.history_len(0, 99), 2u);
+  // Event entry times invert the length curve.
+  EXPECT_EQ(r.event_time(0, 0), 1);
+  EXPECT_EQ(r.event_time(0, 1), 3);
+}
+
+TEST(RunBuilder, R4NoEventsAfterCrash) {
+  Run::Builder b(1);
+  b.append(0, Event::crash()).end_step();
+  EXPECT_THROW(b.append(0, Event::do_action(1)), InvariantViolation);
+}
+
+TEST(RunBuilder, CrashRecordsFaultySetAndTime) {
+  Run::Builder b(2);
+  b.end_step();
+  b.append(1, Event::crash()).end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_TRUE(r.is_faulty(1));
+  EXPECT_FALSE(r.is_faulty(0));
+  EXPECT_EQ(r.faulty_set(), ProcSet::singleton(1));
+  EXPECT_EQ(r.correct_set(), ProcSet::singleton(0));
+  EXPECT_EQ(r.crash_time(1), std::optional<Time>(2));
+  EXPECT_EQ(r.crash_time(0), std::nullopt);
+  EXPECT_FALSE(r.crashed_by(1, 1));
+  EXPECT_TRUE(r.crashed_by(1, 2));
+}
+
+TEST(RunBuilder, R3ReceiveWithoutSendRejected) {
+  Run::Builder b(2);
+  b.append(1, Event::recv(0, alpha_msg(1))).end_step();
+  EXPECT_THROW(std::move(b).build(), InvariantViolation);
+}
+
+TEST(RunBuilder, R3ReceiveBeforeSendRejected) {
+  Run::Builder b(2);
+  b.append(1, Event::recv(0, alpha_msg(1))).end_step();
+  b.append(0, Event::send(1, alpha_msg(1))).end_step();
+  EXPECT_THROW(std::move(b).build(), InvariantViolation);
+}
+
+TEST(RunBuilder, R3SameStepSendRecvAccepted) {
+  Run::Builder b(2);
+  b.append(0, Event::send(1, alpha_msg(1)))
+      .append(1, Event::recv(0, alpha_msg(1)))
+      .end_step();
+  EXPECT_NO_THROW(std::move(b).build());
+}
+
+TEST(RunBuilder, R3MoreReceivesThanSendsRejected) {
+  Run::Builder b(2);
+  b.append(0, Event::send(1, alpha_msg(1))).end_step();
+  b.append(1, Event::recv(0, alpha_msg(1))).end_step();
+  b.append(1, Event::recv(0, alpha_msg(1))).end_step();
+  EXPECT_THROW(std::move(b).build(), InvariantViolation);
+}
+
+TEST(RunBuilder, R3RetransmissionAllowsSecondReceive) {
+  Run::Builder b(2);
+  b.append(0, Event::send(1, alpha_msg(1))).end_step();
+  b.append(0, Event::send(1, alpha_msg(1)))
+      .append(1, Event::recv(0, alpha_msg(1)))
+      .end_step();
+  b.append(1, Event::recv(0, alpha_msg(1))).end_step();
+  EXPECT_NO_THROW(std::move(b).build());
+}
+
+TEST(RunBuilder, DuplicateInitRejected) {
+  Run::Builder b(2);
+  b.append(0, Event::init(5)).end_step();
+  b.append(0, Event::init(5)).end_step();
+  EXPECT_THROW(std::move(b).build(), InvariantViolation);
+}
+
+TEST(RunBuilder, InitInTwoHistoriesRejected) {
+  Run::Builder b(2);
+  b.append(0, Event::init(5)).append(1, Event::init(5)).end_step();
+  EXPECT_THROW(std::move(b).build(), InvariantViolation);
+}
+
+TEST(Run, SuspectsAtTracksLatestReport) {
+  Run::Builder b(2);
+  b.append(0, Event::suspect(ProcSet::singleton(1))).end_step();
+  b.end_step();
+  b.append(0, Event::suspect(ProcSet{})).end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_TRUE(r.suspects_at(0, 0).empty());  // no report yet
+  EXPECT_EQ(r.suspects_at(0, 1), ProcSet::singleton(1));
+  EXPECT_EQ(r.suspects_at(0, 2), ProcSet::singleton(1));
+  EXPECT_TRUE(r.suspects_at(0, 3).empty());  // superseded
+}
+
+TEST(Run, GenSuspectsAtAndReportHistory) {
+  Run::Builder b(3);
+  b.append(0, Event::suspect_gen(ProcSet::full(3), 1)).end_step();
+  b.append(0, Event::suspect_gen(ProcSet::singleton(2), 1)).end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_FALSE(r.gen_suspects_at(0, 0).has_value());
+  auto latest = r.gen_suspects_at(0, 2);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->s, ProcSet::singleton(2));
+  EXPECT_EQ(latest->k, 1);
+  EXPECT_EQ(r.gen_reports_up_to(0, 2).size(), 2u);
+  EXPECT_EQ(r.gen_reports_up_to(0, 1).size(), 1u);
+}
+
+TEST(Run, IndistinguishabilityIsPerProcess) {
+  Run::Builder b1(2);
+  b1.append(0, Event::init(1)).end_step();
+  udc::Run r1 = std::move(b1).build();
+
+  Run::Builder b2(2);
+  b2.append(0, Event::init(1)).append(1, Event::init(2)).end_step();
+  udc::Run r2 = std::move(b2).build();
+
+  EXPECT_TRUE(Run::indistinguishable(r1, 1, r2, 1, 0));
+  EXPECT_FALSE(Run::indistinguishable(r1, 1, r2, 1, 1));
+  // Time 0 cuts are always indistinguishable (all empty).
+  EXPECT_TRUE(Run::indistinguishable(r1, 0, r2, 0, 0));
+  EXPECT_TRUE(Run::indistinguishable(r1, 0, r2, 0, 1));
+}
+
+TEST(Fairness, FlagsSilencedChannel) {
+  Run::Builder b(2);
+  for (int i = 0; i < 10; ++i) {
+    b.append(0, Event::send(1, alpha_msg(1))).end_step();
+  }
+  udc::Run r = std::move(b).build();
+  FairnessReport rep = check_fairness(r, /*threshold=*/5);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].sender, 0);
+  EXPECT_EQ(rep.violations[0].recipient, 1);
+  EXPECT_EQ(rep.violations[0].times_sent, 10u);
+  EXPECT_FALSE(rep.fair());
+}
+
+TEST(Fairness, SingleReceiveSatisfiesSurrogate) {
+  Run::Builder b(2);
+  for (int i = 0; i < 9; ++i) {
+    b.append(0, Event::send(1, alpha_msg(1))).end_step();
+  }
+  b.append(1, Event::recv(0, alpha_msg(1))).end_step();
+  udc::Run r = std::move(b).build();
+  EXPECT_TRUE(check_fairness(r, 5).fair());
+}
+
+TEST(Fairness, SendsToCrashedProcessExempt) {
+  Run::Builder b(2);
+  b.append(1, Event::crash()).end_step();
+  for (int i = 0; i < 10; ++i) {
+    b.append(0, Event::send(1, alpha_msg(1))).end_step();
+  }
+  udc::Run r = std::move(b).build();
+  EXPECT_TRUE(check_fairness(r, 5).fair());
+}
+
+TEST(Fairness, BelowThresholdNotFlagged) {
+  Run::Builder b(2);
+  for (int i = 0; i < 4; ++i) {
+    b.append(0, Event::send(1, alpha_msg(1))).end_step();
+  }
+  udc::Run r = std::move(b).build();
+  EXPECT_TRUE(check_fairness(r, 5).fair());
+}
+
+}  // namespace
+}  // namespace udc

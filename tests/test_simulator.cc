@@ -1,0 +1,166 @@
+#include "udc/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/event/fairness.h"
+#include "udc/sim/crash_schedule.h"
+
+namespace udc {
+namespace {
+
+// A protocol that does nothing at all.
+class IdleProcess : public Process {
+ public:
+  void on_receive(ProcessId, const Message&, Env&) override {}
+};
+
+// Sends one app message to everyone on start, then echoes receives back.
+class PingProcess : public Process {
+ public:
+  void on_start(Env& env) override {
+    if (env.self() != 0) return;
+    Message m;
+    m.kind = MsgKind::kApp;
+    m.a = 1;
+    for (ProcessId q = 1; q < env.n(); ++q) env.send(q, m);
+  }
+  void on_receive(ProcessId from, const Message& msg, Env& env) override {
+    if (msg.a == 1) {
+      Message reply;
+      reply.kind = MsgKind::kApp;
+      reply.a = 2;
+      env.send(from, reply);
+    }
+  }
+};
+
+ProtocolFactory factory_of(auto make) {
+  return [make](ProcessId) -> std::unique_ptr<Process> { return make(); };
+}
+
+TEST(Simulator, IdleProtocolYieldsEmptyHistories) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 20;
+  SimResult res =
+      simulate(cfg, no_crashes(3), nullptr, {},
+               factory_of([] { return std::make_unique<IdleProcess>(); }));
+  EXPECT_EQ(res.run.horizon(), 20);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(res.run.history(p).size(), 0u);
+  }
+  EXPECT_EQ(res.messages_sent, 0u);
+}
+
+TEST(Simulator, CrashHappensAtScheduledTime) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 20;
+  CrashPlan plan = make_crash_plan(3, {{1, 7}});
+  SimResult res =
+      simulate(cfg, plan, nullptr, {},
+               factory_of([] { return std::make_unique<IdleProcess>(); }));
+  EXPECT_EQ(res.run.crash_time(1), std::optional<Time>(7));
+  EXPECT_EQ(res.run.faulty_set(), ProcSet::singleton(1));
+  EXPECT_EQ(res.run.history(1).size(), 1u);
+  EXPECT_EQ(res.run.history(1).back().kind, EventKind::kCrash);
+}
+
+TEST(Simulator, PingPongProducesValidSendRecvPairs) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.horizon = 60;
+  SimResult res =
+      simulate(cfg, no_crashes(4), nullptr, {},
+               factory_of([] { return std::make_unique<PingProcess>(); }));
+  // Every peer got the ping and replied; p0 got the replies.
+  int replies = 0;
+  for (const Event& e : res.run.history(0).events()) {
+    if (e.kind == EventKind::kRecv && e.msg.a == 2) ++replies;
+  }
+  EXPECT_EQ(replies, 3);
+}
+
+TEST(Simulator, InitDirectiveAppendsInitEvent) {
+  SimConfig cfg;
+  cfg.n = 2;
+  cfg.horizon = 30;
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  SimResult res =
+      simulate(cfg, no_crashes(2), nullptr, workload,
+               factory_of([] { return std::make_unique<IdleProcess>(); }));
+  EXPECT_TRUE(res.run.init_in(0, 5, make_action(0, 0)));
+  EXPECT_FALSE(res.run.init_in(0, 4, make_action(0, 0)));
+  EXPECT_EQ(res.inits_skipped, 0u);
+}
+
+TEST(Simulator, InitAfterCrashIsSkipped) {
+  SimConfig cfg;
+  cfg.n = 2;
+  cfg.horizon = 30;
+  CrashPlan plan = make_crash_plan(2, {{0, 3}});
+  std::vector<InitDirective> workload{{10, 0, make_action(0, 0)}};
+  SimResult res =
+      simulate(cfg, plan, nullptr, workload,
+               factory_of([] { return std::make_unique<IdleProcess>(); }));
+  EXPECT_FALSE(res.run.init_in(0, 30, make_action(0, 0)));
+  EXPECT_EQ(res.inits_skipped, 1u);
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 80;
+  cfg.channel.drop_prob = 0.4;
+  cfg.seed = 99;
+  std::vector<InitDirective> workload{{2, 0, make_action(0, 0)}};
+  auto once = [&] {
+    return simulate(cfg, no_crashes(3), nullptr, workload, [](ProcessId) {
+             return std::make_unique<NUdcProcess>();
+           }).run;
+  };
+  udc::Run a = once();
+  udc::Run b = once();
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(a.history(p) == b.history(p));
+  }
+}
+
+TEST(Simulator, FairLossyRunSatisfiesFairnessSurrogate) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 400;
+  cfg.channel.drop_prob = 0.5;
+  std::vector<InitDirective> workload{{2, 0, make_action(0, 0)}};
+  SimResult res = simulate(cfg, no_crashes(3), nullptr, workload,
+                           [](ProcessId) {
+                             return std::make_unique<NUdcProcess>();
+                           });
+  EXPECT_GT(res.messages_dropped, 0u);
+  // With drop 0.5 and hundreds of retransmissions, a message sent 25+ times
+  // is delivered with overwhelming probability.
+  EXPECT_TRUE(check_fairness(res.run, /*threshold=*/25).fair());
+}
+
+TEST(Simulator, RunsAlwaysValidateR1ToR4) {
+  // The builder inside simulate() throws on any R-violation; a pile of
+  // crash/workload/drop combinations exercising it is a cheap regression
+  // net for the event-selection logic.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimConfig cfg;
+    cfg.n = 4;
+    cfg.horizon = 120;
+    cfg.channel.drop_prob = 0.3;
+    cfg.seed = seed;
+    CrashPlan plan = make_crash_plan(4, {{0, 11}, {2, 40}});
+    auto workload = make_workload(4, 1, 2, 3);
+    EXPECT_NO_THROW(simulate(cfg, plan, nullptr, workload, [](ProcessId) {
+      return std::make_unique<NUdcProcess>();
+    }));
+  }
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,101 @@
+#include "udc/event/system.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/common/check.h"
+
+namespace udc {
+namespace {
+
+udc::Run one_init_run(ActionId a, bool second_proc_acts) {
+  Run::Builder b(2);
+  b.append(0, Event::init(a)).end_step();
+  if (second_proc_acts) {
+    b.append(1, Event::do_action(a)).end_step();
+  } else {
+    b.end_step();
+  }
+  return std::move(b).build();
+}
+
+TEST(System, RejectsEmpty) {
+  EXPECT_THROW(System(std::vector<udc::Run>{}), InvariantViolation);
+}
+
+TEST(System, RejectsMixedN) {
+  std::vector<udc::Run> runs;
+  runs.push_back(std::move(Run::Builder(2)).build());
+  runs.push_back(std::move(Run::Builder(3)).build());
+  EXPECT_THROW(System(std::move(runs)), InvariantViolation);
+}
+
+TEST(System, BasicAccessors) {
+  std::vector<udc::Run> runs;
+  runs.push_back(one_init_run(1, false));
+  runs.push_back(one_init_run(1, true));
+  System sys(std::move(runs));
+  EXPECT_EQ(sys.size(), 2u);
+  EXPECT_EQ(sys.n(), 2);
+  EXPECT_EQ(sys.max_horizon(), 2);
+}
+
+TEST(System, EquivalenceClassGroupsIdenticalLocalStates) {
+  std::vector<udc::Run> runs;
+  runs.push_back(one_init_run(1, false));
+  runs.push_back(one_init_run(1, true));
+  System sys(std::move(runs));
+
+  // Process 0's view at time 1 is identical in both runs (one init event).
+  auto cls = sys.equivalence_class(0, Point{0, 1});
+  // Members: (run0, m=1), (run0, m=2), (run1, m=1), (run1, m=2).
+  EXPECT_EQ(cls.size(), 4u);
+
+  // Process 1 at time 2 differs between the runs.
+  auto cls1 = sys.equivalence_class(1, Point{1, 2});
+  EXPECT_EQ(cls1.size(), 1u);
+  EXPECT_EQ(cls1[0].run, 1u);
+  EXPECT_EQ(cls1[0].m, 2);
+
+  // Process 1 with an empty history cannot tell any of the runs/times with
+  // an empty p1-history apart: times 0,1,2 of run 0 and times 0,1 of run 1.
+  auto cls_empty = sys.equivalence_class(1, Point{0, 0});
+  EXPECT_EQ(cls_empty.size(), 5u);
+}
+
+TEST(System, EquivalenceClassContainsSelf) {
+  std::vector<udc::Run> runs;
+  runs.push_back(one_init_run(3, true));
+  System sys(std::move(runs));
+  sys.for_each_point([&](Point at) {
+    for (ProcessId p = 0; p < sys.n(); ++p) {
+      auto cls = sys.equivalence_class(p, at);
+      bool found = false;
+      for (Point q : cls) {
+        if (q == at) found = true;
+      }
+      EXPECT_TRUE(found) << "point (" << at.run << "," << at.m
+                         << ") missing from own class of p" << p;
+    }
+  });
+}
+
+TEST(System, PointBeyondHorizonRejected) {
+  std::vector<udc::Run> runs;
+  runs.push_back(one_init_run(1, false));
+  System sys(std::move(runs));
+  EXPECT_THROW(sys.equivalence_class(0, Point{0, 99}), InvariantViolation);
+  EXPECT_THROW(sys.equivalence_class(0, Point{5, 0}), InvariantViolation);
+}
+
+TEST(System, ForEachPointCoversEverything) {
+  std::vector<udc::Run> runs;
+  runs.push_back(one_init_run(1, false));  // horizon 2
+  runs.push_back(one_init_run(1, true));   // horizon 2
+  System sys(std::move(runs));
+  std::size_t count = 0;
+  sys.for_each_point([&](Point) { ++count; });
+  EXPECT_EQ(count, 6u);  // 2 runs x (horizon 2 + 1)
+}
+
+}  // namespace
+}  // namespace udc

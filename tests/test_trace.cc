@@ -1,0 +1,165 @@
+// Run tracing: format/parse round trips, filters, and malformed-input
+// rejection.
+#include "udc/event/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/common/check.h"
+#include "udc/coord/action.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+udc::Run protocol_run(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 120;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = seed;
+  auto workload = make_workload(3, 1, 4, 6);
+  PerfectOracle oracle(4);
+  return simulate(cfg, make_crash_plan(3, {{1, 30}}), &oracle, workload,
+                  [](ProcessId) {
+                    return std::make_unique<UdcStrongFdProcess>();
+                  })
+      .run;
+}
+
+TEST(Trace, RoundTripPreservesEverything) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    udc::Run original = protocol_run(seed);
+    udc::Run parsed = parse_run(format_run(original));
+    ASSERT_EQ(parsed.n(), original.n());
+    ASSERT_EQ(parsed.horizon(), original.horizon());
+    for (ProcessId p = 0; p < original.n(); ++p) {
+      ASSERT_TRUE(original.history(p) == parsed.history(p)) << "p" << p;
+      for (Time m = 0; m <= original.horizon(); m += 7) {
+        EXPECT_EQ(original.history_len(p, m), parsed.history_len(p, m));
+      }
+    }
+    EXPECT_EQ(original.faulty_set(), parsed.faulty_set());
+  }
+}
+
+TEST(Trace, RoundTripOfHandBuiltRunWithAllEventKinds) {
+  Run::Builder b(3);
+  Message msg;
+  msg.kind = MsgKind::kApp;
+  msg.a = -5;
+  msg.b = 77;
+  msg.procs = ProcSet::singleton(2);
+  b.append(0, Event::init(make_action(0, 3))).end_step();
+  b.append(0, Event::send(1, msg)).end_step();
+  b.append(1, Event::recv(0, msg))
+      .append(2, Event::suspect_gen(ProcSet::full(3), 1))
+      .end_step();
+  b.append(0, Event::do_action(make_action(0, 3)))
+      .append(1, Event::suspect(ProcSet::singleton(2)))
+      .append(2, Event::crash())
+      .end_step();
+  b.end_step();  // trailing idle step
+  udc::Run r = std::move(b).build();
+  udc::Run parsed = parse_run(format_run(r));
+  EXPECT_EQ(parsed.horizon(), r.horizon());
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(r.history(p) == parsed.history(p)) << "p" << p;
+  }
+  // The generalized report survives with its k.
+  auto rep = parsed.gen_suspects_at(2, 3);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->k, 1);
+}
+
+TEST(Trace, FiltersApply) {
+  udc::Run r = protocol_run(3);
+  TraceOptions only_p1;
+  only_p1.only_process = 1;
+  std::string text = format_run(r, only_p1);
+  EXPECT_EQ(text.find(" p=0 "), std::string::npos);
+  EXPECT_EQ(text.find(" p=2 "), std::string::npos);
+
+  TraceOptions no_fd;
+  no_fd.include_fd_events = false;
+  EXPECT_EQ(format_run(r, no_fd).find("suspect"), std::string::npos);
+
+  TraceOptions window;
+  window.from = 10;
+  window.to = 20;
+  std::string w = format_run(r, window);
+  EXPECT_EQ(w.find("t=9 "), std::string::npos);
+  EXPECT_EQ(w.find("t=21 "), std::string::npos);
+}
+
+TEST(Trace, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_run(""), InvariantViolation);
+  EXPECT_THROW(parse_run("bogus n=2 horizon=5\n"), InvariantViolation);
+  EXPECT_THROW(parse_run("run n=2 horizon=5\nt=1 p=0 frobnicate\n"),
+               InvariantViolation);
+  // Out-of-order times.
+  EXPECT_THROW(parse_run("run n=2 horizon=5\n"
+                         "t=3 p=0 crash\n"
+                         "t=1 p=1 crash\n"),
+               InvariantViolation);
+  // R-violations surface through the builder: receive without send.
+  EXPECT_THROW(
+      parse_run("run n=2 horizon=5\n"
+                "t=1 p=1 recv from=0 kind=app action=-1 procs=0 a=0 b=0\n"),
+      InvariantViolation);
+}
+
+TEST(Trace, SystemRoundTripPreservesKnowledgeStructure) {
+  // Archive a generated system as text, reload it, and check the
+  // indistinguishability structure (and hence all knowledge facts) is
+  // byte-identical.
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 80;
+  cfg.channel.drop_prob = 0.3;
+  cfg.seed = 6;
+  auto workload = make_workload(3, 1, 4, 6);
+  auto plans = all_crash_plans_up_to(3, 2, 15, 50);
+  PerfectOracle proto_oracle(4);
+  std::vector<udc::Run> runs;
+  for (const CrashPlan& plan : plans) {
+    PerfectOracle oracle(4);
+    runs.push_back(simulate(cfg, plan, &oracle, workload, [](ProcessId) {
+                     return std::make_unique<UdcStrongFdProcess>();
+                   }).run);
+  }
+  System original(std::move(runs));
+  System reloaded = parse_system(format_system(original));
+  ASSERT_EQ(reloaded.size(), original.size());
+  original.for_each_point([&](Point at) {
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_EQ(original.equivalence_class(p, at).size(),
+                reloaded.equivalence_class(p, at).size());
+    }
+  });
+}
+
+TEST(Trace, ParseSystemRejectsCountMismatch) {
+  udc::Run r = std::move(Run::Builder(2).end_step()).build();
+  std::vector<udc::Run> runs;
+  runs.push_back(std::move(r));
+  System sys(std::move(runs));
+  std::string text = format_system(sys);
+  // Claim two runs but provide one.
+  text.replace(text.find("runs=1"), 6, "runs=2");
+  EXPECT_THROW(parse_system(text), InvariantViolation);
+}
+
+TEST(Trace, HeaderCarriesDimensions) {
+  udc::Run r = std::move(Run::Builder(5).end_step().end_step()).build();
+  std::string text = format_run(r);
+  EXPECT_NE(text.find("run n=5 horizon=2"), std::string::npos);
+  udc::Run parsed = parse_run(text);
+  EXPECT_EQ(parsed.n(), 5);
+  EXPECT_EQ(parsed.horizon(), 2);
+}
+
+}  // namespace
+}  // namespace udc
