@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atd_weakest.dir/bench_atd_weakest.cc.o"
+  "CMakeFiles/bench_atd_weakest.dir/bench_atd_weakest.cc.o.d"
+  "bench_atd_weakest"
+  "bench_atd_weakest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atd_weakest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fd_conversions.dir/bench_fd_conversions.cc.o"
+  "CMakeFiles/bench_fd_conversions.dir/bench_fd_conversions.cc.o.d"
+  "bench_fd_conversions"
+  "bench_fd_conversions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fd_conversions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

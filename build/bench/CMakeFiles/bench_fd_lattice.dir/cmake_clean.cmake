@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fd_lattice.dir/bench_fd_lattice.cc.o"
+  "CMakeFiles/bench_fd_lattice.dir/bench_fd_lattice.cc.o.d"
+  "bench_fd_lattice"
+  "bench_fd_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fd_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

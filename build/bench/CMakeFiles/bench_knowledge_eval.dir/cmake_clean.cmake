@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knowledge_eval.dir/bench_knowledge_eval.cc.o"
+  "CMakeFiles/bench_knowledge_eval.dir/bench_knowledge_eval.cc.o.d"
+  "bench_knowledge_eval"
+  "bench_knowledge_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knowledge_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

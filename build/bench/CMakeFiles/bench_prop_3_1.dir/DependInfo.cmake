@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_prop_3_1.cc" "bench/CMakeFiles/bench_prop_3_1.dir/bench_prop_3_1.cc.o" "gcc" "bench/CMakeFiles/bench_prop_3_1.dir/bench_prop_3_1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udc/CMakeFiles/udc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_kt.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

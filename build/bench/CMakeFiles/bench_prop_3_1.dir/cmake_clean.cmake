@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop_3_1.dir/bench_prop_3_1.cc.o"
+  "CMakeFiles/bench_prop_3_1.dir/bench_prop_3_1.cc.o.d"
+  "bench_prop_3_1"
+  "bench_prop_3_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop_3_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

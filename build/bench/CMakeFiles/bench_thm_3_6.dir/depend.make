@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm_3_6.
+# This may be replaced when dependencies are built.

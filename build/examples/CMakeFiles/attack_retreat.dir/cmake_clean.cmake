@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_retreat.dir/attack_retreat.cc.o"
+  "CMakeFiles/attack_retreat.dir/attack_retreat.cc.o.d"
+  "attack_retreat"
+  "attack_retreat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_retreat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_knowledge.dir/common_knowledge.cc.o"
+  "CMakeFiles/common_knowledge.dir/common_knowledge.cc.o.d"
+  "common_knowledge"
+  "common_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_from_udc.dir/fd_from_udc.cc.o"
+  "CMakeFiles/fd_from_udc.dir/fd_from_udc.cc.o.d"
+  "fd_from_udc"
+  "fd_from_udc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_from_udc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

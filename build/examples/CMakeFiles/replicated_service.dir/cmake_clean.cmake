@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_service.dir/replicated_service.cc.o"
+  "CMakeFiles/replicated_service.dir/replicated_service.cc.o.d"
+  "replicated_service"
+  "replicated_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniform_multicast.dir/uniform_multicast.cc.o"
+  "CMakeFiles/uniform_multicast.dir/uniform_multicast.cc.o.d"
+  "uniform_multicast"
+  "uniform_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniform_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

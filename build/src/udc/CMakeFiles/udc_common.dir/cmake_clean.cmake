@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_common.dir/common/proc_set.cc.o"
+  "CMakeFiles/udc_common.dir/common/proc_set.cc.o.d"
+  "libudc_common.a"
+  "libudc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

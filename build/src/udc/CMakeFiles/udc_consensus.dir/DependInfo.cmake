@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udc/consensus/ct_strong.cc" "src/udc/CMakeFiles/udc_consensus.dir/consensus/ct_strong.cc.o" "gcc" "src/udc/CMakeFiles/udc_consensus.dir/consensus/ct_strong.cc.o.d"
+  "/root/repo/src/udc/consensus/rotating.cc" "src/udc/CMakeFiles/udc_consensus.dir/consensus/rotating.cc.o" "gcc" "src/udc/CMakeFiles/udc_consensus.dir/consensus/rotating.cc.o.d"
+  "/root/repo/src/udc/consensus/spec.cc" "src/udc/CMakeFiles/udc_consensus.dir/consensus/spec.cc.o" "gcc" "src/udc/CMakeFiles/udc_consensus.dir/consensus/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udc/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_consensus.dir/consensus/ct_strong.cc.o"
+  "CMakeFiles/udc_consensus.dir/consensus/ct_strong.cc.o.d"
+  "CMakeFiles/udc_consensus.dir/consensus/rotating.cc.o"
+  "CMakeFiles/udc_consensus.dir/consensus/rotating.cc.o.d"
+  "CMakeFiles/udc_consensus.dir/consensus/spec.cc.o"
+  "CMakeFiles/udc_consensus.dir/consensus/spec.cc.o.d"
+  "libudc_consensus.a"
+  "libudc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udc/coord/action.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/action.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/action.cc.o.d"
+  "/root/repo/src/udc/coord/metrics.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/metrics.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/metrics.cc.o.d"
+  "/root/repo/src/udc/coord/nudc_protocol.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/nudc_protocol.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/nudc_protocol.cc.o.d"
+  "/root/repo/src/udc/coord/spec.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/spec.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/spec.cc.o.d"
+  "/root/repo/src/udc/coord/udc_atd.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_atd.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_atd.cc.o.d"
+  "/root/repo/src/udc/coord/udc_fip.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_fip.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_fip.cc.o.d"
+  "/root/repo/src/udc/coord/udc_generalized.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_generalized.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_generalized.cc.o.d"
+  "/root/repo/src/udc/coord/udc_majority.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_majority.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_majority.cc.o.d"
+  "/root/repo/src/udc/coord/udc_reliable.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_reliable.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_reliable.cc.o.d"
+  "/root/repo/src/udc/coord/udc_strongfd.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_strongfd.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/udc_strongfd.cc.o.d"
+  "/root/repo/src/udc/coord/urb.cc" "src/udc/CMakeFiles/udc_coord.dir/coord/urb.cc.o" "gcc" "src/udc/CMakeFiles/udc_coord.dir/coord/urb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udc/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_coord.dir/coord/action.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/action.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/metrics.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/metrics.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/nudc_protocol.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/nudc_protocol.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/spec.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/spec.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/udc_atd.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/udc_atd.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/udc_fip.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/udc_fip.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/udc_generalized.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/udc_generalized.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/udc_majority.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/udc_majority.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/udc_reliable.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/udc_reliable.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/udc_strongfd.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/udc_strongfd.cc.o.d"
+  "CMakeFiles/udc_coord.dir/coord/urb.cc.o"
+  "CMakeFiles/udc_coord.dir/coord/urb.cc.o.d"
+  "libudc_coord.a"
+  "libudc_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udc/event/causality.cc" "src/udc/CMakeFiles/udc_event.dir/event/causality.cc.o" "gcc" "src/udc/CMakeFiles/udc_event.dir/event/causality.cc.o.d"
+  "/root/repo/src/udc/event/event.cc" "src/udc/CMakeFiles/udc_event.dir/event/event.cc.o" "gcc" "src/udc/CMakeFiles/udc_event.dir/event/event.cc.o.d"
+  "/root/repo/src/udc/event/fairness.cc" "src/udc/CMakeFiles/udc_event.dir/event/fairness.cc.o" "gcc" "src/udc/CMakeFiles/udc_event.dir/event/fairness.cc.o.d"
+  "/root/repo/src/udc/event/run.cc" "src/udc/CMakeFiles/udc_event.dir/event/run.cc.o" "gcc" "src/udc/CMakeFiles/udc_event.dir/event/run.cc.o.d"
+  "/root/repo/src/udc/event/system.cc" "src/udc/CMakeFiles/udc_event.dir/event/system.cc.o" "gcc" "src/udc/CMakeFiles/udc_event.dir/event/system.cc.o.d"
+  "/root/repo/src/udc/event/trace.cc" "src/udc/CMakeFiles/udc_event.dir/event/trace.cc.o" "gcc" "src/udc/CMakeFiles/udc_event.dir/event/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udc/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

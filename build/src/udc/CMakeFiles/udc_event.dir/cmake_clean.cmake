@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_event.dir/event/causality.cc.o"
+  "CMakeFiles/udc_event.dir/event/causality.cc.o.d"
+  "CMakeFiles/udc_event.dir/event/event.cc.o"
+  "CMakeFiles/udc_event.dir/event/event.cc.o.d"
+  "CMakeFiles/udc_event.dir/event/fairness.cc.o"
+  "CMakeFiles/udc_event.dir/event/fairness.cc.o.d"
+  "CMakeFiles/udc_event.dir/event/run.cc.o"
+  "CMakeFiles/udc_event.dir/event/run.cc.o.d"
+  "CMakeFiles/udc_event.dir/event/system.cc.o"
+  "CMakeFiles/udc_event.dir/event/system.cc.o.d"
+  "CMakeFiles/udc_event.dir/event/trace.cc.o"
+  "CMakeFiles/udc_event.dir/event/trace.cc.o.d"
+  "libudc_event.a"
+  "libudc_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for udc_event.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udc/fd/atd.cc" "src/udc/CMakeFiles/udc_fd.dir/fd/atd.cc.o" "gcc" "src/udc/CMakeFiles/udc_fd.dir/fd/atd.cc.o.d"
+  "/root/repo/src/udc/fd/convert.cc" "src/udc/CMakeFiles/udc_fd.dir/fd/convert.cc.o" "gcc" "src/udc/CMakeFiles/udc_fd.dir/fd/convert.cc.o.d"
+  "/root/repo/src/udc/fd/generalized.cc" "src/udc/CMakeFiles/udc_fd.dir/fd/generalized.cc.o" "gcc" "src/udc/CMakeFiles/udc_fd.dir/fd/generalized.cc.o.d"
+  "/root/repo/src/udc/fd/lattice.cc" "src/udc/CMakeFiles/udc_fd.dir/fd/lattice.cc.o" "gcc" "src/udc/CMakeFiles/udc_fd.dir/fd/lattice.cc.o.d"
+  "/root/repo/src/udc/fd/oracle.cc" "src/udc/CMakeFiles/udc_fd.dir/fd/oracle.cc.o" "gcc" "src/udc/CMakeFiles/udc_fd.dir/fd/oracle.cc.o.d"
+  "/root/repo/src/udc/fd/properties.cc" "src/udc/CMakeFiles/udc_fd.dir/fd/properties.cc.o" "gcc" "src/udc/CMakeFiles/udc_fd.dir/fd/properties.cc.o.d"
+  "/root/repo/src/udc/fd/quality.cc" "src/udc/CMakeFiles/udc_fd.dir/fd/quality.cc.o" "gcc" "src/udc/CMakeFiles/udc_fd.dir/fd/quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udc/CMakeFiles/udc_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_fd.dir/fd/atd.cc.o"
+  "CMakeFiles/udc_fd.dir/fd/atd.cc.o.d"
+  "CMakeFiles/udc_fd.dir/fd/convert.cc.o"
+  "CMakeFiles/udc_fd.dir/fd/convert.cc.o.d"
+  "CMakeFiles/udc_fd.dir/fd/generalized.cc.o"
+  "CMakeFiles/udc_fd.dir/fd/generalized.cc.o.d"
+  "CMakeFiles/udc_fd.dir/fd/lattice.cc.o"
+  "CMakeFiles/udc_fd.dir/fd/lattice.cc.o.d"
+  "CMakeFiles/udc_fd.dir/fd/oracle.cc.o"
+  "CMakeFiles/udc_fd.dir/fd/oracle.cc.o.d"
+  "CMakeFiles/udc_fd.dir/fd/properties.cc.o"
+  "CMakeFiles/udc_fd.dir/fd/properties.cc.o.d"
+  "CMakeFiles/udc_fd.dir/fd/quality.cc.o"
+  "CMakeFiles/udc_fd.dir/fd/quality.cc.o.d"
+  "libudc_fd.a"
+  "libudc_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_kt.dir/kt/assumptions.cc.o"
+  "CMakeFiles/udc_kt.dir/kt/assumptions.cc.o.d"
+  "CMakeFiles/udc_kt.dir/kt/kbp.cc.o"
+  "CMakeFiles/udc_kt.dir/kt/kbp.cc.o.d"
+  "CMakeFiles/udc_kt.dir/kt/knowledge_fd.cc.o"
+  "CMakeFiles/udc_kt.dir/kt/knowledge_fd.cc.o.d"
+  "CMakeFiles/udc_kt.dir/kt/simulate_fd.cc.o"
+  "CMakeFiles/udc_kt.dir/kt/simulate_fd.cc.o.d"
+  "libudc_kt.a"
+  "libudc_kt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_kt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udc/logic/eval.cc" "src/udc/CMakeFiles/udc_logic.dir/logic/eval.cc.o" "gcc" "src/udc/CMakeFiles/udc_logic.dir/logic/eval.cc.o.d"
+  "/root/repo/src/udc/logic/formula.cc" "src/udc/CMakeFiles/udc_logic.dir/logic/formula.cc.o" "gcc" "src/udc/CMakeFiles/udc_logic.dir/logic/formula.cc.o.d"
+  "/root/repo/src/udc/logic/properties.cc" "src/udc/CMakeFiles/udc_logic.dir/logic/properties.cc.o" "gcc" "src/udc/CMakeFiles/udc_logic.dir/logic/properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udc/CMakeFiles/udc_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_logic.dir/logic/eval.cc.o"
+  "CMakeFiles/udc_logic.dir/logic/eval.cc.o.d"
+  "CMakeFiles/udc_logic.dir/logic/formula.cc.o"
+  "CMakeFiles/udc_logic.dir/logic/formula.cc.o.d"
+  "CMakeFiles/udc_logic.dir/logic/properties.cc.o"
+  "CMakeFiles/udc_logic.dir/logic/properties.cc.o.d"
+  "libudc_logic.a"
+  "libudc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_net.dir/net/network.cc.o"
+  "CMakeFiles/udc_net.dir/net/network.cc.o.d"
+  "libudc_net.a"
+  "libudc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

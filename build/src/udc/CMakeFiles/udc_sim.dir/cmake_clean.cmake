@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_sim.dir/sim/adversary.cc.o"
+  "CMakeFiles/udc_sim.dir/sim/adversary.cc.o.d"
+  "CMakeFiles/udc_sim.dir/sim/crash_schedule.cc.o"
+  "CMakeFiles/udc_sim.dir/sim/crash_schedule.cc.o.d"
+  "CMakeFiles/udc_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/udc_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/udc_sim.dir/sim/system_factory.cc.o"
+  "CMakeFiles/udc_sim.dir/sim/system_factory.cc.o.d"
+  "libudc_sim.a"
+  "libudc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversary.cc" "tests/CMakeFiles/udc_tests.dir/test_adversary.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_adversary.cc.o.d"
+  "/root/repo/tests/test_assumptions.cc" "tests/CMakeFiles/udc_tests.dir/test_assumptions.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_assumptions.cc.o.d"
+  "/root/repo/tests/test_atd.cc" "tests/CMakeFiles/udc_tests.dir/test_atd.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_atd.cc.o.d"
+  "/root/repo/tests/test_causality.cc" "tests/CMakeFiles/udc_tests.dir/test_causality.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_causality.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/udc_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_consensus.cc" "tests/CMakeFiles/udc_tests.dir/test_consensus.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_consensus.cc.o.d"
+  "/root/repo/tests/test_consensus_units.cc" "tests/CMakeFiles/udc_tests.dir/test_consensus_units.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_consensus_units.cc.o.d"
+  "/root/repo/tests/test_coord_spec.cc" "tests/CMakeFiles/udc_tests.dir/test_coord_spec.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_coord_spec.cc.o.d"
+  "/root/repo/tests/test_event.cc" "tests/CMakeFiles/udc_tests.dir/test_event.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_event.cc.o.d"
+  "/root/repo/tests/test_fd_convert.cc" "tests/CMakeFiles/udc_tests.dir/test_fd_convert.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_fd_convert.cc.o.d"
+  "/root/repo/tests/test_fd_eventually.cc" "tests/CMakeFiles/udc_tests.dir/test_fd_eventually.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_fd_eventually.cc.o.d"
+  "/root/repo/tests/test_fd_lattice.cc" "tests/CMakeFiles/udc_tests.dir/test_fd_lattice.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_fd_lattice.cc.o.d"
+  "/root/repo/tests/test_fd_oracles.cc" "tests/CMakeFiles/udc_tests.dir/test_fd_oracles.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_fd_oracles.cc.o.d"
+  "/root/repo/tests/test_fd_properties.cc" "tests/CMakeFiles/udc_tests.dir/test_fd_properties.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_fd_properties.cc.o.d"
+  "/root/repo/tests/test_fd_quality.cc" "tests/CMakeFiles/udc_tests.dir/test_fd_quality.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_fd_quality.cc.o.d"
+  "/root/repo/tests/test_fip.cc" "tests/CMakeFiles/udc_tests.dir/test_fip.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_fip.cc.o.d"
+  "/root/repo/tests/test_generalized_fd.cc" "tests/CMakeFiles/udc_tests.dir/test_generalized_fd.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_generalized_fd.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/udc_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/udc_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_knowledge_fd.cc" "tests/CMakeFiles/udc_tests.dir/test_knowledge_fd.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_knowledge_fd.cc.o.d"
+  "/root/repo/tests/test_logic.cc" "tests/CMakeFiles/udc_tests.dir/test_logic.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_logic.cc.o.d"
+  "/root/repo/tests/test_logic_ck.cc" "tests/CMakeFiles/udc_tests.dir/test_logic_ck.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_logic_ck.cc.o.d"
+  "/root/repo/tests/test_logic_properties.cc" "tests/CMakeFiles/udc_tests.dir/test_logic_properties.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_logic_properties.cc.o.d"
+  "/root/repo/tests/test_majority.cc" "tests/CMakeFiles/udc_tests.dir/test_majority.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_majority.cc.o.d"
+  "/root/repo/tests/test_metrics_kbp.cc" "tests/CMakeFiles/udc_tests.dir/test_metrics_kbp.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_metrics_kbp.cc.o.d"
+  "/root/repo/tests/test_more_properties.cc" "tests/CMakeFiles/udc_tests.dir/test_more_properties.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_more_properties.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/udc_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/udc_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_proc_set.cc" "tests/CMakeFiles/udc_tests.dir/test_proc_set.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_proc_set.cc.o.d"
+  "/root/repo/tests/test_property_sweeps.cc" "tests/CMakeFiles/udc_tests.dir/test_property_sweeps.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_property_sweeps.cc.o.d"
+  "/root/repo/tests/test_protocols.cc" "tests/CMakeFiles/udc_tests.dir/test_protocols.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_protocols.cc.o.d"
+  "/root/repo/tests/test_quiescence.cc" "tests/CMakeFiles/udc_tests.dir/test_quiescence.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_quiescence.cc.o.d"
+  "/root/repo/tests/test_regressions.cc" "tests/CMakeFiles/udc_tests.dir/test_regressions.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_regressions.cc.o.d"
+  "/root/repo/tests/test_run.cc" "tests/CMakeFiles/udc_tests.dir/test_run.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_run.cc.o.d"
+  "/root/repo/tests/test_sim_semantics.cc" "tests/CMakeFiles/udc_tests.dir/test_sim_semantics.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_sim_semantics.cc.o.d"
+  "/root/repo/tests/test_simulate_fd.cc" "tests/CMakeFiles/udc_tests.dir/test_simulate_fd.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_simulate_fd.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/udc_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/udc_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/udc_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_urb.cc" "tests/CMakeFiles/udc_tests.dir/test_urb.cc.o" "gcc" "tests/CMakeFiles/udc_tests.dir/test_urb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udc/CMakeFiles/udc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_kt.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/udc/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_explore.dir/udc_explore.cc.o"
+  "CMakeFiles/udc_explore.dir/udc_explore.cc.o.d"
+  "udc_explore"
+  "udc_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
