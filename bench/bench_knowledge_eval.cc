@@ -1,10 +1,20 @@
 // Experiment AB2 — microbenchmarks of the knowledge machinery: system
-// indexing, K_p evaluation, knowledge-based suspicion extraction, and the
-// f(r) construction, as functions of system size and horizon.  These bound
-// the cost of the Theorem 3.6/4.3 pipelines.
+// indexing, K_p evaluation, knowledge-based suspicion extraction, the f(r)
+// construction, and full validity sweeps at several thread counts.  These
+// bound the cost of the Theorem 3.6/4.3 pipelines.
+//
+// `--json <path>` (in addition to the usual google-benchmark flags) writes
+// machine-readable rows {bench, n, horizon, threads, ns_per_op} so perf
+// trajectories can accumulate across PRs (see BENCH_*.json at the repo
+// root and tools/run_knowledge_bench.sh).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "udc/coord/action.h"
+#include "udc/coord/spec.h"
 #include "udc/coord/udc_strongfd.h"
 #include "udc/fd/oracle.h"
 #include "udc/kt/knowledge_fd.h"
@@ -28,9 +38,17 @@ System make_system(int n, Time horizon, int seeds) {
       [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, seeds);
 }
 
+void set_row_counters(benchmark::State& state, int n, Time horizon,
+                      unsigned threads) {
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["horizon"] = static_cast<double>(horizon);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 void BM_SystemIndexBuild(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Time horizon = state.range(1);
+  unsigned threads = static_cast<unsigned>(state.range(2));
   // Pre-generate runs once; measure System construction (the index build).
   SimConfig sim;
   sim.n = n;
@@ -50,16 +68,19 @@ void BM_SystemIndexBuild(benchmark::State& state) {
   }
   for (auto _ : state) {
     std::vector<Run> copy = runs;
-    System sys(std::move(copy));
+    System sys(std::move(copy), threads);
     benchmark::DoNotOptimize(sys.size());
   }
   state.SetLabel(std::to_string(runs.size()) + " runs");
+  set_row_counters(state, n, horizon, threads);
 }
 BENCHMARK(BM_SystemIndexBuild)
-    ->Args({3, 120})
-    ->Args({4, 120})
-    ->Args({4, 240})
-    ->Args({5, 120});
+    ->Args({3, 120, 1})
+    ->Args({4, 120, 1})
+    ->Args({4, 240, 1})
+    ->Args({4, 240, 8})
+    ->Args({5, 120, 1})
+    ->Args({5, 120, 8});
 
 void BM_KnowledgeEval(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -77,8 +98,51 @@ void BM_KnowledgeEval(benchmark::State& state) {
     benchmark::DoNotOptimize(mc.holds_at(at, phi));
     ++i;
   }
+  set_row_counters(state, n, 150, 1);
 }
 BENCHMARK(BM_KnowledgeEval)->Arg(3)->Arg(4)->Arg(5);
+
+// Full validity sweeps of the DC1-DC3 + K_p(crash) suite with a fresh
+// checker per iteration: this is the Prop 3.5 / Theorem 3.6 verification
+// shape, and the benchmark the BENCH_*.json speedup trajectories track.
+// threads = 1 is the exact legacy serial path.
+void BM_ValiditySweep(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Time horizon = state.range(1);
+  unsigned threads = static_cast<unsigned>(state.range(2));
+  System sys = make_system(n, horizon, 1);
+  auto workload = make_workload(n, 1, 4, 6);
+  auto actions = workload_actions(workload);
+  std::vector<FormulaPtr> suite;
+  for (ActionId alpha : actions) {
+    suite.push_back(dc1_formula(alpha, n));
+    suite.push_back(dc3_formula(alpha, n));
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    for (ProcessId q = 0; q < n; ++q) {
+      suite.push_back(f_implies(f_knows(p, f_crash(q)), f_crash(q)));
+    }
+  }
+  for (auto _ : state) {
+    ModelChecker mc(sys);
+    std::size_t valid_count = 0;
+    for (const FormulaPtr& phi : suite) {
+      valid_count += mc.valid_parallel(phi, threads) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(valid_count);
+  }
+  state.SetLabel(std::to_string(suite.size()) + " formulas x " +
+                 std::to_string(sys.size()) + " runs");
+  set_row_counters(state, n, horizon, threads);
+}
+BENCHMARK(BM_ValiditySweep)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({3, 120, 1})
+    ->Args({3, 120, 2})
+    ->Args({3, 120, 8})
+    ->Args({4, 120, 1})
+    ->Args({4, 120, 2})
+    ->Args({4, 120, 8});
 
 void BM_KnownCrashedExtraction(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -91,28 +155,33 @@ void BM_KnownCrashedExtraction(benchmark::State& state) {
         known_crashed(sys, at, static_cast<ProcessId>(i % n)));
     ++i;
   }
+  set_row_counters(state, n, 150, 1);
 }
 BENCHMARK(BM_KnownCrashedExtraction)->Arg(3)->Arg(4)->Arg(5);
 
 void BM_BuildRf(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  unsigned threads = static_cast<unsigned>(state.range(1));
   System sys = make_system(n, 120, 1);
   for (auto _ : state) {
-    System rf = build_rf(sys);
+    System rf = build_rf(sys, threads);
     benchmark::DoNotOptimize(rf.size());
   }
+  set_row_counters(state, n, 120, threads);
 }
-BENCHMARK(BM_BuildRf)->Arg(3)->Arg(4);
+BENCHMARK(BM_BuildRf)->Args({3, 1})->Args({3, 8})->Args({4, 1})->Args({4, 8});
 
 void BM_BuildRfPrime(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  unsigned threads = static_cast<unsigned>(state.range(1));
   System sys = make_system(n, 120, 1);
   for (auto _ : state) {
-    System rfp = build_rf_prime(sys);
+    System rfp = build_rf_prime(sys, threads);
     benchmark::DoNotOptimize(rfp.size());
   }
+  set_row_counters(state, n, 120, threads);
 }
-BENCHMARK(BM_BuildRfPrime)->Arg(3)->Arg(4);
+BENCHMARK(BM_BuildRfPrime)->Args({3, 1})->Args({3, 8})->Args({4, 1})->Args({4, 8});
 
 void BM_SimulateRun(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -129,10 +198,101 @@ void BM_SimulateRun(benchmark::State& state) {
     });
     benchmark::DoNotOptimize(res.run.horizon());
   }
+  set_row_counters(state, n, 400, 1);
 }
 BENCHMARK(BM_SimulateRun)->Arg(4)->Arg(8)->Arg(16);
+
+// Console reporter that additionally writes one JSON row per benchmark —
+// the schema the BENCH_*.json perf trajectories accumulate.  Counters fall
+// back to 0 when a benchmark doesn't set them.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRowReporter(std::string path) : path_(std::move(path)) {}
+
+  bool write_failed() const { return write_failed_; }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.bench = run.benchmark_name();
+      row.n = counter_or(run, "n");
+      row.horizon = counter_or(run, "horizon");
+      row.threads = counter_or(run, "threads");
+      row.ns_per_op = run.iterations == 0
+                          ? 0.0
+                          : run.real_accumulated_time * 1e9 /
+                                static_cast<double>(run.iterations);
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      write_failed_ = true;
+      return;
+    }
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(out,
+                   "  {\"bench\": \"%s\", \"n\": %.0f, \"horizon\": %.0f, "
+                   "\"threads\": %.0f, \"ns_per_op\": %.1f}%s\n",
+                   r.bench.c_str(), r.n, r.horizon, r.threads, r.ns_per_op,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+  }
+
+ private:
+  struct Row {
+    std::string bench;
+    double n = 0, horizon = 0, threads = 0, ns_per_op = 0;
+  };
+
+  static double counter_or(const Run& run, const char* name) {
+    auto it = run.counters.find(name);
+    return it == run.counters.end() ? 0.0 : static_cast<double>(it->second);
+  }
+
+  std::string path_;
+  std::vector<Row> rows_;
+  bool write_failed_ = false;
+};
 
 }  // namespace
 }  // namespace udc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off `--json <path>` before google-benchmark sees the argv.
+  std::string json_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--json" && it + 1 != args.end()) {
+      json_path = *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  int rc = 0;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    udc::JsonRowReporter reporter(json_path);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (reporter.write_failed()) rc = 1;
+  }
+  benchmark::Shutdown();
+  return rc;
+}

@@ -81,6 +81,19 @@ void run() {
               points);
   std::printf("model-checker time:        %.2fs (%zu cache entries)\n",
               elapsed, mc.cache_entries());
+  // Memory trajectory of the memo cache: the packed layout spends 2 bits
+  // per point, lazily; the pre-interning layout spent 1 eagerly-allocated
+  // byte per runs × (max_horizon + 1) slot for every touched formula.
+  const std::size_t legacy_bytes =
+      mc.cache_tables() * sys.size() *
+      static_cast<std::size_t>(sys.max_horizon() + 1);
+  std::printf("checker cache memory:      %zu bytes packed (%zu formulas, "
+              "%zu points dense); legacy layout: %zu bytes (%.1fx)\n",
+              mc.cache_bytes(), mc.cache_tables(), sys.total_points(),
+              legacy_bytes,
+              mc.cache_bytes() ? static_cast<double>(legacy_bytes) /
+                                     static_cast<double>(mc.cache_bytes())
+                               : 0.0);
   std::printf("\nShape: both 100%% — performing implies knowing that a "
               "correct knower exists, the engine of Theorem 3.6.\n");
 }

@@ -31,7 +31,9 @@ System udc_source(const OracleFactory& oracle, double drop,
   sim.seed = seed;
   auto workload = make_workload(kN, 2, 4, 6);
   auto plans = all_crash_plans_up_to(kN, kN - 1, 15, 60);
-  return generate_system(
+  // Parallel generation + sharded index build; bit-identical to the serial
+  // factory (test_parallel.cc / test_checker_parallel.cc).
+  return generate_system_parallel(
       sim, plans, workload, oracle,
       [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 1);
 }

@@ -27,7 +27,9 @@ System udc_source(int t, std::uint64_t seed) {
   sim.seed = seed;
   auto workload = make_workload(kN, 2, 4, 6);
   auto plans = all_crash_plans_up_to(kN, t, 15, 60);
-  return generate_system(
+  // Parallel generation + sharded index build; bit-identical to the serial
+  // factory (test_parallel.cc / test_checker_parallel.cc).
+  return generate_system_parallel(
       sim, plans, workload, [] { return std::make_unique<PerfectOracle>(4); },
       [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 1);
 }

@@ -1,0 +1,28 @@
+// Shared conventions for the parallel engines (system generation, index
+// construction, model checking, and the kt/ run transformations).
+//
+// Every parallel entry point takes an `unsigned threads` knob with the same
+// meaning: 0 = hardware_concurrency (the default), 1 = run the exact legacy
+// serial code path, k = shard across k workers.  All of them promise results
+// bit-identical to the serial path — parallelism is a work partition, never
+// a semantic change.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+
+namespace udc {
+
+// Resolve a `threads` knob against the amount of shardable work.  Returns at
+// least 1; never more workers than work items.
+inline unsigned resolve_parallelism(unsigned requested,
+                                    std::size_t work_items) {
+  unsigned t = requested;
+  if (t == 0) t = std::thread::hardware_concurrency();
+  if (t == 0) t = 1;
+  return static_cast<unsigned>(
+      std::min<std::size_t>(t, std::max<std::size_t>(work_items, 1)));
+}
+
+}  // namespace udc

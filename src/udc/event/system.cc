@@ -1,24 +1,43 @@
 #include "udc/event/system.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "udc/common/check.h"
+#include "udc/common/parallel.h"
 
 namespace udc {
 
 System::System(std::vector<Run> runs) : runs_(std::move(runs)) {
+  init_metadata();
+  build_index(1);
+}
+
+System::System(std::vector<Run> runs, unsigned threads)
+    : runs_(std::move(runs)) {
+  init_metadata();
+  build_index(threads);
+}
+
+void System::init_metadata() {
   UDC_CHECK(!runs_.empty(), "a system must contain at least one run");
   n_ = runs_.front().n();
+  point_offset_.reserve(runs_.size());
   for (const Run& r : runs_) {
     UDC_CHECK(r.n() == n_, "all runs in a system must share the same n");
     max_horizon_ = std::max(max_horizon_, r.horizon());
+    point_offset_.push_back(total_points_);
+    total_points_ += static_cast<std::size_t>(r.horizon()) + 1;
   }
-  for (std::size_t i = 0; i < runs_.size(); ++i) {
+}
+
+void System::index_runs(Index& out, std::size_t begin, std::size_t end) const {
+  for (std::size_t i = begin; i < end; ++i) {
     const Run& r = runs_[i];
     for (ProcessId p = 0; p < n_; ++p) {
       for (Time m = 0; m <= r.horizon(); ++m) {
         Key key{p, r.local_state_hash(p, m), r.history_len(p, m)};
-        auto& groups = index_[key];
+        auto& groups = out[key];
         Group* home = nullptr;
         for (Group& g : groups) {
           const Run& rep = runs_[g.representative.run];
@@ -37,27 +56,96 @@ System::System(std::vector<Run> runs) : runs_(std::move(runs)) {
   }
 }
 
-const System::Group* System::find_group(ProcessId p, Point at) const {
-  const Run& r = runs_[at.run];
-  Key key{p, r.local_state_hash(p, at.m), r.history_len(p, at.m)};
-  auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  for (const Group& g : it->second) {
-    const Run& rep = runs_[g.representative.run];
-    if (Run::indistinguishable(r, at.m, rep, g.representative.m, p)) {
-      return &g;
+void System::build_index(unsigned threads) {
+  threads = resolve_parallelism(threads, runs_.size());
+  if (threads <= 1) {
+    Index index;
+    index_runs(index, 0, runs_.size());
+    finalize_index(std::move(index));
+    return;
+  }
+
+  // Contiguous ascending run ranges, one shard per worker.  Merging the
+  // shards in shard order reproduces the serial insertion order exactly:
+  // serial order is (run asc, p asc, m asc), each shard preserves it within
+  // its range, and runs in shard k all precede runs in shard k+1.
+  std::vector<Index> shards(threads);
+  const std::size_t per =
+      (runs_.size() + threads - 1) / static_cast<std::size_t>(threads);
+  auto work = [&](unsigned t) {
+    std::size_t begin = static_cast<std::size_t>(t) * per;
+    std::size_t end = std::min(begin + per, runs_.size());
+    if (begin < end) index_runs(shards[t], begin, end);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(work, t);
+  work(0);
+  for (std::thread& t : pool) t.join();
+
+  Index merged = std::move(shards[0]);
+  for (unsigned t = 1; t < threads; ++t) {
+    for (auto& [key, groups] : shards[t]) {
+      auto [it, inserted] = merged.try_emplace(key);
+      std::vector<Group>& dst = it->second;
+      if (inserted) {
+        dst = std::move(groups);
+        continue;
+      }
+      for (Group& g : groups) {
+        Group* home = nullptr;
+        const Run& g_rep = runs_[g.representative.run];
+        for (Group& have : dst) {
+          const Run& rep = runs_[have.representative.run];
+          if (Run::indistinguishable(g_rep, g.representative.m, rep,
+                                     have.representative.m, key.p)) {
+            home = &have;
+            break;
+          }
+        }
+        if (home == nullptr) {
+          dst.push_back(std::move(g));
+        } else {
+          home->members.insert(home->members.end(), g.members.begin(),
+                               g.members.end());
+        }
+      }
     }
   }
-  return nullptr;
+  finalize_index(std::move(merged));
+}
+
+void System::finalize_index(Index&& index) {
+  // Flatten the hash buckets into a dense (process, point) -> class table:
+  // the steady-state lookup then costs one multiply and two loads, with no
+  // hashing and no history comparison, and the map itself is discarded.
+  class_of_.assign(static_cast<std::size_t>(n_) * total_points_, kNoClass);
+  classes_.clear();
+  std::size_t group_count = 0;
+  for (const auto& [key, groups] : index) group_count += groups.size();
+  classes_.reserve(group_count);
+  for (auto& [key, groups] : index) {
+    for (Group& g : groups) {
+      const auto id = static_cast<std::uint32_t>(classes_.size());
+      const std::size_t base =
+          static_cast<std::size_t>(key.p) * total_points_;
+      for (Point member : g.members) {
+        class_of_[base + point_index(member)] = id;
+      }
+      classes_.push_back(std::move(g.members));
+    }
+  }
 }
 
 std::span<const Point> System::equivalence_class(ProcessId p, Point at) const {
   UDC_CHECK(at.run < runs_.size(), "point refers to a run outside the system");
   UDC_CHECK(at.m >= 0 && at.m <= runs_[at.run].horizon(),
             "point beyond run horizon");
-  const Group* g = find_group(p, at);
-  UDC_CHECK(g != nullptr, "every in-system point must be indexed");
-  return g->members;
+  UDC_CHECK(p >= 0 && p < n_, "process outside the system");
+  const std::uint32_t id =
+      class_of_[static_cast<std::size_t>(p) * total_points_ + point_index(at)];
+  UDC_CHECK(id != kNoClass, "every in-system point must be indexed");
+  return classes_[id];
 }
 
 }  // namespace udc

@@ -8,7 +8,14 @@
 //
 // All runs in a system share the same n.  Points beyond a run's horizon are
 // not represented: each run contributes exactly (horizon + 1) points per
-// process.
+// process.  Runs may have different horizons; the dense point numbering
+// (point_offset / total_points) packs them back-to-back so per-point tables
+// waste no space on short runs.
+//
+// The index can be built serially or sharded across workers (see the
+// two-argument constructor); both produce an identical index — identical
+// group order, representatives, and member order — because shards cover
+// contiguous ascending run ranges and are merged in run order.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,13 @@ class System {
  public:
   explicit System(std::vector<Run> runs);
 
+  // Builds the indistinguishability index on `threads` workers (0 =
+  // hardware_concurrency, 1 = the serial path).  The resulting System is
+  // indistinguishable from the serial one: per-(run, process) partial
+  // buckets are merged shard-by-shard in ascending run order, so group
+  // representatives and member order come out identical.
+  System(std::vector<Run> runs, unsigned threads);
+
   // Movable, non-copyable: the index references run storage.
   System(System&&) = default;
   System& operator=(System&&) = default;
@@ -42,8 +56,20 @@ class System {
   const std::vector<Run>& runs() const { return runs_; }
   Time max_horizon() const { return max_horizon_; }
 
+  // Dense numbering of the system's points: run i's points occupy indices
+  // [point_offset(i), point_offset(i) + horizon_i + 1).  Unlike the naive
+  // run * (max_horizon + 1) + m scheme, no index is wasted when runs have
+  // different horizons.
+  std::size_t point_offset(std::size_t i) const { return point_offset_[i]; }
+  std::size_t point_index(Point at) const {
+    return point_offset_[at.run] + static_cast<std::size_t>(at.m);
+  }
+  std::size_t total_points() const { return total_points_; }
+
   // All points (r', m') in the system with r'_p(m') = r_p(m), where (r,m) is
-  // the point `at` — including `at` itself.
+  // the point `at` — including `at` itself.  O(1): the build-time hash index
+  // is flattened into a dense (process, point) -> class table, so lookups do
+  // no hashing and no history comparisons.
   std::span<const Point> equivalence_class(ProcessId p, Point at) const;
 
   // Convenience for the logic layer: iterate every point of the system.
@@ -75,15 +101,32 @@ class System {
   std::vector<Run> runs_;
   int n_ = 0;
   Time max_horizon_ = 0;
-  // Buckets keyed by (p, prefix hash, prefix length); each bucket holds one
-  // or more *groups* of genuinely-equal local histories (collision-safe).
+  std::vector<std::size_t> point_offset_;
+  std::size_t total_points_ = 0;
+  // Build-time structure: buckets keyed by (p, prefix hash, prefix length);
+  // each bucket holds one or more *groups* of genuinely-equal local
+  // histories (collision-safe).  After construction the map is flattened
+  // into classes_/class_of_ below and discarded.
   struct Group {
     Point representative;
     std::vector<Point> members;
   };
-  std::unordered_map<Key, std::vector<Group>, KeyHash> index_;
+  using Index = std::unordered_map<Key, std::vector<Group>, KeyHash>;
 
-  const Group* find_group(ProcessId p, Point at) const;
+  // Steady-state index: class_of_[p * total_points_ + point_index] names the
+  // equivalence class of that (process, point); classes_ holds the member
+  // lists in the order the serial build discovered them within each class.
+  static constexpr std::uint32_t kNoClass = 0xFFFFFFFFu;
+  std::vector<std::vector<Point>> classes_;
+  std::vector<std::uint32_t> class_of_;
+
+  void init_metadata();
+  // Indexes runs [begin, end) into `out` with the serial insertion order
+  // (run asc, process asc, time asc).
+  void index_runs(Index& out, std::size_t begin, std::size_t end) const;
+  void build_index(unsigned threads);
+  // Moves the hash-indexed groups into the flat classes_/class_of_ tables.
+  void finalize_index(Index&& index);
 };
 
 }  // namespace udc

@@ -1,7 +1,10 @@
 #include "udc/kt/knowledge_fd.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
+#include "udc/common/parallel.h"
 #include "udc/logic/eval.h"
 
 namespace udc {
@@ -43,6 +46,43 @@ std::optional<Time> first_knowledge_time(ModelChecker& mc, const System& sys,
     if (mc.holds_at(Point{run_index, m}, knows)) return m;
   }
   return std::nullopt;
+}
+
+std::vector<std::vector<std::optional<Time>>> knowledge_frontier(
+    const System& sys, const FormulaPtr& phi, unsigned threads) {
+  threads = resolve_parallelism(threads, sys.size());
+  std::vector<std::vector<std::optional<Time>>> result(sys.size());
+  if (threads <= 1) {
+    ModelChecker mc(sys);
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      result[i].reserve(static_cast<std::size_t>(sys.n()));
+      for (ProcessId p = 0; p < sys.n(); ++p) {
+        result[i].push_back(first_knowledge_time(mc, sys, i, p, phi));
+      }
+    }
+    return result;
+  }
+  // Each worker claims whole runs and answers them with a private checker
+  // over the shared read-only system; per-pair answers don't depend on
+  // checker state, so the table matches the serial one exactly.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    ModelChecker mc(sys);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sys.size()) return;
+      result[i].reserve(static_cast<std::size_t>(sys.n()));
+      for (ProcessId p = 0; p < sys.n(); ++p) {
+        result[i].push_back(first_knowledge_time(mc, sys, i, p, phi));
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  return result;
 }
 
 }  // namespace udc

@@ -39,4 +39,11 @@ std::optional<Time> first_knowledge_time(class ModelChecker& mc,
                                          std::size_t run_index, ProcessId p,
                                          const FormulaPtr& phi);
 
+// Bulk form: the knowledge frontier of phi for EVERY (run, process) pair,
+// run-sharded across `threads` workers (0 = hardware_concurrency, 1 = one
+// serial checker).  result[i][p] = first_knowledge_time for run i and
+// process p; identical to calling first_knowledge_time pairwise.
+std::vector<std::vector<std::optional<Time>>> knowledge_frontier(
+    const System& sys, const FormulaPtr& phi, unsigned threads = 0);
+
 }  // namespace udc

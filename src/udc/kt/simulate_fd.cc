@@ -1,34 +1,65 @@
 #include "udc/kt/simulate_fd.h"
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "udc/common/check.h"
+#include "udc/common/parallel.h"
 #include "udc/fd/convert.h"
 #include "udc/kt/knowledge_fd.h"
 
 namespace udc {
+namespace {
 
-System build_rf(const System& sys) {
-  std::vector<Run> out;
-  out.reserve(sys.size());
-  for (std::size_t i = 0; i < sys.size(); ++i) {
-    out.push_back(interleave_reports(
-        sys.run(i), [&sys, i](ProcessId p, Time m) -> std::optional<Event> {
-          return Event::suspect(known_crashed(sys, Point{i, m}, p));
-        }));
+// Applies `transform` to every run of `sys` on `threads` workers (runs are
+// claimed off a shared counter; each transform reads only the const source
+// system) and assembles the results in source order, so the output is
+// bit-identical to the serial loop.
+template <typename Fn>
+System transform_runs(const System& sys, unsigned threads, Fn&& transform) {
+  threads = resolve_parallelism(threads, sys.size());
+  if (threads <= 1) {
+    std::vector<Run> out;
+    out.reserve(sys.size());
+    for (std::size_t i = 0; i < sys.size(); ++i) out.push_back(transform(i));
+    return System(std::move(out));
   }
-  return System(std::move(out));
+  std::vector<Run> out(sys.size(), std::move(Run::Builder(sys.n())).build());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sys.size()) return;
+      out[i] = transform(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  return System(std::move(out), threads);
 }
 
-System build_rf_prime(const System& sys) {
+}  // namespace
+
+System build_rf(const System& sys, unsigned threads) {
+  return transform_runs(sys, threads, [&sys](std::size_t i) {
+    return interleave_reports(
+        sys.run(i), [&sys, i](ProcessId p, Time m) -> std::optional<Event> {
+          return Event::suspect(known_crashed(sys, Point{i, m}, p));
+        });
+  });
+}
+
+System build_rf_prime(const System& sys, unsigned threads) {
   const int n = sys.n();
   UDC_CHECK(n <= 16, "subset enumeration requires n <= 16");
-  std::vector<Run> out;
-  out.reserve(sys.size());
   const std::uint64_t subsets = std::uint64_t{1} << n;
-  for (std::size_t i = 0; i < sys.size(); ++i) {
+  return transform_runs(sys, threads, [&sys, subsets](std::size_t i) {
     const Run& r = sys.run(i);
-    out.push_back(interleave_reports(
+    return interleave_reports(
         r,
         [&sys, &r, i, subsets](ProcessId p, Time m) -> std::optional<Event> {
           // P3': the subset index is |r_p(m+1)| mod 2^n.
@@ -37,9 +68,8 @@ System build_rf_prime(const System& sys) {
           ProcSet s(l);
           int k = known_crashed_count_in(sys, Point{i, m}, p, s);
           return Event::suspect_gen(s, k);
-        }));
-  }
-  return System(std::move(out));
+        });
+  });
 }
 
 }  // namespace udc

@@ -19,6 +19,13 @@
 // measure.  That split is exactly how the benches demonstrate necessity:
 // UDC-attaining source systems yield perfect detectors, while the nUDC
 // control system yields detectors that fail completeness.
+//
+// f(r) is a pure function of the (read-only) source system, so both
+// constructions shard run-wise across workers: `threads` = 0 uses
+// hardware_concurrency, 1 is the exact legacy serial path.  The output
+// system — runs AND indistinguishability index — is bit-identical at any
+// thread count (the index is built with the same sharded-merge engine, see
+// event/system.h).
 #pragma once
 
 #include "udc/event/system.h"
@@ -26,10 +33,10 @@
 namespace udc {
 
 // f applied pointwise; n <= kMaxProcesses as usual.
-System build_rf(const System& sys);
+System build_rf(const System& sys, unsigned threads = 0);
 
 // f' applied pointwise; requires n small enough to enumerate subsets
 // (n <= 16 enforced).
-System build_rf_prime(const System& sys);
+System build_rf_prime(const System& sys, unsigned threads = 0);
 
 }  // namespace udc

@@ -1,13 +1,41 @@
 #include "udc/logic/eval.h"
 
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <thread>
+
 #include "udc/common/check.h"
+#include "udc/common/parallel.h"
 
 namespace udc {
 
-bool ModelChecker::holds_at(Point at, const FormulaPtr& f) {
+std::uint32_t ModelChecker::intern(const FormulaPtr& f) {
   UDC_CHECK(f != nullptr, "null formula");
-  retained_.push_back(f);
-  return eval(at, *f);
+  auto it = ids_.find(f.get());
+  if (it != ids_.end()) return it->second;
+  retained_.push_back(f);  // the root keeps the whole DAG alive
+  return intern_node(f.get());
+}
+
+std::uint32_t ModelChecker::intern_node(const Formula* f) {
+  if (auto it = ids_.find(f); it != ids_.end()) return it->second;
+  // Children first: ids are a post-order numbering, so every child id is
+  // smaller than its parent's and the DAG stays acyclic in id space.
+  std::vector<std::uint32_t> kids;
+  kids.reserve(f->children().size());
+  for (const FormulaPtr& c : f->children()) kids.push_back(intern_node(c.get()));
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  ids_.emplace(f, id);
+  nodes_.push_back(Node{f, static_cast<std::uint32_t>(child_ids_.size()),
+                        static_cast<std::uint32_t>(kids.size())});
+  child_ids_.insert(child_ids_.end(), kids.begin(), kids.end());
+  slots_.emplace_back();
+  return id;
+}
+
+bool ModelChecker::holds_at(Point at, const FormulaPtr& f) {
+  return eval(at, intern(f));
 }
 
 bool ModelChecker::valid(const FormulaPtr& f) {
@@ -15,39 +43,132 @@ bool ModelChecker::valid(const FormulaPtr& f) {
 }
 
 std::optional<Point> ModelChecker::find_counterexample(const FormulaPtr& f) {
-  UDC_CHECK(f != nullptr, "null formula");
-  retained_.push_back(f);
+  const std::uint32_t fid = intern(f);
   std::optional<Point> witness;
   sys_.for_each_point([&](Point at) {
-    if (!witness && !eval(at, *f)) witness = at;
+    if (!witness && !eval(at, fid)) witness = at;
   });
   return witness;
 }
 
-bool ModelChecker::eval(Point at, const Formula& f) {
-  auto& slots = cache_[&f];
-  if (slots.empty()) {
-    slots.assign(sys_.size() * static_cast<std::size_t>(sys_.max_horizon() + 1),
-                 Tri::kUnknown);
+bool ModelChecker::valid_parallel(const FormulaPtr& f, unsigned parallelism) {
+  return !find_counterexample_parallel(f, parallelism).has_value();
+}
+
+std::optional<Point> ModelChecker::find_counterexample_parallel(
+    const FormulaPtr& f, unsigned parallelism) {
+  UDC_CHECK(f != nullptr, "null formula");
+  const unsigned threads = resolve_parallelism(parallelism, sys_.size());
+  if (threads <= 1) return find_counterexample(f);
+
+  // Run-sharded search for the minimal failing point.  Within one run the
+  // first failure (smallest m) is found by an ascending scan; across runs
+  // the winner is the failure with the smallest run index, so workers prune
+  // any claimed run at or beyond the best run seen so far.  The result is
+  // therefore exactly the serial witness: smallest run, then smallest m.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> best_run{std::numeric_limits<std::size_t>::max()};
+  std::mutex mu;
+  std::optional<Point> best;
+
+  auto worker = [&] {
+    // Each worker owns a private checker over the shared read-only system;
+    // verdicts are deterministic, so duplicated sub-evaluations across
+    // workers cannot disagree.
+    ModelChecker local(sys_);
+    const std::uint32_t fid = local.intern(f);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sys_.size()) return;
+      if (i >= best_run.load(std::memory_order_acquire)) continue;
+      const Run& r = sys_.run(i);
+      for (Time m = 0; m <= r.horizon(); ++m) {
+        if (local.eval(Point{i, m}, fid)) continue;
+        std::lock_guard<std::mutex> lock(mu);
+        if (!best || i < best->run) {
+          best = Point{i, m};
+          best_run.store(i, std::memory_order_release);
+        }
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  return best;
+}
+
+std::size_t ModelChecker::cache_entries_recount() const {
+  std::size_t filled = 0;
+  for (const std::vector<std::uint64_t>& t : slots_) {
+    if (t.empty()) continue;
+    for (std::size_t pi = 0; pi < sys_.total_points(); ++pi) {
+      if (((t[pi >> 5] >> ((pi & 31) * 2)) & 3) != kTriUnknown) ++filled;
+    }
   }
-  Tri& slot = slots[point_index(at)];
-  if (slot != Tri::kUnknown) return slot == Tri::kTrue;
+  return filled;
+}
+
+std::size_t ModelChecker::cache_bytes() const {
+  std::size_t bytes = 0;
+  for (const std::vector<std::uint64_t>& t : slots_) {
+    bytes += t.size() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+std::size_t ModelChecker::cache_tables() const {
+  std::size_t tables = 0;
+  for (const std::vector<std::uint64_t>& t : slots_) {
+    if (!t.empty()) ++tables;
+  }
+  return tables;
+}
+
+bool ModelChecker::eval(Point at, std::uint32_t fid) {
+  const std::size_t pi = point_index(at);
+  if (const std::uint64_t cached = slot_get(fid, pi); cached != kTriUnknown) {
+    return cached == kTriTrue;
+  }
+
+  // nodes_ / child_ids_ are stable during evaluation (interning only happens
+  // at the public entry points), so plain copies of the node fields suffice.
+  const Node node = nodes_[fid];
+  const Formula& f = *node.f;
+  auto child = [&](std::uint32_t k) { return child_ids_[node.first_child + k]; };
 
   bool value = false;
   switch (f.kind()) {
     case FormulaKind::kTrue:
       value = true;
       break;
-    case FormulaKind::kPrim:
+    case FormulaKind::kPrim: {
+      if (f.first_time()) {
+        // Monotone primitive: the verdict flips false→true at the first
+        // occurrence time, so one O(|history|) scan decides the whole run —
+        // instead of one prefix scan per point.
+        const Run& r = sys_.run(at.run);
+        const std::optional<Time> t0 = f.first_time()(r);
+        for (Time m = 0; m <= r.horizon(); ++m) {
+          slot_set(fid, point_index(Point{at.run, m}),
+                   t0.has_value() && *t0 <= m);
+        }
+        return slot_get(fid, pi) == kTriTrue;
+      }
       value = f.prim()(sys_.run(at.run), at.m);
       break;
+    }
     case FormulaKind::kNot:
-      value = !eval(at, *f.children()[0]);
+      value = !eval(at, child(0));
       break;
     case FormulaKind::kAnd: {
       value = true;
-      for (const auto& child : f.children()) {
-        if (!eval(at, *child)) {
+      for (std::uint32_t k = 0; k < node.num_children; ++k) {
+        if (!eval(at, child(k))) {
           value = false;
           break;
         }
@@ -56,8 +177,8 @@ bool ModelChecker::eval(Point at, const Formula& f) {
     }
     case FormulaKind::kOr: {
       value = false;
-      for (const auto& child : f.children()) {
-        if (eval(at, *child)) {
+      for (std::uint32_t k = 0; k < node.num_children; ++k) {
+        if (eval(at, child(k))) {
           value = true;
           break;
         }
@@ -65,56 +186,58 @@ bool ModelChecker::eval(Point at, const Formula& f) {
       break;
     }
     case FormulaKind::kImplies:
-      value = !eval(at, *f.children()[0]) || eval(at, *f.children()[1]);
+      value = !eval(at, child(0)) || eval(at, child(1));
       break;
     case FormulaKind::kAlways:
     case FormulaKind::kEventually: {
       // Fill the whole suffix of this run iteratively (avoids horizon-deep
       // recursion): □ is a suffix conjunction, ◇ a suffix disjunction.
       const Run& r = sys_.run(at.run);
-      const Formula& child = *f.children()[0];
+      const std::uint32_t cid = child(0);
       bool acc = f.kind() == FormulaKind::kAlways;
       for (Time m = r.horizon(); m >= at.m; --m) {
-        bool here = eval(Point{at.run, m}, child);
+        bool here = eval(Point{at.run, m}, cid);
         acc = f.kind() == FormulaKind::kAlways ? (acc && here) : (acc || here);
-        Tri& s = slots[point_index(Point{at.run, m})];
-        if (s == Tri::kUnknown) s = acc ? Tri::kTrue : Tri::kFalse;
-        ++cache_size_;
+        slot_set(fid, point_index(Point{at.run, m}), acc);
       }
-      return slots[point_index(at)] == Tri::kTrue;
+      return slot_get(fid, pi) == kTriTrue;
     }
     case FormulaKind::kUntil: {
       // Strong until, filled iteratively over the run suffix:
       //   U(T) = b(T);  U(m) = b(m) ∨ (a(m) ∧ U(m+1)).
       const Run& r = sys_.run(at.run);
-      const Formula& a = *f.children()[0];
-      const Formula& b = *f.children()[1];
+      const std::uint32_t aid = child(0);
+      const std::uint32_t bid = child(1);
       bool acc = false;
       for (Time m = r.horizon(); m >= at.m; --m) {
-        bool here = eval(Point{at.run, m}, b) ||
-                    (eval(Point{at.run, m}, a) && acc);
-        acc = here;
-        Tri& s = slots[point_index(Point{at.run, m})];
-        if (s == Tri::kUnknown) s = acc ? Tri::kTrue : Tri::kFalse;
-        ++cache_size_;
+        acc = eval(Point{at.run, m}, bid) ||
+              (eval(Point{at.run, m}, aid) && acc);
+        slot_set(fid, point_index(Point{at.run, m}), acc);
       }
-      return slots[point_index(at)] == Tri::kTrue;
+      return slot_get(fid, pi) == kTriTrue;
     }
     case FormulaKind::kKnows: {
+      // Agent indistinguishability is an equivalence relation, so every
+      // member of the class shares `at`'s K_p verdict — fill the whole
+      // class at once (same trick as the C_G frontier fill below).  On an
+      // early break the partial fill is still sound: the scanned members
+      // belong to the same class and so share the failing verdict.
+      const auto cls = sys_.equivalence_class(f.agent(), at);
       value = true;
-      for (Point other : sys_.equivalence_class(f.agent(), at)) {
-        if (!eval(other, *f.children()[0])) {
+      for (Point other : cls) {
+        if (!eval(other, child(0))) {
           value = false;
           break;
         }
       }
+      for (Point other : cls) slot_set(fid, point_index(other), value);
       break;
     }
     case FormulaKind::kEveryoneKnows: {
       value = true;
       for (ProcessId p : f.group()) {
         for (Point other : sys_.equivalence_class(p, at)) {
-          if (!eval(other, *f.children()[0])) {
+          if (!eval(other, child(0))) {
             value = false;
             break;
           }
@@ -130,35 +253,29 @@ bool ModelChecker::eval(Point at, const Formula& f) {
       // verdict — cache the whole frontier at once.
       std::vector<Point> stack{at};
       std::vector<Point> visited;
-      std::vector<char> seen(sys_.size() *
-                                 static_cast<std::size_t>(sys_.max_horizon() + 1),
-                             0);
-      seen[point_index(at)] = 1;
+      std::vector<char> seen(sys_.total_points(), 0);
+      seen[pi] = 1;
       bool all_hold = true;
       while (!stack.empty() && all_hold) {
         Point cur = stack.back();
         stack.pop_back();
         visited.push_back(cur);
-        if (!eval(cur, *f.children()[0])) {
+        if (!eval(cur, child(0))) {
           all_hold = false;
           break;
         }
         for (ProcessId p : f.group()) {
-          for (Point next : sys_.equivalence_class(p, cur)) {
-            char& mark = seen[point_index(next)];
+          for (Point n : sys_.equivalence_class(p, cur)) {
+            char& mark = seen[point_index(n)];
             if (mark == 0) {
               mark = 1;
-              stack.push_back(next);
+              stack.push_back(n);
             }
           }
         }
       }
       for (Point v : visited) {
-        Tri& s = slots[point_index(v)];
-        if (s == Tri::kUnknown) {
-          s = all_hold ? Tri::kTrue : Tri::kFalse;
-          ++cache_size_;
-        }
+        slot_set(fid, point_index(v), all_hold);
       }
       value = all_hold;
       break;
@@ -166,9 +283,14 @@ bool ModelChecker::eval(Point at, const Formula& f) {
     case FormulaKind::kDistKnows: {
       // Points considered possible by *everyone* in the group: intersect by
       // filtering one member's class through pairwise indistinguishability.
+      // The intersection of equivalence relations is again an equivalence
+      // relation, so the D_S verdict is shared across the intersection
+      // class — fill every member seen so far (all of them on success, the
+      // scanned prefix on an early break; either way they share `value`).
       ProcessId first = *f.group().begin();
       value = true;
       const Run& here = sys_.run(at.run);
+      std::vector<Point> members;
       for (Point other : sys_.equivalence_class(first, at)) {
         bool in_intersection = true;
         for (ProcessId q : f.group()) {
@@ -179,17 +301,19 @@ bool ModelChecker::eval(Point at, const Formula& f) {
             break;
           }
         }
-        if (in_intersection && !eval(other, *f.children()[0])) {
+        if (!in_intersection) continue;
+        members.push_back(other);
+        if (!eval(other, child(0))) {
           value = false;
           break;
         }
       }
+      for (Point m : members) slot_set(fid, point_index(m), value);
       break;
     }
   }
 
-  slot = value ? Tri::kTrue : Tri::kFalse;
-  ++cache_size_;
+  slot_set(fid, pi, value);
   return value;
 }
 

@@ -9,8 +9,26 @@
 //
 // Truth values are memoized per (formula node, point); temporal operators
 // are filled bottom-up over each run to stay linear in the horizon.
+//
+// Engine layout (see DESIGN.md "Checker architecture"):
+//   * Every queried formula DAG is interned once: each node gets a dense
+//     id (children before parents), its children resolved to ids, so the
+//     hot evaluation loop never touches a hash table or a pointer map.
+//   * The memo cache is a flat table per formula id, 2 bits per point
+//     (unknown / true / false), allocated lazily on the first verdict for
+//     that formula — leaf primitives that are never asked about a run cost
+//     nothing, and a filled table costs 1/4 byte per point instead of 1.
+//   * Points are numbered densely via System::point_index: run i's points
+//     occupy [point_offset(i), point_offset(i) + horizon_i + 1], so systems
+//     with mixed horizons waste no slots.
+//
+// The *_parallel entry points shard the root point space run-wise across a
+// worker pool; each worker owns a private checker over the shared read-only
+// System, so verdicts (and the reported counterexample) are bit-identical
+// to the serial path at any thread count.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -29,28 +47,86 @@ class ModelChecker {
   // R |= phi: true at every point of the system.
   bool valid(const FormulaPtr& f);
 
-  // The first point where f fails, if any (diagnostic witness).
+  // The first point where f fails, if any (diagnostic witness) — first in
+  // for_each_point order: smallest run index, then smallest time.
   std::optional<Point> find_counterexample(const FormulaPtr& f);
 
+  // Parallel twins.  `parallelism` = 0 → hardware_concurrency, 1 → the
+  // exact legacy serial path (this checker's own cache), k → k workers each
+  // claiming whole runs off a shared counter and evaluating with a private
+  // checker.  The verdict — and the counterexample point, when one exists —
+  // is bit-identical to the serial call at every thread count.  Worker
+  // caches are discarded afterwards; this checker's cache is untouched
+  // (except at parallelism 1, where the serial path fills it as usual).
+  bool valid_parallel(const FormulaPtr& f, unsigned parallelism = 0);
+  std::optional<Point> find_counterexample_parallel(const FormulaPtr& f,
+                                                    unsigned parallelism = 0);
+
+  // Number of memo slots actually filled with a verdict (each point decided
+  // at most once per formula).  Always equals cache_entries_recount().
   std::size_t cache_entries() const { return cache_size_; }
+  // Recount by scanning the packed tables — O(interned formulas × points).
+  // The accounting test asserts it against cache_entries().
+  std::size_t cache_entries_recount() const;
+  // Bytes currently allocated for memo slots (2 bits per point, only for
+  // formulas with at least one verdict).
+  std::size_t cache_bytes() const;
+  // Formulas with at least one verdict — i.e. how many per-formula tables
+  // the pre-interning layout (1 byte per point, eagerly sized to
+  // runs × (max_horizon + 1)) would have allocated for the same queries.
+  std::size_t cache_tables() const;
+  // Distinct formula DAG nodes interned so far.
+  std::size_t interned_formulas() const { return nodes_.size(); }
 
  private:
-  enum class Tri : std::uint8_t { kUnknown, kTrue, kFalse };
+  // 2-bit truth codes packed 32 per uint64_t word.
+  static constexpr std::uint64_t kTriUnknown = 0;
+  static constexpr std::uint64_t kTriTrue = 1;
+  static constexpr std::uint64_t kTriFalse = 2;
 
-  std::size_t point_index(Point at) const {
-    return at.run * static_cast<std::size_t>(sys_.max_horizon() + 1) +
-           static_cast<std::size_t>(at.m);
+  struct Node {
+    const Formula* f;
+    std::uint32_t first_child;  // index into child_ids_
+    std::uint32_t num_children;
+  };
+
+  std::size_t point_index(Point at) const { return sys_.point_index(at); }
+
+  std::uint32_t intern(const FormulaPtr& f);
+  std::uint32_t intern_node(const Formula* f);
+
+  std::uint64_t slot_get(std::uint32_t fid, std::size_t pi) const {
+    const std::vector<std::uint64_t>& t = slots_[fid];
+    if (t.empty()) return kTriUnknown;
+    return (t[pi >> 5] >> ((pi & 31) * 2)) & 3;
   }
+  // Fills the slot if still unknown (verdicts are deterministic, so a filled
+  // slot never needs rewriting); counts exactly the transitions from
+  // unknown, which is what cache_entries() reports.
+  void slot_set(std::uint32_t fid, std::size_t pi, bool v) {
+    std::vector<std::uint64_t>& t = slots_[fid];
+    if (t.empty()) t.assign(slot_words_(), 0);
+    std::uint64_t& w = t[pi >> 5];
+    const unsigned shift = (pi & 31) * 2;
+    if (((w >> shift) & 3) != kTriUnknown) return;
+    w |= (v ? kTriTrue : kTriFalse) << shift;
+    ++cache_size_;
+  }
+  std::size_t slot_words_() const { return (sys_.total_points() + 31) / 32; }
 
-  bool eval(Point at, const Formula& f);
+  bool eval(Point at, std::uint32_t fid);
 
   const System& sys_;
-  // Per formula node, one tri-state per point of the system.  The cache is
-  // keyed by node address, so every queried root is retained: releasing a
-  // formula and allocating a new one at the same address must not resurrect
-  // stale entries.
+  // Roots are retained so interned node addresses can never be freed and
+  // reused: releasing a formula and allocating a new one at the same address
+  // must not resurrect stale ids or cache entries.
   std::vector<FormulaPtr> retained_;
-  std::unordered_map<const Formula*, std::vector<Tri>> cache_;
+  std::unordered_map<const Formula*, std::uint32_t> ids_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> child_ids_;
+  // slots_[fid]: packed 2-bit verdicts, one per point; empty until the
+  // formula's first verdict.
+  std::vector<std::vector<std::uint64_t>> slots_;
   std::size_t cache_size_ = 0;
 };
 

@@ -22,6 +22,21 @@ FormulaPtr Formula::prim(std::string label, PrimFn fn) {
   return f;
 }
 
+FormulaPtr Formula::prim_monotone(std::string label, FirstTimeFn fn) {
+  UDC_CHECK(fn != nullptr, "primitive needs an evaluator");
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kPrim;
+  f->label_ = std::move(label);
+  // The per-point predicate is derived from the first-occurrence time, so
+  // both views of the primitive can never disagree.
+  f->prim_ = [fn](const Run& r, Time m) {
+    const std::optional<Time> t = fn(r);
+    return t.has_value() && *t <= m;
+  };
+  f->first_time_ = std::move(fn);
+  return f;
+}
+
 FormulaPtr Formula::negation(FormulaPtr child) {
   auto f = std::shared_ptr<Formula>(new Formula());
   f->kind_ = FormulaKind::kNot;
@@ -167,25 +182,31 @@ std::string Formula::to_string() const {
 FormulaPtr f_init(ProcessId p, ActionId alpha) {
   std::ostringstream label;
   label << "init_" << p << "(α" << alpha << ')';
-  return Formula::prim(label.str(), [p, alpha](const Run& r, Time m) {
-    return r.init_in(p, m, alpha);
-  });
+  return Formula::prim_monotone(
+      label.str(), [p, alpha](const Run& r) -> std::optional<Time> {
+        return r.first_event_time(p, [alpha](const Event& e) {
+          return e.kind == EventKind::kInit && e.action == alpha;
+        });
+      });
 }
 
 FormulaPtr f_do(ProcessId p, ActionId alpha) {
   std::ostringstream label;
   label << "do_" << p << "(α" << alpha << ')';
-  return Formula::prim(label.str(), [p, alpha](const Run& r, Time m) {
-    return r.do_in(p, m, alpha);
-  });
+  return Formula::prim_monotone(
+      label.str(), [p, alpha](const Run& r) -> std::optional<Time> {
+        return r.first_event_time(p, [alpha](const Event& e) {
+          return e.kind == EventKind::kDo && e.action == alpha;
+        });
+      });
 }
 
 FormulaPtr f_crash(ProcessId p) {
   std::ostringstream label;
   label << "crash(" << p << ')';
-  return Formula::prim(label.str(), [p](const Run& r, Time m) {
-    return r.crashed_by(p, m);
-  });
+  return Formula::prim_monotone(
+      label.str(),
+      [p](const Run& r) -> std::optional<Time> { return r.crash_time(p); });
 }
 
 FormulaPtr f_suspected_by(ProcessId p, ProcessId q) {

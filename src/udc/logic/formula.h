@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,10 +46,16 @@ enum class FormulaKind {
 class Formula {
  public:
   using PrimFn = std::function<bool(const Run&, Time)>;
+  // First time the primitive becomes true in a run, or nullopt if never.
+  using FirstTimeFn = std::function<std::optional<Time>(const Run&)>;
 
   FormulaKind kind() const { return kind_; }
   const std::string& label() const { return label_; }
   const PrimFn& prim() const { return prim_; }
+  // Non-empty only for monotone primitives (see prim_monotone): the verdict
+  // at (r, m) is `first_time(r) <= m`.  Lets the checker decide a whole run
+  // with one history scan instead of one scan per point.
+  const FirstTimeFn& first_time() const { return first_time_; }
   const std::vector<FormulaPtr>& children() const { return children_; }
   ProcessId agent() const { return agent_; }
   ProcSet group() const { return group_; }
@@ -58,6 +65,11 @@ class Formula {
   // -- constructors -----------------------------------------------------
   static FormulaPtr truth();
   static FormulaPtr prim(std::string label, PrimFn fn);
+  // A primitive that, once true at some point of a run, stays true for the
+  // rest of that run (histories are prefix-monotone, so any "event e has
+  // occurred" predicate qualifies).  `fn` reports when it first becomes
+  // true; the derived per-point predicate is `fn(r) <= m`.
+  static FormulaPtr prim_monotone(std::string label, FirstTimeFn fn);
   static FormulaPtr negation(FormulaPtr f);
   static FormulaPtr conjunction(std::vector<FormulaPtr> fs);
   static FormulaPtr disjunction(std::vector<FormulaPtr> fs);
@@ -83,6 +95,7 @@ class Formula {
   FormulaKind kind_ = FormulaKind::kTrue;
   std::string label_;
   PrimFn prim_;
+  FirstTimeFn first_time_;  // empty unless built by prim_monotone
   std::vector<FormulaPtr> children_;
   ProcessId agent_ = kInvalidProcess;
   ProcSet group_;

@@ -126,7 +126,9 @@ System generate_system_parallel(const SimConfig& base,
     stats->messages_sent += total_sent.load();
     stats->messages_dropped += total_dropped.load();
   }
-  return System(std::move(runs));
+  // The indistinguishability index rides the same worker budget; its
+  // sharded build is bit-identical to the serial one (see event/system.h).
+  return System(std::move(runs), threads);
 }
 
 }  // namespace udc

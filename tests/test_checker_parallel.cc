@@ -1,0 +1,248 @@
+// Parallel model checking: verdicts, counterexamples, the sharded System
+// index, and the kt/ constructions are bit-identical to the serial path at
+// every thread count.  Also covers the checker's cache accounting (filled
+// slots only, asserted against a recount) and the dense packing of
+// mixed-horizon systems.
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/spec.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/oracle.h"
+#include "udc/kt/knowledge_fd.h"
+#include "udc/kt/simulate_fd.h"
+#include "udc/logic/eval.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+struct SweepCfg {
+  int n;
+  Time horizon;
+  double drop;
+};
+
+System sweep_system(const SweepCfg& cfg) {
+  SimConfig sim;
+  sim.n = cfg.n;
+  sim.horizon = cfg.horizon;
+  sim.channel.drop_prob = cfg.drop;
+  sim.seed = 11;
+  auto workload = make_workload(cfg.n, 1, 4, 6);
+  auto plans = all_crash_plans_up_to(cfg.n, cfg.n - 1, 10, cfg.horizon / 3);
+  return generate_system(
+      sim, plans, workload, [] { return std::make_unique<PerfectOracle>(4); },
+      [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); }, 1);
+}
+
+// The DC1-DC3 suite for every workload action, plus the K_p(crash q)
+// "knows faulty" family and a nested epistemic-temporal formula.
+std::vector<FormulaPtr> formula_suite(const System& sys,
+                                      std::span<const ActionId> actions) {
+  std::vector<FormulaPtr> suite;
+  for (ActionId alpha : actions) {
+    suite.push_back(dc1_formula(alpha, sys.n()));
+    suite.push_back(dc2_formula(alpha, sys.n()));
+    suite.push_back(dc3_formula(alpha, sys.n()));
+    suite.push_back(udc_formula(alpha, sys.n()));
+  }
+  for (ProcessId p = 0; p < sys.n(); ++p) {
+    for (ProcessId q = 0; q < sys.n(); ++q) {
+      suite.push_back(f_implies(f_knows(p, f_crash(q)), f_crash(q)));
+      suite.push_back(f_eventually(f_or(f_knows(p, f_crash(q)),
+                                        f_not(f_crash(q)))));
+    }
+  }
+  suite.push_back(f_common_knows(ProcSet::full(sys.n()),
+                                 f_implies(f_crash(0), f_crash(0))));
+  return suite;
+}
+
+TEST(CheckerParallel, VerdictsAndWitnessesMatchSerialAcrossSweep) {
+  const SweepCfg sweep[] = {
+      {3, 60, 0.0}, {3, 90, 0.3}, {4, 60, 0.25}};
+  for (const SweepCfg& cfg : sweep) {
+    SCOPED_TRACE(testing::Message() << "n=" << cfg.n << " horizon="
+                                    << cfg.horizon << " drop=" << cfg.drop);
+    System sys = sweep_system(cfg);
+    auto workload = make_workload(cfg.n, 1, 4, 6);
+    auto actions = workload_actions(workload);
+    ModelChecker serial(sys);
+    for (const FormulaPtr& phi : formula_suite(sys, actions)) {
+      SCOPED_TRACE(phi->to_string());
+      auto expect = serial.find_counterexample(phi);
+      const bool expect_valid = !expect.has_value();
+      for (unsigned threads : {1u, 2u, 8u}) {
+        ModelChecker mc(sys);
+        auto got = mc.find_counterexample_parallel(phi, threads);
+        ASSERT_EQ(got.has_value(), expect.has_value()) << threads << " threads";
+        if (expect) {
+          EXPECT_EQ(got->run, expect->run) << threads << " threads";
+          EXPECT_EQ(got->m, expect->m) << threads << " threads";
+        }
+        ModelChecker mc2(sys);
+        EXPECT_EQ(mc2.valid_parallel(phi, threads), expect_valid)
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(CheckerParallel, CacheEntriesMeansSlotsActuallyFilled) {
+  System sys = sweep_system({3, 60, 0.3});
+  ModelChecker mc(sys);
+  // Temporal operators used to bump the counter once per visited point even
+  // when the slot was already filled, and then once more at the tail; mixing
+  // □/◇/U with overlapping subformulas exercises exactly those paths.
+  auto alpha = workload_actions(make_workload(3, 1, 4, 6)).front();
+  std::vector<FormulaPtr> suite{
+      f_eventually(f_crash(0)),
+      f_always(f_implies(f_crash(0), f_crash(0))),
+      f_until(f_not(f_crash(0)), f_crash(0)),
+      f_eventually(f_knows(1, f_crash(0))),
+      dc1_formula(alpha, sys.n()),
+      f_common_knows(ProcSet::full(sys.n()), Formula::truth()),
+  };
+  for (const FormulaPtr& phi : suite) {
+    mc.holds_at(Point{0, 0}, phi);
+    EXPECT_EQ(mc.cache_entries(), mc.cache_entries_recount())
+        << "after " << phi->to_string();
+    mc.valid(phi);
+    EXPECT_EQ(mc.cache_entries(), mc.cache_entries_recount())
+        << "after validity of " << phi->to_string();
+  }
+  // Re-queries are fully memoized: no slot is filled twice.
+  const std::size_t settled = mc.cache_entries();
+  for (const FormulaPtr& phi : suite) mc.valid(phi);
+  EXPECT_EQ(mc.cache_entries(), settled);
+  EXPECT_EQ(mc.cache_entries_recount(), settled);
+  // And the counter can never exceed formulas × points.
+  EXPECT_LE(mc.cache_entries(), mc.interned_formulas() * sys.total_points());
+}
+
+// Runs with different horizons share one dense point numbering: no slot is
+// allocated for the phantom points of short runs.
+TEST(CheckerParallel, MixedHorizonSystemsArePackedDensely) {
+  std::vector<udc::Run> runs;
+  {
+    Run::Builder b(2);  // horizon 2
+    b.append(0, Event::init(1)).end_step();
+    b.append(0, Event::do_action(1)).end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);  // horizon 6
+    for (int i = 0; i < 3; ++i) b.end_step();
+    b.append(1, Event::crash()).end_step();
+    for (int i = 0; i < 2; ++i) b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  {
+    Run::Builder b(2);  // horizon 1
+    b.end_step();
+    runs.push_back(std::move(b).build());
+  }
+  System sys(std::move(runs));
+  // 3 + 7 + 2 points, not 3 runs × (max_horizon + 1) = 21.
+  EXPECT_EQ(sys.total_points(), 12u);
+  EXPECT_EQ(sys.point_offset(0), 0u);
+  EXPECT_EQ(sys.point_offset(1), 3u);
+  EXPECT_EQ(sys.point_offset(2), 10u);
+  EXPECT_EQ(sys.point_index(Point{2, 1}), 11u);
+
+  ModelChecker mc(sys);
+  EXPECT_TRUE(mc.holds_at(Point{0, 2}, f_do(0, 1)));
+  EXPECT_TRUE(mc.holds_at(Point{1, 4}, f_crash(1)));
+  EXPECT_FALSE(mc.holds_at(Point{1, 3}, f_crash(1)));
+  EXPECT_TRUE(mc.valid(f_implies(f_do(0, 1), f_init(0, 1))));
+  auto phi = f_eventually(f_crash(1));
+  auto serial_cex = mc.find_counterexample(phi);
+  ASSERT_TRUE(serial_cex.has_value());
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ModelChecker mc2(sys);
+    auto cex = mc2.find_counterexample_parallel(phi, threads);
+    ASSERT_TRUE(cex.has_value());
+    EXPECT_EQ(cex->run, serial_cex->run);
+    EXPECT_EQ(cex->m, serial_cex->m);
+  }
+  EXPECT_EQ(mc.cache_entries(), mc.cache_entries_recount());
+  // Each allocated table covers exactly total_points 2-bit slots.
+  EXPECT_EQ(mc.cache_bytes() % sizeof(std::uint64_t), 0u);
+  EXPECT_LE(mc.cache_bytes(),
+            mc.interned_formulas() * ((sys.total_points() + 31) / 32) *
+                sizeof(std::uint64_t));
+}
+
+TEST(CheckerParallel, ShardedIndexBuildMatchesSerial) {
+  SweepCfg cfg{4, 80, 0.3};
+  SimConfig sim;
+  sim.n = cfg.n;
+  sim.horizon = cfg.horizon;
+  sim.channel.drop_prob = cfg.drop;
+  sim.seed = 7;
+  auto workload = make_workload(cfg.n, 1, 4, 6);
+  auto plans = all_crash_plans_up_to(cfg.n, cfg.n - 1, 10, 30);
+  std::vector<udc::Run> runs;
+  std::uint64_t seed = 3;
+  for (const CrashPlan& plan : plans) {
+    SimConfig c = sim;
+    c.seed = seed++;
+    PerfectOracle oracle(4);
+    runs.push_back(simulate(c, plan, &oracle, workload, [](ProcessId) {
+                     return std::make_unique<UdcStrongFdProcess>();
+                   }).run);
+  }
+  std::vector<udc::Run> copy = runs;
+  System serial(std::move(runs));
+  for (unsigned threads : {2u, 3u, 8u}) {
+    std::vector<udc::Run> copy2 = copy;
+    System sharded(std::move(copy2), threads);
+    ASSERT_EQ(sharded.size(), serial.size());
+    serial.for_each_point([&](Point at) {
+      for (ProcessId p = 0; p < serial.n(); ++p) {
+        auto a = serial.equivalence_class(p, at);
+        auto b = sharded.equivalence_class(p, at);
+        ASSERT_EQ(a.size(), b.size())
+            << threads << " threads, p" << p << " run " << at.run << " m "
+            << at.m;
+        for (std::size_t k = 0; k < a.size(); ++k) {
+          ASSERT_TRUE(a[k] == b[k])
+              << threads << " threads, p" << p << " member " << k;
+        }
+      }
+    });
+  }
+}
+
+TEST(CheckerParallel, KtConstructionsMatchSerialAtAnyThreadCount) {
+  System sys = sweep_system({3, 60, 0.25});
+  System rf1 = build_rf(sys, 1);
+  System rfp1 = build_rf_prime(sys, 1);
+  for (unsigned threads : {2u, 8u}) {
+    System rf = build_rf(sys, threads);
+    System rfp = build_rf_prime(sys, threads);
+    ASSERT_EQ(rf.size(), rf1.size());
+    ASSERT_EQ(rfp.size(), rfp1.size());
+    for (std::size_t i = 0; i < rf1.size(); ++i) {
+      for (ProcessId p = 0; p < sys.n(); ++p) {
+        ASSERT_TRUE(rf.run(i).history(p) == rf1.run(i).history(p))
+            << threads << " threads, run " << i << ", p" << p;
+        ASSERT_TRUE(rfp.run(i).history(p) == rfp1.run(i).history(p))
+            << threads << " threads, run " << i << ", p" << p;
+      }
+    }
+  }
+  auto frontier1 = knowledge_frontier(sys, f_crash(0), 1);
+  for (unsigned threads : {2u, 8u}) {
+    auto frontier = knowledge_frontier(sys, f_crash(0), threads);
+    ASSERT_EQ(frontier.size(), frontier1.size());
+    for (std::size_t i = 0; i < frontier1.size(); ++i) {
+      ASSERT_EQ(frontier[i], frontier1[i]) << threads << " threads, run " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udc

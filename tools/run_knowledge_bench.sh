@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the knowledge-machinery benchmarks and writes machine-readable rows
+# to a BENCH_*.json file at the repo root, so performance trajectories
+# accumulate across PRs.
+#
+# Usage:
+#   tools/run_knowledge_bench.sh [output.json] [extra benchmark flags...]
+#
+# Examples:
+#   tools/run_knowledge_bench.sh                       # -> BENCH_latest.json
+#   tools/run_knowledge_bench.sh BENCH_pr1.json
+#   tools/run_knowledge_bench.sh BENCH_pr1.json --benchmark_filter=Sweep
+#
+# Each row is {bench, n, horizon, threads, ns_per_op}; see
+# bench/bench_knowledge_eval.cc for the suite definitions.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-BENCH_latest.json}"
+shift || true
+
+build_dir="${BUILD_DIR:-$repo_root/build}"
+bench="$build_dir/bench/bench_knowledge_eval"
+
+if [[ ! -x "$bench" ]]; then
+  echo "building bench_knowledge_eval in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >&2
+  cmake --build "$build_dir" --target bench_knowledge_eval -j >&2
+fi
+
+case "$out" in
+  /*) : ;;
+  *) out="$repo_root/$out" ;;
+esac
+
+"$bench" --json "$out" "$@"
+echo "wrote $out" >&2
