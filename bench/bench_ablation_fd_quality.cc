@@ -96,6 +96,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_ablation_fd_quality",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

@@ -69,6 +69,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_ablation_horizon",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

@@ -118,6 +118,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_atd_weakest",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

@@ -80,6 +80,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_fd_conversions",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

@@ -105,6 +105,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_fd_lattice",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

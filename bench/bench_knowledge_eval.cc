@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "udc/common/guarded_main.h"
 #include "udc/coord/action.h"
 #include "udc/coord/spec.h"
 #include "udc/coord/udc_strongfd.h"
@@ -269,6 +270,7 @@ class JsonRowReporter : public benchmark::ConsoleReporter {
 }  // namespace udc
 
 int main(int argc, char** argv) {
+  return udc::guarded_main("bench_knowledge_eval", [&] {
   // Peel off `--json <path>` before google-benchmark sees the argv.
   std::string json_path;
   std::vector<char*> args(argv, argv + argc);
@@ -295,4 +297,5 @@ int main(int argc, char** argv) {
   }
   benchmark::Shutdown();
   return rc;
+  });
 }

@@ -63,6 +63,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_prop_2_3",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

@@ -66,6 +66,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_prop_2_4",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

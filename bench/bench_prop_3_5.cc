@@ -102,6 +102,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_prop_3_5",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

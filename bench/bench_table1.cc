@@ -264,6 +264,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_table1",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

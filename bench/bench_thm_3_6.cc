@@ -127,6 +127,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_thm_3_6",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

@@ -101,6 +101,9 @@ void run() {
 }  // namespace udc::bench
 
 int main() {
-  udc::bench::run();
-  return 0;
+  return udc::guarded_main("bench_thm_4_3",
+                           [] {
+    udc::bench::run();
+    return 0;
+  });
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "udc/common/guarded_main.h"
 #include "udc/coord/action.h"
 #include "udc/coord/spec.h"
 #include "udc/consensus/spec.h"

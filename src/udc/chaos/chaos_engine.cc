@@ -1,0 +1,169 @@
+#include "udc/chaos/chaos_engine.h"
+
+#include <algorithm>
+
+#include "udc/chaos/lying_oracle.h"
+#include "udc/chaos/registry.h"
+#include "udc/common/check.h"
+#include "udc/coord/action.h"
+#include "udc/sim/simulator.h"
+
+namespace udc {
+
+const char* chaos_spec_name(ChaosScenario::Spec s) {
+  return s == ChaosScenario::Spec::kUdc ? "udc" : "nudc";
+}
+
+ChaosScenario::Spec chaos_spec_by_name(const std::string& name) {
+  if (name == "udc") return ChaosScenario::Spec::kUdc;
+  if (name == "nudc") return ChaosScenario::Spec::kNudc;
+  UDC_CHECK(false, "unknown spec name: " + name);
+}
+
+ChaosOutcome run_scenario(const ChaosScenario& scenario,
+                          const FaultScript& script) {
+  UDC_CHECK(scenario.n >= 2 && scenario.n <= kMaxProcesses,
+            "chaos scenario n out of range");
+  UDC_CHECK(scenario.horizon >= 1, "chaos scenario horizon must be >= 1");
+  UDC_CHECK(!script.references_process_at_or_above(scenario.n),
+            "fault script references a process outside the scenario");
+
+  SimConfig config;
+  config.n = scenario.n;
+  config.horizon = scenario.horizon;
+  config.seed = scenario.seed;
+  config.channel.max_delay = scenario.max_delay;
+  // The script policy subsumes the background i.i.d. rate; with an empty
+  // script it draws exactly like IidDropPolicy, so unscripted scenarios
+  // regenerate the stock channel behavior bit-identically.
+  config.channel.custom_policy =
+      std::make_shared<ScriptDropPolicy>(script, scenario.drop);
+
+  OracleFactory oracle_factory = lying_oracle_factory(
+      oracle_factory_by_name(scenario.detector, scenario.t), script.lies);
+  ProtocolFactory protocol =
+      protocol_factory_by_name(scenario.protocol, scenario.t);
+
+  auto workload = make_workload(scenario.n, scenario.actions_per_process,
+                                scenario.init_start, scenario.init_spacing);
+  auto actions = workload_actions(workload);
+  CrashPlan plan = script.crash_plan(scenario.n);
+
+  std::unique_ptr<FdOracle> oracle;
+  if (oracle_factory) oracle = oracle_factory();
+  SimResult result =
+      simulate(config, plan, oracle.get(), workload, protocol);
+
+  ChaosOutcome out{std::move(result.run), {}, {}, false};
+  out.report = scenario.spec == ChaosScenario::Spec::kUdc
+                   ? check_udc(out.run, actions, scenario.grace)
+                   : check_nudc(out.run, actions, scenario.grace);
+  out.fd_report = check_fd_properties(out.run, scenario.grace);
+  out.violated = !out.report.achieved();
+  return out;
+}
+
+ChaosSearchResult search_violation(const ChaosScenario& scenario,
+                                   const ChaosSearchOptions& options) {
+  ChaosSearchResult result;
+  ScriptGenOptions gen = options.gen;
+  gen.n = scenario.n;
+  gen.horizon = scenario.horizon;
+  // A legitimate witness for a cell with failure bound t may crash at most
+  // t processes.
+  gen.max_crashes = std::min(gen.max_crashes, scenario.t);
+
+  for (int i = 0; i < options.iterations; ++i) {
+    if (options.budget.deadline_expired() ||
+        options.budget.runs_exhausted(
+            static_cast<std::size_t>(result.iterations_run))) {
+      result.status = BudgetStatus::kBudgetExceeded;
+      return result;
+    }
+    FaultScript script =
+        generate_fault_script(gen, options.seed + static_cast<std::uint64_t>(i));
+    ChaosOutcome outcome = run_scenario(scenario, script);
+    ++result.iterations_run;
+    if (outcome.violated) {
+      result.witness =
+          ChaosWitness{scenario, std::move(script), std::move(outcome.report)};
+      return result;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Re-runs the candidate; accepts it into `best` iff it still violates.
+bool try_candidate(ChaosWitness& best, const ChaosScenario& scenario,
+                   const FaultScript& script) {
+  ChaosOutcome outcome = run_scenario(scenario, script);
+  if (!outcome.violated) return false;
+  best.scenario = scenario;
+  best.script = script;
+  best.report = std::move(outcome.report);
+  return true;
+}
+
+// Tries removing every element of `vec`, highest index first (so earlier
+// indices stay valid after an accepted removal).  Returns true on progress.
+template <typename T>
+bool prune_vector(ChaosWitness& best, std::vector<T> FaultScript::* member) {
+  bool improved = false;
+  for (std::size_t i = (best.script.*member).size(); i-- > 0;) {
+    FaultScript candidate = best.script;
+    (candidate.*member).erase((candidate.*member).begin() +
+                              static_cast<std::ptrdiff_t>(i));
+    if (try_candidate(best, best.scenario, candidate)) improved = true;
+  }
+  return improved;
+}
+
+}  // namespace
+
+ChaosWitness shrink_witness(const ChaosWitness& witness) {
+  ChaosWitness best = witness;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+
+    // 1. Drop injections one at a time (ddmin at granularity 1 — scripts
+    // are small enough that the quadratic pass beats the bookkeeping of
+    // full delta debugging).
+    improved |= prune_vector(best, &FaultScript::crashes);
+    improved |= prune_vector(best, &FaultScript::partitions);
+    improved |= prune_vector(best, &FaultScript::silences);
+    improved |= prune_vector(best, &FaultScript::bursts);
+    improved |= prune_vector(best, &FaultScript::lies);
+
+    // 2. Truncate the horizon: big bites first.  The spec's grace window
+    // makes obligations vacuous when the horizon gets too close to the
+    // inits, so re-running is the arbiter of how far this can go.
+    const Time h = best.scenario.horizon;
+    for (Time candidate_h : {h / 2, (3 * h) / 4, h - std::max<Time>(1, h / 8)}) {
+      if (candidate_h < 1 || candidate_h >= best.scenario.horizon) continue;
+      ChaosScenario candidate = best.scenario;
+      candidate.horizon = candidate_h;
+      if (try_candidate(best, candidate, best.script)) {
+        improved = true;
+        break;
+      }
+    }
+
+    // 3. Drop the highest-numbered process, when the script never mentions
+    // it.  The workload regenerates for the smaller group, so the run is
+    // different in kind — re-checking decides whether the violation
+    // survives the amputation.
+    if (best.scenario.n > 2 &&
+        !best.script.references_process_at_or_above(best.scenario.n - 1)) {
+      ChaosScenario candidate = best.scenario;
+      candidate.n -= 1;
+      candidate.t = std::min(candidate.t, candidate.n);
+      if (try_candidate(best, candidate, best.script)) improved = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace udc

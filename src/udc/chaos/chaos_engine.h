@@ -1,0 +1,92 @@
+// The chaos search driver: sweep generated fault scripts over a scenario
+// hunting spec violations, then delta-debug any witness down to a minimal
+// reproduction.
+//
+// The necessity direction of Table 1 says "for this protocol × channel × t
+// cell there EXISTS an adversary breaking DC1–DC3" — the repo used to prove
+// it with two hand-rolled adversaries.  The chaos engine searches the
+// adversary space instead: generate_fault_script draws seed-deterministic
+// scripts, run_scenario executes one against the scenario's protocol and
+// checks the spec, and search_violation iterates until a violating script
+// appears (or the budget trips).  shrink_witness then greedily removes
+// injections, truncates the horizon, and drops processes while the
+// violation persists, yielding the minimal witness that is serialized via
+// chaos/witness.h and replayed bit-identically by tools/udc_replay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "udc/chaos/fault_script.h"
+#include "udc/common/budget.h"
+#include "udc/coord/spec.h"
+#include "udc/event/run.h"
+#include "udc/fd/properties.h"
+
+namespace udc {
+
+// Everything needed to regenerate one scripted run, serializable by name.
+struct ChaosScenario {
+  std::string protocol = "majority";  // chaos/registry.h spellings
+  std::string detector = "none";
+  int n = 5;
+  int t = 2;              // failure bound (generalized family parameter)
+  Time horizon = 240;
+  Time grace = 80;        // finite-run grace window for the spec checkers
+  double drop = 0.0;      // background i.i.d. loss under the script
+  int max_delay = 3;
+  std::uint64_t seed = 1;
+  int actions_per_process = 1;  // make_workload(n, this, init_start, spacing)
+  Time init_start = 5;
+  Time init_spacing = 7;
+  enum class Spec { kUdc, kNudc } spec = Spec::kUdc;
+};
+
+const char* chaos_spec_name(ChaosScenario::Spec s);
+ChaosScenario::Spec chaos_spec_by_name(const std::string& name);
+
+// One scripted simulation plus its verdicts.
+struct ChaosOutcome {
+  Run run;
+  CoordReport report;         // the scenario's spec (UDC or nUDC)
+  FdPropertyReport fd_report; // flags lying-oracle corruption
+  bool violated = false;      // !report.achieved()
+};
+
+ChaosOutcome run_scenario(const ChaosScenario& scenario,
+                          const FaultScript& script);
+
+struct ChaosWitness {
+  ChaosScenario scenario;
+  FaultScript script;
+  CoordReport report;
+};
+
+struct ChaosSearchOptions {
+  int iterations = 64;
+  std::uint64_t seed = 1;     // script-generation seed stream
+  ScriptGenOptions gen;       // n/horizon are overwritten from the scenario
+  Budget budget;              // deadline bounds the whole search
+};
+
+struct ChaosSearchResult {
+  std::optional<ChaosWitness> witness;
+  int iterations_run = 0;
+  BudgetStatus status = BudgetStatus::kComplete;
+};
+
+// Runs generated scripts against the scenario until one violates the spec.
+// Deterministic for a fixed (scenario, options.seed): iteration i uses
+// script seed options.seed + i.
+ChaosSearchResult search_violation(const ChaosScenario& scenario,
+                                   const ChaosSearchOptions& options);
+
+// Greedy delta-debugging to a fixpoint.  The result still violates the
+// spec; its script has <= the input's injections, and its scenario's
+// (n, horizon) are <= the input's.  Each candidate reduction is validated
+// by re-running the scenario.
+ChaosWitness shrink_witness(const ChaosWitness& witness);
+
+}  // namespace udc

@@ -1,0 +1,306 @@
+#include "udc/chaos/fault_script.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "udc/common/check.h"
+#include "udc/common/parse_num.h"
+
+namespace udc {
+
+bool operator==(const CrashInjection& a, const CrashInjection& b) {
+  return a.victim == b.victim && a.at == b.at;
+}
+bool operator==(const PartitionWindow& a, const PartitionWindow& b) {
+  return a.senders == b.senders && a.recipients == b.recipients &&
+         a.from == b.from && a.heal == b.heal;
+}
+bool operator==(const SilenceWindow& a, const SilenceWindow& b) {
+  return a.from == b.from && a.to == b.to && a.begin == b.begin &&
+         a.end == b.end;
+}
+bool operator==(const BurstSegment& a, const BurstSegment& b) {
+  return a.begin == b.begin && a.end == b.end &&
+         a.p_good_to_bad == b.p_good_to_bad &&
+         a.p_bad_to_good == b.p_bad_to_good;
+}
+bool operator==(const LieDirective& a, const LieDirective& b) {
+  return a.kind == b.kind && a.observer == b.observer && a.begin == b.begin &&
+         a.end == b.end && a.accused == b.accused;
+}
+
+CrashPlan FaultScript::crash_plan(int n) const {
+  std::vector<std::optional<Time>> times(static_cast<std::size_t>(n),
+                                         std::nullopt);
+  for (const CrashInjection& c : crashes) {
+    UDC_CHECK(c.victim >= 0 && c.victim < n,
+              "fault script crashes out-of-range process");
+    UDC_CHECK(c.at >= 1, "crash injection time must be >= 1");
+    auto& slot = times[static_cast<std::size_t>(c.victim)];
+    if (!slot || c.at < *slot) slot = c.at;
+  }
+  return CrashPlan(n, std::move(times));
+}
+
+bool FaultScript::references_process_at_or_above(ProcessId n) const {
+  ProcSet high = ProcSet::full(kMaxProcesses) - ProcSet::full(n);
+  for (const CrashInjection& c : crashes) {
+    if (c.victim >= n) return true;
+  }
+  for (const PartitionWindow& w : partitions) {
+    if (!((w.senders | w.recipients) & high).empty()) return true;
+  }
+  for (const SilenceWindow& s : silences) {
+    if (s.from >= n || s.to >= n) return true;
+  }
+  for (const LieDirective& l : lies) {
+    if (l.observer >= n) return true;
+    if (!(l.accused & high).empty()) return true;
+  }
+  return false;
+}
+
+std::string FaultScript::format() const {
+  std::ostringstream out;
+  for (const CrashInjection& c : crashes) {
+    out << "crash victim=" << c.victim << " at=" << c.at << '\n';
+  }
+  for (const PartitionWindow& w : partitions) {
+    out << "partition senders=" << w.senders.bits()
+        << " recipients=" << w.recipients.bits() << " from=" << w.from
+        << " heal=" << w.heal << '\n';
+  }
+  for (const SilenceWindow& s : silences) {
+    out << "silence from=" << s.from << " to=" << s.to << " begin=" << s.begin
+        << " end=" << s.end << '\n';
+  }
+  for (const BurstSegment& b : bursts) {
+    std::ostringstream num;  // round-trip exact doubles via hexfloat
+    num << std::hexfloat << b.p_good_to_bad << ' ' << b.p_bad_to_good;
+    out << "burst begin=" << b.begin << " end=" << b.end << " gb=";
+    std::string both = num.str();
+    auto space = both.find(' ');
+    out << both.substr(0, space) << " bg=" << both.substr(space + 1) << '\n';
+  }
+  for (const LieDirective& l : lies) {
+    out << "lie kind="
+        << (l.kind == LieDirective::Kind::kWrongSuspicion ? "wrong"
+                                                          : "suppress")
+        << " observer=" << l.observer << " begin=" << l.begin
+        << " end=" << l.end << " accused=" << l.accused.bits() << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+// Reads "key=value" and returns value; enforces the expected key.
+std::string expect_field(std::istringstream& in, const std::string& key) {
+  std::string token;
+  UDC_CHECK(static_cast<bool>(in >> token),
+            "fault script truncated, wanted " + key);
+  auto eq = token.find('=');
+  UDC_CHECK(eq != std::string::npos && token.substr(0, eq) == key,
+            "fault script expected field '" + key + "', got '" + token + "'");
+  return token.substr(eq + 1);
+}
+
+}  // namespace
+
+FaultScript FaultScript::parse(const std::string& text) {
+  FaultScript script;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    std::string kind;
+    in >> kind;
+    if (kind == "crash") {
+      CrashInjection c;
+      c.victim = static_cast<ProcessId>(parse_int(expect_field(in, "victim"), "crash victim"));
+      c.at = parse_i64(expect_field(in, "at"), "crash time");
+      script.crashes.push_back(c);
+    } else if (kind == "partition") {
+      PartitionWindow w;
+      w.senders = ProcSet(parse_u64(expect_field(in, "senders"), "partition senders"));
+      w.recipients = ProcSet(parse_u64(expect_field(in, "recipients"), "partition recipients"));
+      w.from = parse_i64(expect_field(in, "from"), "partition from");
+      w.heal = parse_i64(expect_field(in, "heal"), "partition heal");
+      script.partitions.push_back(w);
+    } else if (kind == "silence") {
+      SilenceWindow s;
+      s.from = static_cast<ProcessId>(parse_int(expect_field(in, "from"), "silence sender"));
+      s.to = static_cast<ProcessId>(parse_int(expect_field(in, "to"), "silence recipient"));
+      s.begin = parse_i64(expect_field(in, "begin"), "silence begin");
+      s.end = parse_i64(expect_field(in, "end"), "silence end");
+      script.silences.push_back(s);
+    } else if (kind == "burst") {
+      BurstSegment b;
+      b.begin = parse_i64(expect_field(in, "begin"), "burst begin");
+      b.end = parse_i64(expect_field(in, "end"), "burst end");
+      b.p_good_to_bad = parse_f64(expect_field(in, "gb"), "burst gb");
+      b.p_bad_to_good = parse_f64(expect_field(in, "bg"), "burst bg");
+      script.bursts.push_back(b);
+    } else if (kind == "lie") {
+      LieDirective l;
+      std::string k = expect_field(in, "kind");
+      UDC_CHECK(k == "wrong" || k == "suppress",
+                "unknown lie kind in fault script: " + k);
+      l.kind = k == "wrong" ? LieDirective::Kind::kWrongSuspicion
+                            : LieDirective::Kind::kSuppress;
+      l.observer =
+          static_cast<ProcessId>(parse_int(expect_field(in, "observer"), "lie observer"));
+      l.begin = parse_i64(expect_field(in, "begin"), "lie begin");
+      l.end = parse_i64(expect_field(in, "end"), "lie end");
+      l.accused = ProcSet(parse_u64(expect_field(in, "accused"), "lie accused"));
+      script.lies.push_back(l);
+    } else {
+      UDC_CHECK(false, "unknown fault script line kind: " + kind);
+    }
+  }
+  return script;
+}
+
+// ---------------------------------------------------------------------------
+// ScriptDropPolicy
+// ---------------------------------------------------------------------------
+
+ScriptDropPolicy::ScriptDropPolicy(FaultScript script, double background_drop)
+    : script_(std::move(script)), background_drop_(background_drop) {}
+
+bool ScriptDropPolicy::drop(ProcessId from, ProcessId to, const Message&,
+                            Time now, Rng& rng) {
+  for (const PartitionWindow& w : script_.partitions) {
+    if (now >= w.from && now < w.heal && w.senders.contains(from) &&
+        w.recipients.contains(to)) {
+      return true;
+    }
+  }
+  for (const SilenceWindow& s : script_.silences) {
+    if (from == s.from && to == s.to && now >= s.begin && now <= s.end) {
+      return true;
+    }
+  }
+  for (const BurstSegment& b : script_.bursts) {
+    if (now < b.begin || now > b.end) continue;
+    auto key = static_cast<std::size_t>(from) * kMaxProcesses +
+               static_cast<std::size_t>(to);
+    if (burst_bad_.size() <= key) burst_bad_.resize(key + 1, false);
+    bool was_bad = burst_bad_[key];
+    burst_bad_[key] =
+        was_bad ? !rng.chance(b.p_bad_to_good) : rng.chance(b.p_good_to_bad);
+    if (was_bad) return true;
+  }
+  return background_drop_ > 0 && rng.chance(background_drop_);
+}
+
+std::shared_ptr<DropPolicy> ScriptDropPolicy::clone() const {
+  // Fresh Markov state; the script itself is immutable configuration.
+  return std::make_shared<ScriptDropPolicy>(script_, background_drop_);
+}
+
+// ---------------------------------------------------------------------------
+// Random generation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Time draw_time(Rng& rng, Time lo, Time hi) {
+  if (hi < lo) hi = lo;
+  return lo + static_cast<Time>(
+                  rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+ProcessId draw_proc(Rng& rng, int n) {
+  return static_cast<ProcessId>(rng.next_below(static_cast<std::uint64_t>(n)));
+}
+
+// Non-empty proper-or-full subset of {0..n-1}.
+ProcSet draw_set(Rng& rng, int n) {
+  ProcSet s;
+  do {
+    s = ProcSet(rng.next() & ProcSet::full(n).bits());
+  } while (s.empty());
+  return s;
+}
+
+}  // namespace
+
+FaultScript generate_fault_script(const ScriptGenOptions& opts,
+                                  std::uint64_t seed) {
+  UDC_CHECK(opts.n >= 2 && opts.n <= kMaxProcesses,
+            "script generation needs 2 <= n <= 64");
+  UDC_CHECK(opts.horizon >= 2, "script generation needs a horizon >= 2");
+  Rng rng(seed ^ 0x63686165u /* "chae" */);
+  FaultScript script;
+
+  const Time crash_hi = std::max<Time>(
+      1, static_cast<Time>(static_cast<double>(opts.horizon) *
+                           opts.crash_window_frac));
+  int n_crashes =
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opts.max_crashes) + 1));
+  ProcSet victims;
+  for (int i = 0; i < n_crashes; ++i) {
+    ProcessId v = draw_proc(rng, opts.n);
+    if (victims.contains(v)) continue;  // one crash per victim
+    victims.insert(v);
+    script.crashes.push_back(CrashInjection{v, draw_time(rng, 1, crash_hi)});
+  }
+
+  int n_parts = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(opts.max_partitions) + 1));
+  for (int i = 0; i < n_parts; ++i) {
+    PartitionWindow w;
+    w.senders = draw_set(rng, opts.n);
+    w.recipients = draw_set(rng, opts.n);
+    w.from = draw_time(rng, 0, opts.horizon / 2);
+    // Half the partitions heal, half persist to the horizon.
+    w.heal = rng.chance(0.5) ? draw_time(rng, w.from + 1, opts.horizon)
+                             : kTimeMax;
+    script.partitions.push_back(w);
+  }
+
+  int n_sil = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(opts.max_silences) + 1));
+  for (int i = 0; i < n_sil; ++i) {
+    SilenceWindow s;
+    s.from = draw_proc(rng, opts.n);
+    do {
+      s.to = draw_proc(rng, opts.n);
+    } while (s.to == s.from);
+    s.begin = draw_time(rng, 0, opts.horizon / 2);
+    s.end = rng.chance(0.5) ? draw_time(rng, s.begin, opts.horizon) : kTimeMax;
+    script.silences.push_back(s);
+  }
+
+  int n_bursts = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(opts.max_bursts) + 1));
+  for (int i = 0; i < n_bursts; ++i) {
+    BurstSegment b;
+    b.begin = draw_time(rng, 0, opts.horizon / 2);
+    b.end = draw_time(rng, b.begin, opts.horizon);
+    b.p_good_to_bad = 0.1 + 0.4 * rng.next_double();
+    b.p_bad_to_good = 0.1 + 0.4 * rng.next_double();
+    script.bursts.push_back(b);
+  }
+
+  int n_lies = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(opts.max_lies) + 1));
+  for (int i = 0; i < n_lies; ++i) {
+    LieDirective l;
+    l.kind = rng.chance(0.5) ? LieDirective::Kind::kWrongSuspicion
+                             : LieDirective::Kind::kSuppress;
+    l.observer = rng.chance(0.5) ? kInvalidProcess : draw_proc(rng, opts.n);
+    l.begin = draw_time(rng, 1, opts.horizon / 2);
+    l.end = rng.chance(0.5) ? draw_time(rng, l.begin, opts.horizon) : kTimeMax;
+    if (l.kind == LieDirective::Kind::kWrongSuspicion) {
+      l.accused = draw_set(rng, opts.n);
+    }
+    script.lies.push_back(l);
+  }
+
+  return script;
+}
+
+}  // namespace udc

@@ -1,0 +1,161 @@
+// FaultScript: a composable, seed-deterministic description of everything
+// an adversary may do to one simulated run.
+//
+// The paper's impossibility arguments (the † cells of Table 1, the converse
+// of Thm 3.6) quantify over adversaries: "there EXISTS a failure/loss
+// pattern breaking the spec".  A FaultScript is the machine form of one such
+// pattern — a plain value that can be generated at random, mutated by the
+// shrinker, serialized into a witness file, and replayed bit-identically:
+//
+//   * timed crash injections             (the failure pattern F)
+//   * channel partitions with heal times (scheduled fairness violations)
+//   * per-link silence windows           (one ordered channel goes dark)
+//   * Gilbert-Elliott burst segments     (correlated loss episodes)
+//   * lying failure-detector directives  (an oracle that violates its own
+//     advertised class at scripted moments — wrong suspicions, suppressed
+//     suspicions — so the belt-and-suspenders property checkers in
+//     fd/properties.h are themselves exercised; see chaos/lying_oracle.h)
+//
+// Everything is ordinary data: two scripts are equal iff their fields are,
+// and injection_count() is the shrinker's size metric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "udc/common/proc_set.h"
+#include "udc/common/rng.h"
+#include "udc/common/types.h"
+#include "udc/fd/oracle.h"
+#include "udc/net/network.h"
+
+namespace udc {
+
+struct CrashInjection {
+  ProcessId victim = 0;
+  Time at = 1;
+};
+
+// Messages from `senders` to `recipients` are dropped during [from, heal);
+// heal = kTimeMax means the partition never heals.
+struct PartitionWindow {
+  ProcSet senders;
+  ProcSet recipients;
+  Time from = 0;
+  Time heal = kTimeMax;
+};
+
+// One ordered channel goes completely dark during [begin, end].
+struct SilenceWindow {
+  ProcessId from = 0;
+  ProcessId to = 0;
+  Time begin = 0;
+  Time end = kTimeMax;
+};
+
+// Gilbert-Elliott correlated loss on EVERY channel during [begin, end]
+// (outside the window the chains are frozen and nothing is dropped).
+struct BurstSegment {
+  Time begin = 0;
+  Time end = kTimeMax;
+  double p_good_to_bad = 0.2;
+  double p_bad_to_good = 0.3;
+};
+
+// A scripted failure-detector lie (interpreted by LyingOracle):
+//   kWrongSuspicion — once inside [begin, end], the observer's next report
+//     slot is hijacked to announce `accused` as suspected (§2.2 semantics:
+//     the report REPLACES Suspects_p, so accusing live processes breaks
+//     accuracy, and accusing every correct process breaks even weak
+//     accuracy).
+//   kSuppress — reports the inner oracle emits inside [begin, end] are
+//     swallowed; a crash the oracle would have announced there goes
+//     unreported, breaking completeness.
+struct LieDirective {
+  enum class Kind { kWrongSuspicion, kSuppress };
+  Kind kind = Kind::kWrongSuspicion;
+  ProcessId observer = kInvalidProcess;  // kInvalidProcess = every observer
+  Time begin = 0;
+  Time end = kTimeMax;
+  ProcSet accused;  // kWrongSuspicion only
+};
+
+struct FaultScript {
+  std::vector<CrashInjection> crashes;
+  std::vector<PartitionWindow> partitions;
+  std::vector<SilenceWindow> silences;
+  std::vector<BurstSegment> bursts;
+  std::vector<LieDirective> lies;
+
+  // The shrinker's size metric: total number of scripted injections.
+  std::size_t injection_count() const {
+    return crashes.size() + partitions.size() + silences.size() +
+           bursts.size() + lies.size();
+  }
+  bool empty() const { return injection_count() == 0; }
+
+  // The failure pattern the script encodes.  Multiple injections against the
+  // same victim collapse to the earliest (a process crashes once).  Throws
+  // InvariantViolation if a victim id is outside [0, n).
+  CrashPlan crash_plan(int n) const;
+
+  // True if the script mentions a process id >= n (used by the shrinker's
+  // shrink-n step and by witness validation).
+  bool references_process_at_or_above(ProcessId n) const;
+
+  // One line per injection, parse-back exact (see chaos/witness.h for the
+  // framing used in witness files).
+  std::string format() const;
+  static FaultScript parse(const std::string& text);
+
+  friend bool operator==(const FaultScript&, const FaultScript&) = default;
+};
+
+bool operator==(const CrashInjection&, const CrashInjection&);
+bool operator==(const PartitionWindow&, const PartitionWindow&);
+bool operator==(const SilenceWindow&, const SilenceWindow&);
+bool operator==(const BurstSegment&, const BurstSegment&);
+bool operator==(const LieDirective&, const LieDirective&);
+
+// DropPolicy realizing the script's channel faults on top of a background
+// i.i.d. loss rate.  Stateful (the burst segments carry per-channel Markov
+// chains), hence cloned per simulation via DropPolicy::clone().
+class ScriptDropPolicy final : public DropPolicy {
+ public:
+  ScriptDropPolicy(FaultScript script, double background_drop);
+
+  bool drop(ProcessId from, ProcessId to, const Message& msg, Time now,
+            Rng& rng) override;
+  std::shared_ptr<DropPolicy> clone() const override;
+
+ private:
+  FaultScript script_;
+  double background_drop_;
+  std::vector<bool> burst_bad_;  // per ordered channel, shared by segments
+};
+
+// ---------------------------------------------------------------------------
+// Seed-deterministic random generation, the raw material of the chaos
+// search.  Counts are drawn uniformly in [0, max_*]; windows land in
+// [1, horizon].  Same (options, seed) => same script, bit for bit.
+// ---------------------------------------------------------------------------
+struct ScriptGenOptions {
+  int n = 4;
+  Time horizon = 240;
+  int max_crashes = 2;     // keep <= the failure bound t of the scenario
+  int max_partitions = 2;
+  int max_silences = 2;
+  int max_bursts = 1;
+  int max_lies = 0;        // lies only make sense when a detector is present
+  // Crash times are drawn from [1, horizon * crash_window_frac] — early
+  // crashes are the interesting ones (late crashes land after the protocol
+  // already finished and the grace window excuses them).
+  double crash_window_frac = 0.5;
+};
+
+FaultScript generate_fault_script(const ScriptGenOptions& opts,
+                                  std::uint64_t seed);
+
+}  // namespace udc

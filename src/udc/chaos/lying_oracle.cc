@@ -1,0 +1,48 @@
+#include "udc/chaos/lying_oracle.h"
+
+namespace udc {
+
+LyingOracle::LyingOracle(std::unique_ptr<FdOracle> inner,
+                         std::vector<LieDirective> lies)
+    : inner_(std::move(inner)), lies_(std::move(lies)) {}
+
+void LyingOracle::begin_run(const CrashPlan& plan, std::uint64_t seed) {
+  n_ = plan.n();
+  told_.assign(lies_.size(), ProcSet());
+  if (inner_) inner_->begin_run(plan, seed);
+}
+
+std::optional<Event> LyingOracle::report(ProcessId p, Time now) {
+  // Wrong-suspicion lies take priority over the inner oracle: the fabricated
+  // report must land even if the honest detector had nothing to say.
+  for (std::size_t i = 0; i < lies_.size(); ++i) {
+    const LieDirective& l = lies_[i];
+    if (l.kind != LieDirective::Kind::kWrongSuspicion) continue;
+    if (!matches(l, p, now) || told_[i].contains(p)) continue;
+    told_[i].insert(p);
+    return Event::suspect(l.accused);
+  }
+  if (!inner_) return std::nullopt;
+  std::optional<Event> ev = inner_->report(p, now);
+  if (!ev) return std::nullopt;
+  for (const LieDirective& l : lies_) {
+    if (l.kind == LieDirective::Kind::kSuppress && matches(l, p, now)) {
+      // Swallowed: the inner oracle believes it emitted, so change-driven
+      // detectors never retry — the suppression outlives the window.
+      return std::nullopt;
+    }
+  }
+  return ev;
+}
+
+OracleFactoryFn lying_oracle_factory(OracleFactoryFn inner_factory,
+                                     std::vector<LieDirective> lies) {
+  if (lies.empty()) return inner_factory;
+  return [inner_factory = std::move(inner_factory),
+          lies = std::move(lies)]() -> std::unique_ptr<FdOracle> {
+    return std::make_unique<LyingOracle>(
+        inner_factory ? inner_factory() : nullptr, lies);
+  };
+}
+
+}  // namespace udc

@@ -1,0 +1,62 @@
+// LyingOracle: a failure detector that violates its own advertised class at
+// scripted moments.
+//
+// Oracles construct, checkers verify (fd/oracle.h) — which means the
+// property checkers in fd/properties.h are load-bearing and must themselves
+// be exercised: a checker that silently passes a corrupted detector would
+// let every experiment report "as predicted" on garbage.  LyingOracle wraps
+// any inner oracle and applies the LieDirectives of a FaultScript:
+//
+//   kWrongSuspicion — hijacks the observer's next free report slot inside
+//     the window to announce `accused` as the suspect set.  Accusing a live
+//     process breaks strong accuracy; accusing every correct process breaks
+//     weak accuracy (no correct process is left unsuspected).
+//   kSuppress — swallows reports the inner oracle emits inside the window.
+//     Change-driven oracles believe they emitted and never re-announce, so
+//     a crash reported there stays unreported past the window: strong
+//     completeness breaks for that observer, weak completeness when every
+//     observer is suppressed.
+//
+// The chaos suite asserts that for each perpetual class (P/S/Q/W) the
+// corresponding checker flags the injected lie — no silent pass.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "udc/chaos/fault_script.h"
+#include "udc/fd/oracle.h"
+
+namespace udc {
+
+class LyingOracle final : public FdOracle {
+ public:
+  // `inner` may be null (lies on top of the no-detector context — only
+  // kWrongSuspicion directives can fire then).
+  LyingOracle(std::unique_ptr<FdOracle> inner, std::vector<LieDirective> lies);
+
+  void begin_run(const CrashPlan& plan, std::uint64_t seed) override;
+  std::optional<Event> report(ProcessId p, Time now) override;
+
+ private:
+  bool matches(const LieDirective& l, ProcessId p, Time now) const {
+    return (l.observer == kInvalidProcess || l.observer == p) &&
+           now >= l.begin && now <= l.end;
+  }
+
+  std::unique_ptr<FdOracle> inner_;
+  std::vector<LieDirective> lies_;
+  // told_[i] marks observers that already delivered wrong-suspicion lie i
+  // (one fabricated report per directive per observer).
+  std::vector<ProcSet> told_;
+  int n_ = 0;
+};
+
+// Convenience: wraps `inner_factory` (may be null) so every run of a system
+// generation gets a fresh LyingOracle over a fresh inner oracle.
+using OracleFactoryFn = std::function<std::unique_ptr<FdOracle>()>;
+OracleFactoryFn lying_oracle_factory(OracleFactoryFn inner_factory,
+                                     std::vector<LieDirective> lies);
+
+}  // namespace udc

@@ -1,0 +1,90 @@
+#include "udc/chaos/registry.h"
+
+#include "udc/common/check.h"
+#include "udc/consensus/ct_strong.h"
+#include "udc/consensus/rotating.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/coord/udc_atd.h"
+#include "udc/coord/udc_fip.h"
+#include "udc/coord/udc_generalized.h"
+#include "udc/coord/udc_majority.h"
+#include "udc/coord/udc_reliable.h"
+#include "udc/coord/udc_strongfd.h"
+#include "udc/fd/atd.h"
+#include "udc/fd/generalized.h"
+
+namespace udc {
+
+OracleFactory oracle_factory_by_name(const std::string& name, int t) {
+  if (name == "none") return nullptr;
+  if (name == "perfect") {
+    return [] { return std::make_unique<PerfectOracle>(4); };
+  }
+  if (name == "strong") {
+    return [] { return std::make_unique<StrongOracle>(4, 0.2); };
+  }
+  // The four perpetual Chandra-Toueg classes: P and S above; Q is weak
+  // completeness with NO false suspicions (strong accuracy), W adds them.
+  if (name == "quasi") {
+    return [] { return std::make_unique<WeakOracle>(4, 0.0); };
+  }
+  if (name == "weak") {
+    return [] { return std::make_unique<WeakOracle>(4, 0.2); };
+  }
+  if (name == "impermanent") {
+    return [] { return std::make_unique<ImpermanentStrongOracle>(4); };
+  }
+  if (name == "ev-strong") {
+    return [] { return std::make_unique<EventuallyStrongOracle>(4, 60, 0.3); };
+  }
+  if (name == "ev-weak") {
+    return [] { return std::make_unique<EventuallyWeakOracle>(4, 60, 0.3); };
+  }
+  if (name == "tuseful") {
+    return [t] { return std::make_unique<TUsefulOracle>(t, 4, 1); };
+  }
+  if (name == "trivial") {
+    return [t] { return std::make_unique<TrivialGeneralizedOracle>(t, 2); };
+  }
+  if (name == "atd") return [] { return std::make_unique<AtdOracle>(6); };
+  UDC_CHECK(false, "unknown detector name: " + name);
+}
+
+ProtocolFactory protocol_factory_by_name(const std::string& name, int t) {
+  if (name == "strongfd") {
+    return [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); };
+  }
+  if (name == "fip") {
+    return [](ProcessId) { return std::make_unique<FipUdcProcess>(); };
+  }
+  if (name == "nudc") {
+    return [](ProcessId) { return std::make_unique<NUdcProcess>(); };
+  }
+  if (name == "reliable") {
+    return [](ProcessId) { return std::make_unique<UdcReliableProcess>(); };
+  }
+  if (name == "generalized") {
+    return [t](ProcessId) {
+      return std::make_unique<UdcGeneralizedProcess>(t);
+    };
+  }
+  if (name == "atd") {
+    return [](ProcessId) { return std::make_unique<UdcAtdProcess>(); };
+  }
+  if (name == "majority") {
+    return [](ProcessId) { return std::make_unique<UdcMajorityProcess>(); };
+  }
+  UDC_CHECK(false, "unknown protocol name: " + name);
+}
+
+std::vector<std::string> known_oracle_names() {
+  return {"none",    "perfect", "strong",  "quasi",   "weak",    "impermanent",
+          "ev-strong", "ev-weak", "tuseful", "trivial", "atd"};
+}
+
+std::vector<std::string> known_protocol_names() {
+  return {"strongfd", "fip", "nudc", "reliable", "generalized", "atd",
+          "majority"};
+}
+
+}  // namespace udc

@@ -1,0 +1,27 @@
+// Name-indexed factories for protocols and detectors.
+//
+// Witness files (chaos/witness.h) must be self-contained: a saved violation
+// names its protocol and detector as strings, and replay resolves them back
+// to factories here.  udc_explore and the chaos tools share this registry so
+// one spelling works everywhere.  Unknown names throw InvariantViolation
+// (guarded mains turn that into exit 1 with the name in the message).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+
+// `t` parameterizes the generalized detector/protocol family; detectors
+// that don't use it ignore it.  "none" returns a null OracleFactory (the
+// no-failure-detector context).
+OracleFactory oracle_factory_by_name(const std::string& name, int t);
+ProtocolFactory protocol_factory_by_name(const std::string& name, int t);
+
+// Registered spellings, for usage() messages.
+std::vector<std::string> known_oracle_names();
+std::vector<std::string> known_protocol_names();
+
+}  // namespace udc

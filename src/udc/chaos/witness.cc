@@ -1,0 +1,143 @@
+#include "udc/chaos/witness.h"
+
+#include <sstream>
+
+#include "udc/common/check.h"
+#include "udc/common/parse_num.h"
+#include "udc/event/trace.h"
+
+namespace udc {
+
+namespace {
+
+constexpr const char* kMagic = "udc-witness v1";
+
+std::string expect_field(std::istringstream& in, const std::string& key) {
+  std::string token;
+  UDC_CHECK(static_cast<bool>(in >> token),
+            "witness truncated, wanted " + key);
+  auto eq = token.find('=');
+  UDC_CHECK(eq != std::string::npos && token.substr(0, eq) == key,
+            "witness expected field '" + key + "', got '" + token + "'");
+  return token.substr(eq + 1);
+}
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out << std::hexfloat << v;  // exact round-trip, locale-independent
+  return out.str();
+}
+
+}  // namespace
+
+std::string format_witness(const ChaosWitness& witness, const Run* run) {
+  const ChaosScenario& sc = witness.scenario;
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "scenario protocol=" << sc.protocol << " detector=" << sc.detector
+      << " n=" << sc.n << " t=" << sc.t << " horizon=" << sc.horizon
+      << " grace=" << sc.grace << " drop=" << format_double(sc.drop)
+      << " max_delay=" << sc.max_delay << " seed=" << sc.seed
+      << " actions=" << sc.actions_per_process
+      << " init_start=" << sc.init_start
+      << " init_spacing=" << sc.init_spacing
+      << " spec=" << chaos_spec_name(sc.spec) << '\n';
+  out << "script injections=" << witness.script.injection_count() << '\n';
+  out << witness.script.format();
+  out << "end-script\n";
+  out << "verdict dc1=" << witness.report.dc1 << " dc2=" << witness.report.dc2
+      << " dc3=" << witness.report.dc3 << '\n';
+  out << "trace\n";
+  if (run != nullptr) {
+    out << format_run(*run);
+  } else {
+    ChaosOutcome outcome = run_scenario(sc, witness.script);
+    out << format_run(outcome.run);
+  }
+  out << "end-trace\n";
+  return out.str();
+}
+
+ChaosWitness parse_witness(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  UDC_CHECK(static_cast<bool>(std::getline(lines, line)) && line == kMagic,
+            "not a udc witness file (bad magic)");
+
+  ChaosWitness witness;
+  UDC_CHECK(static_cast<bool>(std::getline(lines, line)), "witness truncated");
+  {
+    std::istringstream in(line);
+    std::string token;
+    in >> token;
+    UDC_CHECK(token == "scenario", "witness expected scenario line");
+    ChaosScenario& sc = witness.scenario;
+    sc.protocol = expect_field(in, "protocol");
+    sc.detector = expect_field(in, "detector");
+    sc.n = parse_int(expect_field(in, "n"), "scenario n");
+    sc.t = parse_int(expect_field(in, "t"), "scenario t");
+    sc.horizon = parse_i64(expect_field(in, "horizon"), "scenario horizon");
+    sc.grace = parse_i64(expect_field(in, "grace"), "scenario grace");
+    sc.drop = parse_f64(expect_field(in, "drop"), "scenario drop");
+    sc.max_delay = parse_int(expect_field(in, "max_delay"), "scenario max_delay");
+    sc.seed = parse_u64(expect_field(in, "seed"), "scenario seed");
+    sc.actions_per_process = parse_int(expect_field(in, "actions"), "scenario actions");
+    sc.init_start = parse_i64(expect_field(in, "init_start"), "scenario init_start");
+    sc.init_spacing = parse_i64(expect_field(in, "init_spacing"), "scenario init_spacing");
+    sc.spec = chaos_spec_by_name(expect_field(in, "spec"));
+  }
+
+  UDC_CHECK(static_cast<bool>(std::getline(lines, line)) &&
+                line.rfind("script", 0) == 0,
+            "witness expected script header");
+  std::string script_text;
+  for (;;) {
+    UDC_CHECK(static_cast<bool>(std::getline(lines, line)),
+              "witness script not terminated");
+    if (line == "end-script") break;
+    script_text += line;
+    script_text += '\n';
+  }
+  witness.script = FaultScript::parse(script_text);
+
+  UDC_CHECK(static_cast<bool>(std::getline(lines, line)), "witness truncated");
+  {
+    std::istringstream in(line);
+    std::string token;
+    in >> token;
+    UDC_CHECK(token == "verdict", "witness expected verdict line");
+    witness.report.dc1 = parse_int(expect_field(in, "dc1"), "verdict dc1") != 0;
+    witness.report.dc2 = parse_int(expect_field(in, "dc2"), "verdict dc2") != 0;
+    witness.report.dc3 = parse_int(expect_field(in, "dc3"), "verdict dc3") != 0;
+  }
+  return witness;
+}
+
+ReplayResult replay_witness(const std::string& text) {
+  ReplayResult result;
+  result.witness = parse_witness(text);
+
+  // Extract the saved trace verbatim (between "trace" and "end-trace").
+  auto trace_begin = text.find("\ntrace\n");
+  UDC_CHECK(trace_begin != std::string::npos, "witness has no trace section");
+  trace_begin += 7;  // past "\ntrace\n"
+  auto trace_end = text.find("end-trace\n", trace_begin);
+  UDC_CHECK(trace_end != std::string::npos, "witness trace not terminated");
+  std::string saved_trace = text.substr(trace_begin, trace_end - trace_begin);
+
+  // Parse-back validates R1-R4 on the saved side before we even re-run.
+  (void)parse_run(saved_trace);
+
+  ChaosOutcome outcome =
+      run_scenario(result.witness.scenario, result.witness.script);
+  result.rechecked = outcome.report;
+  result.violated = !outcome.report.achieved();
+  result.trace_matches = format_run(outcome.run) == saved_trace;
+  result.verdict_matches =
+      outcome.report.dc1 == result.witness.report.dc1 &&
+      outcome.report.dc2 == result.witness.report.dc2 &&
+      outcome.report.dc3 == result.witness.report.dc3;
+  return result;
+}
+
+}  // namespace udc

@@ -1,0 +1,45 @@
+// Violation witnesses: self-contained text artifacts that replay
+// bit-identically.
+//
+// A witness file carries the scenario (protocol/detector by registry name,
+// the context knobs, the seed), the fault script, the spec verdict the
+// search observed, and the full event trace of the violating run (via the
+// trace.h parse-back format).  replay_witness() re-runs the scenario from
+// scratch and demands (a) the regenerated trace equals the saved one byte
+// for byte — runs are pure functions of (config, plan, workload, protocol),
+// so any drift means the codebase changed semantics — and (b) the
+// re-checked spec verdict matches the saved one.  The checked-in fixtures
+// under tests/fixtures/ pin the known † cells of Table 1 this way.
+#pragma once
+
+#include <string>
+
+#include "udc/chaos/chaos_engine.h"
+
+namespace udc {
+
+// Serializes witness + its violating run (regenerated if `run` is null).
+std::string format_witness(const ChaosWitness& witness, const Run* run = nullptr);
+
+struct ReplayResult {
+  bool trace_matches = false;    // regenerated trace == saved trace
+  bool verdict_matches = false;  // re-checked dc1/dc2/dc3 == saved verdict
+  bool violated = false;         // the re-checked spec is violated
+  ChaosWitness witness;          // the parsed scenario/script/saved verdict
+  CoordReport rechecked;
+
+  // A witness "reproduces" when the regenerated run and verdict are exactly
+  // the saved ones and the spec still fails.
+  bool reproduced() const {
+    return trace_matches && verdict_matches && violated;
+  }
+};
+
+// Parses and re-executes a witness file.  Throws InvariantViolation on
+// malformed input; replay divergence is reported in the result, not thrown.
+ReplayResult replay_witness(const std::string& text);
+
+// Parse only (no re-execution) — used by tools that want the scenario.
+ChaosWitness parse_witness(const std::string& text);
+
+}  // namespace udc

@@ -1,0 +1,80 @@
+// Resource budgets for long-running constructions (graceful degradation).
+//
+// System generation and model checking are the two places udckit can run
+// effectively unbounded: an exhaustive crash-plan sweep is exponential in n,
+// and the checker's memo tables grow with formulas × points.  A Budget is a
+// resource envelope threaded through those paths; when it trips, the caller
+// gets a structured kBudgetExceeded partial result instead of an OOM kill or
+// an unbounded wall-clock stall.
+//
+// Two kinds of caps coexist:
+//   * deterministic caps (max_points, max_runs, max_memo_bytes) — what tests
+//     pin down, since the trip point is a pure function of the workload;
+//   * a wall-clock deadline (steady clock) — what tools and CI jobs use.
+// Zero / unset means unlimited.  Budgets are checked BETWEEN units of work
+// (between runs, between root points), so the overshoot is bounded by one
+// unit — one simulated run or one point's formula evaluation.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace udc {
+
+enum class BudgetStatus { kComplete, kBudgetExceeded };
+
+inline const char* budget_status_name(BudgetStatus s) {
+  return s == BudgetStatus::kComplete ? "complete" : "budget-exceeded";
+}
+
+class Budget {
+ public:
+  Budget() = default;
+  static Budget unlimited() { return Budget(); }
+
+  Budget& with_deadline(std::chrono::milliseconds from_now) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() + from_now;
+    return *this;
+  }
+  Budget& with_max_memo_bytes(std::size_t bytes) {
+    max_memo_bytes_ = bytes;
+    return *this;
+  }
+  Budget& with_max_points(std::size_t points) {
+    max_points_ = points;
+    return *this;
+  }
+  Budget& with_max_runs(std::size_t runs) {
+    max_runs_ = runs;
+    return *this;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool deadline_expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+  // 0 = unlimited, for all three caps.
+  std::size_t max_memo_bytes() const { return max_memo_bytes_; }
+  std::size_t max_points() const { return max_points_; }
+  std::size_t max_runs() const { return max_runs_; }
+
+  bool points_exhausted(std::size_t points_done) const {
+    return max_points_ != 0 && points_done >= max_points_;
+  }
+  bool runs_exhausted(std::size_t runs_done) const {
+    return max_runs_ != 0 && runs_done >= max_runs_;
+  }
+  bool memory_exhausted(std::size_t bytes_in_use) const {
+    return max_memo_bytes_ != 0 && bytes_in_use > max_memo_bytes_;
+  }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::size_t max_memo_bytes_ = 0;
+  std::size_t max_points_ = 0;
+  std::size_t max_runs_ = 0;
+};
+
+}  // namespace udc

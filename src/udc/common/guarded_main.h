@@ -1,0 +1,31 @@
+// Shared main() guard for every binary entry point (bench harnesses, tools).
+//
+// udckit reports internal contract breaches by throwing InvariantViolation
+// (common/check.h).  A bench or tool that lets one escape dies in
+// std::terminate with no context; guarded_main converts it — and any other
+// exception, e.g. std::stoi on a malformed flag value — into a one-line
+// diagnostic on stderr and exit code 1, so CI logs show the failed invariant
+// instead of a core dump.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+template <typename Body>
+int guarded_main(const char* binary, Body&& body) {
+  try {
+    return body();
+  } catch (const InvariantViolation& e) {
+    std::fprintf(stderr, "%s: invariant violation: %s\n", binary, e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", binary, e.what());
+    return 1;
+  }
+}
+
+}  // namespace udc

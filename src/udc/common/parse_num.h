@@ -1,0 +1,58 @@
+// Checked numeric parsing for the text round-trip layers (fault scripts,
+// witness files): the std::sto* family throws std::invalid_argument /
+// std::out_of_range, but udckit's contract is that malformed persisted input
+// surfaces as InvariantViolation with a message naming the offending text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+namespace detail {
+template <typename T, typename F>
+T checked_parse(const std::string& text, const char* what, F&& convert) {
+  try {
+    std::size_t used = 0;
+    T value = convert(text, &used);
+    UDC_CHECK(used == text.size(),
+              std::string("trailing junk in ") + what + ": '" + text + "'");
+    return value;
+  } catch (const InvariantViolation&) {
+    throw;
+  } catch (const std::exception&) {
+    UDC_CHECK(false, std::string("malformed ") + what + ": '" + text + "'");
+  }
+}
+}  // namespace detail
+
+inline int parse_int(const std::string& text, const char* what) {
+  return detail::checked_parse<int>(
+      text, what,
+      [](const std::string& s, std::size_t* used) { return std::stoi(s, used); });
+}
+
+inline long long parse_i64(const std::string& text, const char* what) {
+  return detail::checked_parse<long long>(
+      text, what, [](const std::string& s, std::size_t* used) {
+        return std::stoll(s, used);
+      });
+}
+
+inline std::uint64_t parse_u64(const std::string& text, const char* what) {
+  return detail::checked_parse<std::uint64_t>(
+      text, what, [](const std::string& s, std::size_t* used) {
+        return std::stoull(s, used);
+      });
+}
+
+inline double parse_f64(const std::string& text, const char* what) {
+  return detail::checked_parse<double>(
+      text, what, [](const std::string& s, std::size_t* used) {
+        return std::stod(s, used);
+      });
+}
+
+}  // namespace udc

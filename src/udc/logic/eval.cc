@@ -51,6 +51,36 @@ std::optional<Point> ModelChecker::find_counterexample(const FormulaPtr& f) {
   return witness;
 }
 
+BudgetedVerdict ModelChecker::valid_budgeted(const FormulaPtr& f,
+                                             const Budget& budget) {
+  UDC_CHECK(f != nullptr, "null formula");
+  const std::uint32_t fid = intern(f);
+  BudgetedVerdict verdict;
+  // Deadline syscalls are amortized: the clock is consulted once per stride.
+  constexpr std::size_t kDeadlineStride = 256;
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    const Run& r = sys_.run(i);
+    for (Time m = 0; m <= r.horizon(); ++m) {
+      if (budget.points_exhausted(verdict.points_checked) ||
+          budget.memory_exhausted(cache_bytes()) ||
+          (verdict.points_checked % kDeadlineStride == 0 &&
+           budget.deadline_expired())) {
+        verdict.status = BudgetStatus::kBudgetExceeded;
+        return verdict;
+      }
+      const Point at{i, m};
+      ++verdict.points_checked;
+      if (!eval(at, fid)) {
+        verdict.valid = false;
+        verdict.counterexample = at;
+        return verdict;
+      }
+    }
+  }
+  verdict.valid = true;
+  return verdict;
+}
+
 bool ModelChecker::valid_parallel(const FormulaPtr& f, unsigned parallelism) {
   return !find_counterexample_parallel(f, parallelism).has_value();
 }

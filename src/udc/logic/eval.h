@@ -33,10 +33,26 @@
 #include <unordered_map>
 #include <vector>
 
+#include "udc/common/budget.h"
 #include "udc/event/system.h"
 #include "udc/logic/formula.h"
 
 namespace udc {
+
+// Partial verdict from a budgeted validity check (graceful degradation):
+// instead of OOM-ing on a formula whose memo tables outgrow memory or
+// stalling past a deadline, the checker stops between root points and
+// reports how far it got.
+struct BudgetedVerdict {
+  BudgetStatus status = BudgetStatus::kComplete;
+  // Set when the verdict is decided: false as soon as a counterexample is
+  // found (even under a tripped budget — a witness is a witness), true only
+  // when every point was checked.  Unset iff the budget tripped first.
+  std::optional<bool> valid;
+  std::optional<Point> counterexample;
+  // Root points evaluated before returning.
+  std::size_t points_checked = 0;
+};
 
 class ModelChecker {
  public:
@@ -61,6 +77,14 @@ class ModelChecker {
   bool valid_parallel(const FormulaPtr& f, unsigned parallelism = 0);
   std::optional<Point> find_counterexample_parallel(const FormulaPtr& f,
                                                     unsigned parallelism = 0);
+
+  // Budgeted validity: scans root points in the serial order and stops with
+  // kBudgetExceeded once the budget trips (deadline, max_points, or
+  // max_memo_bytes over this checker's cache_bytes()).  Budgets are checked
+  // BETWEEN root points, so memory overshoot is bounded by one point's
+  // evaluation (deep temporal/epistemic fills included).  With an unlimited
+  // budget this is exactly valid()/find_counterexample().
+  BudgetedVerdict valid_budgeted(const FormulaPtr& f, const Budget& budget);
 
   // Number of memo slots actually filled with a verdict (each point decided
   // at most once per formula).  Always equals cache_entries_recount().

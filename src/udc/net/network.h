@@ -37,6 +37,11 @@ class DropPolicy {
   virtual ~DropPolicy() = default;
   virtual bool drop(ProcessId from, ProcessId to, const Message& msg, Time now,
                     Rng& rng) = 0;
+  // A fresh instance with the same configuration but pristine internal
+  // state.  ChannelConfig::make_policy clones per simulation, so a stateful
+  // policy (Gilbert-Elliott chains, scripted faults) cannot bleed state
+  // across the runs of a seed sweep.
+  virtual std::shared_ptr<DropPolicy> clone() const = 0;
 };
 
 class IidDropPolicy final : public DropPolicy {
@@ -44,6 +49,9 @@ class IidDropPolicy final : public DropPolicy {
   explicit IidDropPolicy(double drop_prob) : drop_prob_(drop_prob) {}
   bool drop(ProcessId, ProcessId, const Message&, Time, Rng& rng) override {
     return drop_prob_ > 0 && rng.chance(drop_prob_);
+  }
+  std::shared_ptr<DropPolicy> clone() const override {
+    return std::make_shared<IidDropPolicy>(drop_prob_);
   }
 
  private:
@@ -68,6 +76,9 @@ class PerLinkDropPolicy final : public DropPolicy {
     auto it = rates_.find(key(from, to));
     double p = it == rates_.end() ? default_drop_ : it->second;
     return p > 0 && rng.chance(p);
+  }
+  std::shared_ptr<DropPolicy> clone() const override {
+    return std::make_shared<PerLinkDropPolicy>(*this);
   }
 
  private:
@@ -99,6 +110,10 @@ class GilbertElliottPolicy final : public DropPolicy {
     bad_[key] = was_bad ? !rng.chance(p_bg_) : rng.chance(p_gb_);
     return was_bad;
   }
+  // Fresh Markov state: every ordered channel starts Good again.
+  std::shared_ptr<DropPolicy> clone() const override {
+    return std::make_shared<GilbertElliottPolicy>(p_gb_, p_bg_);
+  }
 
  private:
   double p_gb_;
@@ -125,6 +140,9 @@ class PartitionDropPolicy final : public DropPolicy {
       return true;
     }
     return background_drop_ > 0 && rng.chance(background_drop_);
+  }
+  std::shared_ptr<DropPolicy> clone() const override {
+    return std::make_shared<PartitionDropPolicy>(*this);
   }
 
  private:

@@ -13,18 +13,29 @@ std::optional<CrashPlan> crash_after(const SimConfig& config,
                                      const OracleFactory& oracle_factory,
                                      const ProtocolFactory& protocol,
                                      ProcessId victim, Time delay,
-                                     Pred&& pred) {
+                                     const CrashPlan& base, Pred&& pred) {
   std::unique_ptr<FdOracle> oracle;
   if (oracle_factory) oracle = oracle_factory();
-  SimResult recon = simulate(config, no_crashes(config.n), oracle.get(),
-                             workload, protocol);
+  SimResult recon = simulate(config, base, oracle.get(), workload, protocol);
   auto at = recon.run.first_event_time(victim, pred);
   if (!at) return std::nullopt;
+  const Time strike = *at + delay;
+  // The base schedule beat the adversary to it: adding a strike at or after
+  // the victim's scheduled death changes nothing.
+  if (base.is_faulty(victim) && *base.crash_time(victim) <= strike) {
+    return std::nullopt;
+  }
   // NOTE: the strike is exact only insofar as the crash does not perturb
   // events BEFORE it — which it cannot: the prefix up to the crash tick is
   // identical by determinism (the plan only differs from the recon run at
   // the crash itself).
-  return make_crash_plan(config.n, {{victim, *at + delay}});
+  std::vector<std::pair<ProcessId, Time>> crashes{{victim, strike}};
+  for (ProcessId p = 0; p < config.n; ++p) {
+    if (p != victim && base.is_faulty(p)) {
+      crashes.emplace_back(p, *base.crash_time(p));
+    }
+  }
+  return make_crash_plan(config.n, std::move(crashes));
 }
 
 }  // namespace
@@ -33,15 +44,31 @@ std::optional<CrashPlan> crash_after_first_do(
     const SimConfig& config, std::span<const InitDirective> workload,
     const OracleFactory& oracle, const ProtocolFactory& protocol,
     ProcessId victim, Time delay) {
-  return crash_after(config, workload, oracle, protocol, victim, delay,
-                     [](const Event& e) { return e.kind == EventKind::kDo; });
+  return crash_after_first_do(config, workload, oracle, protocol, victim,
+                              delay, no_crashes(config.n));
 }
 
 std::optional<CrashPlan> crash_after_first_send(
     const SimConfig& config, std::span<const InitDirective> workload,
     const OracleFactory& oracle, const ProtocolFactory& protocol,
     ProcessId victim, Time delay) {
-  return crash_after(config, workload, oracle, protocol, victim, delay,
+  return crash_after_first_send(config, workload, oracle, protocol, victim,
+                                delay, no_crashes(config.n));
+}
+
+std::optional<CrashPlan> crash_after_first_do(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay, const CrashPlan& base) {
+  return crash_after(config, workload, oracle, protocol, victim, delay, base,
+                     [](const Event& e) { return e.kind == EventKind::kDo; });
+}
+
+std::optional<CrashPlan> crash_after_first_send(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay, const CrashPlan& base) {
+  return crash_after(config, workload, oracle, protocol, victim, delay, base,
                      [](const Event& e) { return e.kind == EventKind::kSend; });
 }
 

@@ -35,4 +35,22 @@ std::optional<CrashPlan> crash_after_first_send(
     const OracleFactory& oracle, const ProtocolFactory& protocol,
     ProcessId victim, Time delay = 1);
 
+// Reconnaissance against an explicit base schedule: the recon run executes
+// `base` as-is (other processes may already be crashing), and the result is
+// `base` with the victim's strike added.  nullopt when there is nothing to
+// add: the victim never acts in the base run (in particular when `base`
+// crashes it before it could), or `base` already kills the victim at or
+// before the strike time.  A strike past the horizon is allowed — the plan
+// names a crash the finite run never reaches, so the victim stays correct
+// (callers probing "does the threat alone change anything" rely on that).
+std::optional<CrashPlan> crash_after_first_do(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay, const CrashPlan& base);
+
+std::optional<CrashPlan> crash_after_first_send(
+    const SimConfig& config, std::span<const InitDirective> workload,
+    const OracleFactory& oracle, const ProtocolFactory& protocol,
+    ProcessId victim, Time delay, const CrashPlan& base);
+
 }  // namespace udc

@@ -23,8 +23,13 @@ struct ChannelConfig {
   // is the point of the impossibility experiments.
   std::shared_ptr<DropPolicy> custom_policy;
 
+  // Every simulation gets its OWN policy instance: custom_policy is cloned,
+  // never handed out.  A stateful adversarial policy (Gilbert-Elliott
+  // chains, scripted fault windows) shared across a seed sweep would carry
+  // Markov state from one run into the next, making runs depend on sweep
+  // order instead of being pure functions of (config, plan, workload).
   std::shared_ptr<DropPolicy> make_policy() const {
-    if (custom_policy) return custom_policy;
+    if (custom_policy) return custom_policy->clone();
     return std::make_shared<IidDropPolicy>(drop_prob);
   }
   bool reliable() const { return custom_policy == nullptr && drop_prob == 0.0; }

@@ -73,6 +73,45 @@ System generate_system_multi(const SimConfig& base,
   return System(std::move(runs));
 }
 
+BudgetedSystem generate_system_budgeted(const SimConfig& base,
+                                        std::span<const CrashPlan> plans,
+                                        std::span<const InitDirective> workload,
+                                        const OracleFactory& oracle_factory,
+                                        const ProtocolFactory& protocol_factory,
+                                        int seeds_per_plan,
+                                        const Budget& budget) {
+  UDC_CHECK(!plans.empty(), "need at least one crash plan");
+  UDC_CHECK(seeds_per_plan >= 1, "need at least one seed per plan");
+  BudgetedSystem out;
+  std::vector<Run> runs;
+  runs.reserve(plans.size() * static_cast<std::size_t>(seeds_per_plan));
+  std::uint64_t seed = base.seed;
+  for (const CrashPlan& plan : plans) {
+    for (int s = 0; s < seeds_per_plan; ++s, ++seed) {
+      // Checked between runs: the overshoot is at most one simulation.
+      if (budget.runs_exhausted(out.runs_completed) ||
+          budget.deadline_expired()) {
+        out.status = BudgetStatus::kBudgetExceeded;
+        if (!runs.empty()) out.system.emplace(std::move(runs));
+        return out;
+      }
+      SimConfig config = base;
+      config.seed = seed;
+      std::unique_ptr<FdOracle> oracle;
+      if (oracle_factory) oracle = oracle_factory();
+      SimResult result = simulate(config, plan, oracle.get(), workload,
+                                  protocol_factory);
+      out.stats.runs++;
+      out.stats.messages_sent += result.messages_sent;
+      out.stats.messages_dropped += result.messages_dropped;
+      out.runs_completed++;
+      runs.push_back(std::move(result.run));
+    }
+  }
+  out.system.emplace(std::move(runs));
+  return out;
+}
+
 System generate_system_parallel(const SimConfig& base,
                                 std::span<const CrashPlan> plans,
                                 std::span<const InitDirective> workload,

@@ -10,9 +10,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "udc/common/budget.h"
 #include "udc/event/system.h"
 #include "udc/fd/oracle.h"
 #include "udc/sim/context.h"
@@ -69,5 +71,26 @@ System generate_system_parallel(const SimConfig& base,
                                 const ProtocolFactory& protocol_factory,
                                 int seeds_per_plan, unsigned threads = 0,
                                 SystemStats* stats = nullptr);
+
+// Budget-bounded generation (graceful degradation): the (plan, seed) sweep
+// stops as soon as the budget trips — deadline or max_runs — and the runs
+// completed so far become the (partial) system.  The partial system's runs
+// are exactly the first runs_completed runs the unbudgeted sweep would have
+// produced, so downstream checkers see a prefix, never a mutation.  The
+// system is nullopt only when the budget tripped before the first run.
+struct BudgetedSystem {
+  std::optional<System> system;
+  BudgetStatus status = BudgetStatus::kComplete;
+  std::size_t runs_completed = 0;
+  SystemStats stats;
+};
+
+BudgetedSystem generate_system_budgeted(const SimConfig& base,
+                                        std::span<const CrashPlan> plans,
+                                        std::span<const InitDirective> workload,
+                                        const OracleFactory& oracle_factory,
+                                        const ProtocolFactory& protocol_factory,
+                                        int seeds_per_plan,
+                                        const Budget& budget);
 
 }  // namespace udc

@@ -7,6 +7,7 @@
 #include "udc/coord/action.h"
 #include "udc/coord/nudc_protocol.h"
 #include "udc/coord/spec.h"
+#include "udc/event/trace.h"
 #include "udc/net/network.h"
 #include "udc/sim/crash_schedule.h"
 #include "udc/sim/simulator.h"
@@ -85,6 +86,78 @@ TEST(Adversary, SendStrikeHitsBetweenSendAndRelay) {
     if (e.kind == EventKind::kSend) ++sends;
   }
   EXPECT_EQ(sends, 1);
+}
+
+TEST(Adversary, StrikePastHorizonLeavesVictimCorrect) {
+  // A delay that pushes the strike beyond the horizon produces a plan whose
+  // crash the finite run never reaches: the victim stays correct and the
+  // run equals the unattacked one.
+  SimConfig cfg = base_config();
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto protocol = [](ProcessId) { return std::make_unique<NUdcProcess>(); };
+  auto plan = crash_after_first_do(cfg, workload, nullptr, protocol, 0,
+                                   cfg.horizon + 100);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->is_faulty(0));
+  EXPECT_GT(*plan->crash_time(0), cfg.horizon);
+  SimResult attacked = simulate(cfg, *plan, nullptr, workload, protocol);
+  SimResult untouched =
+      simulate(cfg, no_crashes(kN), nullptr, workload, protocol);
+  EXPECT_FALSE(attacked.run.is_faulty(0));
+  EXPECT_EQ(format_run(attacked.run), format_run(untouched.run));
+}
+
+TEST(Adversary, NoStrikeWhenBaseScheduleKillsTheVictimFirst) {
+  // The base schedule crashes the victim before its init ever fires, so the
+  // reconnaissance run contains no do event to strike after.
+  SimConfig cfg = base_config();
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto protocol = [](ProcessId) { return std::make_unique<NUdcProcess>(); };
+  CrashPlan base = make_crash_plan(kN, {{0, 2}});
+  EXPECT_FALSE(crash_after_first_do(cfg, workload, nullptr, protocol, 0, 1,
+                                    base)
+                   .has_value());
+  EXPECT_FALSE(crash_after_first_send(cfg, workload, nullptr, protocol, 0, 1,
+                                      base)
+                   .has_value());
+}
+
+TEST(Adversary, NoStrikeWhenBaseScheduleBeatsTheStrikeTime) {
+  // The victim acts, but the base schedule already kills it at or before
+  // the would-be strike: nothing for the adversary to add.
+  SimConfig cfg = base_config();
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto protocol = [](ProcessId) { return std::make_unique<NUdcProcess>(); };
+  auto recon = crash_after_first_do(cfg, workload, nullptr, protocol, 0, 0);
+  ASSERT_TRUE(recon.has_value());
+  const Time m_do = *recon->crash_time(0);  // delay 0 => the do time itself
+  CrashPlan base = make_crash_plan(kN, {{0, m_do + 1}});
+  EXPECT_FALSE(crash_after_first_do(cfg, workload, nullptr, protocol, 0, 1,
+                                    base)
+                   .has_value());
+  // A later base crash IS preempted: the strike replaces it.
+  CrashPlan late = make_crash_plan(kN, {{0, m_do + 50}});
+  auto plan = crash_after_first_do(cfg, workload, nullptr, protocol, 0, 1,
+                                   late);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->crash_time(0), std::optional<Time>(m_do + 1));
+}
+
+TEST(Adversary, BaseScheduleCrashesOfOthersArePreserved) {
+  // Other victims of the base schedule ride along into the returned plan,
+  // and the reconnaissance observes THEIR crashes too: p1 dying early slows
+  // nothing for p0's own do, but must appear in the final plan.
+  SimConfig cfg = base_config();
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto protocol = [](ProcessId) { return std::make_unique<NUdcProcess>(); };
+  CrashPlan base = make_crash_plan(kN, {{1, 30}});
+  auto plan = crash_after_first_do(cfg, workload, nullptr, protocol, 0, 1,
+                                   base);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->is_faulty(0));
+  EXPECT_EQ(plan->crash_time(1), std::optional<Time>(30));
+  EXPECT_FALSE(plan->is_faulty(2));
+  EXPECT_FALSE(plan->is_faulty(3));
 }
 
 TEST(PerLinkPolicy, OnlyTheConfiguredLinkIsLossy) {

@@ -1,0 +1,192 @@
+// Budgeted graceful degradation: resource envelopes (common/budget.h), the
+// budget-bounded system generator, and the budget-bounded model checker.
+// Deterministic caps are the load-bearing assertions; the wall-clock
+// deadline is only exercised at its two trivial extremes (already expired /
+// far away) to keep the suite timing-independent.
+#include "udc/common/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/coord/action.h"
+#include "udc/coord/nudc_protocol.h"
+#include "udc/event/trace.h"
+#include "udc/logic/eval.h"
+#include "udc/logic/formula.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+TEST(Budget, UnlimitedByDefault) {
+  Budget b = Budget::unlimited();
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_FALSE(b.deadline_expired());
+  EXPECT_FALSE(b.points_exhausted(1'000'000));
+  EXPECT_FALSE(b.runs_exhausted(1'000'000));
+  EXPECT_FALSE(b.memory_exhausted(1'000'000'000));
+}
+
+TEST(Budget, DeterministicCapsTripExactlyAtTheCap) {
+  Budget b;
+  b.with_max_points(10).with_max_runs(3).with_max_memo_bytes(64);
+  EXPECT_FALSE(b.points_exhausted(9));
+  EXPECT_TRUE(b.points_exhausted(10));
+  EXPECT_FALSE(b.runs_exhausted(2));
+  EXPECT_TRUE(b.runs_exhausted(3));
+  EXPECT_FALSE(b.memory_exhausted(64));  // at the cap is still allowed
+  EXPECT_TRUE(b.memory_exhausted(65));
+}
+
+TEST(Budget, DeadlineExtremes) {
+  Budget expired;
+  expired.with_deadline(std::chrono::milliseconds(0));
+  EXPECT_TRUE(expired.deadline_expired());
+  Budget distant;
+  distant.with_deadline(std::chrono::hours(1));
+  EXPECT_FALSE(distant.deadline_expired());
+}
+
+// --- generate_system_budgeted ---------------------------------------------
+
+struct Sweep {
+  SimConfig cfg;
+  std::vector<CrashPlan> plans;
+  std::vector<InitDirective> workload;
+  ProtocolFactory protocol;
+};
+
+Sweep small_sweep() {
+  Sweep s;
+  s.cfg.n = 3;
+  s.cfg.horizon = 60;
+  s.cfg.channel.drop_prob = 0.2;
+  s.plans = all_crash_plans_up_to(3, 1, 5, 10);  // 4 plans
+  s.workload = {{5, 0, make_action(0, 0)}};
+  s.protocol = [](ProcessId) { return std::make_unique<NUdcProcess>(); };
+  return s;
+}
+
+TEST(GenerateSystemBudgeted, UnlimitedBudgetEqualsTheUnbudgetedSweep) {
+  Sweep s = small_sweep();
+  System full = generate_system(s.cfg, s.plans, s.workload, nullptr,
+                                s.protocol, 2);
+  BudgetedSystem b = generate_system_budgeted(s.cfg, s.plans, s.workload,
+                                              nullptr, s.protocol, 2,
+                                              Budget::unlimited());
+  EXPECT_EQ(b.status, BudgetStatus::kComplete);
+  ASSERT_TRUE(b.system.has_value());
+  ASSERT_EQ(b.system->size(), full.size());
+  EXPECT_EQ(b.runs_completed, full.size());
+  EXPECT_EQ(b.stats.runs, full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(format_run(b.system->run(i)), format_run(full.run(i)));
+  }
+}
+
+TEST(GenerateSystemBudgeted, MaxRunsYieldsTheExactPrefix) {
+  Sweep s = small_sweep();
+  System full = generate_system(s.cfg, s.plans, s.workload, nullptr,
+                                s.protocol, 2);  // 8 runs
+  Budget budget;
+  budget.with_max_runs(3);
+  BudgetedSystem b = generate_system_budgeted(s.cfg, s.plans, s.workload,
+                                              nullptr, s.protocol, 2, budget);
+  EXPECT_EQ(b.status, BudgetStatus::kBudgetExceeded);
+  EXPECT_EQ(b.runs_completed, 3u);
+  ASSERT_TRUE(b.system.has_value());
+  ASSERT_EQ(b.system->size(), 3u);
+  // The partial system is a PREFIX of the full sweep, never a mutation.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(format_run(b.system->run(i)), format_run(full.run(i)));
+  }
+}
+
+TEST(GenerateSystemBudgeted, TrippedBeforeFirstRunMeansNoSystem) {
+  Sweep s = small_sweep();
+  Budget budget;
+  budget.with_deadline(std::chrono::milliseconds(0));
+  BudgetedSystem b = generate_system_budgeted(s.cfg, s.plans, s.workload,
+                                              nullptr, s.protocol, 2, budget);
+  EXPECT_EQ(b.status, BudgetStatus::kBudgetExceeded);
+  EXPECT_EQ(b.runs_completed, 0u);
+  EXPECT_FALSE(b.system.has_value());
+  EXPECT_EQ(b.stats.runs, 0u);
+}
+
+// --- ModelChecker::valid_budgeted -----------------------------------------
+
+System tiny_system() {
+  Sweep s = small_sweep();
+  s.cfg.channel.drop_prob = 0.0;
+  std::vector<CrashPlan> plans{no_crashes(3)};
+  return generate_system(s.cfg, plans, s.workload, nullptr, s.protocol, 2);
+}
+
+TEST(ValidBudgeted, UnlimitedBudgetDecidesLikeValid) {
+  System sys = tiny_system();
+  ModelChecker mc(sys);
+  FormulaPtr tautology = f_not(f_crash(0));  // nobody crashes in tiny_system
+  BudgetedVerdict v = mc.valid_budgeted(tautology, Budget::unlimited());
+  EXPECT_EQ(v.status, BudgetStatus::kComplete);
+  ASSERT_TRUE(v.valid.has_value());
+  EXPECT_TRUE(*v.valid);
+  EXPECT_FALSE(v.counterexample.has_value());
+  EXPECT_EQ(v.points_checked, sys.total_points());
+  EXPECT_TRUE(mc.valid(tautology));
+}
+
+TEST(ValidBudgeted, CounterexampleDecidesEvenUnderATightBudget) {
+  System sys = tiny_system();
+  ModelChecker mc(sys);
+  // crash(0) is false at the very first point, so one evaluation suffices.
+  Budget budget;
+  budget.with_max_points(1);
+  BudgetedVerdict v = mc.valid_budgeted(f_crash(0), budget);
+  EXPECT_EQ(v.status, BudgetStatus::kComplete);
+  ASSERT_TRUE(v.valid.has_value());
+  EXPECT_FALSE(*v.valid);
+  ASSERT_TRUE(v.counterexample.has_value());
+  EXPECT_EQ(v.counterexample->run, 0u);
+  EXPECT_EQ(v.counterexample->m, 0);
+  EXPECT_EQ(v.points_checked, 1u);
+}
+
+TEST(ValidBudgeted, PointCapReturnsPartialVerdict) {
+  System sys = tiny_system();
+  ModelChecker mc(sys);
+  Budget budget;
+  budget.with_max_points(5);
+  BudgetedVerdict v = mc.valid_budgeted(f_not(f_crash(0)), budget);
+  EXPECT_EQ(v.status, BudgetStatus::kBudgetExceeded);
+  EXPECT_FALSE(v.valid.has_value());
+  EXPECT_FALSE(v.counterexample.has_value());
+  EXPECT_EQ(v.points_checked, 5u);
+}
+
+TEST(ValidBudgeted, MemoryCapTripsOnceTheCacheOutgrowsIt) {
+  System sys = tiny_system();
+  ModelChecker mc(sys);
+  Budget budget;
+  budget.with_max_memo_bytes(1);  // the first filled table already exceeds 1
+  BudgetedVerdict v = mc.valid_budgeted(f_not(f_crash(0)), budget);
+  EXPECT_EQ(v.status, BudgetStatus::kBudgetExceeded);
+  EXPECT_FALSE(v.valid.has_value());
+  // The overshoot is bounded by one point's evaluation.
+  EXPECT_EQ(v.points_checked, 1u);
+  EXPECT_GT(mc.cache_bytes(), 1u);
+}
+
+TEST(ValidBudgeted, ExpiredDeadlineStopsAtTheFirstStride) {
+  System sys = tiny_system();
+  ModelChecker mc(sys);
+  Budget budget;
+  budget.with_deadline(std::chrono::milliseconds(0));
+  BudgetedVerdict v = mc.valid_budgeted(f_not(f_crash(0)), budget);
+  EXPECT_EQ(v.status, BudgetStatus::kBudgetExceeded);
+  EXPECT_FALSE(v.valid.has_value());
+  EXPECT_EQ(v.points_checked, 0u);  // the stride check fires at point 0
+}
+
+}  // namespace
+}  // namespace udc

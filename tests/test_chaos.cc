@@ -1,0 +1,449 @@
+// The chaos engine end to end: fault-script data model, the script-driven
+// channel, lying oracles vs the FD property checkers, the search driver, the
+// witness shrinker, and bit-identical witness replay — plus the
+// DropPolicy::clone regression (per-run policy isolation) the whole engine
+// depends on.
+#include "udc/chaos/chaos_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/chaos/fault_script.h"
+#include "udc/chaos/lying_oracle.h"
+#include "udc/chaos/registry.h"
+#include "udc/chaos/witness.h"
+#include "udc/common/check.h"
+#include "udc/coord/action.h"
+#include "udc/event/trace.h"
+#include "udc/sim/crash_schedule.h"
+#include "udc/sim/simulator.h"
+#include "udc/sim/system_factory.h"
+
+namespace udc {
+namespace {
+
+FaultScript sample_script() {
+  FaultScript s;
+  s.crashes.push_back({2, 50});
+  s.partitions.push_back({ProcSet::singleton(0), ProcSet::full(4), 40, 90});
+  s.partitions.push_back(
+      {ProcSet::singleton(1), ProcSet::singleton(3), 10, kTimeMax});
+  s.silences.push_back({1, 2, 30, 60});
+  s.bursts.push_back({20, 120, 0.25, 0.4});
+  LieDirective lie;
+  lie.kind = LieDirective::Kind::kWrongSuspicion;
+  lie.observer = 1;
+  lie.begin = 15;
+  lie.end = 95;
+  lie.accused = ProcSet::singleton(3);
+  s.lies.push_back(lie);
+  LieDirective gag;
+  gag.kind = LieDirective::Kind::kSuppress;
+  gag.begin = 5;
+  gag.end = 200;
+  s.lies.push_back(gag);
+  return s;
+}
+
+TEST(FaultScript, FormatParseRoundTrip) {
+  FaultScript s = sample_script();
+  EXPECT_EQ(s.injection_count(), 7u);
+  FaultScript back = FaultScript::parse(s.format());
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(back.format(), s.format());
+}
+
+TEST(FaultScript, ParseRejectsGarbage) {
+  EXPECT_THROW(FaultScript::parse("crash victim=banana"), InvariantViolation);
+  EXPECT_THROW(FaultScript::parse("meteor strike at=9"), InvariantViolation);
+}
+
+TEST(FaultScript, CrashPlanCollapsesDuplicateVictimsToEarliest) {
+  FaultScript s;
+  s.crashes.push_back({2, 50});
+  s.crashes.push_back({2, 30});
+  s.crashes.push_back({1, 40});
+  CrashPlan plan = s.crash_plan(4);
+  EXPECT_EQ(plan.crash_time(2), std::optional<Time>(30));
+  EXPECT_EQ(plan.crash_time(1), std::optional<Time>(40));
+  EXPECT_FALSE(plan.is_faulty(0));
+  // Out-of-range victims are an invariant violation, not UB.
+  FaultScript bad;
+  bad.crashes.push_back({7, 10});
+  EXPECT_THROW(bad.crash_plan(4), InvariantViolation);
+}
+
+TEST(FaultScript, ReferencesProcessAtOrAbove) {
+  FaultScript s = sample_script();
+  EXPECT_TRUE(s.references_process_at_or_above(3));   // full(4) includes p3
+  EXPECT_FALSE(s.references_process_at_or_above(4));  // highest mention is p3
+  EXPECT_FALSE(FaultScript{}.references_process_at_or_above(2));
+}
+
+TEST(FaultScript, GenerationIsSeedDeterministic) {
+  ScriptGenOptions opts;
+  opts.n = 5;
+  opts.horizon = 200;
+  opts.max_lies = 2;
+  FaultScript a = generate_fault_script(opts, 42);
+  FaultScript b = generate_fault_script(opts, 42);
+  EXPECT_EQ(a, b);
+  // Generated scripts never mention processes outside the group.
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    FaultScript s = generate_fault_script(opts, seed);
+    EXPECT_FALSE(s.references_process_at_or_above(opts.n)) << "seed " << seed;
+    FaultScript round = FaultScript::parse(s.format());
+    EXPECT_EQ(round, s) << "seed " << seed;
+  }
+}
+
+// --- the script-driven channel --------------------------------------------
+
+TEST(ScriptDropPolicy, EmptyScriptMatchesStockIidChannel) {
+  // An unscripted chaos scenario must regenerate the stock channel's runs
+  // bit for bit — the replay guarantee hinges on it.
+  ChaosScenario sc;
+  sc.protocol = "nudc";
+  sc.detector = "none";
+  sc.n = 4;
+  sc.t = 1;
+  sc.drop = 0.3;
+  ChaosOutcome scripted = run_scenario(sc, FaultScript{});
+
+  SimConfig cfg;
+  cfg.n = sc.n;
+  cfg.horizon = sc.horizon;
+  cfg.seed = sc.seed;
+  cfg.channel.max_delay = sc.max_delay;
+  cfg.channel.drop_prob = sc.drop;  // plain IidDropPolicy
+  auto workload = make_workload(sc.n, sc.actions_per_process, sc.init_start,
+                                sc.init_spacing);
+  SimResult stock = simulate(cfg, no_crashes(sc.n), nullptr, workload,
+                             protocol_factory_by_name(sc.protocol, sc.t));
+  EXPECT_EQ(format_run(scripted.run), format_run(stock.run));
+}
+
+TEST(ScriptDropPolicy, PartitionAndSilenceWindowsDropExactly) {
+  FaultScript s;
+  s.partitions.push_back(
+      {ProcSet::singleton(0), ProcSet::singleton(1), 10, 20});
+  s.silences.push_back({2, 3, 50, 60});
+  ScriptDropPolicy policy(s, 0.0);
+  Rng rng(7);
+  Message m;
+  m.kind = MsgKind::kApp;
+  EXPECT_FALSE(policy.drop(0, 1, m, 9, rng));   // before the partition
+  EXPECT_TRUE(policy.drop(0, 1, m, 10, rng));   // inside [10, 20)
+  EXPECT_TRUE(policy.drop(0, 1, m, 19, rng));
+  EXPECT_FALSE(policy.drop(0, 1, m, 20, rng));  // healed
+  EXPECT_FALSE(policy.drop(1, 0, m, 15, rng));  // reverse direction untouched
+  EXPECT_TRUE(policy.drop(2, 3, m, 50, rng));   // silence [50, 60]
+  EXPECT_TRUE(policy.drop(2, 3, m, 60, rng));
+  EXPECT_FALSE(policy.drop(2, 3, m, 61, rng));
+  EXPECT_FALSE(policy.drop(3, 2, m, 55, rng));
+}
+
+TEST(DropPolicyClone, StatefulPolicyDoesNotBleedAcrossSimulations) {
+  // Regression for ChannelConfig::make_policy handing the SAME custom_policy
+  // instance to every simulation: a Gilbert-Elliott policy carries Markov
+  // state, so the second run of an identical config used to start in
+  // whatever state the first run left behind.
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 120;
+  cfg.channel.custom_policy = std::make_shared<GilbertElliottPolicy>(0.3, 0.3);
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto protocol = protocol_factory_by_name("nudc", 1);
+  SimResult first = simulate(cfg, no_crashes(3), nullptr, workload, protocol);
+  SimResult second = simulate(cfg, no_crashes(3), nullptr, workload, protocol);
+  EXPECT_EQ(format_run(first.run), format_run(second.run));
+}
+
+TEST(DropPolicyClone, SweepRunsEqualStandaloneRuns) {
+  // Each run of a seed sweep must be a pure function of (config, plan, seed)
+  // — i.e. identical to the same-seed standalone simulation.
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.horizon = 120;
+  cfg.channel.custom_policy = std::make_shared<GilbertElliottPolicy>(0.3, 0.3);
+  std::vector<InitDirective> workload{{5, 0, make_action(0, 0)}};
+  auto protocol = protocol_factory_by_name("nudc", 1);
+  std::vector<CrashPlan> plans{no_crashes(3), no_crashes(3)};
+  System sys = generate_system(cfg, plans, workload, nullptr, protocol, 1);
+  ASSERT_EQ(sys.size(), 2u);
+  SimConfig second = cfg;
+  second.seed = cfg.seed + 1;
+  SimResult alone = simulate(second, no_crashes(3), nullptr, workload,
+                             protocol);
+  EXPECT_EQ(format_run(sys.run(1)), format_run(alone.run));
+}
+
+TEST(DropPolicyClone, CloneIsAFreshInstance) {
+  auto ge = std::make_shared<GilbertElliottPolicy>(0.5, 0.5);
+  auto clone = ge->clone();
+  EXPECT_NE(clone.get(), ge.get());
+  auto iid = std::make_shared<IidDropPolicy>(0.1);
+  EXPECT_NE(iid->clone().get(), iid.get());
+  auto link = std::make_shared<PerLinkDropPolicy>(0.0);
+  link->set(0, 1, 1.0);
+  auto link_clone = link->clone();
+  Rng rng(1);
+  Message m;
+  m.kind = MsgKind::kApp;
+  EXPECT_TRUE(link_clone->drop(0, 1, m, 1, rng));  // copies the rate matrix
+  EXPECT_FALSE(link_clone->drop(1, 0, m, 1, rng));
+}
+
+// --- lying oracles vs the property checkers --------------------------------
+//
+// Acceptance bar: for EVERY perpetual class (P/S/Q/W) an injected lie must
+// be flagged by check_fd_properties — the clean run certifies the class, the
+// lying run fails the advertised property.
+
+ChaosScenario fd_scenario(const std::string& detector) {
+  ChaosScenario sc;
+  sc.protocol = "reliable";
+  sc.detector = detector;
+  sc.n = 4;
+  sc.t = 1;
+  sc.horizon = 240;
+  sc.grace = 80;
+  return sc;
+}
+
+FaultScript crash_only() {
+  FaultScript s;
+  s.crashes.push_back({3, 30});  // binding: 30 <= horizon - grace
+  return s;
+}
+
+LieDirective accuse(ProcSet who) {
+  LieDirective lie;
+  lie.kind = LieDirective::Kind::kWrongSuspicion;
+  lie.begin = 100;
+  lie.end = 200;
+  lie.accused = who;
+  return lie;
+}
+
+LieDirective suppress_all() {
+  LieDirective lie;
+  lie.kind = LieDirective::Kind::kSuppress;
+  lie.begin = 1;
+  lie.end = kTimeMax;
+  return lie;
+}
+
+TEST(LyingOracle, WrongSuspicionBreaksStrongAccuracyOfP) {
+  ChaosScenario sc = fd_scenario("perfect");
+  ChaosOutcome clean = run_scenario(sc, crash_only());
+  ASSERT_TRUE(clean.fd_report.perfect()) << clean.fd_report.summary();
+
+  FaultScript lying = crash_only();
+  lying.lies.push_back(accuse(ProcSet::singleton(1)));  // p1 is alive
+  ChaosOutcome bad = run_scenario(sc, lying);
+  EXPECT_FALSE(bad.fd_report.strong_accuracy) << bad.fd_report.summary();
+}
+
+TEST(LyingOracle, AccusingEveryCorrectProcessBreaksWeakAccuracyOfS) {
+  ChaosScenario sc = fd_scenario("strong");
+  ChaosOutcome clean = run_scenario(sc, crash_only());
+  ASSERT_TRUE(clean.fd_report.strong()) << clean.fd_report.summary();
+
+  FaultScript lying = crash_only();
+  ProcSet correct;
+  correct.insert(0);
+  correct.insert(1);
+  correct.insert(2);
+  lying.lies.push_back(accuse(correct));
+  ChaosOutcome bad = run_scenario(sc, lying);
+  EXPECT_FALSE(bad.fd_report.weak_accuracy) << bad.fd_report.summary();
+}
+
+TEST(LyingOracle, WrongSuspicionBreaksStrongAccuracyOfQ) {
+  // Q = weak completeness + strong accuracy ("quasi" in the registry).
+  ChaosScenario sc = fd_scenario("quasi");
+  ChaosOutcome clean = run_scenario(sc, crash_only());
+  ASSERT_TRUE(clean.fd_report.strong_accuracy) << clean.fd_report.summary();
+  ASSERT_TRUE(clean.fd_report.weak_completeness) << clean.fd_report.summary();
+
+  FaultScript lying = crash_only();
+  lying.lies.push_back(accuse(ProcSet::singleton(2)));
+  ChaosOutcome bad = run_scenario(sc, lying);
+  EXPECT_FALSE(bad.fd_report.strong_accuracy) << bad.fd_report.summary();
+}
+
+TEST(LyingOracle, AccusingEveryCorrectProcessBreaksWeakAccuracyOfW) {
+  ChaosScenario sc = fd_scenario("weak");
+  ChaosOutcome clean = run_scenario(sc, crash_only());
+  ASSERT_TRUE(clean.fd_report.weak()) << clean.fd_report.summary();
+
+  FaultScript lying = crash_only();
+  ProcSet correct;
+  correct.insert(0);
+  correct.insert(1);
+  correct.insert(2);
+  lying.lies.push_back(accuse(correct));
+  ChaosOutcome bad = run_scenario(sc, lying);
+  EXPECT_FALSE(bad.fd_report.weak_accuracy) << bad.fd_report.summary();
+}
+
+TEST(LyingOracle, SuppressionBreaksStrongCompletenessOfP) {
+  ChaosScenario sc = fd_scenario("perfect");
+  FaultScript gagged = crash_only();
+  gagged.lies.push_back(suppress_all());
+  ChaosOutcome bad = run_scenario(sc, gagged);
+  EXPECT_FALSE(bad.fd_report.strong_completeness) << bad.fd_report.summary();
+}
+
+TEST(LyingOracle, SuppressingEveryObserverBreaksWeakCompletenessOfW) {
+  ChaosScenario sc = fd_scenario("weak");
+  FaultScript gagged = crash_only();
+  gagged.lies.push_back(suppress_all());
+  ChaosOutcome bad = run_scenario(sc, gagged);
+  EXPECT_FALSE(bad.fd_report.weak_completeness) << bad.fd_report.summary();
+}
+
+// --- search, shrink, replay ------------------------------------------------
+
+TEST(ChaosSearch, RunScenarioIsDeterministic) {
+  ChaosScenario sc;
+  sc.protocol = "majority";
+  sc.n = 5;
+  sc.t = 2;
+  sc.drop = 0.3;
+  FaultScript script = generate_fault_script({.n = 5, .horizon = 240}, 9);
+  ChaosOutcome a = run_scenario(sc, script);
+  ChaosOutcome b = run_scenario(sc, script);
+  EXPECT_EQ(format_run(a.run), format_run(b.run));
+  EXPECT_EQ(a.report.dc1, b.report.dc1);
+  EXPECT_EQ(a.report.dc2, b.report.dc2);
+  EXPECT_EQ(a.report.dc3, b.report.dc3);
+}
+
+// One acceptance-bar search per † cell: the violation must come out of
+// GENERATED scripts, the shrunk witness must be strictly smaller, its replay
+// must still violate, and the serialized form must reproduce bit-identically.
+void expect_cell_rediscovered(const ChaosScenario& scenario) {
+  ChaosSearchOptions opts;
+  opts.iterations = 64;
+  ChaosSearchResult found = search_violation(scenario, opts);
+  ASSERT_TRUE(found.witness.has_value())
+      << "no violation in " << found.iterations_run << " generated scripts";
+
+  ChaosWitness shrunk = shrink_witness(*found.witness);
+  // Strictly smaller: fewer injections, or a shorter horizon, or fewer
+  // processes.
+  const bool smaller =
+      shrunk.script.injection_count() < found.witness->script.injection_count() ||
+      shrunk.scenario.horizon < found.witness->scenario.horizon ||
+      shrunk.scenario.n < found.witness->scenario.n;
+  EXPECT_TRUE(smaller) << "shrinker made no progress on "
+                       << found.witness->script.injection_count()
+                       << " injections";
+  EXPECT_LE(shrunk.script.injection_count(),
+            found.witness->script.injection_count());
+
+  // The shrunk witness still violates, and replays bit-identically through
+  // the serialized form.
+  ChaosOutcome re = run_scenario(shrunk.scenario, shrunk.script);
+  EXPECT_TRUE(re.violated);
+  ReplayResult replay = replay_witness(format_witness(shrunk));
+  EXPECT_TRUE(replay.trace_matches);
+  EXPECT_TRUE(replay.verdict_matches);
+  EXPECT_TRUE(replay.violated);
+  EXPECT_TRUE(replay.reproduced());
+}
+
+TEST(ChaosSearch, RediscoversMajorityDaggerCell) {
+  // Table 1, n/2 <= t < n-1 over unreliable channels: majority echo without
+  // a detector ("t-useful necessary").
+  ChaosScenario sc;
+  sc.protocol = "majority";
+  sc.detector = "none";
+  sc.n = 5;
+  sc.t = 3;
+  sc.drop = 0.3;
+  expect_cell_rediscovered(sc);
+}
+
+TEST(ChaosSearch, RediscoversStrongFdDaggerCell) {
+  // Table 1, t >= n-1 over unreliable channels: the strong-FD broadcast
+  // stripped of its detector ("Perfect necessary").
+  ChaosScenario sc;
+  sc.protocol = "strongfd";
+  sc.detector = "none";
+  sc.n = 4;
+  sc.t = 3;
+  sc.drop = 0.3;
+  expect_cell_rediscovered(sc);
+}
+
+TEST(ChaosSearch, NoFalseAlarmOnAHealthyCell) {
+  // Inside the possibility region (t < n/2, no script crashes beyond t, low
+  // chaos) the search should come up dry — the engine finds real violations,
+  // not noise.
+  ChaosScenario sc;
+  sc.protocol = "reliable";
+  sc.detector = "none";
+  sc.n = 4;
+  sc.t = 1;
+  sc.drop = 0.0;
+  ChaosSearchOptions opts;
+  opts.iterations = 8;
+  opts.gen.max_partitions = 0;  // partitions may violate fairness R5, which
+  opts.gen.max_silences = 0;    // the possibility direction assumes
+  opts.gen.max_bursts = 0;
+  ChaosSearchResult r = search_violation(sc, opts);
+  EXPECT_FALSE(r.witness.has_value());
+  EXPECT_EQ(r.iterations_run, 8);
+  EXPECT_EQ(r.status, BudgetStatus::kComplete);
+}
+
+TEST(ChaosSearch, BudgetBoundsTheSearch) {
+  ChaosScenario sc;
+  sc.protocol = "reliable";
+  sc.detector = "none";
+  sc.n = 4;
+  sc.t = 1;
+  ChaosSearchOptions opts;
+  opts.iterations = 50;
+  opts.gen.max_partitions = 0;
+  opts.gen.max_silences = 0;
+  opts.gen.max_bursts = 0;
+  opts.budget.with_max_runs(3);
+  ChaosSearchResult r = search_violation(sc, opts);
+  EXPECT_FALSE(r.witness.has_value());
+  EXPECT_EQ(r.iterations_run, 3);
+  EXPECT_EQ(r.status, BudgetStatus::kBudgetExceeded);
+}
+
+TEST(Witness, ParseRejectsCorruptInput) {
+  EXPECT_THROW(replay_witness("not a witness"), InvariantViolation);
+  EXPECT_THROW(parse_witness("udc-witness v1\nscenario protocol=majority"),
+               InvariantViolation);
+}
+
+TEST(Witness, FormatParseRoundTripsScenarioAndScript) {
+  ChaosWitness w;
+  w.scenario.protocol = "majority";
+  w.scenario.detector = "none";
+  w.scenario.n = 5;
+  w.scenario.t = 2;
+  w.scenario.drop = 0.3;
+  w.scenario.spec = ChaosScenario::Spec::kNudc;
+  w.script = sample_script();
+  ChaosOutcome outcome = run_scenario(w.scenario, w.script);
+  w.report = outcome.report;
+  ChaosWitness back = parse_witness(format_witness(w, &outcome.run));
+  EXPECT_EQ(back.scenario.protocol, w.scenario.protocol);
+  EXPECT_EQ(back.scenario.n, w.scenario.n);
+  EXPECT_EQ(back.scenario.drop, w.scenario.drop);  // hexfloat exactness
+  EXPECT_EQ(back.scenario.spec, w.scenario.spec);
+  EXPECT_EQ(back.script, w.script);
+  EXPECT_EQ(back.report.dc1, w.report.dc1);
+  EXPECT_EQ(back.report.dc2, w.report.dc2);
+  EXPECT_EQ(back.report.dc3, w.report.dc3);
+}
+
+}  // namespace
+}  // namespace udc

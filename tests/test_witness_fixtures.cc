@@ -1,0 +1,53 @@
+// Checked-in minimized violation witnesses for known † (necessity) cells of
+// Table 1, produced by the chaos search + shrinker (tools/udc_chaos) and
+// pinned here: replay must regenerate each violating run bit for bit and
+// re-derive the same failing verdict.  A diff in either means the simulator
+// or checker semantics changed — exactly what these fixtures exist to catch.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "udc/chaos/witness.h"
+
+namespace udc {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(UDC_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void expect_reproduces(const std::string& name) {
+  ReplayResult r = replay_witness(read_fixture(name));
+  EXPECT_TRUE(r.trace_matches) << name << ": regenerated trace diverged";
+  EXPECT_TRUE(r.verdict_matches) << name << ": spec verdict changed";
+  EXPECT_TRUE(r.violated) << name << ": spec no longer violated";
+  EXPECT_TRUE(r.reproduced());
+}
+
+// n/2 <= t < n-1, unreliable channels, no detector: the majority-echo
+// protocol's † cell ("t-useful necessary").
+TEST(WitnessFixtures, MajorityUnreliableDaggerCell) {
+  expect_reproduces("majority_tuseful_dagger.witness");
+  ReplayResult r = replay_witness(read_fixture("majority_tuseful_dagger.witness"));
+  EXPECT_EQ(r.witness.scenario.protocol, "majority");
+  EXPECT_EQ(r.witness.scenario.detector, "none");
+}
+
+// t >= n-1, unreliable channels: the strong-FD broadcast without its
+// detector ("Perfect necessary").
+TEST(WitnessFixtures, StrongFdNoDetectorDaggerCell) {
+  expect_reproduces("strongfd_perfect_dagger.witness");
+  ReplayResult r = replay_witness(read_fixture("strongfd_perfect_dagger.witness"));
+  EXPECT_EQ(r.witness.scenario.protocol, "strongfd");
+  EXPECT_EQ(r.witness.scenario.detector, "none");
+}
+
+}  // namespace
+}  // namespace udc

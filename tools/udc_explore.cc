@@ -12,21 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
 
+#include "udc/chaos/registry.h"
+#include "udc/common/guarded_main.h"
 #include "udc/coord/metrics.h"
-#include "udc/coord/nudc_protocol.h"
 #include "udc/coord/spec.h"
-#include "udc/coord/udc_fip.h"
-#include "udc/coord/udc_generalized.h"
-#include "udc/coord/udc_reliable.h"
-#include "udc/coord/udc_atd.h"
-#include "udc/coord/udc_majority.h"
-#include "udc/coord/udc_strongfd.h"
 #include "udc/event/trace.h"
-#include "udc/fd/generalized.h"
-#include "udc/fd/atd.h"
 #include "udc/fd/lattice.h"
 #include "udc/fd/quality.h"
 #include "udc/kt/kbp.h"
@@ -69,8 +61,8 @@ struct Options {
       "  --t=<int>             failure bound for generalized mode\n"
       "  --actions=<int>       actions initiated per process (default 1)\n"
       "  --crash=<p@t,...>     crash plan (default: none)\n"
-      "  --detector=perfect|strong|weak|impermanent|ev-strong|ev-weak|\n"
-      "             tuseful|trivial|atd|none    (default strong)\n"
+      "  --detector=perfect|strong|quasi|weak|impermanent|ev-strong|\n"
+      "             ev-weak|tuseful|trivial|atd|none    (default strong)\n"
       "  --protocol=strongfd|fip|nudc|reliable|generalized|atd|majority\n"
       "  --channel=iid|burst   (burst = Gilbert-Elliott correlated loss)\n"
       "  --trace               print the event trace\n"
@@ -154,68 +146,10 @@ CrashPlan parse_crash(const Options& o) {
   return make_crash_plan(o.n, std::move(crashes));
 }
 
-OracleFactory make_oracle(const Options& o) {
-  const std::string& d = o.detector;
-  int t = o.t;
-  if (d == "perfect") return [] { return std::make_unique<PerfectOracle>(4); };
-  if (d == "strong") {
-    return [] { return std::make_unique<StrongOracle>(4, 0.2); };
-  }
-  if (d == "weak") return [] { return std::make_unique<WeakOracle>(4, 0.2); };
-  if (d == "impermanent") {
-    return [] { return std::make_unique<ImpermanentStrongOracle>(4); };
-  }
-  if (d == "ev-strong") {
-    return [] { return std::make_unique<EventuallyStrongOracle>(4, 60, 0.3); };
-  }
-  if (d == "ev-weak") {
-    return [] { return std::make_unique<EventuallyWeakOracle>(4, 60, 0.3); };
-  }
-  if (d == "tuseful") {
-    return [t] { return std::make_unique<TUsefulOracle>(t, 4, 1); };
-  }
-  if (d == "trivial") {
-    return [t] { return std::make_unique<TrivialGeneralizedOracle>(t, 2); };
-  }
-  if (d == "atd") return [] { return std::make_unique<AtdOracle>(6); };
-  if (d == "none") return nullptr;
-  std::fprintf(stderr, "unknown detector: %s\n", d.c_str());
-  usage();
-}
-
-ProtocolFactory make_protocol(const Options& o) {
-  const std::string& p = o.protocol;
-  int t = o.t;
-  if (p == "strongfd") {
-    return [](ProcessId) { return std::make_unique<UdcStrongFdProcess>(); };
-  }
-  if (p == "fip") {
-    return [](ProcessId) { return std::make_unique<FipUdcProcess>(); };
-  }
-  if (p == "nudc") {
-    return [](ProcessId) { return std::make_unique<NUdcProcess>(); };
-  }
-  if (p == "reliable") {
-    return [](ProcessId) { return std::make_unique<UdcReliableProcess>(); };
-  }
-  if (p == "generalized") {
-    return [t](ProcessId) {
-      return std::make_unique<UdcGeneralizedProcess>(t);
-    };
-  }
-  if (p == "atd") {
-    return [](ProcessId) { return std::make_unique<UdcAtdProcess>(); };
-  }
-  if (p == "majority") {
-    return [](ProcessId) { return std::make_unique<UdcMajorityProcess>(); };
-  }
-  std::fprintf(stderr, "unknown protocol: %s\n", p.c_str());
-  usage();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  return udc::guarded_main("udc_explore", [&] {
   Options o = parse(argc, argv);
   SimConfig cfg;
   cfg.n = o.n;
@@ -230,8 +164,10 @@ int main(int argc, char** argv) {
   auto workload = make_workload(o.n, o.actions, 5, 7);
   auto actions = workload_actions(workload);
   CrashPlan plan = parse_crash(o);
-  OracleFactory oracle_factory = make_oracle(o);
-  ProtocolFactory protocol = make_protocol(o);
+  // Shared with the chaos tools: unknown names throw InvariantViolation,
+  // which guarded_main turns into exit 1 with the name in the message.
+  OracleFactory oracle_factory = oracle_factory_by_name(o.detector, o.t);
+  ProtocolFactory protocol = protocol_factory_by_name(o.protocol, o.t);
 
   std::unique_ptr<FdOracle> oracle;
   if (oracle_factory) oracle = oracle_factory();
@@ -353,4 +289,5 @@ int main(int argc, char** argv) {
     }
   }
   return udc.achieved() ? 0 : 1;
+  });
 }

@@ -1,0 +1,57 @@
+// udc_replay — re-execute a violation witness file bit-identically.
+//
+// Reads a witness produced by udc_chaos (or tests/fixtures/*.witness),
+// regenerates the run from the recorded scenario + fault script, and checks
+// that (a) the regenerated event trace equals the saved one byte for byte,
+// (b) the re-checked spec verdict matches the saved one, and (c) the spec is
+// still violated.  Exit 0 iff all three hold — so a green udc_replay over
+// the checked-in fixtures certifies that today's simulator still produces
+// yesterday's counterexamples.
+//
+//   build/tools/udc_replay tests/fixtures/majority_unreliable.witness
+//   build/tools/udc_chaos --out=w.witness && build/tools/udc_replay w.witness
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "udc/chaos/witness.h"
+#include "udc/common/guarded_main.h"
+
+namespace {
+
+std::string slurp(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  UDC_CHECK(in.good(), std::string("cannot open witness file: ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return udc::guarded_main("udc_replay", [&] {
+    if (argc != 2 || argv[1][0] == '\0' ||
+        std::string(argv[1]) == "--help") {
+      std::fprintf(stderr, "usage: udc_replay <witness-file>\n");
+      return 2;
+    }
+    udc::ReplayResult r = udc::replay_witness(slurp(argv[1]));
+    const udc::ChaosScenario& sc = r.witness.scenario;
+    std::printf("witness: protocol=%s detector=%s n=%d t=%d horizon=%lld "
+                "spec=%s injections=%zu\n",
+                sc.protocol.c_str(), sc.detector.c_str(), sc.n, sc.t,
+                static_cast<long long>(sc.horizon),
+                udc::chaos_spec_name(sc.spec),
+                r.witness.script.injection_count());
+    std::printf("trace:    %s\n", r.trace_matches ? "IDENTICAL" : "DIVERGED");
+    std::printf("verdict:  %s (dc1=%d dc2=%d dc3=%d)\n",
+                r.verdict_matches ? "MATCHES" : "CHANGED", r.rechecked.dc1,
+                r.rechecked.dc2, r.rechecked.dc3);
+    std::printf("spec:     %s\n", r.violated ? "VIOLATED" : "achieved");
+    std::printf("replay:   %s\n",
+                r.reproduced() ? "REPRODUCED" : "NOT REPRODUCED");
+    return r.reproduced() ? 0 : 1;
+  });
+}
