@@ -10,15 +10,36 @@ namespace udc {
 
 namespace {
 
-constexpr const char* kMagic = "udc-witness v1";
+constexpr const char* kMagicPrefix = "udc-witness v";
+
+// Parse-path failures are the *file's* fault, not udckit's: they throw the
+// typed WitnessFormatError so tools can exit 2 with a one-line diagnostic.
+void format_check(bool cond, const std::string& msg) {
+  if (!cond) throw WitnessFormatError("malformed witness: " + msg);
+}
+
+// The magic line doubles as the schema gate: any parsable version other
+// than kWitnessFormatVersion is rejected by name, so a future v2 witness
+// fails loudly on a v1 reader instead of being misread field by field.
+void check_magic(const std::string& line) {
+  format_check(line.rfind(kMagicPrefix, 0) == 0,
+               "not a udc witness file (bad magic)");
+  const std::string version = line.substr(std::string(kMagicPrefix).size());
+  format_check(!version.empty() &&
+                   version.find_first_not_of("0123456789") == std::string::npos,
+               "bad version in magic line '" + line + "'");
+  format_check(std::stoi(version) == kWitnessFormatVersion,
+               "unsupported witness version v" + version + " (this build reads v" +
+                   std::to_string(kWitnessFormatVersion) + ")");
+}
 
 std::string expect_field(std::istringstream& in, const std::string& key) {
   std::string token;
-  UDC_CHECK(static_cast<bool>(in >> token),
-            "witness truncated, wanted " + key);
+  format_check(static_cast<bool>(in >> token),
+               "witness truncated, wanted " + key);
   auto eq = token.find('=');
-  UDC_CHECK(eq != std::string::npos && token.substr(0, eq) == key,
-            "witness expected field '" + key + "', got '" + token + "'");
+  format_check(eq != std::string::npos && token.substr(0, eq) == key,
+               "witness expected field '" + key + "', got '" + token + "'");
   return token.substr(eq + 1);
 }
 
@@ -33,7 +54,7 @@ std::string format_double(double v) {
 std::string format_witness(const ChaosWitness& witness, const Run* run) {
   const ChaosScenario& sc = witness.scenario;
   std::ostringstream out;
-  out << kMagic << '\n';
+  out << kMagicPrefix << kWitnessFormatVersion << '\n';
   out << "scenario protocol=" << sc.protocol << " detector=" << sc.detector
       << " n=" << sc.n << " t=" << sc.t << " horizon=" << sc.horizon
       << " grace=" << sc.grace << " drop=" << format_double(sc.drop)
@@ -58,19 +79,23 @@ std::string format_witness(const ChaosWitness& witness, const Run* run) {
   return out.str();
 }
 
-ChaosWitness parse_witness(const std::string& text) {
+namespace {
+
+ChaosWitness parse_witness_impl(const std::string& text) {
   std::istringstream lines(text);
   std::string line;
-  UDC_CHECK(static_cast<bool>(std::getline(lines, line)) && line == kMagic,
-            "not a udc witness file (bad magic)");
+  format_check(static_cast<bool>(std::getline(lines, line)),
+               "empty witness file");
+  check_magic(line);
 
   ChaosWitness witness;
-  UDC_CHECK(static_cast<bool>(std::getline(lines, line)), "witness truncated");
+  format_check(static_cast<bool>(std::getline(lines, line)),
+               "witness truncated");
   {
     std::istringstream in(line);
     std::string token;
     in >> token;
-    UDC_CHECK(token == "scenario", "witness expected scenario line");
+    format_check(token == "scenario", "witness expected scenario line");
     ChaosScenario& sc = witness.scenario;
     sc.protocol = expect_field(in, "protocol");
     sc.detector = expect_field(in, "detector");
@@ -87,25 +112,26 @@ ChaosWitness parse_witness(const std::string& text) {
     sc.spec = chaos_spec_by_name(expect_field(in, "spec"));
   }
 
-  UDC_CHECK(static_cast<bool>(std::getline(lines, line)) &&
-                line.rfind("script", 0) == 0,
-            "witness expected script header");
+  format_check(static_cast<bool>(std::getline(lines, line)) &&
+                   line.rfind("script", 0) == 0,
+               "witness expected script header");
   std::string script_text;
   for (;;) {
-    UDC_CHECK(static_cast<bool>(std::getline(lines, line)),
-              "witness script not terminated");
+    format_check(static_cast<bool>(std::getline(lines, line)),
+                 "witness script not terminated");
     if (line == "end-script") break;
     script_text += line;
     script_text += '\n';
   }
   witness.script = FaultScript::parse(script_text);
 
-  UDC_CHECK(static_cast<bool>(std::getline(lines, line)), "witness truncated");
+  format_check(static_cast<bool>(std::getline(lines, line)),
+               "witness truncated");
   {
     std::istringstream in(line);
     std::string token;
     in >> token;
-    UDC_CHECK(token == "verdict", "witness expected verdict line");
+    format_check(token == "verdict", "witness expected verdict line");
     witness.report.dc1 = parse_int(expect_field(in, "dc1"), "verdict dc1") != 0;
     witness.report.dc2 = parse_int(expect_field(in, "dc2"), "verdict dc2") != 0;
     witness.report.dc3 = parse_int(expect_field(in, "dc3"), "verdict dc3") != 0;
@@ -113,20 +139,48 @@ ChaosWitness parse_witness(const std::string& text) {
   return witness;
 }
 
+// Extracts the saved trace verbatim (between "trace" and "end-trace") and
+// validates it as a run — R1-R4 on the saved side, before any re-run.
+std::string extract_saved_trace(const std::string& text) {
+  auto trace_begin = text.find("\ntrace\n");
+  format_check(trace_begin != std::string::npos,
+               "witness has no trace section");
+  trace_begin += 7;  // past "\ntrace\n"
+  auto trace_end = text.find("end-trace\n", trace_begin);
+  format_check(trace_end != std::string::npos,
+               "witness trace not terminated");
+  std::string saved_trace = text.substr(trace_begin, trace_end - trace_begin);
+  (void)parse_run(saved_trace);
+  return saved_trace;
+}
+
+}  // namespace
+
+ChaosWitness parse_witness(const std::string& text) {
+  // Sub-parsers (scenario numbers, the script block, the trace block) signal
+  // trouble as InvariantViolation; from here their failure is the input
+  // file's fault, so it surfaces as the typed format error.
+  try {
+    return parse_witness_impl(text);
+  } catch (const WitnessFormatError&) {
+    throw;
+  } catch (const InvariantViolation& e) {
+    throw WitnessFormatError(std::string("malformed witness: ") + e.what());
+  }
+}
+
 ReplayResult replay_witness(const std::string& text) {
   ReplayResult result;
   result.witness = parse_witness(text);
 
-  // Extract the saved trace verbatim (between "trace" and "end-trace").
-  auto trace_begin = text.find("\ntrace\n");
-  UDC_CHECK(trace_begin != std::string::npos, "witness has no trace section");
-  trace_begin += 7;  // past "\ntrace\n"
-  auto trace_end = text.find("end-trace\n", trace_begin);
-  UDC_CHECK(trace_end != std::string::npos, "witness trace not terminated");
-  std::string saved_trace = text.substr(trace_begin, trace_end - trace_begin);
-
-  // Parse-back validates R1-R4 on the saved side before we even re-run.
-  (void)parse_run(saved_trace);
+  std::string saved_trace;
+  try {
+    saved_trace = extract_saved_trace(text);
+  } catch (const WitnessFormatError&) {
+    throw;
+  } catch (const InvariantViolation& e) {
+    throw WitnessFormatError(std::string("malformed witness: ") + e.what());
+  }
 
   ChaosOutcome outcome =
       run_scenario(result.witness.scenario, result.witness.script);

@@ -15,8 +15,26 @@
 #include <string>
 
 #include "udc/chaos/chaos_engine.h"
+#include "udc/common/check.h"
 
 namespace udc {
+
+// The on-disk schema version this build reads and writes.  The version is
+// part of the magic line ("udc-witness v1"); parse_witness refuses any other
+// version outright — a witness is a bit-exactness contract, and guessing at
+// an unknown schema would replace a hard failure with a silent wrong answer.
+// Bump only with a migration story for the checked-in fixtures.
+inline constexpr int kWitnessFormatVersion = 1;
+
+// Malformed or version-incompatible witness input.  Distinct from plain
+// InvariantViolation so tools can separate "your input file is bad" (exit 2,
+// like a usage error) from "udckit broke an internal contract" (exit 1).
+// Derives from it so existing catch sites keep rejecting bad witnesses.
+class WitnessFormatError : public InvariantViolation {
+ public:
+  explicit WitnessFormatError(const std::string& what)
+      : InvariantViolation(what) {}
+};
 
 // Serializes witness + its violating run (regenerated if `run` is null).
 std::string format_witness(const ChaosWitness& witness, const Run* run = nullptr);
@@ -35,11 +53,13 @@ struct ReplayResult {
   }
 };
 
-// Parses and re-executes a witness file.  Throws InvariantViolation on
-// malformed input; replay divergence is reported in the result, not thrown.
+// Parses and re-executes a witness file.  Throws WitnessFormatError on
+// malformed or unknown-version input; replay divergence is reported in the
+// result, not thrown.
 ReplayResult replay_witness(const std::string& text);
 
 // Parse only (no re-execution) — used by tools that want the scenario.
+// Throws WitnessFormatError on malformed or unknown-version input.
 ChaosWitness parse_witness(const std::string& text);
 
 }  // namespace udc

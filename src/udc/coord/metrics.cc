@@ -1,6 +1,7 @@
 #include "udc/coord/metrics.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace udc {
 
@@ -66,6 +67,34 @@ Time last_send_time(const Run& r) {
     }
   }
   return last;
+}
+
+void RuntimeCounters::merge(const RuntimeCounters& other) {
+  sends += other.sends;
+  delivered += other.delivered;
+  drops += other.drops;
+  retransmits += other.retransmits;
+  acks += other.acks;
+  abandoned += other.abandoned;
+  heartbeats += other.heartbeats;
+  suspicions += other.suspicions;
+  false_suspicions += other.false_suspicions;
+  trust_restores += other.trust_restores;
+  crashes += other.crashes;
+  restarts += other.restarts;
+  events_recorded += other.events_recorded;
+}
+
+std::string format_runtime_counters(const RuntimeCounters& c) {
+  std::ostringstream out;
+  out << "sends=" << c.sends << " delivered=" << c.delivered
+      << " drops=" << c.drops << " retransmits=" << c.retransmits
+      << " acks=" << c.acks << " abandoned=" << c.abandoned
+      << " heartbeats=" << c.heartbeats << " suspicions=" << c.suspicions
+      << " false_suspicions=" << c.false_suspicions
+      << " trust_restores=" << c.trust_restores << " crashes=" << c.crashes
+      << " restarts=" << c.restarts << " events=" << c.events_recorded;
+  return out.str();
 }
 
 }  // namespace udc

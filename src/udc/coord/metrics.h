@@ -3,8 +3,10 @@
 // ablation experiments (AB1) and the examples' reporting.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "udc/coord/action.h"
@@ -50,5 +52,34 @@ CoordinationMetrics measure_coordination(const System& sys,
 // run is silent).  A quiescent protocol's value sits well below the
 // horizon; a chattering one's hugs it (see footnote 11 / test_quiescence).
 Time last_send_time(const Run& r);
+
+// Operational counters for the live runtime (rt/): every layer — transport,
+// heartbeat detector, supervisor — accumulates into one of these, and both
+// the udc_rt_soak tool and the EXPERIMENTS.md RT numbers are printed from
+// format_runtime_counters, so there is exactly one reporting code path.
+struct RuntimeCounters {
+  // Transport plane.
+  std::size_t sends = 0;            // protocol-level sends handed over
+  std::size_t delivered = 0;        // deliveries that reached a mailbox
+  std::size_t drops = 0;            // attempts lost to the drop policy
+  std::size_t retransmits = 0;      // link-layer retry attempts
+  std::size_t acks = 0;             // link-layer acks received
+  std::size_t abandoned = 0;        // unacked sends given up at shutdown
+  std::size_t heartbeats = 0;       // heartbeat broadcasts (below the model)
+  // Failure-detection plane.
+  std::size_t suspicions = 0;       // suspicions raised
+  std::size_t false_suspicions = 0; // later retracted by a live heartbeat
+  std::size_t trust_restores = 0;   // retractions delivered to protocols
+  // Supervision plane.
+  std::size_t crashes = 0;          // permanent worker crashes injected
+  std::size_t restarts = 0;         // workers restarted after a crash
+  std::size_t events_recorded = 0;  // model-level events in the lifted trace
+
+  void merge(const RuntimeCounters& other);
+};
+
+// One line, key=value pairs, stable field order — the soak tool's output and
+// the EXPERIMENTS tables both come from here.
+std::string format_runtime_counters(const RuntimeCounters& c);
 
 }  // namespace udc

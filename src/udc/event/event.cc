@@ -16,6 +16,7 @@ const char* kind_name(MsgKind k) {
     case MsgKind::kEstimateAck: return "estimate-ack";
     case MsgKind::kDecide: return "decide";
     case MsgKind::kApp: return "app";
+    case MsgKind::kHeartbeat: return "heartbeat";
   }
   return "?";
 }

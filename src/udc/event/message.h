@@ -33,6 +33,8 @@ enum class MsgKind : std::uint8_t {
   kEstimateAck,      // consensus: ack/nack of round a (b = 1 ack / 0 nack)
   kDecide,           // consensus: decide value b
   kApp,              // free-form application payload (examples)
+  kHeartbeat,        // live-runtime liveness beacon (below the paper's model:
+                     // carried by rt/transport but never recorded in a Run)
 };
 
 struct Message {

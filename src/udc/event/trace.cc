@@ -19,6 +19,7 @@ const char* msg_kind_token(MsgKind k) {
     case MsgKind::kEstimateAck: return "eack";
     case MsgKind::kDecide: return "decide";
     case MsgKind::kApp: return "app";
+    case MsgKind::kHeartbeat: return "heartbeat";
   }
   return "?";
 }
@@ -33,6 +34,7 @@ MsgKind parse_msg_kind(const std::string& token) {
   if (token == "eack") return MsgKind::kEstimateAck;
   if (token == "decide") return MsgKind::kDecide;
   if (token == "app") return MsgKind::kApp;
+  if (token == "heartbeat") return MsgKind::kHeartbeat;
   UDC_CHECK(false, "unknown message kind token: " + token);
 }
 

@@ -1,0 +1,131 @@
+// Heartbeat failure detection: the §2.2 oracle implemented as a *program*.
+//
+// The oracles in fd/oracle.h read the ground-truth crash schedule; a deployed
+// detector has no such tape.  Following the standard construction (Chandra-
+// Toueg §7, and the diagnosis-model line of work), each process periodically
+// broadcasts "I am alive"; an observer suspects a peer whose heartbeat has
+// been silent longer than a per-peer timeout.  Asynchrony makes false
+// suspicion unavoidable (a slow link looks exactly like a crash), so the
+// timeout ADAPTS: when a heartbeat arrives from a currently-suspected peer —
+// proof the suspicion was false — the observer restores trust and backs the
+// peer's timeout off multiplicatively.  After finitely many false suspicions
+// the timeout exceeds any actual delay bound the network settles into, which
+// is precisely the ◇-class guarantee: eventual strong accuracy, while
+// genuinely crashed peers stay silent past every timeout (strong
+// completeness).  check_eventual_accuracy re-verifies this on every lifted
+// live run — the detector is a program here, never trusted for checking.
+//
+// HeartbeatDetector is a pure state machine over an abstract clock: feed it
+// heartbeat arrivals and poll it for change-driven reports (same semantics as
+// the oracles: a report REPLACES Suspects_p, and one is emitted only when the
+// set changes).  The live runtime (rt/runtime.h) wires it to real threads and
+// a real transport; unit tests drive it directly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "udc/common/check.h"
+#include "udc/common/proc_set.h"
+#include "udc/common/types.h"
+
+namespace udc {
+
+struct HeartbeatOptions {
+  // Ticks between this process's own heartbeat broadcasts (used by the
+  // runtime wiring; the detector itself only consumes arrivals).
+  Time interval = 24;
+  // Silence threshold before the first suspicion of a peer.  Must comfortably
+  // exceed `interval` or every peer is suspected immediately.
+  Time initial_timeout = 120;
+  // Multiplier applied to a peer's timeout after a suspicion of it proves
+  // false (its heartbeat arrives late).  Trust-restore + backoff is what
+  // yields eventual accuracy under finite perturbations.
+  double timeout_backoff = 2.0;
+  // Cap on the adaptive timeout (0 = uncapped).
+  Time max_timeout = 0;
+};
+
+class HeartbeatDetector {
+ public:
+  HeartbeatDetector(int n, ProcessId self, HeartbeatOptions opts,
+                    Time start_time = 0)
+      : n_(n), self_(self), opts_(opts) {
+    UDC_CHECK(n >= 1 && n <= kMaxProcesses, "detector n out of range");
+    UDC_CHECK(self >= 0 && self < n, "detector self out of range");
+    UDC_CHECK(opts.interval >= 1 && opts.initial_timeout > opts.interval,
+              "heartbeat timeout must exceed the heartbeat interval");
+    UDC_CHECK(opts.timeout_backoff >= 1.0, "timeout backoff must be >= 1");
+    // Every peer starts trusted, as if it heartbeat at start_time.
+    last_heard_.assign(static_cast<std::size_t>(n), start_time);
+    timeout_.assign(static_cast<std::size_t>(n), opts.initial_timeout);
+  }
+
+  // A heartbeat from `peer` arrived at `now`.  If `peer` was suspected, the
+  // suspicion was false: trust is restored and the peer's timeout backs off.
+  void observe_heartbeat(ProcessId peer, Time now) {
+    UDC_CHECK(peer >= 0 && peer < n_ && peer != self_,
+              "heartbeat from out-of-range or self peer");
+    auto i = static_cast<std::size_t>(peer);
+    if (now > last_heard_[i]) last_heard_[i] = now;
+    if (suspected_.contains(peer)) {
+      suspected_.erase(peer);
+      ++false_suspicions_;
+      ++trust_restores_;
+      double widened =
+          static_cast<double>(timeout_[i]) * opts_.timeout_backoff;
+      Time t = static_cast<Time>(widened);
+      if (opts_.max_timeout > 0 && t > opts_.max_timeout) {
+        t = opts_.max_timeout;
+      }
+      timeout_[i] = t;
+      changed_ = true;
+    }
+  }
+
+  // Advances the detector to `now`, suspecting every peer silent past its
+  // timeout.  Change-driven: returns the new suspect set iff it differs from
+  // the last one returned (first poll always reports, establishing the
+  // initial — possibly empty — Suspects_p).
+  std::optional<ProcSet> poll(Time now) {
+    for (ProcessId q = 0; q < n_; ++q) {
+      if (q == self_ || suspected_.contains(q)) continue;
+      auto i = static_cast<std::size_t>(q);
+      if (now - last_heard_[i] > timeout_[i]) {
+        suspected_.insert(q);
+        ++suspicions_raised_;
+        changed_ = true;
+      }
+    }
+    if (!changed_ && reported_once_) return std::nullopt;
+    changed_ = false;
+    reported_once_ = true;
+    return suspected_;
+  }
+
+  ProcSet suspects() const { return suspected_; }
+  Time timeout_of(ProcessId peer) const {
+    return timeout_[static_cast<std::size_t>(peer)];
+  }
+
+  // Counters, exported into coord/metrics RuntimeCounters by the runtime.
+  std::size_t suspicions_raised() const { return suspicions_raised_; }
+  std::size_t false_suspicions() const { return false_suspicions_; }
+  std::size_t trust_restores() const { return trust_restores_; }
+
+ private:
+  int n_;
+  ProcessId self_;
+  HeartbeatOptions opts_;
+  std::vector<Time> last_heard_;  // per peer
+  std::vector<Time> timeout_;    // per peer, adaptive
+  ProcSet suspected_;
+  bool changed_ = false;
+  bool reported_once_ = false;
+  std::size_t suspicions_raised_ = 0;
+  std::size_t false_suspicions_ = 0;
+  std::size_t trust_restores_ = 0;
+};
+
+}  // namespace udc

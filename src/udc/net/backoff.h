@@ -1,0 +1,65 @@
+// Jittered exponential backoff schedules for retry/backoff channels.
+//
+// The live transport (rt/transport.h) realizes fair-lossy channels
+// operationally: a send that is lost (or unacked) is retried until it lands.
+// Naive fixed-interval retries synchronize — every sender that lost a message
+// in the same partition window retries in lockstep, and the recovered link is
+// hit by a thundering herd exactly when it heals.  The standard cure is
+// exponential backoff with jitter: attempt k waits base * growth^k, capped,
+// then scaled by a random factor in [1 - jitter, 1 + jitter] so retry clocks
+// decorrelate.  The schedule is a pure function of (options, attempt, rng
+// stream), so tests pin it deterministically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "udc/common/check.h"
+#include "udc/common/rng.h"
+
+namespace udc {
+
+struct BackoffOptions {
+  // First retry delay, in the caller's time unit (the live transport uses
+  // microseconds; tests use abstract ticks).
+  std::int64_t base = 500;
+  // Multiplier per attempt; must be >= 1.
+  double growth = 2.0;
+  // Upper bound on the un-jittered delay (0 = uncapped).
+  std::int64_t cap = 64'000;
+  // Jitter fraction in [0, 1): the delay is scaled by a uniform factor in
+  // [1 - jitter, 1 + jitter].  0 disables jitter.
+  double jitter = 0.25;
+};
+
+// Un-jittered delay before retry `attempt` (attempt 0 = first retry).
+inline std::int64_t backoff_delay(const BackoffOptions& opts, int attempt) {
+  UDC_CHECK(attempt >= 0, "backoff attempt must be >= 0");
+  UDC_CHECK(opts.base >= 1 && opts.growth >= 1.0,
+            "backoff needs base >= 1 and growth >= 1");
+  double d = static_cast<double>(opts.base);
+  for (int i = 0; i < attempt; ++i) {
+    d *= opts.growth;
+    if (opts.cap > 0 && d >= static_cast<double>(opts.cap)) {
+      return opts.cap;
+    }
+  }
+  std::int64_t v = static_cast<std::int64_t>(d);
+  if (opts.cap > 0) v = std::min(v, opts.cap);
+  return std::max<std::int64_t>(v, 1);
+}
+
+// Jittered delay: backoff_delay scaled by a factor drawn from `rng`.  The
+// result stays within [1, cap * (1 + jitter)].
+inline std::int64_t backoff_delay_jittered(const BackoffOptions& opts,
+                                           int attempt, Rng& rng) {
+  UDC_CHECK(opts.jitter >= 0.0 && opts.jitter < 1.0,
+            "backoff jitter must be in [0, 1)");
+  std::int64_t d = backoff_delay(opts, attempt);
+  if (opts.jitter == 0.0) return d;
+  double factor = 1.0 + opts.jitter * (2.0 * rng.next_double() - 1.0);
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(d) * factor));
+}
+
+}  // namespace udc

@@ -1,0 +1,106 @@
+#include "udc/rt/record.h"
+
+#include <algorithm>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+TraceRecorder::TraceRecorder(int n) {
+  UDC_CHECK(n >= 1 && n <= kMaxProcesses, "TraceRecorder: bad process count");
+  histories_.resize(static_cast<std::size_t>(n));
+  sealed_.assign(static_cast<std::size_t>(n), false);
+}
+
+std::optional<Time> TraceRecorder::record(ProcessId p, const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < histories_.size(), "TraceRecorder: bad process");
+  if (sealed_[idx]) return std::nullopt;
+  ++now_;
+  histories_[idx].push_back({now_, e});
+  ++count_;
+  return now_;
+}
+
+std::optional<Time> TraceRecorder::record_crash(ProcessId p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < histories_.size(), "TraceRecorder: bad process");
+  if (sealed_[idx]) return std::nullopt;
+  ++now_;
+  histories_[idx].push_back({now_, Event::crash()});
+  sealed_[idx] = true;
+  ++count_;
+  return now_;
+}
+
+Time TraceRecorder::bump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++now_;
+}
+
+Time TraceRecorder::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+bool TraceRecorder::sealed(ProcessId p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < sealed_.size(), "TraceRecorder: bad process");
+  return sealed_[idx];
+}
+
+std::vector<Event> TraceRecorder::history_of(ProcessId p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < histories_.size(), "TraceRecorder: bad process");
+  std::vector<Event> out;
+  out.reserve(histories_[idx].size());
+  for (const TimedEvent& te : histories_[idx]) out.push_back(te.e);
+  return out;
+}
+
+Run TraceRecorder::lift() const {
+  struct Slot {
+    Time t;
+    ProcessId p;
+    const Event* e;
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Slot> slots;
+  slots.reserve(count_);
+  for (std::size_t p = 0; p < histories_.size(); ++p) {
+    for (const TimedEvent& te : histories_[p]) {
+      slots.push_back({te.t, static_cast<ProcessId>(p), &te.e});
+    }
+  }
+  // Ticks are globally unique, so this is a total order with no ties.
+  std::sort(slots.begin(), slots.end(),
+            [](const Slot& a, const Slot& b) { return a.t < b.t; });
+  Run::Builder b(static_cast<int>(histories_.size()));
+  Time cur = 0;
+  for (const Slot& s : slots) {
+    UDC_CHECK(s.t > cur, "TraceRecorder: duplicate tick in lift");
+    while (cur < s.t - 1) {
+      b.end_step();
+      ++cur;
+    }
+    b.append(s.p, *s.e);
+    b.end_step();
+    ++cur;
+  }
+  while (cur < now_) {
+    b.end_step();
+    ++cur;
+  }
+  return std::move(b).build();
+}
+
+}  // namespace udc

@@ -1,0 +1,77 @@
+// TraceRecorder: lifts a concurrent execution into the paper's run model.
+//
+// The model checker builds runs directly; the live runtime has to *earn* one.
+// Every observable event (send, recv, do, init, suspect, crash) from every
+// worker thread passes through one recorder, which serializes them under a
+// mutex and stamps each with a fresh tick of a global logical clock.  The
+// total order this produces is exactly a run satisfying R1-R4:
+//
+//   R1  processes start with empty histories (the builder starts empty),
+//   R2  one event per process per step, trivially: one event per *step*,
+//   R3  sends are recorded before the transport ever sees the message, so a
+//       matching send always precedes its receive in the total order,
+//   R4  a crash seals the process inside the same critical section that
+//       records it, so no later event of that process can be admitted.
+//
+// The supervisor bumps the clock on idle polls, so logical time advances even
+// when no events flow (heartbeat timeouts and fault-script windows need time
+// to pass during silence).  The recorder also doubles as each process's
+// write-ahead log: a restarted worker replays its recorded local history to
+// reconstruct protocol state, which is what makes restarts uniformity-safe.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "udc/common/types.h"
+#include "udc/event/event.h"
+#include "udc/event/run.h"
+
+namespace udc {
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int n);
+
+  // Appends `e` to p's history at a fresh tick.  Returns the tick, or
+  // nullopt if p is sealed (crashed permanently) — the caller must then
+  // treat the event as never having happened.
+  std::optional<Time> record(ProcessId p, const Event& e);
+
+  // Records a kCrash event and seals p atomically (R4).  nullopt if p was
+  // already sealed.
+  std::optional<Time> record_crash(ProcessId p);
+
+  // Advances the logical clock by one empty step.  Called by the supervisor
+  // on idle polls so that time passes during network silence.
+  Time bump();
+
+  Time now() const;
+  std::size_t event_count() const;
+  bool sealed(ProcessId p) const;
+
+  // Snapshot of p's recorded events, in order — the write-ahead log a
+  // restarted worker replays through a fresh protocol instance.
+  std::vector<Event> history_of(ProcessId p) const;
+
+  // Builds the Run (horizon = current clock).  Run's constructor re-validates
+  // R1-R4 from scratch, so a lift that violates the model throws rather than
+  // producing a bogus conformance verdict.
+  Run lift() const;
+
+ private:
+  struct TimedEvent {
+    Time t;
+    Event e;
+  };
+
+  mutable std::mutex mu_;
+  Time now_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::vector<TimedEvent>> histories_;  // per process, t ascending
+  std::vector<bool> sealed_;
+};
+
+}  // namespace udc

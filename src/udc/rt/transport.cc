@@ -1,0 +1,258 @@
+#include "udc/rt/transport.h"
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+namespace {
+
+// Link-layer ack for pending send `seq`.  Never recorded, never handed to a
+// protocol — it exists only to retire the sender's retransmission timer, but
+// it crosses the reverse channel, so the drop policy gets a say.
+Message make_link_ack(std::uint64_t seq) {
+  Message m;
+  m.kind = MsgKind::kAck;
+  m.a = static_cast<std::int64_t>(seq);
+  return m;
+}
+
+}  // namespace
+
+RtTransport::RtTransport(int n, RtTransportOptions opts,
+                         std::shared_ptr<DropPolicy> policy,
+                         std::uint64_t seed, std::function<Time()> clock,
+                         DeliverFn deliver)
+    : n_(n),
+      opts_(opts),
+      policy_(std::move(policy)),
+      clock_(std::move(clock)),
+      deliver_(std::move(deliver)) {
+  UDC_CHECK(n_ >= 1 && n_ <= kMaxProcesses, "RtTransport: bad process count");
+  UDC_CHECK(policy_ != nullptr, "RtTransport: null drop policy");
+  UDC_CHECK(opts_.min_delay.count() >= 0 &&
+                opts_.max_delay >= opts_.min_delay,
+            "RtTransport: bad delay range");
+  // Per-ordered-channel PRNG streams, mirroring Network: traffic on one
+  // channel never perturbs the draws of another.
+  channel_rngs_.reserve(static_cast<std::size_t>(n_) * n_);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n_) * n_; ++i) {
+    channel_rngs_.emplace_back(seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+RtTransport::~RtTransport() { stop(); }
+
+Rng& RtTransport::channel_rng(ProcessId from, ProcessId to) {
+  return channel_rngs_[static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(n_) +
+                       static_cast<std::size_t>(to)];
+}
+
+void RtTransport::push_op(Op op) {
+  op.id = next_op_id_++;
+  ops_.push(std::move(op));
+  cv_.notify_one();
+}
+
+void RtTransport::send(ProcessId from, ProcessId to, const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  std::uint64_t seq = next_seq_++;
+  pending_.emplace(seq, PendingSend{from, to, msg});
+  ++counters_.sends;
+  Op op;
+  op.at = std::chrono::steady_clock::now();
+  op.kind = OpKind::kAttempt;
+  op.seq = seq;
+  push_op(std::move(op));
+}
+
+void RtTransport::send_heartbeat(ProcessId from, ProcessId to,
+                                 const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  ++counters_.heartbeats;
+  if (policy_->drop(from, to, msg, clock_(), channel_rng(from, to))) {
+    ++counters_.drops;
+    return;
+  }
+  Rng& rng = channel_rng(from, to);
+  auto span =
+      static_cast<std::uint64_t>((opts_.max_delay - opts_.min_delay).count());
+  Op op;
+  op.at = std::chrono::steady_clock::now() + opts_.min_delay +
+          std::chrono::microseconds(span == 0 ? 0 : rng.next_below(span + 1));
+  op.kind = OpKind::kDeliver;
+  op.seq = 0;  // heartbeat: no pending entry
+  op.hb_from = from;
+  op.hb_to = to;
+  op.hb_msg = msg;
+  push_op(std::move(op));
+}
+
+void RtTransport::abandon_to(ProcessId p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.to == p) {
+      ++counters_.abandoned;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (pending_.empty()) quiesce_cv_.notify_all();
+}
+
+bool RtTransport::quiesce(std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  quiesce_cv_.wait_until(lock, deadline,
+                         [this] { return pending_.empty() || stopping_; });
+  return pending_.empty();
+}
+
+void RtTransport::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped; fall through to join in case of a racing caller.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  quiesce_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+RuntimeCounters RtTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void RtTransport::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (ops_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !ops_.empty(); });
+      continue;
+    }
+    auto now = std::chrono::steady_clock::now();
+    const Op& top = ops_.top();
+    if (top.at > now) {
+      cv_.wait_until(lock, top.at);
+      continue;
+    }
+    Op op = top;
+    ops_.pop();
+    switch (op.kind) {
+      case OpKind::kAttempt:
+        handle_attempt(op.seq);
+        break;
+      case OpKind::kDeliver:
+        handle_deliver(lock, std::move(op));
+        break;
+      case OpKind::kAck:
+        handle_ack(op.seq);
+        break;
+    }
+  }
+}
+
+void RtTransport::handle_attempt(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // acked or abandoned meanwhile
+  PendingSend& p = it->second;
+  if (p.attempt > 0) ++counters_.retransmits;
+  int attempt = p.attempt++;
+  if (opts_.max_attempts > 0 && p.attempt > opts_.max_attempts) {
+    ++counters_.abandoned;
+    pending_.erase(it);
+    if (pending_.empty()) quiesce_cv_.notify_all();
+    return;
+  }
+  auto now = std::chrono::steady_clock::now();
+  Rng& rng = channel_rng(p.from, p.to);
+  bool dropped = policy_->drop(p.from, p.to, p.msg, clock_(), rng);
+  if (dropped) {
+    ++counters_.drops;
+  } else {
+    auto span = static_cast<std::uint64_t>(
+        (opts_.max_delay - opts_.min_delay).count());
+    Op del;
+    del.at = now + opts_.min_delay +
+             std::chrono::microseconds(span == 0 ? 0 : rng.next_below(span + 1));
+    del.kind = OpKind::kDeliver;
+    del.seq = seq;
+    push_op(std::move(del));
+  }
+  // Always schedule the next attempt: it covers both a dropped attempt and a
+  // delivered-but-ack-lost round trip.  A received ack erases the pending
+  // entry and the retry becomes a no-op.
+  Op retry;
+  retry.at = now + std::chrono::microseconds(
+                       backoff_delay_jittered(opts_.backoff, attempt, rng));
+  retry.kind = OpKind::kAttempt;
+  retry.seq = seq;
+  push_op(std::move(retry));
+}
+
+void RtTransport::handle_deliver(std::unique_lock<std::mutex>& lock, Op op) {
+  if (op.seq == 0) {
+    // Heartbeat: fire and forget.  Refusal (process down) is just loss.
+    ProcessId from = op.hb_from;
+    ProcessId to = op.hb_to;
+    Message msg = std::move(op.hb_msg);
+    lock.unlock();
+    deliver_(from, to, msg);
+    lock.lock();
+    return;
+  }
+  auto it = pending_.find(op.seq);
+  if (it == pending_.end()) return;
+  ProcessId from = it->second.from;
+  ProcessId to = it->second.to;
+  bool duplicate = it->second.delivered;
+  Message msg = it->second.msg;
+  bool accepted = true;
+  if (!duplicate) {
+    // First copy: hand it up, without transport locks (the recipient's
+    // mailbox push takes its own lock, and the worker may call back into
+    // send() from another thread meanwhile).
+    lock.unlock();
+    accepted = deliver_(from, to, msg);
+    lock.lock();
+    it = pending_.find(op.seq);  // re-validate: ack/abandon may have raced
+    if (it == pending_.end()) return;
+    if (accepted) {
+      it->second.delivered = true;
+      ++counters_.delivered;
+    }
+  }
+  // Ack every successfully delivered copy, duplicates included — re-acking
+  // duplicates is what ends retransmission when the first ack was lost.
+  if (accepted) {
+    Rng& rng = channel_rng(to, from);
+    if (policy_->drop(to, from, make_link_ack(op.seq), clock_(), rng)) {
+      ++counters_.drops;
+      return;
+    }
+    auto span = static_cast<std::uint64_t>(
+        (opts_.max_delay - opts_.min_delay).count());
+    Op ack;
+    ack.at = std::chrono::steady_clock::now() + opts_.min_delay +
+             std::chrono::microseconds(span == 0 ? 0 : rng.next_below(span + 1));
+    ack.kind = OpKind::kAck;
+    ack.seq = op.seq;
+    push_op(std::move(ack));
+  }
+}
+
+void RtTransport::handle_ack(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // duplicate ack
+  ++counters_.acks;
+  pending_.erase(it);
+  if (pending_.empty()) quiesce_cv_.notify_all();
+}
+
+}  // namespace udc

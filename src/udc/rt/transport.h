@@ -1,0 +1,149 @@
+// RtTransport: the paper's fair-lossy channels, realized operationally.
+//
+// The simulator's Network realizes R1-R5 by construction inside one thread;
+// here the same channel model runs for real.  A single dispatcher thread owns
+// a time-ordered queue of link operations:
+//
+//   attempt  — evaluate the DropPolicy (same interface the simulator and the
+//              chaos scripts use, with `now` read from the run's logical
+//              clock so script windows line up with the recorded trace).
+//              A dropped attempt schedules a retransmission after a jittered
+//              exponential backoff; a passed attempt schedules a delivery
+//              after a random link delay.
+//   deliver  — hand the message to the recipient (first copy only: the
+//              receiver side dedups link-layer retransmissions, because run
+//              validation R3 counts receives against sends multiset-wise and
+//              a protocol-level send must surface at most once per link-level
+//              success).  A successful delivery triggers an ack on the
+//              reverse channel, itself subject to the drop policy.
+//   ack      — retires the pending send; retransmissions stop.
+//
+// Fairness R5 falls out: as long as the drop policy eventually lets the
+// channel pass (healed partition, i.i.d. loss), bounded-backoff retries
+// deliver every pending message.  Heartbeats are fire-and-forget — one
+// attempt, no ack, no retry — they sit below the model and are never
+// recorded, so their loss is indistinguishable from a silent process, which
+// is precisely what a heartbeat failure detector is supposed to suspect on.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "udc/common/rng.h"
+#include "udc/common/types.h"
+#include "udc/coord/metrics.h"
+#include "udc/event/message.h"
+#include "udc/net/backoff.h"
+#include "udc/net/network.h"
+
+namespace udc {
+
+struct RtTransportOptions {
+  // Link delay for a passed attempt, uniform in [min_delay, max_delay].
+  std::chrono::microseconds min_delay{40};
+  std::chrono::microseconds max_delay{400};
+  // Retransmission schedule for unacked sends (values in microseconds).
+  BackoffOptions backoff{/*base=*/300, /*growth=*/2.0, /*cap=*/8'000,
+                         /*jitter=*/0.25};
+  // Give up on a pending send after this many attempts; 0 = never.  The
+  // supervisor's budget bounds total runtime either way.
+  int max_attempts = 0;
+};
+
+class RtTransport {
+ public:
+  // `deliver` is invoked from the dispatcher thread, without transport locks
+  // held; it returns false if the recipient refused the message (process
+  // down), in which case the send stays pending and keeps retrying.
+  // `clock` supplies the logical time handed to the drop policy.
+  using DeliverFn = std::function<bool(ProcessId from, ProcessId to,
+                                       const Message& msg)>;
+
+  RtTransport(int n, RtTransportOptions opts,
+              std::shared_ptr<DropPolicy> policy, std::uint64_t seed,
+              std::function<Time()> clock, DeliverFn deliver);
+  ~RtTransport();
+
+  RtTransport(const RtTransport&) = delete;
+  RtTransport& operator=(const RtTransport&) = delete;
+
+  // Reliable-with-retry send (protocol traffic).  The caller must already
+  // have recorded the kSend event — ordering of record-then-send is what
+  // gives the lifted run R3.
+  void send(ProcessId from, ProcessId to, const Message& msg);
+
+  // Fire-and-forget, below the model: one attempt, no ack, no retry.
+  void send_heartbeat(ProcessId from, ProcessId to, const Message& msg);
+
+  // Drops every pending send addressed to `p` (permanent crash: the channel
+  // into a dead process delivers nothing, and R5 does not apply to it).
+  void abandon_to(ProcessId p);
+
+  // Waits until no protocol sends are pending, or `deadline` passes.
+  // Returns true on quiescence.
+  bool quiesce(std::chrono::steady_clock::time_point deadline);
+
+  // Stops the dispatcher; pending sends are abandoned.
+  void stop();
+
+  RuntimeCounters counters() const;
+
+ private:
+  struct PendingSend {
+    ProcessId from;
+    ProcessId to;
+    Message msg;
+    int attempt = 0;       // attempts made so far
+    bool delivered = false;  // receiver-side dedup of link retransmissions
+  };
+
+  enum class OpKind { kAttempt, kDeliver, kAck };
+  struct Op {
+    std::chrono::steady_clock::time_point at;
+    std::uint64_t id;  // tie-break: FIFO among equal deadlines
+    OpKind kind;
+    std::uint64_t seq;       // pending-send key (kInvalid for heartbeats)
+    ProcessId hb_from = kInvalidProcess;  // heartbeat delivery
+    ProcessId hb_to = kInvalidProcess;
+    Message hb_msg;
+    bool operator>(const Op& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  Rng& channel_rng(ProcessId from, ProcessId to);
+  void push_op(Op op);  // callers hold mu_
+  void dispatch_loop();
+  void handle_attempt(std::uint64_t seq);              // mu_ held
+  void handle_deliver(std::unique_lock<std::mutex>& lock, Op op);
+  void handle_ack(std::uint64_t seq);                  // mu_ held
+
+  const int n_;
+  const RtTransportOptions opts_;
+  std::shared_ptr<DropPolicy> policy_;
+  std::function<Time()> clock_;
+  DeliverFn deliver_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // dispatcher wake-up
+  std::condition_variable quiesce_cv_;
+  bool stopping_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_op_id_ = 1;
+  std::map<std::uint64_t, PendingSend> pending_;
+  std::priority_queue<Op, std::vector<Op>, std::greater<Op>> ops_;
+  std::vector<Rng> channel_rngs_;  // per ordered channel, like Network
+  RuntimeCounters counters_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace udc

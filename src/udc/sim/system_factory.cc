@@ -79,36 +79,79 @@ BudgetedSystem generate_system_budgeted(const SimConfig& base,
                                         const OracleFactory& oracle_factory,
                                         const ProtocolFactory& protocol_factory,
                                         int seeds_per_plan,
-                                        const Budget& budget) {
+                                        const Budget& budget,
+                                        unsigned threads) {
   UDC_CHECK(!plans.empty(), "need at least one crash plan");
   UDC_CHECK(seeds_per_plan >= 1, "need at least one seed per plan");
-  BudgetedSystem out;
-  std::vector<Run> runs;
-  runs.reserve(plans.size() * static_cast<std::size_t>(seeds_per_plan));
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  struct Job {
+    const CrashPlan* plan;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(plans.size() * static_cast<std::size_t>(seeds_per_plan));
   std::uint64_t seed = base.seed;
   for (const CrashPlan& plan : plans) {
     for (int s = 0; s < seeds_per_plan; ++s, ++seed) {
-      // Checked between runs: the overshoot is at most one simulation.
-      if (budget.runs_exhausted(out.runs_completed) ||
-          budget.deadline_expired()) {
-        out.status = BudgetStatus::kBudgetExceeded;
-        if (!runs.empty()) out.system.emplace(std::move(runs));
-        return out;
-      }
-      SimConfig config = base;
-      config.seed = seed;
-      std::unique_ptr<FdOracle> oracle;
-      if (oracle_factory) oracle = oracle_factory();
-      SimResult result = simulate(config, plan, oracle.get(), workload,
-                                  protocol_factory);
-      out.stats.runs++;
-      out.stats.messages_sent += result.messages_sent;
-      out.stats.messages_dropped += result.messages_dropped;
-      out.runs_completed++;
-      runs.push_back(std::move(result.run));
+      jobs.push_back(Job{&plan, seed});
     }
   }
-  out.system.emplace(std::move(runs));
+
+  // Jobs are claimed in sweep order and the budget is checked at claim time
+  // (the claim index IS the number of runs claimed before it, so a max_runs
+  // cap trips at the same deterministic index at every thread count).  A
+  // claimed job always runs to completion — the overshoot is bounded by one
+  // in-flight simulation per worker.
+  struct Done {
+    Run run;
+    std::size_t sent;
+    std::size_t dropped;
+  };
+  std::vector<std::optional<Done>> done(jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> tripped{false};
+  auto worker = [&] {
+    for (;;) {
+      if (tripped.load(std::memory_order_acquire)) return;
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      if (budget.runs_exhausted(i) || budget.deadline_expired()) {
+        tripped.store(true, std::memory_order_release);
+        return;
+      }
+      SimConfig config = base;
+      config.seed = jobs[i].seed;
+      std::unique_ptr<FdOracle> oracle;
+      if (oracle_factory) oracle = oracle_factory();
+      SimResult result = simulate(config, *jobs[i].plan, oracle.get(),
+                                  workload, protocol_factory);
+      done[i].emplace(Done{std::move(result.run), result.messages_sent,
+                           result.messages_dropped});
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  // The partial system is the longest gap-free prefix; runs a worker
+  // finished past the first gap are discarded so the result is exactly what
+  // the serial unbudgeted sweep would have produced first.
+  BudgetedSystem out;
+  std::vector<Run> runs;
+  for (auto& d : done) {
+    if (!d) break;
+    out.stats.runs++;
+    out.stats.messages_sent += d->sent;
+    out.stats.messages_dropped += d->dropped;
+    runs.push_back(std::move(d->run));
+  }
+  out.runs_completed = runs.size();
+  out.status = out.runs_completed == jobs.size() ? BudgetStatus::kComplete
+                                                 : BudgetStatus::kBudgetExceeded;
+  if (!runs.empty()) out.system.emplace(std::move(runs));
   return out;
 }
 

@@ -85,12 +85,20 @@ struct BudgetedSystem {
   SystemStats stats;
 };
 
+// `threads` > 1 produces runs on a worker pool while preserving the exact
+// prefix property: jobs are claimed in sweep order, the budget is checked at
+// claim time, and any run completed beyond the first gap is discarded.  A
+// max_runs cap therefore yields bit-identical results at every thread count
+// (the cap trips at a deterministic claim index); a deadline yields a
+// nondeterministic-length but still exact prefix.  Overshoot is bounded by
+// one in-flight run per worker.
 BudgetedSystem generate_system_budgeted(const SimConfig& base,
                                         std::span<const CrashPlan> plans,
                                         std::span<const InitDirective> workload,
                                         const OracleFactory& oracle_factory,
                                         const ProtocolFactory& protocol_factory,
                                         int seeds_per_plan,
-                                        const Budget& budget);
+                                        const Budget& budget,
+                                        unsigned threads = 1);
 
 }  // namespace udc

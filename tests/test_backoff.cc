@@ -1,0 +1,92 @@
+// Jittered exponential backoff (net/backoff.h): the retry schedule behind
+// the live transport's fair-lossy-channel realization.  The schedule is a
+// pure function of (options, attempt, rng stream), so every property is
+// pinned deterministically.
+#include "udc/net/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/common/check.h"
+#include "udc/common/rng.h"
+
+namespace udc {
+namespace {
+
+TEST(Backoff, GrowsGeometricallyUntilTheCap) {
+  BackoffOptions o{/*base=*/100, /*growth=*/2.0, /*cap=*/1'000, /*jitter=*/0};
+  EXPECT_EQ(backoff_delay(o, 0), 100);
+  EXPECT_EQ(backoff_delay(o, 1), 200);
+  EXPECT_EQ(backoff_delay(o, 2), 400);
+  EXPECT_EQ(backoff_delay(o, 3), 800);
+  EXPECT_EQ(backoff_delay(o, 4), 1'000);
+  // The loop short-circuits at the cap, so a huge attempt index cannot
+  // overflow the double accumulation.
+  EXPECT_EQ(backoff_delay(o, 10'000), 1'000);
+}
+
+TEST(Backoff, GrowthOneIsAFixedIntervalAndZeroCapMeansUncapped) {
+  BackoffOptions fixed{/*base=*/3, /*growth=*/1.0, /*cap=*/0, /*jitter=*/0};
+  EXPECT_EQ(backoff_delay(fixed, 0), 3);
+  EXPECT_EQ(backoff_delay(fixed, 9), 3);
+  BackoffOptions uncapped{/*base=*/10, /*growth=*/2.0, /*cap=*/0,
+                          /*jitter=*/0};
+  EXPECT_EQ(backoff_delay(uncapped, 10), 10 * 1024);
+}
+
+TEST(Backoff, JitteredDelayStaysInsideTheBand) {
+  BackoffOptions o{/*base=*/1'000, /*growth=*/2.0, /*cap=*/16'000,
+                   /*jitter=*/0.25};
+  Rng rng(7);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    // base * 2^attempt is divisible by 4, so the band edges are exact.
+    const std::int64_t d = backoff_delay(o, attempt);
+    const std::int64_t lo = d * 3 / 4;
+    const std::int64_t hi = d * 5 / 4;
+    for (int i = 0; i < 200; ++i) {
+      std::int64_t j = backoff_delay_jittered(o, attempt, rng);
+      EXPECT_GE(j, lo);
+      EXPECT_LE(j, hi);
+    }
+  }
+}
+
+TEST(Backoff, ZeroJitterIsExactAndSameSeedIsSameSchedule) {
+  BackoffOptions o{/*base=*/500, /*growth=*/2.0, /*cap=*/64'000,
+                   /*jitter=*/0};
+  Rng rng(1);
+  EXPECT_EQ(backoff_delay_jittered(o, 2, rng), backoff_delay(o, 2));
+  o.jitter = 0.25;
+  Rng a(42);
+  Rng b(42);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(backoff_delay_jittered(o, attempt, a),
+              backoff_delay_jittered(o, attempt, b));
+  }
+}
+
+TEST(Backoff, DelayNeverRoundsBelowOne) {
+  BackoffOptions o{/*base=*/1, /*growth=*/1.0, /*cap=*/0, /*jitter=*/0.9};
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(backoff_delay_jittered(o, 0, rng), 1);
+  }
+}
+
+TEST(Backoff, RejectsNonsenseOptions) {
+  Rng rng(1);
+  BackoffOptions bad_base{/*base=*/0, /*growth=*/2.0, /*cap=*/0,
+                          /*jitter=*/0};
+  EXPECT_THROW(backoff_delay(bad_base, 0), InvariantViolation);
+  BackoffOptions bad_growth{/*base=*/10, /*growth=*/0.5, /*cap=*/0,
+                            /*jitter=*/0};
+  EXPECT_THROW(backoff_delay(bad_growth, 0), InvariantViolation);
+  BackoffOptions ok{};
+  EXPECT_THROW(backoff_delay(ok, -1), InvariantViolation);
+  BackoffOptions bad_jitter{/*base=*/10, /*growth=*/2.0, /*cap=*/0,
+                            /*jitter=*/1.0};
+  EXPECT_THROW(backoff_delay_jittered(bad_jitter, 0, rng),
+               InvariantViolation);
+}
+
+}  // namespace
+}  // namespace udc

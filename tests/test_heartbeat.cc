@@ -1,0 +1,110 @@
+// HeartbeatDetector (fd/heartbeat.h): the §2.2 oracle as a program.  The
+// detector is a pure state machine over an abstract clock, so every
+// transition — suspicion on silence, trust restore on a late heartbeat, the
+// multiplicative timeout backoff that yields ◇-class accuracy — is pinned
+// here without threads.  The live runtime's end-to-end accuracy claims are
+// re-checked on lifted runs in test_rt_runtime.cc.
+#include "udc/fd/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include "udc/common/check.h"
+#include "udc/common/proc_set.h"
+
+namespace udc {
+namespace {
+
+HeartbeatOptions opts(Time interval, Time timeout, double backoff = 2.0,
+                      Time max_timeout = 0) {
+  return HeartbeatOptions{interval, timeout, backoff, max_timeout};
+}
+
+TEST(Heartbeat, FirstPollEstablishesTheInitialEmptySuspectSet) {
+  HeartbeatDetector d(3, 0, opts(10, 50));
+  auto first = d.poll(5);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, ProcSet());
+  // Change-driven: nothing happened, so no report.
+  EXPECT_FALSE(d.poll(6).has_value());
+}
+
+TEST(Heartbeat, SilenceStrictlyPastTheTimeoutRaisesASuspicion) {
+  HeartbeatDetector d(3, 0, opts(10, 50));
+  (void)d.poll(0);
+  d.observe_heartbeat(2, 40);
+  // At exactly timeout ticks of silence nobody is suspected yet.
+  EXPECT_FALSE(d.poll(50).has_value());
+  // One tick later peer 1 (silent since 0) trips; peer 2 heartbeat at 40.
+  auto report = d.poll(51);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(*report, ProcSet::singleton(1));
+  EXPECT_EQ(d.suspects(), ProcSet::singleton(1));
+  EXPECT_EQ(d.suspicions_raised(), 1u);
+  EXPECT_EQ(d.false_suspicions(), 0u);
+}
+
+TEST(Heartbeat, LateHeartbeatRestoresTrustAndBacksTheTimeoutOff) {
+  HeartbeatDetector d(3, 0, opts(10, 50));
+  (void)d.poll(0);
+  d.observe_heartbeat(2, 40);
+  ASSERT_TRUE(d.poll(51).has_value());  // suspect 1
+  EXPECT_EQ(d.timeout_of(1), 50);
+  // The suspicion was false: peer 1 was just slow.  Trust restored, timeout
+  // doubled — after finitely many of these the timeout exceeds any delay
+  // the network settles into (eventual strong accuracy).
+  d.observe_heartbeat(1, 60);
+  EXPECT_EQ(d.suspects(), ProcSet());
+  EXPECT_EQ(d.timeout_of(1), 100);
+  EXPECT_EQ(d.timeout_of(2), 50);  // per-peer: 2's timeout untouched
+  EXPECT_EQ(d.false_suspicions(), 1u);
+  EXPECT_EQ(d.trust_restores(), 1u);
+  // The retraction is a set change, so the next poll reports it.
+  auto report = d.poll(61);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(*report, ProcSet());
+  // Keep 2 beating so only 1's widened window is being measured.
+  d.observe_heartbeat(2, 150);
+  // Re-suspecting 1 now needs the widened window: 60 + 100.
+  EXPECT_FALSE(d.poll(160).has_value());
+  auto again = d.poll(161);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->contains(1));
+}
+
+TEST(Heartbeat, MaxTimeoutCapsTheBackoff) {
+  HeartbeatDetector d(2, 0, opts(10, 100, 3.0, /*max_timeout=*/120));
+  (void)d.poll(0);
+  ASSERT_TRUE(d.poll(101).has_value());
+  d.observe_heartbeat(1, 110);
+  EXPECT_EQ(d.timeout_of(1), 120);  // 300 capped
+}
+
+TEST(Heartbeat, ReportsOnlyOnChange) {
+  HeartbeatDetector d(4, 1, opts(10, 50));
+  (void)d.poll(0);
+  ASSERT_TRUE(d.poll(51).has_value());  // 0, 2, 3 all trip at once
+  EXPECT_EQ(d.suspects(), ProcSet::full(4) - ProcSet::singleton(1));
+  // Further silence changes nothing: suspected peers stay suspected.
+  EXPECT_FALSE(d.poll(200).has_value());
+  EXPECT_FALSE(d.poll(400).has_value());
+}
+
+TEST(Heartbeat, RejectsBadConstruction) {
+  EXPECT_THROW(HeartbeatDetector(0, 0, opts(10, 50)), InvariantViolation);
+  EXPECT_THROW(HeartbeatDetector(3, 3, opts(10, 50)), InvariantViolation);
+  EXPECT_THROW(HeartbeatDetector(3, 0, opts(0, 50)), InvariantViolation);
+  // Timeout must strictly exceed the interval or everyone is suspected
+  // between two of their own beacons.
+  EXPECT_THROW(HeartbeatDetector(3, 0, opts(10, 10)), InvariantViolation);
+  EXPECT_THROW(HeartbeatDetector(3, 0, opts(10, 50, 0.5)),
+               InvariantViolation);
+}
+
+TEST(Heartbeat, RejectsHeartbeatsFromSelfOrOutOfRange) {
+  HeartbeatDetector d(3, 0, opts(10, 50));
+  EXPECT_THROW(d.observe_heartbeat(0, 5), InvariantViolation);
+  EXPECT_THROW(d.observe_heartbeat(3, 5), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace udc

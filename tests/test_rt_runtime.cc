@@ -1,0 +1,175 @@
+// run_live (rt/runtime.h) end to end: real threads, a real ARQ transport, a
+// real heartbeat detector — and every lifted trace re-checked by the SAME
+// spec.h / fd/properties.h checkers the simulator uses.  These tests keep
+// the run counts modest; the CI-scale soak (>= 50 mixed-fault runs) lives in
+// tools/udc_rt_soak.  The sanitize_for_live tests at the top are pure.
+#include "udc/rt/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "udc/chaos/fault_script.h"
+#include "udc/common/check.h"
+#include "udc/coord/action.h"
+
+namespace udc {
+namespace {
+
+// --- sanitize_for_live ----------------------------------------------------
+
+TEST(SanitizeForLive, CrashesAreDedupedPerVictimAndCappedAtT) {
+  FaultScript s;
+  s.crashes = {{0, 50}, {0, 20}, {1, 30}, {2, 10}, {7, 5}};  // 7 >= n
+  FaultScript out = sanitize_for_live(s, /*n=*/3, /*t=*/1);
+  ASSERT_EQ(out.crashes.size(), 1u);  // earliest victim wins the t slots
+  EXPECT_EQ(out.crashes[0].victim, 2);
+  EXPECT_EQ(out.crashes[0].at, 10);
+
+  FaultScript two = sanitize_for_live(s, /*n=*/3, /*t=*/2);
+  ASSERT_EQ(two.crashes.size(), 2u);
+  EXPECT_EQ(two.crashes[0].victim, 2);
+  EXPECT_EQ(two.crashes[1].victim, 0);
+  EXPECT_EQ(two.crashes[1].at, 20);  // dedup keeps 0's earliest injection
+}
+
+TEST(SanitizeForLive, UnboundedWindowsAreClampedAndLiesDropped) {
+  FaultScript s;
+  s.partitions.push_back(
+      {ProcSet::singleton(0), ProcSet::full(4), 40, kTimeMax});
+  s.silences.push_back({1, 2, 30, kTimeMax});
+  s.bursts.push_back({20, kTimeMax, 0.25, 0.4});
+  s.lies.push_back(LieDirective{});
+  FaultScript out = sanitize_for_live(s, /*n=*/4, /*t=*/1,
+                                      /*window_cap=*/500);
+  ASSERT_EQ(out.partitions.size(), 1u);
+  EXPECT_EQ(out.partitions[0].heal, 540);  // a live run cannot wait forever
+  ASSERT_EQ(out.silences.size(), 1u);
+  EXPECT_EQ(out.silences[0].end, 530);
+  ASSERT_EQ(out.bursts.size(), 1u);
+  EXPECT_EQ(out.bursts[0].end, 520);
+  EXPECT_TRUE(out.lies.empty());  // no oracle to corrupt below a real FD
+}
+
+TEST(SanitizeForLive, OutOfRangeChannelReferencesAreDropped) {
+  FaultScript s;
+  s.partitions.push_back({ProcSet::singleton(5), ProcSet::full(4), 0, 100});
+  s.silences.push_back({9, 0, 0, 100});
+  FaultScript out = sanitize_for_live(s, /*n=*/4, /*t=*/1);
+  EXPECT_TRUE(out.partitions.empty());
+  EXPECT_TRUE(out.silences.empty());
+}
+
+// --- live runs ------------------------------------------------------------
+
+std::string violations_of(const RtVerdict& v) {
+  std::string all;
+  for (const std::string& viol : v.coord.violations) all += viol + "\n";
+  return all;
+}
+
+// The first four runs of the default udc_rt_soak sweep: generated mixed
+// fault scripts (crash + healing partitions + silences + burst loss) over
+// both conformance-tested protocols, with run 2 exercising the restart path.
+TEST(RunLive, GeneratedFaultScriptsYieldConformantLiftedRuns) {
+  ScriptGenOptions gen;
+  gen.n = 4;
+  gen.horizon = 1'200;
+  gen.max_crashes = 1;
+  gen.max_partitions = 2;
+  gen.max_silences = 2;
+  gen.max_bursts = 1;
+  gen.max_lies = 0;
+  for (int i = 0; i < 4; ++i) {
+    RtOptions o;
+    o.n = 4;
+    o.t = 1;
+    o.protocol = (i % 2 == 0) ? "strongfd" : "majority";
+    o.restartable_crashes = (i % 3 == 2);
+    o.workload = make_workload(4, 2, 60, 40);
+    o.seed = 1 + static_cast<std::uint64_t>(i);
+    o.script = generate_fault_script(gen, o.seed);
+    RtVerdict v = run_live(o);
+    EXPECT_EQ(v.status, BudgetStatus::kComplete) << "run " << i;
+    EXPECT_TRUE(v.conformant)
+        << "run " << i << " (" << o.protocol << ")\n" << violations_of(v);
+    ASSERT_TRUE(v.run.has_value());
+    EXPECT_GT(v.counters.events_recorded, 0u);
+    EXPECT_GT(v.counters.heartbeats, 0u);
+  }
+}
+
+TEST(RunLive, RestartedWorkerReplaysItsLogAndPreservesUniformity) {
+  RtOptions o;
+  o.n = 4;
+  o.t = 1;
+  o.protocol = "strongfd";
+  o.restartable_crashes = true;
+  o.workload = make_workload(4, 1, 60, 40);
+  // Completion cannot be declared before every directive is injected, so a
+  // crash scheduled ahead of the first directive (tick 60) is guaranteed to
+  // land while the run is still open — the restart path always executes.
+  o.script.crashes.push_back({1, 40});
+  o.seed = 7;
+  RtVerdict v = run_live(o);
+  EXPECT_EQ(v.status, BudgetStatus::kComplete);
+  // Completion needs every action performed by every unsealed process, so
+  // the crashed-then-restarted worker must have come back and caught up.
+  EXPECT_GE(v.counters.restarts, 1u);
+  // The injection is counted, but restartable crashes record no kCrash
+  // event — in the lifted run the process merely goes silent and resumes.
+  EXPECT_EQ(v.counters.crashes, 1u);
+  EXPECT_TRUE(v.conformant) << violations_of(v);  // checked against DC2'
+}
+
+TEST(RunLive, CrashFreeLossFreeRunIsEventuallyStrongAccurate) {
+  RtOptions o;
+  o.n = 4;
+  o.t = 1;
+  o.protocol = "strongfd";
+  o.workload = make_workload(4, 1, 60, 40);
+  o.background_drop = 0.0;
+  o.seed = 13;
+  RtVerdict v = run_live(o);
+  EXPECT_EQ(v.status, BudgetStatus::kComplete);
+  EXPECT_TRUE(v.conformant) << violations_of(v);
+  // Nobody crashed, so completeness is vacuous; the ◇-class content is
+  // accuracy: any (scheduling-induced) false suspicion must have been
+  // retracted, after which suspicions stay truthful through the horizon.
+  EXPECT_TRUE(v.fd.strong_completeness);
+  EXPECT_TRUE(v.accuracy.eventually_strong());
+}
+
+TEST(RunLive, TinyDeadlineDegradesToAStructuredPartialVerdict) {
+  RtOptions o;
+  o.n = 4;
+  o.t = 1;
+  o.workload = make_workload(4, 1, 60, 40);
+  o.seed = 21;
+  o.default_deadline = std::chrono::milliseconds(1);
+  RtVerdict v = run_live(o);
+  EXPECT_EQ(v.status, BudgetStatus::kBudgetExceeded);
+  ASSERT_TRUE(v.run.has_value());  // partial trace still lifts and checks
+  EXPECT_FALSE(v.conformant);
+}
+
+TEST(RunLive, RejectsMalformedOptions) {
+  RtOptions bad_n;
+  bad_n.n = 0;
+  EXPECT_THROW(run_live(bad_n), InvariantViolation);
+
+  RtOptions bad_t;
+  bad_t.n = 3;
+  bad_t.t = 3;
+  EXPECT_THROW(run_live(bad_t), InvariantViolation);
+
+  RtOptions bad_owner;
+  bad_owner.n = 4;
+  // Directive says process 1 initiates an action owned by process 0.
+  bad_owner.workload.push_back({10, 1, make_action(0, 0)});
+  EXPECT_THROW(run_live(bad_owner), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace udc

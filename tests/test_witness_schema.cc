@@ -1,0 +1,102 @@
+// Witness schema versioning (chaos/witness.h): the magic line
+// "udc-witness v1" is the format gate.  Malformed or unsupported-version
+// files surface as the typed WitnessFormatError — a subclass of
+// InvariantViolation, so existing catch-alls still work, while tools can
+// distinguish bad *input* (exit 2, see tools/udc_replay.cc and the ctest
+// exit-code sweep in tools/CMakeLists.txt) from replay divergence (exit 1).
+#include "udc/chaos/witness.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "udc/common/check.h"
+
+namespace udc {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(UDC_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// The diagnostic a rejection carries; empty if the text parses.
+std::string rejection_of(const std::string& text) {
+  try {
+    (void)parse_witness(text);
+    return "";
+  } catch (const WitnessFormatError& e) {
+    return e.what();
+  }
+}
+
+TEST(WitnessSchema, GoodFixturesParseUnderTheCurrentVersion) {
+  ChaosWitness w = parse_witness(read_fixture("strongfd_perfect_dagger.witness"));
+  EXPECT_EQ(w.scenario.protocol, "strongfd");
+  ChaosWitness m = parse_witness(read_fixture("majority_tuseful_dagger.witness"));
+  EXPECT_EQ(m.scenario.protocol, "majority");
+}
+
+TEST(WitnessSchema, BadMagicIsRejectedByName) {
+  std::string why = rejection_of(read_fixture("bad_magic.witness"));
+  EXPECT_NE(why.find("bad magic"), std::string::npos) << why;
+}
+
+TEST(WitnessSchema, UnsupportedVersionIsRejectedByNumber) {
+  std::string why = rejection_of(read_fixture("bad_version.witness"));
+  EXPECT_NE(why.find("unsupported witness version v2"), std::string::npos)
+      << why;
+  EXPECT_NE(why.find("this build reads v1"), std::string::npos) << why;
+}
+
+TEST(WitnessSchema, TruncationAndBadScriptLinesAreFormatErrors) {
+  EXPECT_THROW((void)parse_witness(read_fixture("bad_truncated.witness")),
+               WitnessFormatError);
+  // The script block's own parser raises InvariantViolation; at the witness
+  // boundary that converts to the typed format error (the file's fault).
+  EXPECT_THROW((void)parse_witness(read_fixture("bad_script.witness")),
+               WitnessFormatError);
+  EXPECT_THROW((void)parse_witness(""), WitnessFormatError);
+  EXPECT_THROW((void)replay_witness(read_fixture("bad_truncated.witness")),
+               WitnessFormatError);
+}
+
+TEST(WitnessSchema, FormatErrorIsAnInvariantViolation) {
+  // Subclassing keeps every pre-schema catch site working unchanged.
+  EXPECT_THROW((void)parse_witness(read_fixture("bad_magic.witness")),
+               InvariantViolation);
+}
+
+TEST(WitnessSchema, FormatterEmitsTheCurrentVersionAndRoundTrips) {
+  ASSERT_EQ(kWitnessFormatVersion, 1);
+  ChaosWitness w = parse_witness(read_fixture("strongfd_perfect_dagger.witness"));
+  std::string text = format_witness(w);  // regenerates the run
+  EXPECT_EQ(text.rfind("udc-witness v1\n", 0), 0u);
+  ChaosWitness back = parse_witness(text);
+  EXPECT_EQ(back.scenario.protocol, w.scenario.protocol);
+  EXPECT_EQ(back.scenario.seed, w.scenario.seed);
+  EXPECT_EQ(back.script, w.script);
+  EXPECT_EQ(back.report.dc1, w.report.dc1);
+  EXPECT_EQ(back.report.dc2, w.report.dc2);
+  EXPECT_EQ(back.report.dc3, w.report.dc3);
+}
+
+TEST(WitnessSchema, AVersionBumpInTheTextIsTheOnlyChangeNeededToReject) {
+  // Take a good witness and bump only the magic line: everything else is
+  // valid v1 content, and it must still be refused up front.
+  std::string text = read_fixture("strongfd_perfect_dagger.witness");
+  ASSERT_EQ(text.rfind("udc-witness v1\n", 0), 0u);
+  std::string bumped = "udc-witness v99\n" + text.substr(15);
+  std::string why = rejection_of(bumped);
+  EXPECT_NE(why.find("unsupported witness version v99"), std::string::npos)
+      << why;
+}
+
+}  // namespace
+}  // namespace udc

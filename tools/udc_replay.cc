@@ -8,6 +8,10 @@
 // the checked-in fixtures certifies that today's simulator still produces
 // yesterday's counterexamples.
 //
+// Exit codes: 0 reproduced, 1 replay divergence (or internal error), 2 bad
+// invocation or malformed/unsupported-version witness file (one-line
+// diagnostic on stderr).
+//
 //   build/tools/udc_replay tests/fixtures/majority_unreliable.witness
 //   build/tools/udc_chaos --out=w.witness && build/tools/udc_replay w.witness
 #include <cstdio>
@@ -37,7 +41,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "usage: udc_replay <witness-file>\n");
       return 2;
     }
-    udc::ReplayResult r = udc::replay_witness(slurp(argv[1]));
+    udc::ReplayResult r;
+    try {
+      r = udc::replay_witness(slurp(argv[1]));
+    } catch (const udc::WitnessFormatError& e) {
+      // The file, not the replay, is at fault: same exit class as a usage
+      // error, one line, no stack of decorations.
+      std::fprintf(stderr, "udc_replay: %s\n", e.what());
+      return 2;
+    }
     const udc::ChaosScenario& sc = r.witness.scenario;
     std::printf("witness: protocol=%s detector=%s n=%d t=%d horizon=%lld "
                 "spec=%s injections=%zu\n",
