@@ -136,6 +136,7 @@ ChaosWitness shrink_witness(const ChaosWitness& witness) {
     improved |= prune_vector(best, &FaultScript::silences);
     improved |= prune_vector(best, &FaultScript::bursts);
     improved |= prune_vector(best, &FaultScript::lies);
+    improved |= prune_vector(best, &FaultScript::storage_faults);
 
     // 2. Truncate the horizon: big bites first.  The spec's grace window
     // makes obligations vacuous when the horizon gets too close to the

@@ -28,6 +28,10 @@ bool operator==(const LieDirective& a, const LieDirective& b) {
   return a.kind == b.kind && a.observer == b.observer && a.begin == b.begin &&
          a.end == b.end && a.accused == b.accused;
 }
+bool operator==(const StorageFault& a, const StorageFault& b) {
+  return a.kind == b.kind && a.victim == b.victim && a.begin == b.begin &&
+         a.end == b.end;
+}
 
 CrashPlan FaultScript::crash_plan(int n) const {
   std::vector<std::optional<Time>> times(static_cast<std::size_t>(n),
@@ -57,8 +61,35 @@ bool FaultScript::references_process_at_or_above(ProcessId n) const {
     if (l.observer >= n) return true;
     if (!(l.accused & high).empty()) return true;
   }
+  for (const StorageFault& f : storage_faults) {
+    if (f.victim >= n) return true;
+  }
   return false;
 }
+
+namespace {
+
+const char* storage_kind_token(StorageFault::Kind k) {
+  switch (k) {
+    case StorageFault::Kind::kTornWrite: return "torn";
+    case StorageFault::Kind::kTruncate: return "truncate";
+    case StorageFault::Kind::kBitFlip: return "bitflip";
+    case StorageFault::Kind::kShortRead: return "shortread";
+    case StorageFault::Kind::kSyncFail: return "syncfail";
+  }
+  return "?";
+}
+
+StorageFault::Kind parse_storage_kind(const std::string& token) {
+  if (token == "torn") return StorageFault::Kind::kTornWrite;
+  if (token == "truncate") return StorageFault::Kind::kTruncate;
+  if (token == "bitflip") return StorageFault::Kind::kBitFlip;
+  if (token == "shortread") return StorageFault::Kind::kShortRead;
+  if (token == "syncfail") return StorageFault::Kind::kSyncFail;
+  UDC_CHECK(false, "unknown storage fault kind in fault script: " + token);
+}
+
+}  // namespace
 
 std::string FaultScript::format() const {
   std::ostringstream out;
@@ -88,6 +119,11 @@ std::string FaultScript::format() const {
                                                           : "suppress")
         << " observer=" << l.observer << " begin=" << l.begin
         << " end=" << l.end << " accused=" << l.accused.bits() << '\n';
+  }
+  for (const StorageFault& f : storage_faults) {
+    out << "storage kind=" << storage_kind_token(f.kind)
+        << " victim=" << f.victim << " begin=" << f.begin << " end=" << f.end
+        << '\n';
   }
   return out.str();
 }
@@ -155,6 +191,14 @@ FaultScript FaultScript::parse(const std::string& text) {
       l.end = parse_i64(expect_field(in, "end"), "lie end");
       l.accused = ProcSet(parse_u64(expect_field(in, "accused"), "lie accused"));
       script.lies.push_back(l);
+    } else if (kind == "storage") {
+      StorageFault f;
+      f.kind = parse_storage_kind(expect_field(in, "kind"));
+      f.victim = static_cast<ProcessId>(
+          parse_int(expect_field(in, "victim"), "storage victim"));
+      f.begin = parse_i64(expect_field(in, "begin"), "storage begin");
+      f.end = parse_i64(expect_field(in, "end"), "storage end");
+      script.storage_faults.push_back(f);
     } else {
       UDC_CHECK(false, "unknown fault script line kind: " + kind);
     }
@@ -298,6 +342,18 @@ FaultScript generate_fault_script(const ScriptGenOptions& opts,
       l.accused = draw_set(rng, opts.n);
     }
     script.lies.push_back(l);
+  }
+
+  int n_storage = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(opts.max_storage_faults) + 1));
+  for (int i = 0; i < n_storage; ++i) {
+    StorageFault f;
+    f.kind = static_cast<StorageFault::Kind>(rng.next_below(5));
+    f.victim = rng.chance(0.5) ? kInvalidProcess : draw_proc(rng, opts.n);
+    f.begin = draw_time(rng, 0, opts.horizon / 2);
+    f.end = rng.chance(0.5) ? draw_time(rng, f.begin + 1, opts.horizon)
+                            : kTimeMax;
+    script.storage_faults.push_back(f);
   }
 
   return script;

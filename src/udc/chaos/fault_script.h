@@ -82,17 +82,34 @@ struct LieDirective {
   ProcSet accused;  // kWrongSuspicion only
 };
 
+// A scripted attack on a process's durable log (interpreted by the live
+// runtime's store layer when a worker is hard-killed inside [begin, end);
+// simulated runs have no disk and ignore these):
+//   kTornWrite — the append in flight at the kill lands only partially
+//   kTruncate  — machine-crash semantics: the un-fsync'd tail is lost
+//   kBitFlip   — one byte of the on-disk WAL is flipped
+//   kShortRead — recovery's reads return a few bytes at a time
+//   kSyncFail  — fsync silently does nothing while the window is open
+struct StorageFault {
+  enum class Kind { kTornWrite, kTruncate, kBitFlip, kShortRead, kSyncFail };
+  Kind kind = Kind::kTornWrite;
+  ProcessId victim = kInvalidProcess;  // kInvalidProcess = every process
+  Time begin = 0;
+  Time end = kTimeMax;
+};
+
 struct FaultScript {
   std::vector<CrashInjection> crashes;
   std::vector<PartitionWindow> partitions;
   std::vector<SilenceWindow> silences;
   std::vector<BurstSegment> bursts;
   std::vector<LieDirective> lies;
+  std::vector<StorageFault> storage_faults;
 
   // The shrinker's size metric: total number of scripted injections.
   std::size_t injection_count() const {
     return crashes.size() + partitions.size() + silences.size() +
-           bursts.size() + lies.size();
+           bursts.size() + lies.size() + storage_faults.size();
   }
   bool empty() const { return injection_count() == 0; }
 
@@ -118,6 +135,7 @@ bool operator==(const PartitionWindow&, const PartitionWindow&);
 bool operator==(const SilenceWindow&, const SilenceWindow&);
 bool operator==(const BurstSegment&, const BurstSegment&);
 bool operator==(const LieDirective&, const LieDirective&);
+bool operator==(const StorageFault&, const StorageFault&);
 
 // DropPolicy realizing the script's channel faults on top of a background
 // i.i.d. loss rate.  Stateful (the burst segments carry per-channel Markov
@@ -149,6 +167,7 @@ struct ScriptGenOptions {
   int max_silences = 2;
   int max_bursts = 1;
   int max_lies = 0;        // lies only make sense when a detector is present
+  int max_storage_faults = 0;  // only the live durable runtime has a disk
   // Crash times are drawn from [1, horizon * crash_window_frac] — early
   // crashes are the interesting ones (late crashes land after the protocol
   // already finished and the grace window excuses them).

@@ -77,12 +77,20 @@ void RuntimeCounters::merge(const RuntimeCounters& other) {
   acks += other.acks;
   abandoned += other.abandoned;
   heartbeats += other.heartbeats;
+  dedup_suppressed += other.dedup_suppressed;
   suspicions += other.suspicions;
   false_suspicions += other.false_suspicions;
   trust_restores += other.trust_restores;
   crashes += other.crashes;
   restarts += other.restarts;
   events_recorded += other.events_recorded;
+  wal_frames_replayed += other.wal_frames_replayed;
+  snapshots_written += other.snapshots_written;
+  snapshots_loaded += other.snapshots_loaded;
+  torn_tails_truncated += other.torn_tails_truncated;
+  recoveries_total += other.recoveries_total;
+  storage_faults_injected += other.storage_faults_injected;
+  sync_failures += other.sync_failures;
 }
 
 std::string format_runtime_counters(const RuntimeCounters& c) {
@@ -90,10 +98,19 @@ std::string format_runtime_counters(const RuntimeCounters& c) {
   out << "sends=" << c.sends << " delivered=" << c.delivered
       << " drops=" << c.drops << " retransmits=" << c.retransmits
       << " acks=" << c.acks << " abandoned=" << c.abandoned
-      << " heartbeats=" << c.heartbeats << " suspicions=" << c.suspicions
+      << " heartbeats=" << c.heartbeats
+      << " dedup_suppressed=" << c.dedup_suppressed
+      << " suspicions=" << c.suspicions
       << " false_suspicions=" << c.false_suspicions
       << " trust_restores=" << c.trust_restores << " crashes=" << c.crashes
-      << " restarts=" << c.restarts << " events=" << c.events_recorded;
+      << " restarts=" << c.restarts << " events=" << c.events_recorded
+      << " wal_replayed=" << c.wal_frames_replayed
+      << " snapshots_written=" << c.snapshots_written
+      << " snapshots_loaded=" << c.snapshots_loaded
+      << " torn_tails=" << c.torn_tails_truncated
+      << " recoveries=" << c.recoveries_total
+      << " storage_faults=" << c.storage_faults_injected
+      << " sync_failures=" << c.sync_failures;
   return out.str();
 }
 

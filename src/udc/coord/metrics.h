@@ -66,6 +66,7 @@ struct RuntimeCounters {
   std::size_t acks = 0;             // link-layer acks received
   std::size_t abandoned = 0;        // unacked sends given up at shutdown
   std::size_t heartbeats = 0;       // heartbeat broadcasts (below the model)
+  std::size_t dedup_suppressed = 0; // duplicate copies swallowed by dedup
   // Failure-detection plane.
   std::size_t suspicions = 0;       // suspicions raised
   std::size_t false_suspicions = 0; // later retracted by a live heartbeat
@@ -74,6 +75,14 @@ struct RuntimeCounters {
   std::size_t crashes = 0;          // permanent worker crashes injected
   std::size_t restarts = 0;         // workers restarted after a crash
   std::size_t events_recorded = 0;  // model-level events in the lifted trace
+  // Durability plane (store/; zero unless the run used a durable_dir).
+  std::size_t wal_frames_replayed = 0;   // tail frames consumed by recoveries
+  std::size_t snapshots_written = 0;     // compactions (incl. post-recovery)
+  std::size_t snapshots_loaded = 0;      // recoveries that found a snapshot
+  std::size_t torn_tails_truncated = 0;  // recoveries that repaired the WAL
+  std::size_t recoveries_total = 0;      // completed disk recoveries
+  std::size_t storage_faults_injected = 0;  // scripted faults that landed
+  std::size_t sync_failures = 0;         // fsyncs swallowed by kSyncFail
 
   void merge(const RuntimeCounters& other);
 };

@@ -50,6 +50,23 @@ void UdcStrongFdProcess::on_receive(ProcessId from, const Message& msg,
   }
 }
 
+void UdcStrongFdProcess::on_peer_recovered(ProcessId q, Env& env) {
+  // q restarted from a possibly lossy durable log, so the ack we hold from
+  // q may certify knowledge q has forgotten — and this protocol's
+  // retransmission toward q STOPS once that ack is in hand, which is
+  // exactly the state that would strand a forgetful q and break DC2'.
+  // Withdraw q's acks: retransmission resumes, q re-acks from its rebuilt
+  // state, and uniformity is re-established by repetition.  ever_suspected_
+  // stays cumulative (the proposition only needs impermanent reports), and
+  // performed flags are never unwound — recovery may deepen an ack debt,
+  // never un-perform an action.
+  for (ActionState& st : active_) {
+    if (!st.acked.contains(q)) continue;
+    st.acked.erase(q);
+    st.last_sent[static_cast<std::size_t>(q)] = env.now() - resend_interval_;
+  }
+}
+
 void UdcStrongFdProcess::on_suspect(ProcSet suspects, Env& env) {
   ever_suspected_ |= suspects;
   for (auto& st : active_) maybe_perform(st, env);

@@ -39,6 +39,7 @@ class UdcStrongFdProcess : public Process {
   void on_receive(ProcessId from, const Message& msg, Env& env) override;
   void on_suspect(ProcSet suspects, Env& env) override;
   void on_tick(Env& env) override;
+  void on_peer_recovered(ProcessId q, Env& env) override;
 
  protected:
   struct ActionState {

@@ -17,6 +17,7 @@ const char* kind_name(MsgKind k) {
     case MsgKind::kDecide: return "decide";
     case MsgKind::kApp: return "app";
     case MsgKind::kHeartbeat: return "heartbeat";
+    case MsgKind::kRejoin: return "rejoin";
   }
   return "?";
 }

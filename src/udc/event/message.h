@@ -35,6 +35,11 @@ enum class MsgKind : std::uint8_t {
   kApp,              // free-form application payload (examples)
   kHeartbeat,        // live-runtime liveness beacon (below the paper's model:
                      // carried by rt/transport but never recorded in a Run)
+  kRejoin,           // live-runtime recovery beacon, also below the model:
+                     // a worker restarted from its durable log tells every
+                     // peer to treat ack-state derived from its pre-crash
+                     // messages as stale (Process::on_peer_recovered); sent
+                     // over the reliable ARQ path but never recorded
 };
 
 struct Message {

@@ -20,6 +20,7 @@ const char* msg_kind_token(MsgKind k) {
     case MsgKind::kDecide: return "decide";
     case MsgKind::kApp: return "app";
     case MsgKind::kHeartbeat: return "heartbeat";
+    case MsgKind::kRejoin: return "rejoin";
   }
   return "?";
 }
@@ -35,6 +36,7 @@ MsgKind parse_msg_kind(const std::string& token) {
   if (token == "decide") return MsgKind::kDecide;
   if (token == "app") return MsgKind::kApp;
   if (token == "heartbeat") return MsgKind::kHeartbeat;
+  if (token == "rejoin") return MsgKind::kRejoin;
   UDC_CHECK(false, "unknown message kind token: " + token);
 }
 

@@ -50,7 +50,9 @@ inline std::int64_t backoff_delay(const BackoffOptions& opts, int attempt) {
 }
 
 // Jittered delay: backoff_delay scaled by a factor drawn from `rng`.  The
-// result stays within [1, cap * (1 + jitter)].
+// result stays within [1, cap] — the cap is re-applied AFTER jitter, so a
+// configured ceiling is a real ceiling; upward jitter saturates at it
+// rather than overshooting by up to (1 + jitter).
 inline std::int64_t backoff_delay_jittered(const BackoffOptions& opts,
                                            int attempt, Rng& rng) {
   UDC_CHECK(opts.jitter >= 0.0 && opts.jitter < 1.0,
@@ -58,8 +60,9 @@ inline std::int64_t backoff_delay_jittered(const BackoffOptions& opts,
   std::int64_t d = backoff_delay(opts, attempt);
   if (opts.jitter == 0.0) return d;
   double factor = 1.0 + opts.jitter * (2.0 * rng.next_double() - 1.0);
-  return std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(static_cast<double>(d) * factor));
+  std::int64_t v = static_cast<std::int64_t>(static_cast<double>(d) * factor);
+  if (opts.cap > 0) v = std::min(v, opts.cap);
+  return std::max<std::int64_t>(v, 1);
 }
 
 }  // namespace udc

@@ -6,7 +6,7 @@
 
 namespace udc {
 
-TraceRecorder::TraceRecorder(int n) {
+TraceRecorder::TraceRecorder(int n, WalSink* sink) : sink_(sink) {
   UDC_CHECK(n >= 1 && n <= kMaxProcesses, "TraceRecorder: bad process count");
   histories_.resize(static_cast<std::size_t>(n));
   sealed_.assign(static_cast<std::size_t>(n), false);
@@ -20,6 +20,7 @@ std::optional<Time> TraceRecorder::record(ProcessId p, const Event& e) {
   ++now_;
   histories_[idx].push_back({now_, e});
   ++count_;
+  if (sink_ != nullptr) sink_->append(p, now_, e);
   return now_;
 }
 
@@ -32,6 +33,7 @@ std::optional<Time> TraceRecorder::record_crash(ProcessId p) {
   histories_[idx].push_back({now_, Event::crash()});
   sealed_[idx] = true;
   ++count_;
+  if (sink_ != nullptr) sink_->append(p, now_, Event::crash());
   return now_;
 }
 

@@ -31,9 +31,21 @@
 
 namespace udc {
 
+// Durable mirror of the recorder's appends (store/process_store.h is the
+// real implementation).  Called inside the recorder's critical section,
+// immediately after the event is admitted, so the on-disk order per process
+// IS the recorded order and no admitted event can be lost between the two.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual void append(ProcessId p, Time t, const Event& e) = 0;
+};
+
 class TraceRecorder {
  public:
-  explicit TraceRecorder(int n);
+  // `sink`, when non-null, receives every admitted event (including kCrash)
+  // under the recorder's mutex; it must outlive the recorder.
+  explicit TraceRecorder(int n, WalSink* sink = nullptr);
 
   // Appends `e` to p's history at a fresh tick.  Returns the tick, or
   // nullopt if p is sealed (crashed permanently) — the caller must then
@@ -68,6 +80,7 @@ class TraceRecorder {
   };
 
   mutable std::mutex mu_;
+  WalSink* sink_ = nullptr;
   Time now_ = 0;
   std::size_t count_ = 0;
   std::vector<std::vector<TimedEvent>> histories_;  // per process, t ascending

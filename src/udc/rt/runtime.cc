@@ -1,6 +1,7 @@
 #include "udc/rt/runtime.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,11 +11,13 @@
 
 #include "udc/chaos/registry.h"
 #include "udc/common/check.h"
+#include "udc/common/rng.h"
 #include "udc/coord/action.h"
 #include "udc/coord/udc_majority.h"
 #include "udc/coord/udc_strongfd.h"
 #include "udc/rt/mailbox.h"
 #include "udc/rt/record.h"
+#include "udc/store/process_store.h"
 
 namespace udc {
 
@@ -73,6 +76,16 @@ FaultScript sanitize_for_live(const FaultScript& script, int n, int t,
   }
   // Lies are oracle directives; the live runtime has no oracle to corrupt —
   // its detector is a real program whose misbehavior comes from real loss.
+
+  // Storage faults attack durable state at kill/recovery time, not the
+  // wire, so their windows need no clamping: an unbounded window just means
+  // "whenever the kill lands".  kInvalidProcess targets every process.
+  for (const StorageFault& f : script.storage_faults) {
+    if (f.victim != kInvalidProcess && (f.victim < 0 || f.victim >= n)) {
+      continue;
+    }
+    out.storage_faults.push_back(f);
+  }
   return out;
 }
 
@@ -177,6 +190,21 @@ class RtEnv final : public Env {
   std::set<ActionId> wal_performed_;
 };
 
+// Mirrors every recorded event into the owning process's durable store.
+// Runs inside the recorder's critical section, so the on-disk order per
+// process is exactly the recorded order.
+class StoreSink final : public WalSink {
+ public:
+  explicit StoreSink(std::vector<std::unique_ptr<ProcessStore>>& stores)
+      : stores_(stores) {}
+  void append(ProcessId p, Time t, const Event& e) override {
+    stores_[static_cast<std::size_t>(p)]->append(t, e);
+  }
+
+ private:
+  std::vector<std::unique_ptr<ProcessStore>>& stores_;
+};
+
 // Detector counters a worker leaves behind at exit; accumulated across the
 // incarnations of one process.
 struct WorkerResult {
@@ -195,6 +223,11 @@ struct WorkerArgs {
   const ProtocolFactory* factory = nullptr;
   HeartbeatOptions hb;
   std::vector<Event> wal;  // empty for the first incarnation
+  // Durable restarts only: inits the disk forgot (recorded by the previous
+  // incarnation, absent from the recovered log) to re-apply during replay,
+  // and whether to broadcast the below-model kRejoin beacon after it.
+  std::vector<ActionId> reinit;
+  bool announce_recovery = false;
   WorkerResult* result = nullptr;
 };
 
@@ -202,7 +235,7 @@ void worker_main(WorkerArgs args) {
   std::unique_ptr<Process> proto = (*args.factory)(args.id);
   RtEnv env(args.id, args.n, *args.rec, *args.transport, *args.board);
 
-  if (args.wal.empty()) {
+  if (args.wal.empty() && args.reinit.empty()) {
     proto->on_start(env);
   } else {
     // Restarted incarnation: rebuild protocol state by replaying the local
@@ -236,7 +269,25 @@ void worker_main(WorkerArgs args) {
                   // appear in a restartable process's log
       }
     }
+    // Inits the durable log lost (its loss is a suffix, and kInit may be in
+    // it) are re-applied here, still in replay mode: the board proves they
+    // were recorded, so recording them again would duplicate the run's one
+    // init event.  Sends regrow via on_tick; a lost kDo re-records (the run
+    // model admits repeated do_p).
+    for (ActionId a : args.reinit) proto->on_init(a, env);
     env.end_replay();
+  }
+
+  if (args.announce_recovery) {
+    // Below the model: tell every peer this process restarted from disk so
+    // they withdraw acks it may have forgotten (Process::on_peer_recovered).
+    // Sent on the reliable ARQ path but never recorded — like heartbeats,
+    // it is infrastructure beneath the paper's runs.
+    Message rejoin;
+    rejoin.kind = MsgKind::kRejoin;
+    for (ProcessId q = 0; q < args.n; ++q) {
+      if (q != args.id) args.transport->send(args.id, q, rejoin);
+    }
   }
 
   HeartbeatDetector detector(args.n, args.id, args.hb, args.rec->now());
@@ -259,6 +310,11 @@ void worker_main(WorkerArgs args) {
       } else if (mail->msg.kind == MsgKind::kHeartbeat) {
         // Below the model: observed by the detector, never recorded.
         detector.observe_heartbeat(mail->from, args.rec->now());
+      } else if (mail->msg.kind == MsgKind::kRejoin) {
+        // Below the model, like the heartbeat it rode in next to: the
+        // sender restarted from a possibly lossy disk; withdraw protocol
+        // state that certifies knowledge it may have lost.
+        proto->on_peer_recovered(mail->from, env);
       } else {
         if (args.rec->record(args.id, Event::recv(mail->from, mail->msg))) {
           proto->on_receive(mail->from, mail->msg, env);
@@ -312,7 +368,27 @@ RtVerdict run_live(const RtOptions& opts) {
     budget.with_deadline(opts.default_deadline);
   }
 
-  TraceRecorder rec(opts.n);
+  // Durable mode: every recorded event is mirrored to a per-process disk
+  // store, and restarts recover from disk under the script's storage
+  // faults.  Declared before the recorder so the sink outlives it.
+  const bool durable = opts.restartable_crashes && !opts.durable_dir.empty();
+  std::vector<std::unique_ptr<ProcessStore>> stores;
+  StoreSink sink(stores);
+  if (durable) {
+    std::filesystem::create_directories(opts.durable_dir);
+    stores.reserve(static_cast<std::size_t>(opts.n));
+    for (ProcessId p = 0; p < opts.n; ++p) {
+      std::vector<StorageFault> faults;
+      for (const StorageFault& f : script.storage_faults) {
+        if (f.victim == p || f.victim == kInvalidProcess) faults.push_back(f);
+      }
+      stores.push_back(std::make_unique<ProcessStore>(
+          opts.durable_dir, p, opts.store, std::move(faults)));
+    }
+  }
+  Rng fault_rng(opts.seed ^ 0x73746f7265ULL);  // "store"
+
+  TraceRecorder rec(opts.n, durable ? &sink : nullptr);
   Board board;
   const ProtocolFactory factory =
       live_protocol_factory(opts.protocol, opts.t, opts.resend_interval);
@@ -349,7 +425,8 @@ RtVerdict run_live(const RtOptions& opts) {
   };
   std::vector<WorkerState> workers(static_cast<std::size_t>(opts.n));
 
-  auto spawn = [&](ProcessId p, std::vector<Event> wal) {
+  auto spawn = [&](ProcessId p, std::vector<Event> wal,
+                   std::vector<ActionId> reinit, bool announce) {
     WorkerArgs args;
     args.id = p;
     args.n = opts.n;
@@ -363,11 +440,13 @@ RtVerdict run_live(const RtOptions& opts) {
     args.factory = &factory;
     args.hb = opts.heartbeat;
     args.wal = std::move(wal);
+    args.reinit = std::move(reinit);
+    args.announce_recovery = announce;
     args.result = &workers[static_cast<std::size_t>(p)].result;
     workers[static_cast<std::size_t>(p)].thread =
         std::thread(worker_main, std::move(args));
   };
-  for (ProcessId p = 0; p < opts.n; ++p) spawn(p, {});
+  for (ProcessId p = 0; p < opts.n; ++p) spawn(p, {}, {}, false);
 
   struct DirectiveState {
     InitDirective d;
@@ -446,7 +525,35 @@ RtVerdict run_live(const RtOptions& opts) {
         slots[static_cast<std::size_t>(p)] = std::make_shared<Mailbox>();
       }
       w.down = false;
-      spawn(p, rec.history_of(p));
+      if (durable) {
+        // Recover FROM DISK: corrupt the dead worker's files per the fault
+        // script (it is joined, so nobody else touches them), repair, load
+        // snapshot + tail.  The disk may have lost a recorded suffix; diff
+        // against the board to re-inject forgotten inits, and have the new
+        // incarnation announce itself so peers re-teach the rest.
+        ProcessStore& ps = *stores[static_cast<std::size_t>(p)];
+        ps.apply_kill_faults(tick, fault_rng);
+        std::vector<StoreRecord> recovered = ps.recover();
+        std::vector<Event> wal;
+        wal.reserve(recovered.size());
+        std::set<ActionId> disk_inits;
+        for (const StoreRecord& r : recovered) {
+          wal.push_back(r.e);
+          if (r.e.kind == EventKind::kInit) disk_inits.insert(r.e.action);
+        }
+        std::vector<ActionId> reinit;
+        {
+          std::lock_guard<std::mutex> lock(board.mu);
+          for (ActionId a : board.initiated) {
+            if (action_owner(a) == p && disk_inits.count(a) == 0) {
+              reinit.push_back(a);
+            }
+          }
+        }
+        spawn(p, std::move(wal), std::move(reinit), /*announce=*/true);
+      } else {
+        spawn(p, rec.history_of(p), {}, false);
+      }
     }
 
     for (DirectiveState& ds : dirs) {
@@ -524,6 +631,16 @@ RtVerdict run_live(const RtOptions& opts) {
   v.counters.crashes = crash_count;
   v.counters.restarts = restart_count;
   v.counters.events_recorded = rec.event_count();
+  for (const auto& ps : stores) {
+    const StoreCounters& sc = ps->counters();
+    v.counters.wal_frames_replayed += sc.wal_frames_replayed;
+    v.counters.snapshots_written += sc.snapshots_written;
+    v.counters.snapshots_loaded += sc.snapshots_loaded;
+    v.counters.torn_tails_truncated += sc.torn_tails_truncated;
+    v.counters.recoveries_total += sc.recoveries_total;
+    v.counters.storage_faults_injected += sc.storage_faults_injected;
+    v.counters.sync_failures += sc.sync_failures;
+  }
 
   v.run = rec.lift();
   v.actions = workload_actions(opts.workload);

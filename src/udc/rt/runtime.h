@@ -26,6 +26,17 @@
 //     Because the replayed state includes every do_p the process already
 //     performed, a restart can never un-perform an action, so uniformity
 //     is preserved by construction and re-verified by the checker.
+//   * durable restart (`durable_dir` non-empty) — the write-ahead log moves
+//     to DISK: every recorded event is mirrored into a per-process
+//     store/ProcessStore (CRC-framed WAL + rotated snapshots), scripted
+//     StorageFaults corrupt it at kill time, and the restarted worker
+//     replays snapshot + repaired WAL tail instead of the in-memory trace.
+//     Whatever the disk lost is a suffix of the process's history; the
+//     recovery protocol re-learns it: the supervisor re-injects inits the
+//     disk forgot (board vs. log diff), and the restarted worker broadcasts
+//     a below-model kRejoin beacon so peers withdraw acks they hold from it
+//     (see Process::on_peer_recovered) and retransmission re-teaches the
+//     rest.  DC2' is then re-proven on the lifted run, not assumed.
 #pragma once
 
 #include <chrono>
@@ -45,6 +56,7 @@
 #include "udc/fd/properties.h"
 #include "udc/rt/transport.h"
 #include "udc/sim/context.h"
+#include "udc/store/process_store.h"
 
 namespace udc {
 
@@ -77,6 +89,14 @@ struct RtOptions {
   // false, crashes are permanent and the verdict checks DC2 (UDC).
   bool restartable_crashes = false;
   Time restart_after = 600;
+
+  // Durable restarts: when non-empty, each process keeps a disk WAL +
+  // snapshots under this directory (created if missing; expected fresh per
+  // run) and restartable crashes recover FROM DISK under the script's
+  // StorageFaults instead of from the in-memory trace.  Ignored when
+  // restartable_crashes is false.
+  std::string durable_dir;
+  StoreOptions store;
 
   // Wall-clock envelope.  A budget without a deadline gets
   // `default_deadline` so a wedged live run can never hang the caller;

@@ -1,5 +1,7 @@
 #include "udc/rt/transport.h"
 
+#include <algorithm>
+
 #include "udc/common/check.h"
 
 namespace udc {
@@ -32,21 +34,27 @@ RtTransport::RtTransport(int n, RtTransportOptions opts,
   UDC_CHECK(opts_.min_delay.count() >= 0 &&
                 opts_.max_delay >= opts_.min_delay,
             "RtTransport: bad delay range");
+  UDC_CHECK(opts_.dedup_window >= 1, "RtTransport: bad dedup window");
   // Per-ordered-channel PRNG streams, mirroring Network: traffic on one
   // channel never perturbs the draws of another.
   channel_rngs_.reserve(static_cast<std::size_t>(n_) * n_);
   for (std::size_t i = 0; i < static_cast<std::size_t>(n_) * n_; ++i) {
     channel_rngs_.emplace_back(seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
   }
+  channel_next_wire_.assign(static_cast<std::size_t>(n_) * n_, 0);
+  dedup_.resize(static_cast<std::size_t>(n_) * n_);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
 RtTransport::~RtTransport() { stop(); }
 
+std::size_t RtTransport::channel_index(ProcessId from, ProcessId to) const {
+  return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(to);
+}
+
 Rng& RtTransport::channel_rng(ProcessId from, ProcessId to) {
-  return channel_rngs_[static_cast<std::size_t>(from) *
-                           static_cast<std::size_t>(n_) +
-                       static_cast<std::size_t>(to)];
+  return channel_rngs_[channel_index(from, to)];
 }
 
 void RtTransport::push_op(Op op) {
@@ -59,7 +67,9 @@ void RtTransport::send(ProcessId from, ProcessId to, const Message& msg) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return;
   std::uint64_t seq = next_seq_++;
-  pending_.emplace(seq, PendingSend{from, to, msg});
+  PendingSend p{from, to, msg};
+  p.wire_seq = ++channel_next_wire_[channel_index(from, to)];
+  pending_.emplace(seq, std::move(p));
   ++counters_.sends;
   Op op;
   op.at = std::chrono::steady_clock::now();
@@ -129,6 +139,11 @@ RuntimeCounters RtTransport::counters() const {
   return counters_;
 }
 
+std::size_t RtTransport::dedup_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dedup_peak_;
+}
+
 void RtTransport::dispatch_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
@@ -137,12 +152,15 @@ void RtTransport::dispatch_loop() {
       continue;
     }
     auto now = std::chrono::steady_clock::now();
-    const Op& top = ops_.top();
-    if (top.at > now) {
-      cv_.wait_until(lock, top.at);
+    // Copy the deadline out of the queue: wait_until releases the lock, and
+    // a concurrent push_op may reallocate the queue's storage, so a
+    // reference into ops_.top() must not be held across the wait.
+    const auto wake_at = ops_.top().at;
+    if (wake_at > now) {
+      cv_.wait_until(lock, wake_at);
       continue;
     }
-    Op op = top;
+    Op op = ops_.top();
     ops_.pop();
     switch (op.kind) {
       case OpKind::kAttempt:
@@ -211,10 +229,17 @@ void RtTransport::handle_deliver(std::unique_lock<std::mutex>& lock, Op op) {
   if (it == pending_.end()) return;
   ProcessId from = it->second.from;
   ProcessId to = it->second.to;
-  bool duplicate = it->second.delivered;
+  std::uint64_t wire = it->second.wire_seq;
   Message msg = it->second.msg;
+  ChannelDedup& d = dedup_[channel_index(from, to)];
+  bool duplicate = wire <= d.watermark || d.seen.count(wire) > 0;
   bool accepted = true;
-  if (!duplicate) {
+  if (duplicate) {
+    // Already surfaced (or folded into the watermark): suppress, but still
+    // ack below — re-acking duplicates is what ends retransmission when
+    // the first ack was lost.
+    ++counters_.dedup_suppressed;
+  } else {
     // First copy: hand it up, without transport locks (the recipient's
     // mailbox push takes its own lock, and the worker may call back into
     // send() from another thread meanwhile).
@@ -224,8 +249,25 @@ void RtTransport::handle_deliver(std::unique_lock<std::mutex>& lock, Op op) {
     it = pending_.find(op.seq);  // re-validate: ack/abandon may have raced
     if (it == pending_.end()) return;
     if (accepted) {
-      it->second.delivered = true;
       ++counters_.delivered;
+      d.seen.insert(wire);
+      // Contiguous prefix folds into the watermark...
+      while (d.seen.count(d.watermark + 1) > 0) {
+        d.seen.erase(d.watermark + 1);
+        ++d.watermark;
+      }
+      // ...and reordering beyond the window folds forcibly: seqs skipped
+      // over here are suppressed if they ever arrive, i.e. channel loss,
+      // which protocol retransmission (a fresh wire seq) re-learns.
+      while (d.seen.size() > opts_.dedup_window) {
+        d.watermark = *d.seen.begin();
+        d.seen.erase(d.seen.begin());
+        while (d.seen.count(d.watermark + 1) > 0) {
+          d.seen.erase(d.watermark + 1);
+          ++d.watermark;
+        }
+      }
+      dedup_peak_ = std::max(dedup_peak_, d.seen.size());
     }
   }
   // Ack every successfully delivered copy, duplicates included — re-acking

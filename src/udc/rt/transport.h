@@ -14,8 +14,16 @@
 //              receiver side dedups link-layer retransmissions, because run
 //              validation R3 counts receives against sends multiset-wise and
 //              a protocol-level send must surface at most once per link-level
-//              success).  A successful delivery triggers an ack on the
-//              reverse channel, itself subject to the drop policy.
+//              success).  Dedup state is BOUNDED: each ordered channel keeps
+//              a contiguous watermark ("every wire seq <= this has been
+//              seen") plus a window of at most `dedup_window` out-of-order
+//              seqs above it.  When reordering overflows the window the
+//              oldest seq is folded into the watermark — any not-yet-seen
+//              seq swallowed that way is suppressed on arrival (acked but
+//              not surfaced), which is just channel loss; protocol-level
+//              retransmission re-learns it with a fresh wire seq.  A
+//              successful delivery triggers an ack on the reverse channel,
+//              itself subject to the drop policy.
 //   ack      — retires the pending send; retransmissions stop.
 //
 // Fairness R5 falls out: as long as the drop policy eventually lets the
@@ -34,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -56,6 +65,10 @@ struct RtTransportOptions {
   // Give up on a pending send after this many attempts; 0 = never.  The
   // supervisor's budget bounds total runtime either way.
   int max_attempts = 0;
+  // Max out-of-order wire seqs remembered per ordered channel for
+  // receiver-side dedup (>= 1).  Overflow folds into the watermark; see the
+  // file comment for why that is loss, not corruption.
+  std::size_t dedup_window = 64;
 };
 
 class RtTransport {
@@ -96,13 +109,25 @@ class RtTransport {
 
   RuntimeCounters counters() const;
 
+  // High-water mark of out-of-order dedup entries across all channels —
+  // the regression test's witness that dedup memory stays bounded.
+  std::size_t dedup_peak() const;
+
  private:
   struct PendingSend {
     ProcessId from;
     ProcessId to;
     Message msg;
-    int attempt = 0;       // attempts made so far
-    bool delivered = false;  // receiver-side dedup of link retransmissions
+    std::uint64_t wire_seq = 0;  // per-ordered-channel, monotone from 1
+    int attempt = 0;             // attempts made so far
+  };
+
+  // Receiver-side dedup state for one ordered channel: everything at or
+  // below `watermark` has been seen; `seen` holds the out-of-order seqs
+  // above it, at most dedup_window of them.
+  struct ChannelDedup {
+    std::uint64_t watermark = 0;
+    std::set<std::uint64_t> seen;
   };
 
   enum class OpKind { kAttempt, kDeliver, kAck };
@@ -119,6 +144,7 @@ class RtTransport {
     }
   };
 
+  std::size_t channel_index(ProcessId from, ProcessId to) const;
   Rng& channel_rng(ProcessId from, ProcessId to);
   void push_op(Op op);  // callers hold mu_
   void dispatch_loop();
@@ -141,6 +167,9 @@ class RtTransport {
   std::map<std::uint64_t, PendingSend> pending_;
   std::priority_queue<Op, std::vector<Op>, std::greater<Op>> ops_;
   std::vector<Rng> channel_rngs_;  // per ordered channel, like Network
+  std::vector<std::uint64_t> channel_next_wire_;  // per ordered channel
+  std::vector<ChannelDedup> dedup_;               // per ordered channel
+  std::size_t dedup_peak_ = 0;
   RuntimeCounters counters_;
 
   std::thread dispatcher_;

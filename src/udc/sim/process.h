@@ -51,6 +51,15 @@ class Process {
   virtual void on_suspect(ProcSet /*suspects*/, Env&) {}
   // Generalized report (§4).
   virtual void on_suspect_gen(ProcSet /*s*/, int /*k*/, Env&) {}
+  // Live-runtime recovery notification, below the paper's model: peer q
+  // crashed and restarted from its durable log, possibly losing its most
+  // recent state (a lossy disk forgets a SUFFIX of q's history).  Protocol
+  // state derived from q's pre-crash messages — acks held from q above all —
+  // may describe knowledge q no longer has; implementations whose
+  // retransmission stops on such state must withdraw it so q is re-taught
+  // (see udc_strongfd; protocols that resend forever need nothing).
+  // Simulated runs never call this.
+  virtual void on_peer_recovered(ProcessId /*q*/, Env&) {}
 };
 
 using ProtocolFactory = std::function<std::unique_ptr<Process>(ProcessId)>;

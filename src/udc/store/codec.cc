@@ -1,0 +1,79 @@
+#include "udc/store/codec.h"
+
+#include "udc/common/proc_set.h"
+#include "udc/event/message.h"
+
+namespace udc {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_record(const StoreRecord& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kStoreRecordBytes);
+  put_u64(out, static_cast<std::uint64_t>(r.t));
+  put_u8(out, static_cast<std::uint8_t>(r.e.kind));
+  put_u32(out, static_cast<std::uint32_t>(r.e.peer));
+  put_u8(out, static_cast<std::uint8_t>(r.e.msg.kind));
+  put_u64(out, static_cast<std::uint64_t>(r.e.msg.action));
+  put_u64(out, r.e.msg.procs.bits());
+  put_u64(out, static_cast<std::uint64_t>(r.e.msg.a));
+  put_u64(out, static_cast<std::uint64_t>(r.e.msg.b));
+  put_u64(out, static_cast<std::uint64_t>(r.e.action));
+  put_u64(out, r.e.suspects.bits());
+  put_u32(out, static_cast<std::uint32_t>(r.e.k));
+  return out;
+}
+
+std::optional<StoreRecord> decode_record(const std::uint8_t* data,
+                                         std::size_t len) {
+  if (len != kStoreRecordBytes) return std::nullopt;
+  const std::uint8_t kind = data[8];
+  const std::uint8_t msg_kind = data[13];
+  if (kind > static_cast<std::uint8_t>(EventKind::kSuspectGen)) {
+    return std::nullopt;
+  }
+  if (msg_kind > static_cast<std::uint8_t>(MsgKind::kRejoin)) {
+    return std::nullopt;
+  }
+  StoreRecord r;
+  r.t = static_cast<Time>(get_u64(data));
+  r.e.kind = static_cast<EventKind>(kind);
+  r.e.peer = static_cast<ProcessId>(static_cast<std::int32_t>(get_u32(data + 9)));
+  r.e.msg.kind = static_cast<MsgKind>(msg_kind);
+  r.e.msg.action = static_cast<ActionId>(get_u64(data + 14));
+  r.e.msg.procs = ProcSet(get_u64(data + 22));
+  r.e.msg.a = static_cast<std::int64_t>(get_u64(data + 30));
+  r.e.msg.b = static_cast<std::int64_t>(get_u64(data + 38));
+  r.e.action = static_cast<ActionId>(get_u64(data + 46));
+  r.e.suspects = ProcSet(get_u64(data + 54));
+  r.e.k = static_cast<std::int32_t>(get_u32(data + 62));
+  return r;
+}
+
+}  // namespace udc

@@ -1,0 +1,40 @@
+// Binary codec for durable (tick, event) records.
+//
+// An Event is a flat value (event/event.h), so a record serializes to a
+// fixed 66-byte little-endian layout with no variable-length parts.  A
+// fixed layout keeps the WAL reader's corruption handling trivial: a frame
+// either decodes in full or is rejected, there is no partially-parsed
+// state.  decode_record is total — malformed input yields nullopt, never an
+// exception — because the recovery path must treat a CRC-valid-but-
+// nonsensical frame the same way it treats a torn one: truncate and
+// re-learn, not crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "udc/common/types.h"
+#include "udc/event/event.h"
+
+namespace udc {
+
+struct StoreRecord {
+  Time t = 0;
+  Event e;
+
+  friend bool operator==(const StoreRecord&, const StoreRecord&) = default;
+};
+
+// t(8) kind(1) peer(4) msg.kind(1) msg.action(8) msg.procs(8) msg.a(8)
+// msg.b(8) action(8) suspects(8) k(4)
+inline constexpr std::size_t kStoreRecordBytes = 66;
+
+std::vector<std::uint8_t> encode_record(const StoreRecord& r);
+
+// nullopt on wrong size or out-of-range enum tags.
+std::optional<StoreRecord> decode_record(const std::uint8_t* data,
+                                         std::size_t len);
+
+}  // namespace udc

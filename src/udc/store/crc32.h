@@ -1,0 +1,38 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for WAL and
+// snapshot framing.
+//
+// The durability layer's threat model (DESIGN.md §9) is a hostile disk:
+// torn writes, truncations, and bit flips injected at kill time.  CRC-32
+// detects every burst error up to 32 bits — in particular every single-byte
+// flip the storage fault layer can script — so a frame whose checksum
+// matches is, for our fault model, exactly the frame that was appended.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace udc {
+
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace udc

@@ -1,0 +1,182 @@
+#include "udc/store/process_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+namespace {
+
+bool window_contains(const StorageFault& f, Time t) {
+  return t >= f.begin && t < f.end;
+}
+
+// Appends `len` bytes of `data` to the file at `path` (raw, unframed — used
+// to fabricate a torn frame).
+void raw_append(const std::string& path, const std::uint8_t* data,
+                std::size_t len) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  UDC_CHECK(fd >= 0, "storage fault: cannot open " + path);
+  while (len > 0) {
+    ssize_t put = ::write(fd, data, len);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      UDC_CHECK(false, "storage fault: write failed: " + path);
+    }
+    data += put;
+    len -= static_cast<std::size_t>(put);
+  }
+  ::close(fd);
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return;  // nothing to corrupt
+  std::uint8_t b = 0;
+  if (::pread(fd, &b, 1, static_cast<off_t>(offset)) == 1) {
+    b ^= 0xFFu;
+    ::pwrite(fd, &b, 1, static_cast<off_t>(offset));
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+ProcessStore::ProcessStore(std::string dir, ProcessId p, StoreOptions opts,
+                           std::vector<StorageFault> faults)
+    : dir_(std::move(dir)), p_(p), opts_(opts), faults_(std::move(faults)) {
+  UDC_CHECK(!dir_.empty(), "ProcessStore: empty directory");
+  writer_ = std::make_unique<WalWriter>(wal_path(), opts_.fsync,
+                                        opts_.fsync_every);
+}
+
+ProcessStore::~ProcessStore() = default;
+
+std::string ProcessStore::wal_path() const {
+  return dir_ + "/p" + std::to_string(p_) + ".wal";
+}
+
+std::string ProcessStore::snapshot_path() const {
+  return dir_ + "/p" + std::to_string(p_) + ".snap";
+}
+
+void ProcessStore::append(Time t, const Event& e) {
+  bool sync_failing = false;
+  for (const StorageFault& f : faults_) {
+    if (f.kind == StorageFault::Kind::kSyncFail && window_contains(f, t)) {
+      sync_failing = true;
+      break;
+    }
+  }
+  writer_->set_sync_failing(sync_failing);
+  writer_->append(StoreRecord{t, e});
+  mirror_.push_back(StoreRecord{t, e});
+  ++counters_.wal_frames_appended;
+  if (++frames_since_snapshot_ >= opts_.snapshot_every) rotate_snapshot();
+  counters_.sync_failures = writer_->sync_failures();
+}
+
+void ProcessStore::rotate_snapshot() {
+  // Snapshot first, truncate the WAL second: a crash in the gap leaves
+  // snapshot and WAL overlapping, which recovery resolves by tick.
+  write_snapshot_file(snapshot_path(), mirror_);
+  writer_->truncate_all();
+  frames_since_snapshot_ = 0;
+  ++counters_.snapshots_written;
+}
+
+void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
+  // The writer's fd goes away first; every fault below edits the file the
+  // way a crashed machine or a bad disk would — from the outside.
+  const std::uint64_t written = writer_->bytes_written();
+  const std::uint64_t synced = writer_->bytes_synced();
+  writer_->close();
+  short_read_armed_ = false;
+
+  for (const StorageFault& f : faults_) {
+    if (!window_contains(f, kill_time)) continue;
+    switch (f.kind) {
+      case StorageFault::Kind::kTornWrite: {
+        // The append in flight at the kill instant made it only partway:
+        // fabricate a frame and write a strict prefix of it.
+        std::vector<std::uint8_t> frame =
+            wal_frame(encode_record(StoreRecord{kill_time, Event::crash()}));
+        std::uint64_t cut =
+            1 + rng.next_below(static_cast<std::uint64_t>(frame.size()) - 1);
+        raw_append(wal_path(), frame.data(), static_cast<std::size_t>(cut));
+        ++counters_.storage_faults_injected;
+        break;
+      }
+      case StorageFault::Kind::kTruncate:
+        // Machine-crash semantics: the unsynced page-cache tail is gone.
+        // This is where FsyncPolicy earns its keep — kNever loses the whole
+        // log here, kEveryAppend loses nothing.
+        if (synced < written) {
+          UDC_CHECK(::truncate(wal_path().c_str(),
+                               static_cast<off_t>(synced)) == 0,
+                    "storage fault: truncate failed");
+          ++counters_.storage_faults_injected;
+        }
+        break;
+      case StorageFault::Kind::kBitFlip:
+        if (written > 0) {
+          flip_byte(wal_path(), rng.next_below(written));
+          ++counters_.storage_faults_injected;
+        }
+        break;
+      case StorageFault::Kind::kShortRead:
+        short_read_armed_ = true;
+        ++counters_.storage_faults_injected;
+        break;
+      case StorageFault::Kind::kSyncFail:
+        break;  // applied at append time, not at kill time
+    }
+  }
+}
+
+std::vector<StoreRecord> ProcessStore::recover() {
+  // 1. Truncate the WAL to its longest valid frame prefix.  A clean tail is
+  //    a no-op; a torn/flipped one is counted and cut.
+  if (repair_wal_file(wal_path())) ++counters_.torn_tails_truncated;
+  WalReadResult wal = read_wal_file(
+      wal_path(), short_read_armed_ ? std::size_t{3} : std::size_t{0});
+  short_read_armed_ = false;
+
+  // 2. Snapshot + tail, deduplicated by tick (the snapshot-then-truncate
+  //    crash window leaves overlap; ticks are globally unique).
+  std::vector<StoreRecord> recovered;
+  Time covered = 0;
+  if (auto snap = read_snapshot_file(snapshot_path())) {
+    recovered = std::move(snap->records);
+    covered = recovered.empty() ? 0 : recovered.back().t;
+    ++counters_.snapshots_loaded;
+  }
+  for (const StoreRecord& r : wal.records) {
+    if (r.t > covered) {
+      recovered.push_back(r);
+      ++counters_.wal_frames_replayed;
+    }
+  }
+
+  // 3. Re-compact: the recovered prefix becomes the new snapshot and the
+  //    WAL restarts empty, so the next incarnation appends onto a durable
+  //    base that an immediate second crash cannot tear.
+  write_snapshot_file(snapshot_path(), recovered);
+  ++counters_.snapshots_written;
+  writer_ = std::make_unique<WalWriter>(wal_path(), opts_.fsync,
+                                        opts_.fsync_every);
+  writer_->truncate_all();
+  frames_since_snapshot_ = 0;
+  mirror_ = recovered;
+  ++counters_.recoveries_total;
+  return recovered;
+}
+
+}  // namespace udc

@@ -1,0 +1,98 @@
+// ProcessStore: one process's durable state — a CRC-framed WAL plus a
+// periodically rotated snapshot — and the scripted storage faults that
+// attack it.
+//
+// The live runtime's TraceRecorder doubles as each process's in-memory
+// write-ahead log; a ProcessStore is that log made durable.  Every recorded
+// event is appended (under the recorder's mutex, so the durable order IS the
+// recorded order); every `snapshot_every` frames the WAL is compacted into
+// an atomically-replaced snapshot.  When the supervisor hard-kills a worker
+// it applies any scripted StorageFault whose window covers the kill tick
+// (torn write, truncate-to-synced, bit flip, short read, fsync failure) and
+// then recovers: repair the WAL tail to its longest valid frame prefix,
+// load snapshot + tail, re-compact, and hand the recovered event prefix to
+// the restarted worker.  Anything the disk lost is a SUFFIX of the
+// process's history, which the recovery protocol re-learns via supervisor
+// re-inits and the kRejoin beacon (DESIGN.md §9).
+//
+// Thread-safety: append() is serialized by the recorder's mutex and only
+// ever called from the owning worker's thread; apply_kill_faults()/
+// recover() run on the supervisor thread strictly after that worker thread
+// has been joined, so no extra locking is needed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "udc/chaos/fault_script.h"
+#include "udc/common/rng.h"
+#include "udc/common/types.h"
+#include "udc/store/snapshot.h"
+#include "udc/store/wal.h"
+
+namespace udc {
+
+struct StoreOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEveryN;
+  int fsync_every = 8;              // frames per fsync under kEveryN
+  std::size_t snapshot_every = 128; // WAL frames before compaction
+};
+
+struct StoreCounters {
+  std::size_t wal_frames_appended = 0;
+  std::size_t wal_frames_replayed = 0;   // tail frames used by recoveries
+  std::size_t snapshots_written = 0;
+  std::size_t snapshots_loaded = 0;
+  std::size_t torn_tails_truncated = 0;  // recoveries that had to repair
+  std::size_t recoveries_total = 0;
+  std::size_t storage_faults_injected = 0;
+  std::size_t sync_failures = 0;
+};
+
+class ProcessStore {
+ public:
+  // `faults` are the (already sanitized) storage faults aimed at this
+  // process (victim == p or kInvalidProcess).
+  ProcessStore(std::string dir, ProcessId p, StoreOptions opts,
+               std::vector<StorageFault> faults);
+  ~ProcessStore();
+
+  ProcessStore(const ProcessStore&) = delete;
+  ProcessStore& operator=(const ProcessStore&) = delete;
+
+  // Durably appends the event recorded at tick t.  kSyncFail windows are
+  // evaluated against t; snapshot rotation happens here too.
+  void append(Time t, const Event& e);
+
+  // Applies every at-kill fault (torn write / truncate / bit flip) whose
+  // window contains `kill_time` to the on-disk WAL, and arms short-read
+  // mode for the following recover().  Must be called after the worker
+  // thread is joined and before recover().
+  void apply_kill_faults(Time kill_time, Rng& rng);
+
+  // Repairs the WAL, loads snapshot + tail, re-compacts, reopens the
+  // writer, and returns the recovered event prefix in tick order.
+  std::vector<StoreRecord> recover();
+
+  const StoreCounters& counters() const { return counters_; }
+
+  std::string wal_path() const;
+  std::string snapshot_path() const;
+
+ private:
+  void rotate_snapshot();
+
+  std::string dir_;
+  ProcessId p_;
+  StoreOptions opts_;
+  std::vector<StorageFault> faults_;
+  std::unique_ptr<WalWriter> writer_;
+  std::vector<StoreRecord> mirror_;  // in-memory copy, for compaction
+  std::size_t frames_since_snapshot_ = 0;
+  bool short_read_armed_ = false;
+  StoreCounters counters_;
+};
+
+}  // namespace udc

@@ -1,0 +1,181 @@
+#include "udc/store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "udc/common/check.h"
+#include "udc/store/crc32.h"
+
+namespace udc {
+
+namespace {
+
+// Frames carry fixed-size records today, but the format allows any payload
+// up to this bound; a corrupted length field beyond it is rejected without
+// attempting a giant allocation.
+constexpr std::uint32_t kMaxFramePayload = 1u << 16;
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+
+std::uint32_t frame_crc(std::uint32_t len, const std::uint8_t* payload) {
+  std::uint8_t len_bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  std::uint32_t c = crc32(len_bytes, sizeof(len_bytes));
+  return crc32(payload, len, c);
+}
+
+// Reads the whole file, honoring the scripted short-read chunk cap.
+// Returns false if the file does not exist.
+bool slurp(const std::string& path, std::size_t max_read_chunk,
+           std::vector<std::uint8_t>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const std::size_t chunk = max_read_chunk > 0 ? max_read_chunk : 65'536;
+  std::vector<std::uint8_t> buf(chunk);
+  for (;;) {
+    ssize_t got = ::read(fd, buf.data(), buf.size());
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;  // unreadable tail: treat what we have as the file
+    }
+    if (got == 0) break;
+    out->insert(out->end(), buf.begin(), buf.begin() + got);
+  }
+  ::close(fd);
+  return true;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::string& path) {
+  while (len > 0) {
+    ssize_t put = ::write(fd, data, len);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      UDC_CHECK(false, "WAL write failed: " + path);
+    }
+    data += put;
+    len -= static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> wal_frame(const std::vector<std::uint8_t>& payload) {
+  UDC_CHECK(!payload.empty() && payload.size() <= kMaxFramePayload,
+            "WAL frame payload out of range");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeader + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  const std::uint32_t crc = frame_crc(len, payload.data());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+WalReadResult read_wal_file(const std::string& path,
+                            std::size_t max_read_chunk) {
+  WalReadResult res;
+  std::vector<std::uint8_t> bytes;
+  if (!slurp(path, max_read_chunk, &bytes)) return res;  // missing == empty
+  res.file_bytes = bytes.size();
+  std::size_t off = 0;
+  while (bytes.size() - off >= kFrameHeader) {
+    const std::uint8_t* p = bytes.data() + off;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+      crc |= static_cast<std::uint32_t>(p[4 + i]) << (8 * i);
+    }
+    if (len == 0 || len > kMaxFramePayload) break;
+    if (bytes.size() - off - kFrameHeader < len) break;  // torn frame
+    if (frame_crc(len, p + kFrameHeader) != crc) break;  // flipped bits
+    auto rec = decode_record(p + kFrameHeader, len);
+    if (!rec) break;  // checksum-valid but not a record we wrote
+    res.records.push_back(*rec);
+    off += kFrameHeader + len;
+    res.valid_bytes = off;
+  }
+  res.tail_corrupt = res.file_bytes > res.valid_bytes;
+  return res;
+}
+
+bool repair_wal_file(const std::string& path) {
+  WalReadResult res = read_wal_file(path);
+  if (!res.tail_corrupt) return false;
+  UDC_CHECK(::truncate(path.c_str(),
+                       static_cast<off_t>(res.valid_bytes)) == 0,
+            "WAL repair truncate failed: " + path);
+  return true;
+}
+
+WalWriter::WalWriter(std::string path, FsyncPolicy policy, int sync_every)
+    : path_(std::move(path)), policy_(policy), sync_every_(sync_every) {
+  UDC_CHECK(policy_ != FsyncPolicy::kEveryN || sync_every_ >= 1,
+            "WalWriter: kEveryN needs sync_every >= 1");
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+  UDC_CHECK(fd_ >= 0, "WalWriter: cannot open " + path_);
+  struct stat st {};
+  UDC_CHECK(::fstat(fd_, &st) == 0, "WalWriter: cannot stat " + path_);
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  // Reopened after recovery: everything already on disk counts as synced
+  // (recovery fsyncs what it keeps).
+  synced_ = size_;
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::append(const StoreRecord& r) {
+  UDC_CHECK(fd_ >= 0, "WalWriter: append after close");
+  std::vector<std::uint8_t> frame = wal_frame(encode_record(r));
+  write_all(fd_, frame.data(), frame.size(), path_);
+  size_ += frame.size();
+  ++frames_;
+  ++unsynced_frames_;
+  if (policy_ == FsyncPolicy::kEveryAppend ||
+      (policy_ == FsyncPolicy::kEveryN && unsynced_frames_ >= sync_every_)) {
+    sync();
+  }
+}
+
+void WalWriter::sync() {
+  UDC_CHECK(fd_ >= 0, "WalWriter: sync after close");
+  if (sync_failing_) {
+    // Scripted fsync failure: the kernel accepted the write but the
+    // barrier silently did nothing — the firmware-lies failure mode.
+    ++sync_failures_;
+    return;
+  }
+  ::fsync(fd_);
+  synced_ = size_;
+  unsynced_frames_ = 0;
+}
+
+void WalWriter::truncate_all() {
+  UDC_CHECK(fd_ >= 0, "WalWriter: truncate after close");
+  UDC_CHECK(::ftruncate(fd_, 0) == 0, "WalWriter: truncate failed: " + path_);
+  size_ = 0;
+  synced_ = 0;
+  unsynced_frames_ = 0;
+}
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace udc

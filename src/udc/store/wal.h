@@ -1,0 +1,98 @@
+// Durable, CRC32-framed, length-prefixed write-ahead log.
+//
+// On-disk layout: a sequence of frames
+//
+//   [u32le len] [u32le crc32(len_bytes || payload)] [payload]
+//
+// with the checksum covering the length prefix as well as the payload, so a
+// corrupted length cannot silently re-frame the rest of the file.  The
+// reader is TOLERANT: it scans frames until the first one that is short,
+// oversized, checksum-mismatched, or undecodable, and reports everything
+// before it — the longest valid frame prefix — plus whether a corrupt tail
+// follows.  It never throws on corrupt input: a torn or flipped tail is a
+// recoverable condition (truncate, rejoin, re-learn; DESIGN.md §9), not a
+// programming error.
+//
+// The writer tracks two sizes: bytes_written (everything handed to the OS;
+// what a plain process kill leaves behind, since the page cache outlives
+// the process) and bytes_synced (the fsync'd prefix; what a scripted
+// machine-crash-style kTruncate fault preserves).  That gap is exactly the
+// durability cost of FsyncPolicy::kNever vs kEveryAppend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "udc/store/codec.h"
+
+namespace udc {
+
+enum class FsyncPolicy {
+  kNever,        // never fsync: a machine crash may lose the entire WAL
+  kEveryAppend,  // fsync after every frame: nothing unsynced, slowest
+  kEveryN,       // fsync every sync_every frames: bounded unsynced tail
+};
+
+// Builds one frame around `payload`.
+std::vector<std::uint8_t> wal_frame(const std::vector<std::uint8_t>& payload);
+
+struct WalReadResult {
+  std::vector<StoreRecord> records;  // decoded longest valid prefix
+  std::uint64_t valid_bytes = 0;     // byte length of that prefix
+  std::uint64_t file_bytes = 0;      // actual file size (0 if missing)
+  bool tail_corrupt = false;         // file_bytes > valid_bytes
+};
+
+// Tolerant scan of a WAL file.  A missing file reads as empty.
+// `max_read_chunk` > 0 caps the bytes returned per read(2) call, exercising
+// the partial-read loop (the kShortRead storage fault).
+WalReadResult read_wal_file(const std::string& path,
+                            std::size_t max_read_chunk = 0);
+
+// Truncates `path` to its longest valid frame prefix.  Returns true if
+// anything was cut.  Missing file is a no-op.
+bool repair_wal_file(const std::string& path);
+
+class WalWriter {
+ public:
+  // Opens (creating if needed) and appends at the end.  Throws
+  // InvariantViolation if the file cannot be opened — an unusable log
+  // directory is a configuration error, not a scripted fault.
+  WalWriter(std::string path, FsyncPolicy policy, int sync_every);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  void append(const StoreRecord& r);
+  // Policy-independent fsync of everything written.  A no-op (counted in
+  // sync_failures) while a scripted kSyncFail window is active.
+  void sync();
+  void set_sync_failing(bool failing) { sync_failing_ = failing; }
+
+  // Snapshot rotation: empty the log (the snapshot now covers its content).
+  void truncate_all();
+
+  std::uint64_t bytes_written() const { return size_; }
+  std::uint64_t bytes_synced() const { return synced_; }
+  std::size_t frames_appended() const { return frames_; }
+  std::size_t sync_failures() const { return sync_failures_; }
+
+  void close();
+
+ private:
+  std::string path_;
+  FsyncPolicy policy_;
+  int sync_every_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::uint64_t synced_ = 0;
+  std::size_t frames_ = 0;
+  int unsynced_frames_ = 0;
+  bool sync_failing_ = false;
+  std::size_t sync_failures_ = 0;
+};
+
+}  // namespace udc

@@ -50,6 +50,30 @@ TEST(Backoff, JitteredDelayStaysInsideTheBand) {
   }
 }
 
+TEST(Backoff, JitterNeverEscapesTheConfiguredCap) {
+  // The cap is re-applied AFTER jitter: even when the pre-jitter delay sits
+  // exactly at the cap and the draw lands near (1 + jitter), the result must
+  // stay in [1, cap].  10k samples across the attempt range where delays
+  // saturate (this was a real bug: jitter applied to an already-capped delay
+  // used to overshoot by up to the jitter fraction).
+  BackoffOptions o{/*base=*/700, /*growth=*/1.7, /*cap=*/9'000,
+                   /*jitter=*/0.95};
+  Rng rng(20'260'806);
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    for (int i = 0; i < 250; ++i) {
+      const std::int64_t j = backoff_delay_jittered(o, attempt, rng);
+      ASSERT_GE(j, 1) << "attempt " << attempt;
+      ASSERT_LE(j, o.cap) << "attempt " << attempt;
+    }
+  }
+  // cap = 0 stays genuinely uncapped but still respects the floor of 1.
+  BackoffOptions uncapped{/*base=*/700, /*growth=*/1.7, /*cap=*/0,
+                          /*jitter=*/0.95};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(backoff_delay_jittered(uncapped, 3, rng), 1);
+  }
+}
+
 TEST(Backoff, ZeroJitterIsExactAndSameSeedIsSameSchedule) {
   BackoffOptions o{/*base=*/500, /*growth=*/2.0, /*cap=*/64'000,
                    /*jitter=*/0};

@@ -79,6 +79,50 @@ TEST(FaultScript, ReferencesProcessAtOrAbove) {
   EXPECT_FALSE(FaultScript{}.references_process_at_or_above(2));
 }
 
+TEST(FaultScript, StorageFaultsRoundTripGenerateAndReject) {
+  // All five kinds, including the every-process wildcard victim and an
+  // unbounded window, survive format -> parse exactly.
+  FaultScript s;
+  const StorageFault::Kind kinds[] = {
+      StorageFault::Kind::kTornWrite, StorageFault::Kind::kTruncate,
+      StorageFault::Kind::kBitFlip, StorageFault::Kind::kShortRead,
+      StorageFault::Kind::kSyncFail,
+  };
+  ProcessId victim = 0;
+  for (StorageFault::Kind kind : kinds) {
+    StorageFault f;
+    f.kind = kind;
+    f.victim = (victim == 2) ? kInvalidProcess : victim;
+    f.begin = 10 * victim;
+    f.end = (victim % 2 == 0) ? kTimeMax : 10 * victim + 40;
+    s.storage_faults.push_back(f);
+    ++victim;
+  }
+  EXPECT_EQ(s.injection_count(), 5u);
+  FaultScript back = FaultScript::parse(s.format());
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(back.format(), s.format());
+
+  // Generation honors max_storage_faults, stays inside the group, and is
+  // seed-deterministic like every other directive family.
+  ScriptGenOptions opts;
+  opts.n = 4;
+  opts.max_storage_faults = 3;
+  EXPECT_EQ(generate_fault_script(opts, 9), generate_fault_script(opts, 9));
+  bool saw_one = false;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    FaultScript g = generate_fault_script(opts, seed);
+    saw_one = saw_one || !g.storage_faults.empty();
+    EXPECT_LE(g.storage_faults.size(), 3u) << "seed " << seed;
+    EXPECT_FALSE(g.references_process_at_or_above(opts.n)) << "seed " << seed;
+    EXPECT_EQ(FaultScript::parse(g.format()), g) << "seed " << seed;
+  }
+  EXPECT_TRUE(saw_one);
+
+  EXPECT_THROW(FaultScript::parse("storage kind=meteor victim=0 begin=0 end=1"),
+               InvariantViolation);
+}
+
 TEST(FaultScript, GenerationIsSeedDeterministic) {
   ScriptGenOptions opts;
   opts.n = 5;
