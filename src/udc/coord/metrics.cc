@@ -78,6 +78,7 @@ void RuntimeCounters::merge(const RuntimeCounters& other) {
   abandoned += other.abandoned;
   heartbeats += other.heartbeats;
   dedup_suppressed += other.dedup_suppressed;
+  acks_piggybacked += other.acks_piggybacked;
   suspicions += other.suspicions;
   false_suspicions += other.false_suspicions;
   trust_restores += other.trust_restores;
@@ -91,6 +92,8 @@ void RuntimeCounters::merge(const RuntimeCounters& other) {
   recoveries_total += other.recoveries_total;
   storage_faults_injected += other.storage_faults_injected;
   sync_failures += other.sync_failures;
+  wal_group_commits += other.wal_group_commits;
+  mailbox_refused += other.mailbox_refused;
 }
 
 std::string format_runtime_counters(const RuntimeCounters& c) {
@@ -100,6 +103,7 @@ std::string format_runtime_counters(const RuntimeCounters& c) {
       << " acks=" << c.acks << " abandoned=" << c.abandoned
       << " heartbeats=" << c.heartbeats
       << " dedup_suppressed=" << c.dedup_suppressed
+      << " acks_piggybacked=" << c.acks_piggybacked
       << " suspicions=" << c.suspicions
       << " false_suspicions=" << c.false_suspicions
       << " trust_restores=" << c.trust_restores << " crashes=" << c.crashes
@@ -110,7 +114,9 @@ std::string format_runtime_counters(const RuntimeCounters& c) {
       << " torn_tails=" << c.torn_tails_truncated
       << " recoveries=" << c.recoveries_total
       << " storage_faults=" << c.storage_faults_injected
-      << " sync_failures=" << c.sync_failures;
+      << " sync_failures=" << c.sync_failures
+      << " group_commits=" << c.wal_group_commits
+      << " mailbox_refused=" << c.mailbox_refused;
   return out.str();
 }
 

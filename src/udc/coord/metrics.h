@@ -3,6 +3,7 @@
 // ablation experiments (AB1) and the examples' reporting.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <optional>
 #include <span>
@@ -67,6 +68,7 @@ struct RuntimeCounters {
   std::size_t abandoned = 0;        // unacked sends given up at shutdown
   std::size_t heartbeats = 0;       // heartbeat broadcasts (below the model)
   std::size_t dedup_suppressed = 0; // duplicate copies swallowed by dedup
+  std::size_t acks_piggybacked = 0; // acks that rode a data frame for free
   // Failure-detection plane.
   std::size_t suspicions = 0;       // suspicions raised
   std::size_t false_suspicions = 0; // later retracted by a live heartbeat
@@ -83,8 +85,50 @@ struct RuntimeCounters {
   std::size_t recoveries_total = 0;      // completed disk recoveries
   std::size_t storage_faults_injected = 0;  // scripted faults that landed
   std::size_t sync_failures = 0;         // fsyncs swallowed by kSyncFail
+  std::size_t wal_group_commits = 0;     // batched fsyncs (group commit)
+  // Mailbox plane.
+  std::size_t mailbox_refused = 0;       // pushes refused by a closed mailbox
 
   void merge(const RuntimeCounters& other);
+};
+
+// Transport-plane counters as RELAXED ATOMICS: the data path bumps them
+// lock-free from every dispatcher shard, and counters() snapshots them
+// without taking any transport lock — a metrics poll never contends with a
+// delivery.  Relaxed ordering is sound because each field is a statistically
+// independent monotone tally: no reader infers cross-field invariants from
+// a mid-flight snapshot, and the transport publishes a final consistent
+// snapshot after its dispatchers are joined.
+struct AtomicRuntimeCounters {
+  std::atomic<std::size_t> sends{0};
+  std::atomic<std::size_t> delivered{0};
+  std::atomic<std::size_t> drops{0};
+  std::atomic<std::size_t> retransmits{0};
+  std::atomic<std::size_t> acks{0};
+  std::atomic<std::size_t> abandoned{0};
+  std::atomic<std::size_t> heartbeats{0};
+  std::atomic<std::size_t> dedup_suppressed{0};
+  std::atomic<std::size_t> acks_piggybacked{0};
+  std::atomic<std::size_t> mailbox_refused{0};
+
+  void add(std::atomic<std::size_t>& c, std::size_t v = 1) {
+    c.fetch_add(v, std::memory_order_relaxed);
+  }
+  // Relaxed snapshot into the value struct every reporting path consumes.
+  RuntimeCounters snapshot() const {
+    RuntimeCounters c;
+    c.sends = sends.load(std::memory_order_relaxed);
+    c.delivered = delivered.load(std::memory_order_relaxed);
+    c.drops = drops.load(std::memory_order_relaxed);
+    c.retransmits = retransmits.load(std::memory_order_relaxed);
+    c.acks = acks.load(std::memory_order_relaxed);
+    c.abandoned = abandoned.load(std::memory_order_relaxed);
+    c.heartbeats = heartbeats.load(std::memory_order_relaxed);
+    c.dedup_suppressed = dedup_suppressed.load(std::memory_order_relaxed);
+    c.acks_piggybacked = acks_piggybacked.load(std::memory_order_relaxed);
+    c.mailbox_refused = mailbox_refused.load(std::memory_order_relaxed);
+    return c;
+  }
 };
 
 // One line, key=value pairs, stable field order — the soak tool's output and

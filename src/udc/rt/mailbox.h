@@ -28,21 +28,30 @@ struct RtMail {
   Kind kind = Kind::kStop;
   ProcessId from = kInvalidProcess;  // kDeliver: sender
   Message msg;                       // kDeliver payload
+  Time send_tick = 0;  // kDeliver: tick at which the sender recorded the
+                       // kSend (0 for below-model traffic) — the receiver
+                       // asserts its recv tick is strictly larger (R3)
   ActionId action = kInvalidAction;  // kInit
 };
 
+// Outcome of a push, so no producer ever has to guess why its mail vanished:
+// kAccepted means the consumer will see it; kClosed means the mailbox
+// belongs to a down process and the mail was refused — the transport treats
+// that as channel loss and keeps retrying, the supervisor counts it.
+enum class MailboxPush { kAccepted, kClosed };
+
 class Mailbox {
  public:
-  // False iff the mailbox is closed (the process is down); the mail is then
-  // dropped, exactly like a message lost on the wire.
-  bool push(RtMail mail) {
+  // kClosed iff the mailbox is closed (the process is down); the mail is
+  // then refused, exactly like a message lost on the wire.
+  MailboxPush push(RtMail mail) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) return false;
+      if (closed_) return MailboxPush::kClosed;
       queue_.push_back(std::move(mail));
     }
     cv_.notify_one();
-    return true;
+    return MailboxPush::kAccepted;
   }
 
   // Pops the next mail, waiting up to `timeout`.  nullopt on timeout or

@@ -6,89 +6,24 @@
 
 namespace udc {
 
-TraceRecorder::TraceRecorder(int n, WalSink* sink) : sink_(sink) {
-  UDC_CHECK(n >= 1 && n <= kMaxProcesses, "TraceRecorder: bad process count");
-  histories_.resize(static_cast<std::size_t>(n));
-  sealed_.assign(static_cast<std::size_t>(n), false);
-}
+namespace {
 
-std::optional<Time> TraceRecorder::record(ProcessId p, const Event& e) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto idx = static_cast<std::size_t>(p);
-  UDC_CHECK(p >= 0 && idx < histories_.size(), "TraceRecorder: bad process");
-  if (sealed_[idx]) return std::nullopt;
-  ++now_;
-  histories_[idx].push_back({now_, e});
-  ++count_;
-  if (sink_ != nullptr) sink_->append(p, now_, e);
-  return now_;
-}
+// Shared by both recorders: turn a tick-sorted slot sequence into a Run.
+// Ticks are globally unique, so the sequence is a total order with no ties;
+// empty ticks (idle bumps, and under the sharded recorder ticks taken by a
+// record that lost its seal race) become empty steps.
+struct LiftSlot {
+  Time t;
+  ProcessId p;
+  const Event* e;
+};
 
-std::optional<Time> TraceRecorder::record_crash(ProcessId p) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto idx = static_cast<std::size_t>(p);
-  UDC_CHECK(p >= 0 && idx < histories_.size(), "TraceRecorder: bad process");
-  if (sealed_[idx]) return std::nullopt;
-  ++now_;
-  histories_[idx].push_back({now_, Event::crash()});
-  sealed_[idx] = true;
-  ++count_;
-  if (sink_ != nullptr) sink_->append(p, now_, Event::crash());
-  return now_;
-}
-
-Time TraceRecorder::bump() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ++now_;
-}
-
-Time TraceRecorder::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return now_;
-}
-
-std::size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
-}
-
-bool TraceRecorder::sealed(ProcessId p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto idx = static_cast<std::size_t>(p);
-  UDC_CHECK(p >= 0 && idx < sealed_.size(), "TraceRecorder: bad process");
-  return sealed_[idx];
-}
-
-std::vector<Event> TraceRecorder::history_of(ProcessId p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto idx = static_cast<std::size_t>(p);
-  UDC_CHECK(p >= 0 && idx < histories_.size(), "TraceRecorder: bad process");
-  std::vector<Event> out;
-  out.reserve(histories_[idx].size());
-  for (const TimedEvent& te : histories_[idx]) out.push_back(te.e);
-  return out;
-}
-
-Run TraceRecorder::lift() const {
-  struct Slot {
-    Time t;
-    ProcessId p;
-    const Event* e;
-  };
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<Slot> slots;
-  slots.reserve(count_);
-  for (std::size_t p = 0; p < histories_.size(); ++p) {
-    for (const TimedEvent& te : histories_[p]) {
-      slots.push_back({te.t, static_cast<ProcessId>(p), &te.e});
-    }
-  }
-  // Ticks are globally unique, so this is a total order with no ties.
+Run build_run(std::vector<LiftSlot>& slots, int n, Time horizon) {
   std::sort(slots.begin(), slots.end(),
-            [](const Slot& a, const Slot& b) { return a.t < b.t; });
-  Run::Builder b(static_cast<int>(histories_.size()));
+            [](const LiftSlot& a, const LiftSlot& b) { return a.t < b.t; });
+  Run::Builder b(n);
   Time cur = 0;
-  for (const Slot& s : slots) {
+  for (const LiftSlot& s : slots) {
     UDC_CHECK(s.t > cur, "TraceRecorder: duplicate tick in lift");
     while (cur < s.t - 1) {
       b.end_step();
@@ -98,11 +33,187 @@ Run TraceRecorder::lift() const {
     b.end_step();
     ++cur;
   }
-  while (cur < now_) {
+  while (cur < horizon) {
     b.end_step();
     ++cur;
   }
   return std::move(b).build();
+}
+
+}  // namespace
+
+// --- TraceRecorder (sharded) ------------------------------------------------
+
+TraceRecorder::TraceRecorder(int n, WalSink* sink) : sink_(sink) {
+  UDC_CHECK(n >= 1 && n <= kMaxProcesses, "TraceRecorder: bad process count");
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<Time> TraceRecorder::record(ProcessId p, const Event& e) {
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < shards_.size(), "TraceRecorder: bad process");
+  Shard& s = *shards_[idx];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.sealed) return std::nullopt;
+  // The tick is taken INSIDE the shard lock, so p's log stays tick-ascending
+  // even when the supervisor's record_crash races the worker's record.
+  const Time t = now_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  s.log.push_back({t, e});
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_ != nullptr) sink_->append(p, t, e);
+  return t;
+}
+
+std::optional<Time> TraceRecorder::record_crash(ProcessId p) {
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < shards_.size(), "TraceRecorder: bad process");
+  Shard& s = *shards_[idx];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.sealed) return std::nullopt;
+  const Time t = now_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  s.log.push_back({t, Event::crash()});
+  s.sealed = true;  // R4: same critical section as the kCrash append
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_ != nullptr) {
+    sink_->append(p, t, Event::crash());
+    sink_->seal(p);  // flush_on_seal: the crash record must not sit batched
+  }
+  return t;
+}
+
+Time TraceRecorder::bump() {
+  return now_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+Time TraceRecorder::now() const {
+  return now_.load(std::memory_order_acquire);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+bool TraceRecorder::sealed(ProcessId p) const {
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < shards_.size(), "TraceRecorder: bad process");
+  Shard& s = *shards_[idx];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.sealed;
+}
+
+std::vector<Event> TraceRecorder::history_of(ProcessId p) const {
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < shards_.size(), "TraceRecorder: bad process");
+  Shard& s = *shards_[idx];
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<Event> out;
+  out.reserve(s.log.size());
+  for (const TimedEvent& te : s.log) out.push_back(te.e);
+  return out;
+}
+
+Run TraceRecorder::lift() const {
+  // Lock every shard for the duration of the merge: the snapshot must be a
+  // consistent cut.  Locks are taken in process order; nothing else ever
+  // holds two shard locks, so the order cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& s : shards_) locks.emplace_back(s->mu);
+  const Time horizon = now_.load(std::memory_order_acquire);
+  std::vector<LiftSlot> slots;
+  slots.reserve(count_.load(std::memory_order_relaxed));
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    for (const TimedEvent& te : shards_[p]->log) {
+      slots.push_back({te.t, static_cast<ProcessId>(p), &te.e});
+    }
+  }
+  return build_run(slots, static_cast<int>(shards_.size()), horizon);
+}
+
+// --- SerialTraceRecorder (baseline) -----------------------------------------
+
+SerialTraceRecorder::SerialTraceRecorder(int n, WalSink* sink) : sink_(sink) {
+  UDC_CHECK(n >= 1 && n <= kMaxProcesses,
+            "SerialTraceRecorder: bad process count");
+  histories_.resize(static_cast<std::size_t>(n));
+  sealed_.assign(static_cast<std::size_t>(n), false);
+}
+
+std::optional<Time> SerialTraceRecorder::record(ProcessId p, const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < histories_.size(),
+            "SerialTraceRecorder: bad process");
+  if (sealed_[idx]) return std::nullopt;
+  ++now_;
+  histories_[idx].push_back({now_, e});
+  ++count_;
+  if (sink_ != nullptr) sink_->append(p, now_, e);
+  return now_;
+}
+
+std::optional<Time> SerialTraceRecorder::record_crash(ProcessId p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < histories_.size(),
+            "SerialTraceRecorder: bad process");
+  if (sealed_[idx]) return std::nullopt;
+  ++now_;
+  histories_[idx].push_back({now_, Event::crash()});
+  sealed_[idx] = true;
+  ++count_;
+  if (sink_ != nullptr) {
+    sink_->append(p, now_, Event::crash());
+    sink_->seal(p);
+  }
+  return now_;
+}
+
+Time SerialTraceRecorder::bump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++now_;
+}
+
+Time SerialTraceRecorder::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+std::size_t SerialTraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+bool SerialTraceRecorder::sealed(ProcessId p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < sealed_.size(),
+            "SerialTraceRecorder: bad process");
+  return sealed_[idx];
+}
+
+std::vector<Event> SerialTraceRecorder::history_of(ProcessId p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(p);
+  UDC_CHECK(p >= 0 && idx < histories_.size(),
+            "SerialTraceRecorder: bad process");
+  std::vector<Event> out;
+  out.reserve(histories_[idx].size());
+  for (const TimedEvent& te : histories_[idx]) out.push_back(te.e);
+  return out;
+}
+
+Run SerialTraceRecorder::lift() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LiftSlot> slots;
+  slots.reserve(count_);
+  for (std::size_t p = 0; p < histories_.size(); ++p) {
+    for (const TimedEvent& te : histories_[p]) {
+      slots.push_back({te.t, static_cast<ProcessId>(p), &te.e});
+    }
+  }
+  return build_run(slots, static_cast<int>(histories_.size()), now_);
 }
 
 }  // namespace udc

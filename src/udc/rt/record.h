@@ -2,25 +2,53 @@
 //
 // The model checker builds runs directly; the live runtime has to *earn* one.
 // Every observable event (send, recv, do, init, suspect, crash) from every
-// worker thread passes through one recorder, which serializes them under a
-// mutex and stamps each with a fresh tick of a global logical clock.  The
-// total order this produces is exactly a run satisfying R1-R4:
+// worker thread passes through the recorder.  The original implementation
+// (kept below as SerialTraceRecorder — the conformance baseline the property
+// tests and the throughput bench compare against) serialized every event
+// from every worker through ONE mutex, which capped recording throughput at
+// one core regardless of n.  The sharded recorder removes that global
+// serialization point without weakening any model guarantee:
+//
+//   * the logical clock is a single ATOMIC counter; every record takes a
+//     fresh tick with fetch_add, so ticks are globally unique and any two
+//     causally ordered records get causally ordered ticks,
+//   * each process's event log is its own shard, guarded by a per-process
+//     mutex (the owning worker and the supervisor's record_crash are the
+//     only writers), so appends on different processes never contend,
+//   * lift() merges the shards by tick — a deterministic total order.
+//
+// Why the merged order is still a run satisfying R1-R4:
 //
 //   R1  processes start with empty histories (the builder starts empty),
-//   R2  one event per process per step, trivially: one event per *step*,
-//   R3  sends are recorded before the transport ever sees the message, so a
-//       matching send always precedes its receive in the total order,
-//   R4  a crash seals the process inside the same critical section that
-//       records it, so no later event of that process can be admitted.
+//   R2  one event per process per step: ticks are globally unique, so each
+//       step of the merged order contains exactly one event,
+//   R3  the sender takes its tick and appends the send to its shard BEFORE
+//       the transport ever sees the message (record-then-send inside
+//       RtEnv::send); the receive is recorded only after the message came
+//       out of the transport, so the receive's fetch_add happens-after the
+//       send's and returns a strictly larger tick.  The send tick is also
+//       stamped into the transport envelope so the receiving worker can
+//       assert recv_tick > send_tick at runtime rather than trusting this
+//       argument,
+//   R4  record_crash seals the process inside the same per-process critical
+//       section that appends kCrash, so no later event of that process can
+//       be admitted — and no other process's shard is involved in R4 at all.
 //
-// The supervisor bumps the clock on idle polls, so logical time advances even
-// when no events flow (heartbeat timeouts and fault-script windows need time
-// to pass during silence).  The recorder also doubles as each process's
+// Run's constructor re-validates R1-R4 from scratch on every lift(), so the
+// sharded fast path is backed by the same safety net the serial recorder
+// had: a merge that violated the model would throw, never produce a bogus
+// conformance verdict.
+//
+// The supervisor bumps the clock on idle polls, so logical time advances
+// even when no events flow (heartbeat timeouts and fault-script windows need
+// time to pass during silence).  The recorder also doubles as each process's
 // write-ahead log: a restarted worker replays its recorded local history to
 // reconstruct protocol state, which is what makes restarts uniformity-safe.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -32,19 +60,26 @@
 namespace udc {
 
 // Durable mirror of the recorder's appends (store/process_store.h is the
-// real implementation).  Called inside the recorder's critical section,
-// immediately after the event is admitted, so the on-disk order per process
-// IS the recorded order and no admitted event can be lost between the two.
+// real implementation).  append() is called inside the owning process's
+// per-shard critical section, immediately after the event is admitted, so
+// the on-disk order per process IS the recorded order and no admitted event
+// can be lost between the two.  Different processes' appends run
+// CONCURRENTLY under the sharded recorder — implementations must be safe
+// for that (ProcessStore is per-process, so it is).  seal() fires after a
+// kCrash append (still under the shard lock): a durable sink should flush
+// that process's batched writes so the crash record is on disk before the
+// supervisor moves on (group commit's flush_on_seal).
 class WalSink {
  public:
   virtual ~WalSink() = default;
   virtual void append(ProcessId p, Time t, const Event& e) = 0;
+  virtual void seal(ProcessId /*p*/) {}
 };
 
 class TraceRecorder {
  public:
   // `sink`, when non-null, receives every admitted event (including kCrash)
-  // under the recorder's mutex; it must outlive the recorder.
+  // under the per-process shard mutex; it must outlive the recorder.
   explicit TraceRecorder(int n, WalSink* sink = nullptr);
 
   // Appends `e` to p's history at a fresh tick.  Returns the tick, or
@@ -68,9 +103,51 @@ class TraceRecorder {
   // restarted worker replays through a fresh protocol instance.
   std::vector<Event> history_of(ProcessId p) const;
 
-  // Builds the Run (horizon = current clock).  Run's constructor re-validates
-  // R1-R4 from scratch, so a lift that violates the model throws rather than
-  // producing a bogus conformance verdict.
+  // Builds the Run (horizon = current clock) by merging the per-process
+  // shards in tick order.  Takes every shard lock, so it is safe to call
+  // concurrently with recording, though the runtime only lifts after the
+  // workers have been joined.  Run's constructor re-validates R1-R4 from
+  // scratch, so a lift that violates the model throws rather than producing
+  // a bogus conformance verdict.
+  Run lift() const;
+
+ private:
+  struct TimedEvent {
+    Time t;
+    Event e;
+  };
+  // One process's log.  Aligned out to its own cache line so two workers
+  // recording concurrently never false-share lock words.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<TimedEvent> log;
+    bool sealed = false;
+  };
+
+  std::atomic<Time> now_{0};
+  std::atomic<std::size_t> count_{0};
+  WalSink* sink_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;  // per process, t ascending
+};
+
+// The PR-3 single-mutex recorder, verbatim: every event from every worker
+// serialized through one lock.  Kept as the semantics baseline — the
+// concurrent-recording property test replays the sharded recorder's merged
+// order through one of these and demands bit-identical verdicts, and
+// bench_rt_throughput measures the sharded speedup against it.  Not used by
+// the live runtime.
+class SerialTraceRecorder {
+ public:
+  explicit SerialTraceRecorder(int n, WalSink* sink = nullptr);
+
+  std::optional<Time> record(ProcessId p, const Event& e);
+  std::optional<Time> record_crash(ProcessId p);
+  Time bump();
+
+  Time now() const;
+  std::size_t event_count() const;
+  bool sealed(ProcessId p) const;
+  std::vector<Event> history_of(ProcessId p) const;
   Run lift() const;
 
  private:

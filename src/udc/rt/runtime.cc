@@ -1,10 +1,12 @@
 #include "udc/rt/runtime.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
@@ -17,6 +19,7 @@
 #include "udc/coord/udc_strongfd.h"
 #include "udc/rt/mailbox.h"
 #include "udc/rt/record.h"
+#include "udc/store/group_commit.h"
 #include "udc/store/process_store.h"
 
 namespace udc {
@@ -155,8 +158,10 @@ class RtEnv final : public Env {
 
   void send(ProcessId to, const Message& msg) override {
     if (!live_ || dead_) return;
-    if (rec_.record(self_, Event::send(to, msg))) {
-      transport_.send(self_, to, msg);
+    if (auto tick = rec_.record(self_, Event::send(to, msg))) {
+      // The recorded tick rides the transport envelope so the receiver can
+      // assert recv_tick > send_tick — R3, checked operationally.
+      transport_.send(self_, to, msg, *tick);
     } else {
       dead_ = true;
     }
@@ -191,14 +196,20 @@ class RtEnv final : public Env {
 };
 
 // Mirrors every recorded event into the owning process's durable store.
-// Runs inside the recorder's critical section, so the on-disk order per
-// process is exactly the recorded order.
+// Runs inside the recorder's per-process critical section, so the on-disk
+// order per process is exactly the recorded order (different processes'
+// appends run concurrently; ProcessStore is per-process, so that is fine).
 class StoreSink final : public WalSink {
  public:
   explicit StoreSink(std::vector<std::unique_ptr<ProcessStore>>& stores)
       : stores_(stores) {}
   void append(ProcessId p, Time t, const Event& e) override {
     stores_[static_cast<std::size_t>(p)]->append(t, e);
+  }
+  // flush_on_seal: a kCrash record must not sit in a group-commit batch —
+  // it is the last thing this process will ever write.
+  void seal(ProcessId p) override {
+    stores_[static_cast<std::size_t>(p)]->flush();
   }
 
  private:
@@ -316,7 +327,13 @@ void worker_main(WorkerArgs args) {
         // state that certifies knowledge it may have lost.
         proto->on_peer_recovered(mail->from, env);
       } else {
-        if (args.rec->record(args.id, Event::recv(mail->from, mail->msg))) {
+        if (auto rt = args.rec->record(args.id,
+                                       Event::recv(mail->from, mail->msg))) {
+          // R3, operationally: the sender recorded its kSend (taking
+          // send_tick from the shared clock) strictly before the transport
+          // saw the message, so our tick must exceed it.
+          UDC_CHECK(mail->send_tick == 0 || *rt > mail->send_tick,
+                    "rt: recv tick did not exceed send tick (R3)");
           proto->on_receive(mail->from, mail->msg, env);
         } else {
           break;
@@ -388,6 +405,15 @@ RtVerdict run_live(const RtOptions& opts) {
   }
   Rng fault_rng(opts.seed ^ 0x73746f7265ULL);  // "store"
 
+  // Group commit: one flusher amortizes the fsync barriers across all
+  // stores.  Declared after the stores (it holds raw pointers into them)
+  // and stopped explicitly before counters are read.
+  std::optional<GroupCommitter> committer;
+  if (durable && opts.store.group_commit) {
+    committer.emplace();
+    for (auto& ps : stores) committer->attach(ps.get());
+  }
+
   TraceRecorder rec(opts.n, durable ? &sink : nullptr);
   Board board;
   const ProtocolFactory factory =
@@ -400,11 +426,14 @@ RtVerdict run_live(const RtOptions& opts) {
       static_cast<std::size_t>(opts.n));
   for (auto& s : slots) s = std::make_shared<Mailbox>();
 
+  std::atomic<std::size_t> mailbox_refused{0};
   RtTransport transport(
       opts.n, opts.transport,
       std::make_shared<ScriptDropPolicy>(script, opts.background_drop),
       opts.seed, [&rec] { return rec.now(); },
-      [&slots_mu, &slots](ProcessId from, ProcessId to, const Message& msg) {
+      [&slots_mu, &slots, &mailbox_refused](ProcessId from, ProcessId to,
+                                            const Message& msg,
+                                            Time send_tick) {
         std::shared_ptr<Mailbox> mb;
         {
           std::lock_guard<std::mutex> lock(slots_mu);
@@ -414,7 +443,12 @@ RtVerdict run_live(const RtOptions& opts) {
         m.kind = RtMail::Kind::kDeliver;
         m.from = from;
         m.msg = msg;
-        return mb->push(std::move(m));
+        m.send_tick = send_tick;
+        if (mb->push(std::move(m)) == MailboxPush::kAccepted) return true;
+        // Refused: the process is down.  The transport treats this as
+        // channel loss and keeps retrying; we only account for it.
+        mailbox_refused.fetch_add(1, std::memory_order_relaxed);
+        return false;
       });
 
   struct WorkerState {
@@ -469,11 +503,24 @@ RtVerdict run_live(const RtOptions& opts) {
   std::size_t crash_count = 0;
   std::size_t restart_count = 0;
 
+  // Supervisor pacing: poll fast while events flow, back off (up to 4x)
+  // while the system is quiet — an idle live run should not keep a core hot
+  // just to advance the clock.  Logical windows are measured in ticks, so
+  // the backoff stays small enough not to stretch heartbeat timeouts or
+  // restart delays past the run's wall-clock budget.
+  constexpr auto kPollMin = std::chrono::microseconds(200);
+  constexpr auto kPollMax = std::chrono::microseconds(800);
+  auto poll = kPollMin;
+  std::size_t last_count = rec.event_count();
+
   for (;;) {
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    std::this_thread::sleep_for(poll);
     // The idle bump keeps logical time flowing during network silence —
     // heartbeat timeouts and script windows are measured in these ticks.
     const Time tick = rec.bump();
+    const std::size_t count = rec.event_count();
+    poll = count == last_count ? std::min(poll * 2, kPollMax) : kPollMin;
+    last_count = count;
 
     if (budget.deadline_expired() || rec.event_count() > opts.max_events) {
       status = BudgetStatus::kBudgetExceeded;
@@ -575,7 +622,7 @@ RtVerdict run_live(const RtOptions& opts) {
       RtMail m;
       m.kind = RtMail::Kind::kInit;
       m.action = ds.d.action;
-      if (mb->push(std::move(m))) ds.pushed = true;
+      if (mb->push(std::move(m)) == MailboxPush::kAccepted) ds.pushed = true;
     }
 
     // Completion: nobody awaiting restart, every directive either recorded
@@ -619,6 +666,7 @@ RtVerdict run_live(const RtOptions& opts) {
     if (w.thread.joinable()) w.thread.join();
   }
   transport.stop();
+  if (committer) committer->stop();  // final flush; counters now stable
 
   RtVerdict v;
   v.status = status;
@@ -632,7 +680,7 @@ RtVerdict run_live(const RtOptions& opts) {
   v.counters.restarts = restart_count;
   v.counters.events_recorded = rec.event_count();
   for (const auto& ps : stores) {
-    const StoreCounters& sc = ps->counters();
+    const StoreCounters sc = ps->counters();
     v.counters.wal_frames_replayed += sc.wal_frames_replayed;
     v.counters.snapshots_written += sc.snapshots_written;
     v.counters.snapshots_loaded += sc.snapshots_loaded;
@@ -640,7 +688,10 @@ RtVerdict run_live(const RtOptions& opts) {
     v.counters.recoveries_total += sc.recoveries_total;
     v.counters.storage_faults_injected += sc.storage_faults_injected;
     v.counters.sync_failures += sc.sync_failures;
+    v.counters.wal_group_commits += sc.group_commits;
   }
+  v.counters.mailbox_refused +=
+      mailbox_refused.load(std::memory_order_relaxed);
 
   v.run = rec.lift();
   v.actions = workload_actions(opts.workload);

@@ -60,6 +60,15 @@
 
 namespace udc {
 
+// StoreOptions for the live runtime: identical to the store default except
+// that group commit is ON (the standalone store tests exercise the inline
+// fsync policies; the runtime's hot path should not pay per-append fsyncs).
+inline StoreOptions rt_default_store_options() {
+  StoreOptions s;
+  s.group_commit = true;
+  return s;
+}
+
 struct RtOptions {
   int n = 4;
   int t = 1;  // failure bound: sanitize_for_live caps scripted crashes at t
@@ -95,8 +104,13 @@ struct RtOptions {
   // run) and restartable crashes recover FROM DISK under the script's
   // StorageFaults instead of from the in-memory trace.  Ignored when
   // restartable_crashes is false.
+  //
+  // Live runs default to GROUP COMMIT (DESIGN.md §10): appends never fsync
+  // inline; a background flusher batches the barriers, and seal/teardown
+  // force a final flush.  Set store.group_commit = false to get the PR 4
+  // inline-fsync path (the recovery soak cycles both).
   std::string durable_dir;
-  StoreOptions store;
+  StoreOptions store = rt_default_store_options();
 
   // Wall-clock envelope.  A budget without a deadline gets
   // `default_deadline` so a wedged live run can never hang the caller;

@@ -1,37 +1,59 @@
-// RtTransport: the paper's fair-lossy channels, realized operationally.
+// RtTransport: the paper's fair-lossy channels, realized operationally —
+// and sharded so that traffic on independent channels never serializes.
 //
 // The simulator's Network realizes R1-R5 by construction inside one thread;
-// here the same channel model runs for real.  A single dispatcher thread owns
-// a time-ordered queue of link operations:
+// here the same channel model runs for real.  PR 3 drove everything through
+// ONE dispatcher thread behind ONE mutex; every channel in the system
+// serialized on it.  This version shards the transport by UNORDERED process
+// pair: the ordered channels p->q and q->p always land in the same shard, so
+// a data message and the link ack it provokes — which travel opposite
+// directions of the same pair — are handled entirely within one shard, with
+// no cross-shard locking anywhere on the data path.  Each shard owns its
+// dispatcher thread, op queue, pending-send map, dedup state, per-channel
+// PRNG streams (same seeding formula as before, so one channel's traffic
+// never perturbs another's draws), and a CLONE of the drop policy (a
+// stateful policy such as Gilbert-Elliott keeps independent chains per
+// shard, exactly as ChannelConfig::make_policy isolates simulator runs).
 //
-//   attempt  — evaluate the DropPolicy (same interface the simulator and the
-//              chaos scripts use, with `now` read from the run's logical
-//              clock so script windows line up with the recorded trace).
-//              A dropped attempt schedules a retransmission after a jittered
-//              exponential backoff; a passed attempt schedules a delivery
-//              after a random link delay.
-//   deliver  — hand the message to the recipient (first copy only: the
-//              receiver side dedups link-layer retransmissions, because run
-//              validation R3 counts receives against sends multiset-wise and
-//              a protocol-level send must surface at most once per link-level
-//              success).  Dedup state is BOUNDED: each ordered channel keeps
-//              a contiguous watermark ("every wire seq <= this has been
-//              seen") plus a window of at most `dedup_window` out-of-order
-//              seqs above it.  When reordering overflows the window the
-//              oldest seq is folded into the watermark — any not-yet-seen
-//              seq swallowed that way is suppressed on arrival (acked but
-//              not surfaced), which is just channel loss; protocol-level
-//              retransmission re-learns it with a fresh wire seq.  A
-//              successful delivery triggers an ack on the reverse channel,
-//              itself subject to the drop policy.
-//   ack      — retires the pending send; retransmissions stop.
+// Per-shard op kinds:
 //
-// Fairness R5 falls out: as long as the drop policy eventually lets the
-// channel pass (healed partition, i.i.d. loss), bounded-backoff retries
-// deliver every pending message.  Heartbeats are fire-and-forget — one
-// attempt, no ack, no retry — they sit below the model and are never
-// recorded, so their loss is indistinguishable from a silent process, which
-// is precisely what a heartbeat failure detector is supposed to suspect on.
+//   attempt   — evaluate the DropPolicy (same interface the simulator and
+//               the chaos scripts use, with `now` read from the run's
+//               logical clock so script windows line up with the recorded
+//               trace).  A passed attempt schedules a delivery after a
+//               random link delay; pass or drop, the send's next retry time
+//               is computed from the jittered exponential backoff.
+//   deliver   — hand the message (with its send tick) to the recipient.
+//               First copy only: the receiver side dedups link-layer
+//               retransmissions with a bounded watermark + out-of-order
+//               window (overflow folds into the watermark — swallowed seqs
+//               are channel loss, re-learned by protocol retransmission
+//               under a fresh wire seq).  A delivered frame also carries,
+//               for free, every ack owed in its direction (piggybacking);
+//               remaining acks are batched into one flush op per channel.
+//   retryscan — ONE op per shard that walks the shard's pending sends and
+//               re-attempts every one whose backoff deadline has passed,
+//               then re-arms itself at the earliest remaining deadline.
+//               PR 3 queued one retry op per pending send; under load that
+//               made the op heap the hot structure.  The scan replaces
+//               O(pending) heap churn with one amortized pass.
+//   ackflush  — deliver the batch of acks owed on one ordered channel: one
+//               drop-policy draw and one delay draw for the whole batch
+//               (the batch models one ack frame).  Each acked seq retires
+//               its pending send; a dropped flush is channel loss and
+//               retransmission re-learns it.
+//
+// Counters are relaxed atomics (AtomicRuntimeCounters): shards tally
+// lock-free, and counters() never takes a shard lock.  Quiescence is a
+// global atomic pending-count with a dedicated cv — waiting for the network
+// to drain does not contend with deliveries.
+//
+// Fairness R5 falls out unchanged: as long as the drop policy eventually
+// lets the channel pass, bounded-backoff retries deliver every pending
+// message.  Heartbeats are fire-and-forget — one attempt, no ack, no retry —
+// they sit below the model and are never recorded, so their loss is
+// indistinguishable from a silent process, which is precisely what a
+// heartbeat failure detector is supposed to suspect on.
 #pragma once
 
 #include <chrono>
@@ -69,16 +91,22 @@ struct RtTransportOptions {
   // receiver-side dedup (>= 1).  Overflow folds into the watermark; see the
   // file comment for why that is loss, not corruption.
   std::size_t dedup_window = 64;
+  // Dispatcher shards; 0 = auto (min(n, 8)).  Unordered process pairs are
+  // mapped onto shards, so n = 1 shard reproduces the PR 3 single-dispatcher
+  // schedule class.
+  int shards = 0;
 };
 
 class RtTransport {
  public:
-  // `deliver` is invoked from the dispatcher thread, without transport locks
-  // held; it returns false if the recipient refused the message (process
-  // down), in which case the send stays pending and keeps retrying.
+  // `deliver` is invoked from a shard's dispatcher thread, without transport
+  // locks held; it returns false if the recipient refused the message
+  // (process down), in which case the send stays pending and keeps retrying.
+  // `send_tick` is the logical tick at which the sender RECORDED the kSend —
+  // receivers assert their recv tick exceeds it (R3 made operational).
   // `clock` supplies the logical time handed to the drop policy.
   using DeliverFn = std::function<bool(ProcessId from, ProcessId to,
-                                       const Message& msg)>;
+                                       const Message& msg, Time send_tick)>;
 
   RtTransport(int n, RtTransportOptions opts,
               std::shared_ptr<DropPolicy> policy, std::uint64_t seed,
@@ -89,9 +117,10 @@ class RtTransport {
   RtTransport& operator=(const RtTransport&) = delete;
 
   // Reliable-with-retry send (protocol traffic).  The caller must already
-  // have recorded the kSend event — ordering of record-then-send is what
-  // gives the lifted run R3.
-  void send(ProcessId from, ProcessId to, const Message& msg);
+  // have recorded the kSend event at `send_tick` — ordering of
+  // record-then-send is what gives the lifted run R3.
+  void send(ProcessId from, ProcessId to, const Message& msg,
+            Time send_tick = 0);
 
   // Fire-and-forget, below the model: one attempt, no ack, no retry.
   void send_heartbeat(ProcessId from, ProcessId to, const Message& msg);
@@ -104,7 +133,7 @@ class RtTransport {
   // Returns true on quiescence.
   bool quiesce(std::chrono::steady_clock::time_point deadline);
 
-  // Stops the dispatcher; pending sends are abandoned.
+  // Stops every shard dispatcher; pending sends are abandoned.
   void stop();
 
   RuntimeCounters counters() const;
@@ -118,8 +147,10 @@ class RtTransport {
     ProcessId from;
     ProcessId to;
     Message msg;
+    Time send_tick = 0;
     std::uint64_t wire_seq = 0;  // per-ordered-channel, monotone from 1
     int attempt = 0;             // attempts made so far
+    std::chrono::steady_clock::time_point next_at;  // backoff deadline
   };
 
   // Receiver-side dedup state for one ordered channel: everything at or
@@ -130,12 +161,13 @@ class RtTransport {
     std::set<std::uint64_t> seen;
   };
 
-  enum class OpKind { kAttempt, kDeliver, kAck };
+  enum class OpKind { kDeliver, kRetryScan, kAckFlush };
   struct Op {
     std::chrono::steady_clock::time_point at;
     std::uint64_t id;  // tie-break: FIFO among equal deadlines
     OpKind kind;
-    std::uint64_t seq;       // pending-send key (kInvalid for heartbeats)
+    std::uint64_t seq = 0;   // pending-send key (0 for heartbeats)
+    std::size_t chan = 0;    // ordered-channel index (kAckFlush)
     ProcessId hb_from = kInvalidProcess;  // heartbeat delivery
     ProcessId hb_to = kInvalidProcess;
     Message hb_msg;
@@ -144,35 +176,64 @@ class RtTransport {
     }
   };
 
+  // One shard owns a disjoint set of unordered process pairs: both ordered
+  // channels of a pair, their rngs, wire counters, dedup and owed-ack state,
+  // every pending send between the pair, and a dispatcher thread.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;  // dispatcher wake-up
+    bool stopping = false;
+    std::shared_ptr<DropPolicy> policy;  // per-shard clone
+    std::uint64_t next_op_id = 1;
+    std::map<std::uint64_t, PendingSend> pending;
+    std::priority_queue<Op, std::vector<Op>, std::greater<Op>> ops;
+    bool scan_scheduled = false;
+    std::chrono::steady_clock::time_point scan_at;
+    std::size_t dedup_peak = 0;
+    std::thread dispatcher;
+  };
+
   std::size_t channel_index(ProcessId from, ProcessId to) const;
-  Rng& channel_rng(ProcessId from, ProcessId to);
-  void push_op(Op op);  // callers hold mu_
-  void dispatch_loop();
-  void handle_attempt(std::uint64_t seq);              // mu_ held
-  void handle_deliver(std::unique_lock<std::mutex>& lock, Op op);
-  void handle_ack(std::uint64_t seq);                  // mu_ held
+  Shard& shard_of(ProcessId a, ProcessId b);
+  std::chrono::microseconds draw_delay(Rng& rng);
+  void push_op(Shard& sh, Op op);                       // sh.mu held
+  void ensure_scan(Shard& sh,
+                   std::chrono::steady_clock::time_point at);  // sh.mu held
+  void retire_locked(Shard& sh, std::uint64_t seq);     // sh.mu held
+  void note_retired(std::size_t k);
+  // One transmission attempt for pending send `seq`; schedules the delivery
+  // on pass and always re-arms the backoff deadline (unless abandoned).
+  void attempt_locked(Shard& sh, std::uint64_t seq,
+                      std::chrono::steady_clock::time_point now);
+  void dispatch_loop(Shard& sh);
+  void handle_deliver(Shard& sh, std::unique_lock<std::mutex>& lock, Op op);
+  void handle_retry_scan(Shard& sh);                    // sh.mu held
+  void handle_ack_flush(Shard& sh, std::size_t chan);   // sh.mu held
+  void owe_ack(Shard& sh, ProcessId acker, ProcessId to,
+               std::uint64_t seq);                      // sh.mu held
 
   const int n_;
   const RtTransportOptions opts_;
-  std::shared_ptr<DropPolicy> policy_;
   std::function<Time()> clock_;
   DeliverFn deliver_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // dispatcher wake-up
-  std::condition_variable quiesce_cv_;
-  bool stopping_ = false;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_op_id_ = 1;
-  std::map<std::uint64_t, PendingSend> pending_;
-  std::priority_queue<Op, std::vector<Op>, std::greater<Op>> ops_;
-  std::vector<Rng> channel_rngs_;  // per ordered channel, like Network
-  std::vector<std::uint64_t> channel_next_wire_;  // per ordered channel
-  std::vector<ChannelDedup> dedup_;               // per ordered channel
-  std::size_t dedup_peak_ = 0;
-  RuntimeCounters counters_;
+  // Indexed by ordered channel (from * n + to); each entry is touched only
+  // under the owning shard's mutex, so none of these need their own locks.
+  std::vector<Rng> channel_rngs_;
+  std::vector<std::uint64_t> channel_next_wire_;
+  std::vector<ChannelDedup> dedup_;
+  std::vector<std::vector<std::uint64_t>> owed_acks_;
+  std::vector<char> ack_flush_scheduled_;
 
-  std::thread dispatcher_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::size_t> pending_total_{0};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+
+  mutable AtomicRuntimeCounters counters_;
 };
 
 }  // namespace udc

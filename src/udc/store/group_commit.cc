@@ -1,0 +1,69 @@
+#include "udc/store/group_commit.h"
+
+#include <algorithm>
+
+#include "udc/store/process_store.h"
+
+namespace udc {
+
+GroupCommitter::GroupCommitter() {
+  flusher_ = std::thread([this] { loop(); });
+}
+
+GroupCommitter::~GroupCommitter() { stop(); }
+
+void GroupCommitter::attach(ProcessStore* store) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stores_.push_back(store);
+  }
+  store->set_committer(this);
+}
+
+void GroupCommitter::kick() {
+  kicked_.store(true, std::memory_order_release);
+  cv_.notify_one();
+}
+
+std::vector<ProcessStore*> GroupCommitter::stores_snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+
+void GroupCommitter::flush_all() {
+  for (ProcessStore* s : stores_snapshot()) s->flush();
+}
+
+void GroupCommitter::stop() {
+  if (stopping_.exchange(true)) {
+    if (flusher_.joinable()) flusher_.join();
+    return;
+  }
+  cv_.notify_one();
+  if (flusher_.joinable()) flusher_.join();
+  flush_all();  // nothing batched survives shutdown unsynced
+}
+
+void GroupCommitter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Sleep until the shortest attached interval (or a kick).  The interval
+    // is re-derived each round so late attaches are honored.
+    std::chrono::microseconds interval{1'000};
+    for (ProcessStore* s : stores_) {
+      interval = std::min(interval, s->commit_interval());
+    }
+    cv_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             kicked_.load(std::memory_order_acquire);
+    });
+    kicked_.store(false, std::memory_order_release);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    std::vector<ProcessStore*> stores = stores_;
+    lock.unlock();  // never hold the list lock across an fsync
+    for (ProcessStore* s : stores) s->flush();
+    lock.lock();
+  }
+}
+
+}  // namespace udc

@@ -1,0 +1,77 @@
+// Group commit: WAL durability amortized across appends.
+//
+// PR 4 put an fsync (FsyncPolicy::kEveryAppend / kEveryN) INSIDE the append
+// path, which — because appends run inside the recorder's critical section —
+// made every worker in the system wait out each other's disk barriers.  The
+// group committer moves the barrier off the append path entirely: appends
+// only write() (the frame reaches the page cache and survives a process
+// kill), and one background flusher thread issues the fsync for a whole
+// BATCH of frames, either
+//
+//   * when a store accumulates `commit_every` unsynced frames (the store
+//     kicks the flusher early), or
+//   * when `commit_interval` elapses with any frame still unsynced
+//     (bounded staleness for quiet stores), or
+//   * immediately on seal (flush_on_seal): a permanent-crash record must
+//     not sit in a batch, and run teardown flushes everything.
+//
+// Durability semantics are UNCHANGED in kind: what a machine-style crash
+// (the kTruncate storage fault) can lose is still exactly a suffix of the
+// process's history — the suffix window just grows from "since the last
+// every-N fsync" to "since the last group commit", i.e. by at most the
+// batch.  Recovery (repair, snapshot + tail, rejoin beacon, DC2' re-proof)
+// is byte-for-byte the same machinery.
+//
+// Locking: the committer's own mutex guards only the store list; flushes
+// call ProcessStore::flush(), which takes that store's internal mutex.  The
+// committer NEVER holds its list mutex across a flush, and stores kick the
+// flusher through an atomic flag, so no lock is ever taken in both orders.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace udc {
+
+class ProcessStore;
+
+class GroupCommitter {
+ public:
+  GroupCommitter();
+  ~GroupCommitter();  // stop()
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  // Registers a store (and hands it the back-pointer it kicks on batch
+  // overflow).  The store must outlive the committer or be detached by
+  // stopping the committer first.
+  void attach(ProcessStore* store);
+
+  // Wakes the flusher ahead of schedule (a store hit commit_every).
+  void kick();
+
+  // Synchronously flushes every attached store's unsynced tail.
+  void flush_all();
+
+  // Final flush_all, then joins the flusher.  Idempotent.
+  void stop();
+
+ private:
+  void loop();
+  std::vector<ProcessStore*> stores_snapshot();
+
+  std::mutex mu_;  // guards stores_ only
+  std::vector<ProcessStore*> stores_;
+  std::condition_variable cv_;
+  std::atomic<bool> kicked_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread flusher_;
+};
+
+}  // namespace udc

@@ -7,6 +7,7 @@
 #include <cerrno>
 
 #include "udc/common/check.h"
+#include "udc/store/group_commit.h"
 
 namespace udc {
 
@@ -53,11 +54,20 @@ ProcessStore::ProcessStore(std::string dir, ProcessId p, StoreOptions opts,
                            std::vector<StorageFault> faults)
     : dir_(std::move(dir)), p_(p), opts_(opts), faults_(std::move(faults)) {
   UDC_CHECK(!dir_.empty(), "ProcessStore: empty directory");
-  writer_ = std::make_unique<WalWriter>(wal_path(), opts_.fsync,
-                                        opts_.fsync_every);
+  UDC_CHECK(!opts_.group_commit || opts_.commit_every >= 1,
+            "ProcessStore: group commit needs commit_every >= 1");
+  writer_ = make_writer();
 }
 
 ProcessStore::~ProcessStore() = default;
+
+std::unique_ptr<WalWriter> ProcessStore::make_writer() const {
+  // Group commit owns durability: the writer's inline policy is disabled
+  // and every barrier comes from flush().
+  return std::make_unique<WalWriter>(
+      wal_path(), opts_.group_commit ? FsyncPolicy::kNever : opts_.fsync,
+      opts_.fsync_every);
+}
 
 std::string ProcessStore::wal_path() const {
   return dir_ + "/p" + std::to_string(p_) + ".wal";
@@ -68,19 +78,44 @@ std::string ProcessStore::snapshot_path() const {
 }
 
 void ProcessStore::append(Time t, const Event& e) {
-  bool sync_failing = false;
-  for (const StorageFault& f : faults_) {
-    if (f.kind == StorageFault::Kind::kSyncFail && window_contains(f, t)) {
-      sync_failing = true;
-      break;
+  bool kick = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool sync_failing = false;
+    for (const StorageFault& f : faults_) {
+      if (f.kind == StorageFault::Kind::kSyncFail && window_contains(f, t)) {
+        sync_failing = true;
+        break;
+      }
     }
+    writer_->set_sync_failing(sync_failing);
+    writer_->append(StoreRecord{t, e});
+    mirror_.push_back(StoreRecord{t, e});
+    ++counters_.wal_frames_appended;
+    if (++frames_since_snapshot_ >= opts_.snapshot_every) rotate_snapshot();
+    counters_.sync_failures = writer_->sync_failures();
+    kick = opts_.group_commit &&
+           writer_->unsynced_frames() >= opts_.commit_every;
   }
-  writer_->set_sync_failing(sync_failing);
-  writer_->append(StoreRecord{t, e});
-  mirror_.push_back(StoreRecord{t, e});
-  ++counters_.wal_frames_appended;
-  if (++frames_since_snapshot_ >= opts_.snapshot_every) rotate_snapshot();
+  // Kick outside the store mutex: the committer's flusher takes it back in
+  // flush(), and holding it here would stall the worker behind the batch.
+  if (kick && committer_ != nullptr) committer_->kick();
+}
+
+void ProcessStore::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void ProcessStore::flush_locked() {
+  if (writer_ == nullptr || !writer_->is_open()) return;  // mid-kill
+  if (writer_->unsynced_frames() == 0 &&
+      writer_->bytes_synced() >= writer_->bytes_written()) {
+    return;
+  }
+  writer_->sync();
   counters_.sync_failures = writer_->sync_failures();
+  ++counters_.group_commits;
 }
 
 void ProcessStore::rotate_snapshot() {
@@ -93,8 +128,10 @@ void ProcessStore::rotate_snapshot() {
 }
 
 void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
+  std::lock_guard<std::mutex> lock(mu_);
   // The writer's fd goes away first; every fault below edits the file the
-  // way a crashed machine or a bad disk would — from the outside.
+  // way a crashed machine or a bad disk would — from the outside.  The
+  // store mutex keeps a concurrent group-commit flush off the descriptor.
   const std::uint64_t written = writer_->bytes_written();
   const std::uint64_t synced = writer_->bytes_synced();
   writer_->close();
@@ -116,8 +153,9 @@ void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
       }
       case StorageFault::Kind::kTruncate:
         // Machine-crash semantics: the unsynced page-cache tail is gone.
-        // This is where FsyncPolicy earns its keep — kNever loses the whole
-        // log here, kEveryAppend loses nothing.
+        // This is where the durability window shows — inline kEveryAppend
+        // loses nothing, kEveryN at most N-1 frames, group commit at most
+        // one batch.
         if (synced < written) {
           UDC_CHECK(::truncate(wal_path().c_str(),
                                static_cast<off_t>(synced)) == 0,
@@ -142,6 +180,7 @@ void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
 }
 
 std::vector<StoreRecord> ProcessStore::recover() {
+  std::lock_guard<std::mutex> lock(mu_);
   // 1. Truncate the WAL to its longest valid frame prefix.  A clean tail is
   //    a no-op; a torn/flipped one is counted and cut.
   if (repair_wal_file(wal_path())) ++counters_.torn_tails_truncated;
@@ -170,13 +209,17 @@ std::vector<StoreRecord> ProcessStore::recover() {
   //    base that an immediate second crash cannot tear.
   write_snapshot_file(snapshot_path(), recovered);
   ++counters_.snapshots_written;
-  writer_ = std::make_unique<WalWriter>(wal_path(), opts_.fsync,
-                                        opts_.fsync_every);
+  writer_ = make_writer();
   writer_->truncate_all();
   frames_since_snapshot_ = 0;
   mirror_ = recovered;
   ++counters_.recoveries_total;
   return recovered;
+}
+
+StoreCounters ProcessStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
 }
 
 }  // namespace udc

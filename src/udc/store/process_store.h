@@ -4,25 +4,37 @@
 //
 // The live runtime's TraceRecorder doubles as each process's in-memory
 // write-ahead log; a ProcessStore is that log made durable.  Every recorded
-// event is appended (under the recorder's mutex, so the durable order IS the
-// recorded order); every `snapshot_every` frames the WAL is compacted into
-// an atomically-replaced snapshot.  When the supervisor hard-kills a worker
-// it applies any scripted StorageFault whose window covers the kill tick
-// (torn write, truncate-to-synced, bit flip, short read, fsync failure) and
-// then recovers: repair the WAL tail to its longest valid frame prefix,
-// load snapshot + tail, re-compact, and hand the recovered event prefix to
-// the restarted worker.  Anything the disk lost is a SUFFIX of the
-// process's history, which the recovery protocol re-learns via supervisor
-// re-inits and the kRejoin beacon (DESIGN.md §9).
+// event is appended (under the recorder's per-process shard mutex, so the
+// durable order IS the recorded order); every `snapshot_every` frames the
+// WAL is compacted into an atomically-replaced snapshot.  When the
+// supervisor hard-kills a worker it applies any scripted StorageFault whose
+// window covers the kill tick (torn write, truncate-to-synced, bit flip,
+// short read, fsync failure) and then recovers: repair the WAL tail to its
+// longest valid frame prefix, load snapshot + tail, re-compact, and hand the
+// recovered event prefix to the restarted worker.  Anything the disk lost
+// is a SUFFIX of the process's history, which the recovery protocol
+// re-learns via supervisor re-inits and the kRejoin beacon (DESIGN.md §9).
 //
-// Thread-safety: append() is serialized by the recorder's mutex and only
-// ever called from the owning worker's thread; apply_kill_faults()/
-// recover() run on the supervisor thread strictly after that worker thread
-// has been joined, so no extra locking is needed.
+// Durability modes (DESIGN.md §10): with `group_commit` off, the inline
+// FsyncPolicy decides when append() itself issues the barrier — the PR 4
+// behavior.  With `group_commit` on, append() NEVER fsyncs; a GroupCommitter
+// flushes the batch every `commit_every` frames or `commit_interval`, and
+// flush() is also forced when the process is sealed.  The kTruncate fault's
+// loss window widens from "since the last inline fsync" to "since the last
+// group commit" — still a suffix, re-learned the same way.
+//
+// Thread-safety: every public method takes the internal mutex.  append()
+// arrives on the owning worker's thread (serialized by its recorder shard),
+// flush() on the group committer's flusher thread, apply_kill_faults() /
+// recover() on the supervisor thread strictly after the worker is joined —
+// the mutex makes the flusher-vs-supervisor and flusher-vs-worker overlaps
+// safe, and fsync never runs on a closed-and-reused descriptor.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,10 +46,16 @@
 
 namespace udc {
 
+class GroupCommitter;
+
 struct StoreOptions {
   FsyncPolicy fsync = FsyncPolicy::kEveryN;
   int fsync_every = 8;              // frames per fsync under kEveryN
   std::size_t snapshot_every = 128; // WAL frames before compaction
+  // Group commit (overrides the inline fsync policy when true).
+  bool group_commit = false;
+  int commit_every = 32;            // kick the flusher at this many frames
+  std::chrono::microseconds commit_interval{500};  // max batch staleness
 };
 
 struct StoreCounters {
@@ -49,6 +67,7 @@ struct StoreCounters {
   std::size_t recoveries_total = 0;
   std::size_t storage_faults_injected = 0;
   std::size_t sync_failures = 0;
+  std::size_t group_commits = 0;         // flushes that synced >= 1 frame
 };
 
 class ProcessStore {
@@ -63,8 +82,15 @@ class ProcessStore {
   ProcessStore& operator=(const ProcessStore&) = delete;
 
   // Durably appends the event recorded at tick t.  kSyncFail windows are
-  // evaluated against t; snapshot rotation happens here too.
+  // evaluated against t; snapshot rotation happens here too.  Under group
+  // commit the frame is written but not fsynced; the committer is kicked
+  // once commit_every frames are pending.
   void append(Time t, const Event& e);
+
+  // Fsyncs the unsynced WAL tail, if any.  Called by the group committer's
+  // flusher, by seal (flush_on_seal), and at teardown.  A no-op when the
+  // writer is closed (store mid-kill) or nothing is pending.
+  void flush();
 
   // Applies every at-kill fault (torn write / truncate / bit flip) whose
   // window contains `kill_time` to the on-disk WAL, and arms short-read
@@ -76,18 +102,30 @@ class ProcessStore {
   // writer, and returns the recovered event prefix in tick order.
   std::vector<StoreRecord> recover();
 
-  const StoreCounters& counters() const { return counters_; }
+  // Counters are read after the run quiesces (workers joined, committer
+  // stopped); the snapshot is taken under the store mutex.
+  StoreCounters counters() const;
+
+  std::chrono::microseconds commit_interval() const {
+    return opts_.commit_interval;
+  }
+  void set_committer(GroupCommitter* c) { committer_ = c; }
 
   std::string wal_path() const;
   std::string snapshot_path() const;
 
  private:
-  void rotate_snapshot();
+  std::unique_ptr<WalWriter> make_writer() const;
+  void rotate_snapshot();  // mu_ held
+  void flush_locked();     // mu_ held
 
   std::string dir_;
   ProcessId p_;
   StoreOptions opts_;
   std::vector<StorageFault> faults_;
+  GroupCommitter* committer_ = nullptr;
+
+  mutable std::mutex mu_;
   std::unique_ptr<WalWriter> writer_;
   std::vector<StoreRecord> mirror_;  // in-memory copy, for compaction
   std::size_t frames_since_snapshot_ = 0;

@@ -79,6 +79,10 @@ class WalWriter {
   std::uint64_t bytes_synced() const { return synced_; }
   std::size_t frames_appended() const { return frames_; }
   std::size_t sync_failures() const { return sync_failures_; }
+  // Frames written but not yet covered by an fsync — what a group committer
+  // looks at to decide whether a batch is due.
+  int unsynced_frames() const { return unsynced_frames_; }
+  bool is_open() const { return fd_ >= 0; }
 
   void close();
 

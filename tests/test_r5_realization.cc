@@ -101,7 +101,7 @@ TEST(R5Realization, LiveTransportRetransmissionDeliversEverySend) {
                                   /*cap=*/2'000, /*jitter=*/0.25};
     RtTransport tr(2, opts, std::make_shared<IidDropPolicy>(0.5), seed,
                    [] { return Time{0}; },
-                   [&](ProcessId, ProcessId, const Message& m) {
+                   [&](ProcessId, ProcessId, const Message& m, Time) {
                      std::lock_guard<std::mutex> lock(mu);
                      got.insert(m.a);
                      return true;

@@ -39,7 +39,7 @@ struct Sink {
   std::set<ProcessId> down;
 
   RtTransport::DeliverFn fn() {
-    return [this](ProcessId, ProcessId to, const Message& m) {
+    return [this](ProcessId, ProcessId to, const Message& m, Time) {
       std::lock_guard<std::mutex> lock(mu);
       if (down.count(to) != 0) return false;
       tags.push_back(m.a);

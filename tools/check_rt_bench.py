@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Guards the live-runtime hot path against perf regressions.
+
+Compares a fresh bench_rt_throughput run against the checked-in reference
+(BENCH_pr5.json) row by row and fails on a >FACTOR regression:
+
+  * throughput rows (events_per_sec > 0 in the reference): fail when the
+    fresh run achieves less than 1/FACTOR of the reference rate,
+  * latency rows (the lift benchmarks, events_per_sec == 0): fail when the
+    fresh ns_per_op exceeds FACTOR times the reference.
+
+FACTOR defaults to 2.0 — loose on purpose: CI runners are noisy and differ
+from the box that produced the reference, so the gate only catches real
+structural regressions (a reintroduced global lock, an fsync back on the
+append path), not scheduler jitter.  Rows present in only one file are
+reported but never fatal, so adding or retiring benchmarks does not require
+a lockstep reference update.
+
+Usage: check_rt_bench.py <reference.json> <fresh.json> [factor]
+"""
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        return {row["bench"]: row for row in json.load(f)}
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(f"usage: {sys.argv[0]} <reference.json> <fresh.json> [factor]")
+    ref = load_rows(sys.argv[1])
+    fresh = load_rows(sys.argv[2])
+    factor = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+
+    failures = []
+    for name, r in sorted(ref.items()):
+        f = fresh.get(name)
+        if f is None:
+            print(f"note: {name} missing from fresh run (skipped)")
+            continue
+        if r["events_per_sec"] > 0:
+            ratio = f["events_per_sec"] / r["events_per_sec"]
+            verdict = "FAIL" if ratio < 1.0 / factor else "ok"
+            print(f"{verdict:4} {name}: {f['events_per_sec']:.0f} ev/s "
+                  f"vs ref {r['events_per_sec']:.0f} ({ratio:.2f}x)")
+            if ratio < 1.0 / factor:
+                failures.append(name)
+        elif r["ns_per_op"] > 0:
+            ratio = f["ns_per_op"] / r["ns_per_op"]
+            verdict = "FAIL" if ratio > factor else "ok"
+            print(f"{verdict:4} {name}: {f['ns_per_op']:.0f} ns/op "
+                  f"vs ref {r['ns_per_op']:.0f} ({ratio:.2f}x)")
+            if ratio > factor:
+                failures.append(name)
+    for name in sorted(set(fresh) - set(ref)):
+        print(f"note: {name} not in reference (skipped)")
+
+    if failures:
+        sys.exit(f"{len(failures)} row(s) regressed by more than "
+                 f"{factor}x: {', '.join(failures)}")
+    print(f"all {len(ref)} reference rows within {factor}x")
+
+
+if __name__ == "__main__":
+    main()

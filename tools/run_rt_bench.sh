@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the live-runtime throughput benchmarks (bench_rt_throughput) and
+# writes machine-readable rows to a BENCH_*.json at the repo root, so the
+# recording-hot-path trajectory accumulates across PRs and the
+# rt-bench-smoke CI job has a checked-in reference to guard.
+#
+# Usage:
+#   tools/run_rt_bench.sh [output.json] [extra benchmark flags...]
+#
+# Examples:
+#   tools/run_rt_bench.sh                          # -> BENCH_rt_latest.json
+#   tools/run_rt_bench.sh BENCH_pr5.json
+#   tools/run_rt_bench.sh smoke.json --benchmark_min_time=0.1
+#
+# Each row is {bench, n, threads, events_per_sec, ns_per_op}; events_per_sec
+# is the headline number (0 for the lift-latency rows, which are tracked by
+# ns_per_op instead).  See bench/bench_rt_throughput.cc for the suites.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-BENCH_rt_latest.json}"
+shift || true
+
+build_dir="${BUILD_DIR:-$repo_root/build}"
+bench="$build_dir/bench/bench_rt_throughput"
+
+if [[ ! -x "$bench" ]]; then
+  echo "building bench_rt_throughput in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >&2
+  cmake --build "$build_dir" --target bench_rt_throughput -j >&2
+fi
+
+case "$out" in
+  /*) : ;;
+  *) out="$repo_root/$out" ;;
+esac
+
+"$bench" --json "$out" "$@"
+echo "wrote $out" >&2

@@ -8,14 +8,17 @@
 //
 // Each run gets its own scratch directory under --dir (removed afterwards
 // unless --keep) and its own seed; protocols alternate strongfd/majority and
-// the fsync policy cycles every-N / every-append / never, so the
-// truncate-to-synced fault exercises all three durability levels.
+// the durability mode cycles every-N / every-append / never / group-commit
+// (default batch) / group-commit (aggressive batch), so the
+// truncate-to-synced fault exercises every loss window the store supports —
+// including "since the last group commit" (DESIGN.md §10).
 //
 //   build/tools/udc_recovery_soak                   # 50 runs, the CI soak
 //   build/tools/udc_recovery_soak --runs 50 --seed 1
 //
 // Exit 0 iff every run completed within budget, recovered from disk, and
 // passed the spec checkers; 1 otherwise; 2 on bad flags.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -177,8 +180,12 @@ int main(int argc, char** argv) {
 
       // Cycle the durability level so truncate-to-synced bites differently:
       // every-N leaves a short unsynced tail, every-append leaves none,
-      // never can lose the whole log.
-      switch (i % 3) {
+      // never can lose the whole log, and group commit loses exactly the
+      // batch since the last flush.  group_commit is set explicitly on every
+      // arm because the runtime's default store options enable it.
+      const int durability = i % 5;
+      rt.store.group_commit = false;
+      switch (durability) {
         case 0:
           rt.store.fsync = FsyncPolicy::kEveryN;
           rt.store.fsync_every = 8;
@@ -188,6 +195,14 @@ int main(int argc, char** argv) {
           break;
         case 2:
           rt.store.fsync = FsyncPolicy::kNever;
+          break;
+        case 3:
+          rt.store.group_commit = true;  // shipping defaults
+          break;
+        case 4:
+          rt.store.group_commit = true;  // aggressive batching
+          rt.store.commit_every = 4;
+          rt.store.commit_interval = std::chrono::microseconds(200);
           break;
       }
       rt.store.snapshot_every = 24;  // small, to exercise rotation
@@ -205,10 +220,9 @@ int main(int argc, char** argv) {
       ok += (v.conformant && run_recovered) ? 1 : 0;
       if (!o.quiet) {
         std::printf(
-            "run %3d proto=%-8s fault=%-9s fsync=%d seed=%llu status=%s "
+            "run %3d proto=%-8s fault=%-9s durability=%d seed=%llu status=%s "
             "conformant=%d recovered=%d\n",
-            i, rt.protocol.c_str(), fault_name(forced.kind),
-            static_cast<int>(i % 3),
+            i, rt.protocol.c_str(), fault_name(forced.kind), durability,
             static_cast<unsigned long long>(rt.seed),
             budget_status_name(v.status), v.conformant ? 1 : 0,
             run_recovered ? 1 : 0);
