@@ -21,11 +21,13 @@
 //
 // Rows report events_per_sec (the headline number; 0 for the lift rows) and
 // ns_per_op.  `--json <path>` writes the rows machine-readably — that file,
-// checked in as BENCH_pr5.json, is what the rt-bench-smoke CI job guards
+// checked in as BENCH_pr6.json, is what the rt-bench-smoke CI job guards
 // against >2x regressions (tools/run_rt_bench.sh regenerates it).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
@@ -195,7 +197,10 @@ void durable_throughput(benchmark::State& state, const StoreOptions& opts,
     }
     BenchSink sink(stores);
     Recorder rec(n, &sink);
-    GroupCommitter committer;
+    // Same wiring as run_live: the committer takes its engine from the
+    // store options so the measured pipeline is the shipping one.
+    GroupCommitter committer(
+        GroupCommitOptions{opts.barrier, opts.flusher_threads});
     if (group_commit) {
       for (auto& s : stores) committer.attach(s.get());
     }
@@ -216,9 +221,29 @@ StoreOptions inline_opts(FsyncPolicy policy, int every) {
 }
 
 StoreOptions group_opts() {
+  // The shipping runtime configuration (rt_default_store_options):
+  // segmented WAL, ring-staged appends, batched barrier rounds through the
+  // pinned flusher pool (see the engine note in rt/runtime.h).
   StoreOptions o;
-  o.group_commit = true;  // commit_every/commit_interval at their defaults
+  o.group_commit = true;
+  o.segment_bytes = 256 * 1024;
+  o.ring_frames = 4096;
+  o.commit_every = 1024;
+  o.commit_interval = std::chrono::microseconds{5'000};
+  o.snapshot_every = 1024;
+  o.barrier = CommitBarrier::kPool;
   return o;
+}
+
+// Settle the writeback and journal debt the PREVIOUS benchmark left
+// behind so each durable row measures its own configuration, not its
+// predecessor's backlog.  sync() alone is not enough: jbd2 keeps
+// checkpointing after it returns and the residue costs the next row ~20%
+// (measured on the reference box) — hence the post-sync grace.  Runs off
+// the clock.
+void settle_disk(const benchmark::State&) {
+  ::sync();
+  std::this_thread::sleep_for(std::chrono::seconds(2));
 }
 
 // The strictest inline baseline: serial recorder, fsync on every append.
@@ -239,12 +264,15 @@ void BM_DurableGroupCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_DurableInlineFsync)
     ->Args({2, 250})->Args({4, 250})->Args({8, 250})
+    ->Setup(settle_disk)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime();
 BENCHMARK(BM_DurableInlineFsyncEvery8)
     ->Args({2, 250})->Args({4, 250})->Args({8, 250})->Args({4, 1'000})
+    ->Setup(settle_disk)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime();
 BENCHMARK(BM_DurableGroupCommit)
     ->Args({2, 250})->Args({4, 250})->Args({8, 250})->Args({4, 1'000})
+    ->Setup(settle_disk)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime();
 
 // ---- lift latency: the merge must stay cheap ------------------------------

@@ -60,7 +60,6 @@ std::optional<Time> TraceRecorder::record(ProcessId p, const Event& e) {
   // even when the supervisor's record_crash races the worker's record.
   const Time t = now_.fetch_add(1, std::memory_order_acq_rel) + 1;
   s.log.push_back({t, e});
-  count_.fetch_add(1, std::memory_order_relaxed);
   if (sink_ != nullptr) sink_->append(p, t, e);
   return t;
 }
@@ -74,7 +73,6 @@ std::optional<Time> TraceRecorder::record_crash(ProcessId p) {
   const Time t = now_.fetch_add(1, std::memory_order_acq_rel) + 1;
   s.log.push_back({t, Event::crash()});
   s.sealed = true;  // R4: same critical section as the kCrash append
-  count_.fetch_add(1, std::memory_order_relaxed);
   if (sink_ != nullptr) {
     sink_->append(p, t, Event::crash());
     sink_->seal(p);  // flush_on_seal: the crash record must not sit batched
@@ -91,7 +89,12 @@ Time TraceRecorder::now() const {
 }
 
 std::size_t TraceRecorder::event_count() const {
-  return count_.load(std::memory_order_relaxed);
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->log.size();
+  }
+  return n;
 }
 
 bool TraceRecorder::sealed(ProcessId p) const {
@@ -121,8 +124,10 @@ Run TraceRecorder::lift() const {
   locks.reserve(shards_.size());
   for (const auto& s : shards_) locks.emplace_back(s->mu);
   const Time horizon = now_.load(std::memory_order_acquire);
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->log.size();
   std::vector<LiftSlot> slots;
-  slots.reserve(count_.load(std::memory_order_relaxed));
+  slots.reserve(total);
   for (std::size_t p = 0; p < shards_.size(); ++p) {
     for (const TimedEvent& te : shards_[p]->log) {
       slots.push_back({te.t, static_cast<ProcessId>(p), &te.e});

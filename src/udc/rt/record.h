@@ -124,8 +124,10 @@ class TraceRecorder {
     bool sealed = false;
   };
 
+  // No event counter lives here: now_ is the only shared word the record
+  // hot path touches, and event_count() sums the shard logs on demand (it
+  // is a supervisor-poll rate, not a per-event one).
   std::atomic<Time> now_{0};
-  std::atomic<std::size_t> count_{0};
   WalSink* sink_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;  // per process, t ascending
 };

@@ -7,72 +7,115 @@ namespace udc {
 
 namespace {
 
-void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
-  out.push_back(v);
+// LEB128 with the standard zigzag map for signed fields: small magnitudes —
+// including the ubiquitous -1 sentinels (kInvalidProcess, kInvalidAction) —
+// encode in one byte.
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
 }
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+std::uint8_t* put_varint(std::uint8_t* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    *out++ = static_cast<std::uint8_t>(v) | 0x80u;
+    v >>= 7;
+  }
+  *out++ = static_cast<std::uint8_t>(v);
+  return out;
 }
 
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) {
+// False on a truncated or over-long (>10 byte) field; `pos` advances only
+// on success.
+bool get_varint(const std::uint8_t* data, std::size_t len, std::size_t& pos,
+                std::uint64_t& out) {
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
+  for (int shift = 0; shift < 70; shift += 7) {
+    if (pos >= len) return false;
+    const std::uint8_t b = data[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool get_i64(const std::uint8_t* data, std::size_t len, std::size_t& pos,
+             std::int64_t& out) {
+  std::uint64_t raw = 0;
+  if (!get_varint(data, len, pos, raw)) return false;
+  out = unzigzag(raw);
+  return true;
+}
+
+bool get_i32(const std::uint8_t* data, std::size_t len, std::size_t& pos,
+             std::int32_t& out) {
+  std::int64_t wide = 0;
+  if (!get_i64(data, len, pos, wide)) return false;
+  if (wide < INT32_MIN || wide > INT32_MAX) return false;
+  out = static_cast<std::int32_t>(wide);
+  return true;
 }
 
 }  // namespace
 
 std::vector<std::uint8_t> encode_record(const StoreRecord& r) {
-  std::vector<std::uint8_t> out;
-  out.reserve(kStoreRecordBytes);
-  put_u64(out, static_cast<std::uint64_t>(r.t));
-  put_u8(out, static_cast<std::uint8_t>(r.e.kind));
-  put_u32(out, static_cast<std::uint32_t>(r.e.peer));
-  put_u8(out, static_cast<std::uint8_t>(r.e.msg.kind));
-  put_u64(out, static_cast<std::uint64_t>(r.e.msg.action));
-  put_u64(out, r.e.msg.procs.bits());
-  put_u64(out, static_cast<std::uint64_t>(r.e.msg.a));
-  put_u64(out, static_cast<std::uint64_t>(r.e.msg.b));
-  put_u64(out, static_cast<std::uint64_t>(r.e.action));
-  put_u64(out, r.e.suspects.bits());
-  put_u32(out, static_cast<std::uint32_t>(r.e.k));
+  std::vector<std::uint8_t> out(kMaxStoreRecordBytes);
+  out.resize(encode_record_into(r, out.data()));
   return out;
+}
+
+std::size_t encode_record_into(const StoreRecord& r, std::uint8_t* out) {
+  std::uint8_t* w = out;
+  w = put_varint(w, zigzag(r.t));
+  *w++ = static_cast<std::uint8_t>(r.e.kind);
+  w = put_varint(w, zigzag(r.e.peer));
+  *w++ = static_cast<std::uint8_t>(r.e.msg.kind);
+  w = put_varint(w, zigzag(r.e.msg.action));
+  w = put_varint(w, r.e.msg.procs.bits());
+  w = put_varint(w, zigzag(r.e.msg.a));
+  w = put_varint(w, zigzag(r.e.msg.b));
+  w = put_varint(w, zigzag(r.e.action));
+  w = put_varint(w, r.e.suspects.bits());
+  w = put_varint(w, zigzag(r.e.k));
+  return static_cast<std::size_t>(w - out);
 }
 
 std::optional<StoreRecord> decode_record(const std::uint8_t* data,
                                          std::size_t len) {
-  if (len != kStoreRecordBytes) return std::nullopt;
-  const std::uint8_t kind = data[8];
-  const std::uint8_t msg_kind = data[13];
+  StoreRecord r;
+  std::size_t pos = 0;
+  if (!get_i64(data, len, pos, r.t)) return std::nullopt;
+  if (pos >= len) return std::nullopt;
+  const std::uint8_t kind = data[pos++];
   if (kind > static_cast<std::uint8_t>(EventKind::kSuspectGen)) {
     return std::nullopt;
   }
+  r.e.kind = static_cast<EventKind>(kind);
+  if (!get_i32(data, len, pos, r.e.peer)) return std::nullopt;
+  if (pos >= len) return std::nullopt;
+  const std::uint8_t msg_kind = data[pos++];
   if (msg_kind > static_cast<std::uint8_t>(MsgKind::kRejoin)) {
     return std::nullopt;
   }
-  StoreRecord r;
-  r.t = static_cast<Time>(get_u64(data));
-  r.e.kind = static_cast<EventKind>(kind);
-  r.e.peer = static_cast<ProcessId>(static_cast<std::int32_t>(get_u32(data + 9)));
   r.e.msg.kind = static_cast<MsgKind>(msg_kind);
-  r.e.msg.action = static_cast<ActionId>(get_u64(data + 14));
-  r.e.msg.procs = ProcSet(get_u64(data + 22));
-  r.e.msg.a = static_cast<std::int64_t>(get_u64(data + 30));
-  r.e.msg.b = static_cast<std::int64_t>(get_u64(data + 38));
-  r.e.action = static_cast<ActionId>(get_u64(data + 46));
-  r.e.suspects = ProcSet(get_u64(data + 54));
-  r.e.k = static_cast<std::int32_t>(get_u32(data + 62));
+  std::uint64_t bits = 0;
+  if (!get_i64(data, len, pos, r.e.msg.action)) return std::nullopt;
+  if (!get_varint(data, len, pos, bits)) return std::nullopt;
+  r.e.msg.procs = ProcSet(bits);
+  if (!get_i64(data, len, pos, r.e.msg.a)) return std::nullopt;
+  if (!get_i64(data, len, pos, r.e.msg.b)) return std::nullopt;
+  if (!get_i64(data, len, pos, r.e.action)) return std::nullopt;
+  if (!get_varint(data, len, pos, bits)) return std::nullopt;
+  r.e.suspects = ProcSet(bits);
+  if (!get_i32(data, len, pos, r.e.k)) return std::nullopt;
+  if (pos != len) return std::nullopt;  // trailing bytes
   return r;
 }
 

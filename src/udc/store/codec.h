@@ -1,13 +1,20 @@
 // Binary codec for durable (tick, event) records.
 //
-// An Event is a flat value (event/event.h), so a record serializes to a
-// fixed 66-byte little-endian layout with no variable-length parts.  A
-// fixed layout keeps the WAL reader's corruption handling trivial: a frame
-// either decodes in full or is rejected, there is no partially-parsed
-// state.  decode_record is total — malformed input yields nullopt, never an
+// An Event is a flat value (event/event.h); a record serializes as eleven
+// fields in a fixed order, each a zigzag varint (signed scalars), a plain
+// varint (the two ProcSet bitmasks), or a raw tag byte (the two enum
+// kinds).  Most fields of most events are zero or -1, so a typical send or
+// receive encodes in ~15 bytes instead of the 66 a flat little-endian
+// layout costs — and on the durable path bytes are the bill: every encoded
+// byte is CRC'd, copied to the page cache, and written back by fdatasync.
+//
+// decode_record is total — malformed input yields nullopt, never an
 // exception — because the recovery path must treat a CRC-valid-but-
 // nonsensical frame the same way it treats a torn one: truncate and
-// re-learn, not crash.
+// re-learn, not crash.  Totality with varints rests on two checks: every
+// field read fails cleanly at the buffer's end (so no strict prefix of an
+// encoding ever decodes), and the eleven fields must consume exactly `len`
+// bytes (so no encoding with trailing junk does either).
 #pragma once
 
 #include <cstddef>
@@ -27,13 +34,20 @@ struct StoreRecord {
   friend bool operator==(const StoreRecord&, const StoreRecord&) = default;
 };
 
-// t(8) kind(1) peer(4) msg.kind(1) msg.action(8) msg.procs(8) msg.a(8)
-// msg.b(8) action(8) suspects(8) k(4)
-inline constexpr std::size_t kStoreRecordBytes = 66;
+// Worst case: five 64-bit fields at 10 varint bytes, two 32-bit fields at
+// 5, two bitmask fields at 10, two tag bytes.  Sizing bound for ring slots
+// and stack frames; real records come nowhere near it.
+inline constexpr std::size_t kMaxStoreRecordBytes = 82;
 
 std::vector<std::uint8_t> encode_record(const StoreRecord& r);
 
-// nullopt on wrong size or out-of-range enum tags.
+// Zero-allocation variant: writes at most kMaxStoreRecordBytes into `out`
+// and returns the number of bytes used.  The WAL's staged append path
+// encodes records straight into ring-buffer slots with this.
+std::size_t encode_record_into(const StoreRecord& r, std::uint8_t* out);
+
+// nullopt on truncated fields, trailing bytes, out-of-range enum tags, or
+// 32-bit fields that decode out of range.
 std::optional<StoreRecord> decode_record(const std::uint8_t* data,
                                          std::size_t len);
 

@@ -6,7 +6,8 @@
 
 namespace udc {
 
-GroupCommitter::GroupCommitter() {
+GroupCommitter::GroupCommitter(GroupCommitOptions opts)
+    : barrier_(SyncBarrier::make(opts.barrier, opts.flusher_threads)) {
   flusher_ = std::thread([this] { loop(); });
 }
 
@@ -16,8 +17,10 @@ void GroupCommitter::attach(ProcessStore* store) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stores_.push_back(store);
+    ++attach_gen_;  // invalidate the cached interval
   }
   store->set_committer(this);
+  cv_.notify_one();  // re-derive the wait interval promptly
 }
 
 void GroupCommitter::kick() {
@@ -25,14 +28,31 @@ void GroupCommitter::kick() {
   cv_.notify_one();
 }
 
-std::vector<ProcessStore*> GroupCommitter::stores_snapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stores_;
+void GroupCommitter::round() {
+  std::vector<ProcessStore*> stores;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stores = stores_;
+  }
+  // Phase 1: drain every store's staged frames and collect the descriptors
+  // that need a barrier.  Each pending store's drain lock stays held so the
+  // batch the barrier covers is exactly the batch the watermark will claim.
+  std::vector<StoreCommitTicket> tickets;
+  std::vector<int> fds;
+  tickets.reserve(stores.size());
+  for (ProcessStore* s : stores) {
+    StoreCommitTicket t = s->start_commit();
+    if (!t.wal.pending) continue;
+    fds.insert(fds.end(), t.wal.fds.begin(), t.wal.fds.end());
+    tickets.push_back(std::move(t));
+  }
+  // Phase 2: one batched barrier for the whole round, then let every store
+  // advance its watermark and counters.
+  if (!fds.empty()) barrier_->sync(fds);
+  for (StoreCommitTicket& t : tickets) t.store->finish_commit(t);
 }
 
-void GroupCommitter::flush_all() {
-  for (ProcessStore* s : stores_snapshot()) s->flush();
-}
+void GroupCommitter::flush_all() { round(); }
 
 void GroupCommitter::stop() {
   if (stopping_.exchange(true)) {
@@ -47,21 +67,30 @@ void GroupCommitter::stop() {
 void GroupCommitter::loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_.load(std::memory_order_acquire)) {
-    // Sleep until the shortest attached interval (or a kick).  The interval
-    // is re-derived each round so late attaches are honored.
-    std::chrono::microseconds interval{1'000};
-    for (ProcessStore* s : stores_) {
-      interval = std::min(interval, s->commit_interval());
+    // Honor the TRUE shortest attached interval (no 1ms cap — a store
+    // asking for a longer batch window gets it), recomputed only when the
+    // attachment set changes.
+    if (cached_gen_ != attach_gen_) {
+      std::chrono::microseconds interval{1'000};  // default: no stores yet
+      if (!stores_.empty()) {
+        interval = stores_.front()->commit_interval();
+        for (ProcessStore* s : stores_) {
+          interval = std::min(interval, s->commit_interval());
+        }
+      }
+      cached_interval_ = interval;
+      cached_gen_ = attach_gen_;
     }
-    cv_.wait_for(lock, interval, [this] {
+    cv_.wait_for(lock, cached_interval_, [this] {
       return stopping_.load(std::memory_order_acquire) ||
-             kicked_.load(std::memory_order_acquire);
+             kicked_.load(std::memory_order_acquire) ||
+             cached_gen_ != attach_gen_;
     });
     kicked_.store(false, std::memory_order_release);
     if (stopping_.load(std::memory_order_acquire)) break;
-    std::vector<ProcessStore*> stores = stores_;
-    lock.unlock();  // never hold the list lock across an fsync
-    for (ProcessStore* s : stores) s->flush();
+    if (cached_gen_ != attach_gen_) continue;  // re-derive before flushing
+    lock.unlock();  // never hold the list lock across a barrier
+    round();
     lock.lock();
   }
 }

@@ -1,12 +1,11 @@
 #include "udc/store/process_store.h"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 
 #include "udc/common/check.h"
+#include "udc/store/codec.h"
 #include "udc/store/group_commit.h"
 
 namespace udc {
@@ -17,35 +16,12 @@ bool window_contains(const StorageFault& f, Time t) {
   return t >= f.begin && t < f.end;
 }
 
-// Appends `len` bytes of `data` to the file at `path` (raw, unframed — used
-// to fabricate a torn frame).
-void raw_append(const std::string& path, const std::uint8_t* data,
-                std::size_t len) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
-                  0644);
-  UDC_CHECK(fd >= 0, "storage fault: cannot open " + path);
-  while (len > 0) {
-    ssize_t put = ::write(fd, data, len);
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      UDC_CHECK(false, "storage fault: write failed: " + path);
-    }
-    data += put;
-    len -= static_cast<std::size_t>(put);
-  }
-  ::close(fd);
-}
-
-void flip_byte(const std::string& path, std::uint64_t offset) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
-  if (fd < 0) return;  // nothing to corrupt
-  std::uint8_t b = 0;
-  if (::pread(fd, &b, 1, static_cast<off_t>(offset)) == 1) {
-    b ^= 0xFFu;
-    ::pwrite(fd, &b, 1, static_cast<off_t>(offset));
-  }
-  ::close(fd);
+void datasync_fd_local(int fd) {
+#if defined(__APPLE__)
+  (void)::fsync(fd);
+#else
+  (void)::fdatasync(fd);
+#endif
 }
 
 }  // namespace
@@ -56,17 +32,24 @@ ProcessStore::ProcessStore(std::string dir, ProcessId p, StoreOptions opts,
   UDC_CHECK(!dir_.empty(), "ProcessStore: empty directory");
   UDC_CHECK(!opts_.group_commit || opts_.commit_every >= 1,
             "ProcessStore: group commit needs commit_every >= 1");
+  mirror_.reserve(std::min<std::size_t>(opts_.snapshot_every * 2, 1 << 16));
   writer_ = make_writer();
 }
 
 ProcessStore::~ProcessStore() = default;
 
-std::unique_ptr<WalWriter> ProcessStore::make_writer() const {
+std::shared_ptr<WalWriter> ProcessStore::make_writer() const {
   // Group commit owns durability: the writer's inline policy is disabled
-  // and every barrier comes from flush().
-  return std::make_unique<WalWriter>(
-      wal_path(), opts_.group_commit ? FsyncPolicy::kNever : opts_.fsync,
-      opts_.fsync_every);
+  // and every barrier comes from a commit round.  The staging ring is only
+  // safe under group commit (inline policies must stay write-through so a
+  // plain process kill keeps the page-cache tail).
+  WalOptions w;
+  w.fsync = opts_.group_commit ? FsyncPolicy::kNever : opts_.fsync;
+  w.sync_every = opts_.fsync_every;
+  w.segment_bytes = opts_.segment_bytes;
+  w.ring_frames = opts_.group_commit ? opts_.ring_frames : 0;
+  w.preallocate = opts_.segment_bytes > 0;
+  return std::make_shared<WalWriter>(wal_path(), w);
 }
 
 std::string ProcessStore::wal_path() const {
@@ -81,59 +64,92 @@ void ProcessStore::append(Time t, const Event& e) {
   bool kick = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    bool sync_failing = false;
-    for (const StorageFault& f : faults_) {
-      if (f.kind == StorageFault::Kind::kSyncFail && window_contains(f, t)) {
-        sync_failing = true;
-        break;
+    // Fault bookkeeping only when this store is actually under attack: the
+    // common (and benchmarked) path skips the atomic flag write and the
+    // failure-counter refresh entirely.
+    if (!faults_.empty()) {
+      bool sync_failing = false;
+      for (const StorageFault& f : faults_) {
+        if (f.kind == StorageFault::Kind::kSyncFail &&
+            window_contains(f, t)) {
+          sync_failing = true;
+          break;
+        }
       }
+      writer_->set_sync_failing(sync_failing);
     }
-    writer_->set_sync_failing(sync_failing);
-    writer_->append(StoreRecord{t, e});
-    mirror_.push_back(StoreRecord{t, e});
+    // emplace builds the record once, in place — the WAL encoder then reads
+    // it straight out of the mirror (no temporary, no second Event copy).
+    const StoreRecord& rec = mirror_.emplace_back(t, e);
+    const std::uint64_t unsynced = writer_->append(rec);
     ++counters_.wal_frames_appended;
     if (++frames_since_snapshot_ >= opts_.snapshot_every) rotate_snapshot();
-    counters_.sync_failures = writer_->sync_failures();
     kick = opts_.group_commit &&
-           writer_->unsynced_frames() >= opts_.commit_every;
+           unsynced >= static_cast<std::uint64_t>(opts_.commit_every);
   }
-  // Kick outside the store mutex: the committer's flusher takes it back in
-  // flush(), and holding it here would stall the worker behind the batch.
+  // Kick outside the store mutex: the committer's flusher takes the WAL
+  // drain lock next round, and holding mu_ here would stall the worker
+  // behind the batch.
   if (kick && committer_ != nullptr) committer_->kick();
 }
 
-void ProcessStore::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  flush_locked();
+StoreCommitTicket ProcessStore::start_commit() {
+  StoreCommitTicket t;
+  t.store = this;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t.writer = writer_;
+  }
+  // The drain (ring -> pwritev) happens under the WAL's own locks, NOT
+  // mu_, so appends contend only with the memcpy into the ring, never with
+  // the barrier.  The shared_ptr keeps the writer alive across a
+  // concurrent recover() swap; a closed writer yields a non-pending
+  // ticket.
+  if (t.writer == nullptr) return t;
+  t.wal = t.writer->start_commit();
+  return t;
 }
 
-void ProcessStore::flush_locked() {
-  if (writer_ == nullptr || !writer_->is_open()) return;  // mid-kill
-  if (writer_->unsynced_frames() == 0 &&
-      writer_->bytes_synced() >= writer_->bytes_written()) {
-    return;
-  }
-  writer_->sync();
-  counters_.sync_failures = writer_->sync_failures();
-  ++counters_.group_commits;
+void ProcessStore::finish_commit(StoreCommitTicket& t) {
+  if (!t.wal.pending) return;
+  // NO store mutex here, ever: the committer finishes a round's tickets
+  // while still holding the drain locks of the round's LATER pending
+  // stores, and the kill path (apply_kill_faults) holds mu_ while close()
+  // waits out a drain lock — taking mu_ here would close a lock-order
+  // cycle across stores.  The counters a round advances are atomics, and
+  // counters() derives sync_failures from the writer directly.
+  t.writer->finish_commit(t.wal);
+  group_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProcessStore::flush() {
+  StoreCommitTicket t = start_commit();
+  if (!t.wal.pending) return;
+  for (int fd : t.wal.fds) datasync_fd_local(fd);
+  finish_commit(t);
 }
 
 void ProcessStore::rotate_snapshot() {
   // Snapshot first, truncate the WAL second: a crash in the gap leaves
-  // snapshot and WAL overlapping, which recovery resolves by tick.
+  // snapshot and WAL overlapping, which recovery resolves by tick.  The
+  // snapshot covers mirror_ — including frames still staged in the ring —
+  // and write_snapshot_file fsyncs, so after rotation the durable floor is
+  // the whole history so far.
   write_snapshot_file(snapshot_path(), mirror_);
   writer_->truncate_all();
   frames_since_snapshot_ = 0;
+  snapshot_records_ = mirror_.size();
   ++counters_.snapshots_written;
 }
 
 void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
   std::lock_guard<std::mutex> lock(mu_);
-  // The writer's fd goes away first; every fault below edits the file the
-  // way a crashed machine or a bad disk would — from the outside.  The
-  // store mutex keeps a concurrent group-commit flush off the descriptor.
+  // The writer's descriptors go away first; every fault below edits the
+  // on-disk files the way a crashed machine or a bad disk would — from the
+  // outside, segment by segment.  close() waits out any commit round in
+  // flight (drain lock), and discards staged ring frames: frames the
+  // process never handed to the kernel do not survive a kill of any kind.
   const std::uint64_t written = writer_->bytes_written();
-  const std::uint64_t synced = writer_->bytes_synced();
   writer_->close();
   short_read_armed_ = false;
 
@@ -142,12 +158,14 @@ void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
     switch (f.kind) {
       case StorageFault::Kind::kTornWrite: {
         // The append in flight at the kill instant made it only partway:
-        // fabricate a frame and write a strict prefix of it.
-        std::vector<std::uint8_t> frame =
-            wal_frame(encode_record(StoreRecord{kill_time, Event::crash()}));
-        std::uint64_t cut =
-            1 + rng.next_below(static_cast<std::uint64_t>(frame.size()) - 1);
-        raw_append(wal_path(), frame.data(), static_cast<std::size_t>(cut));
+        // fabricate a frame and write a strict prefix of it at the active
+        // segment's tail.
+        std::uint8_t frame[kMaxWalFrameBytes];
+        const std::size_t len = encode_record_into(
+            StoreRecord{kill_time, Event::crash()}, frame + 8);
+        wal_frame_into(frame + 8, static_cast<std::uint32_t>(len), frame);
+        const std::uint64_t cut = 1 + rng.next_below(std::uint64_t{8} + len - 1);
+        writer_->inject_torn_write(frame, static_cast<std::size_t>(cut));
         ++counters_.storage_faults_injected;
         break;
       }
@@ -155,17 +173,14 @@ void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
         // Machine-crash semantics: the unsynced page-cache tail is gone.
         // This is where the durability window shows — inline kEveryAppend
         // loses nothing, kEveryN at most N-1 frames, group commit at most
-        // one batch.
-        if (synced < written) {
-          UDC_CHECK(::truncate(wal_path().c_str(),
-                               static_cast<off_t>(synced)) == 0,
-                    "storage fault: truncate failed");
+        // one batch per segment.  Staged frames already died in close()
+        // above, so only a write-through tail can be cut here.
+        if (writer_->inject_truncate_to_synced()) {
           ++counters_.storage_faults_injected;
         }
         break;
       case StorageFault::Kind::kBitFlip:
-        if (written > 0) {
-          flip_byte(wal_path(), rng.next_below(written));
+        if (written > 0 && writer_->inject_bit_flip(rng.next_below(written))) {
           ++counters_.storage_faults_injected;
         }
         break;
@@ -181,10 +196,11 @@ void ProcessStore::apply_kill_faults(Time kill_time, Rng& rng) {
 
 std::vector<StoreRecord> ProcessStore::recover() {
   std::lock_guard<std::mutex> lock(mu_);
-  // 1. Truncate the WAL to its longest valid frame prefix.  A clean tail is
-  //    a no-op; a torn/flipped one is counted and cut.
-  if (repair_wal_file(wal_path())) ++counters_.torn_tails_truncated;
-  WalReadResult wal = read_wal_file(
+  // 1. Truncate the WAL — every segment of it — to its longest valid frame
+  //    prefix.  A clean tail (including a preallocated segment's zero
+  //    tail) is a no-op; a torn/flipped one is counted and cut.
+  if (repair_wal(wal_path())) ++counters_.torn_tails_truncated;
+  WalReadResult wal = read_wal(
       wal_path(), short_read_armed_ ? std::size_t{3} : std::size_t{0});
   short_read_armed_ = false;
 
@@ -209,9 +225,11 @@ std::vector<StoreRecord> ProcessStore::recover() {
   //    base that an immediate second crash cannot tear.
   write_snapshot_file(snapshot_path(), recovered);
   ++counters_.snapshots_written;
+  sync_failures_base_ += writer_->sync_failures();
   writer_ = make_writer();
   writer_->truncate_all();
   frames_since_snapshot_ = 0;
+  snapshot_records_ = recovered.size();
   mirror_ = recovered;
   ++counters_.recoveries_total;
   return recovered;
@@ -219,7 +237,21 @@ std::vector<StoreRecord> ProcessStore::recover() {
 
 StoreCounters ProcessStore::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  StoreCounters c = counters_;
+  // Derived live rather than cached by the paths that change them: the
+  // committer's finish_commit must stay mutex-free (see there), so the
+  // writer's own atomic failure count and the round counter are folded in
+  // at read time.
+  c.sync_failures = sync_failures_base_ + writer_->sync_failures();
+  c.group_commits = group_commits_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::size_t ProcessStore::durable_floor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr) return snapshot_records_;
+  return snapshot_records_ +
+         static_cast<std::size_t>(writer_->frames_synced());
 }
 
 }  // namespace udc

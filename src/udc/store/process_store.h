@@ -15,24 +15,36 @@
 // is a SUFFIX of the process's history, which the recovery protocol
 // re-learns via supervisor re-inits and the kRejoin beacon (DESIGN.md §9).
 //
-// Durability modes (DESIGN.md §10): with `group_commit` off, the inline
+// Durability modes (DESIGN.md §10-§11): with `group_commit` off, the inline
 // FsyncPolicy decides when append() itself issues the barrier — the PR 4
-// behavior.  With `group_commit` on, append() NEVER fsyncs; a GroupCommitter
-// flushes the batch every `commit_every` frames or `commit_interval`, and
-// flush() is also forced when the process is sealed.  The kTruncate fault's
-// loss window widens from "since the last inline fsync" to "since the last
-// group commit" — still a suffix, re-learned the same way.
+// behavior, write-through, single-file.  With `group_commit` on, append()
+// NEVER fsyncs; a GroupCommitter commits the batch every `commit_every`
+// frames or `commit_interval`, and flush() is also forced when the process
+// is sealed.  On top of that, `segment_bytes` > 0 shards the WAL into
+// preallocated fixed-size segments rotated off the append path, and
+// `ring_frames` > 0 stages appends in a fixed-slot ring the committer
+// drains with one gathered write per batch (store/wal.h).  Staged frames
+// live in user memory until the next commit, so in staged mode the loss
+// window of ANY kill — plain process kill or machine-style kTruncate — is
+// exactly "since the last group commit" (plus whatever the snapshot
+// already made durable).
 //
-// Thread-safety: every public method takes the internal mutex.  append()
-// arrives on the owning worker's thread (serialized by its recorder shard),
-// flush() on the group committer's flusher thread, apply_kill_faults() /
-// recover() on the supervisor thread strictly after the worker is joined —
-// the mutex makes the flusher-vs-supervisor and flusher-vs-worker overlaps
-// safe, and fsync never runs on a closed-and-reused descriptor.
+// Thread-safety: mu_ serializes append / rotate / kill / recover; the
+// commit path holds mu_ only long enough to pin the writer, then drains
+// and barriers under the WAL's own drain lock, so appends never wait out
+// an fdatasync.  Lock order: WITHIN one store, mu_ before drain before
+// ring; ACROSS stores, the committer holds many drain locks at once (in
+// attach order) and therefore must never take any store's mu_ while it
+// does — finish_commit is mutex-free by design.  flush()
+// arrives on the committer's flusher thread or on seal;
+// apply_kill_faults() / recover() on the supervisor thread strictly after
+// the worker is joined.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,11 +54,13 @@
 #include "udc/common/rng.h"
 #include "udc/common/types.h"
 #include "udc/store/snapshot.h"
+#include "udc/store/sync_barrier.h"
 #include "udc/store/wal.h"
 
 namespace udc {
 
 class GroupCommitter;
+class ProcessStore;
 
 struct StoreOptions {
   FsyncPolicy fsync = FsyncPolicy::kEveryN;
@@ -56,6 +70,14 @@ struct StoreOptions {
   bool group_commit = false;
   int commit_every = 32;            // kick the flusher at this many frames
   std::chrono::microseconds commit_interval{500};  // max batch staleness
+  // Parallel durable-commit pipeline (PR 6).  Defaults keep the legacy
+  // single-file write-through layout so the standalone store tests pin the
+  // PR 4/5 semantics; the live runtime turns all of it on
+  // (rt_default_store_options in rt/runtime.h).
+  std::uint64_t segment_bytes = 0;  // >0: segmented WAL <wal>.seg-NNNNNN
+  std::size_t ring_frames = 0;      // >0 + group_commit: staged appends
+  CommitBarrier barrier = CommitBarrier::kAuto;  // committer sync engine
+  int flusher_threads = 4;          // pool size for the kPool fallback
 };
 
 struct StoreCounters {
@@ -67,7 +89,16 @@ struct StoreCounters {
   std::size_t recoveries_total = 0;
   std::size_t storage_faults_injected = 0;
   std::size_t sync_failures = 0;
-  std::size_t group_commits = 0;         // flushes that synced >= 1 frame
+  std::size_t group_commits = 0;         // flushes that found pending work
+};
+
+// One store's leg of a batched commit round; see GroupCommitter::round().
+// Holds the writer alive (against a concurrent recover() swap) and, while
+// `wal.pending`, the writer's drain lock.
+struct StoreCommitTicket {
+  ProcessStore* store = nullptr;
+  std::shared_ptr<WalWriter> writer;
+  WalCommitTicket wal;
 };
 
 class ProcessStore {
@@ -83,14 +114,21 @@ class ProcessStore {
 
   // Durably appends the event recorded at tick t.  kSyncFail windows are
   // evaluated against t; snapshot rotation happens here too.  Under group
-  // commit the frame is written but not fsynced; the committer is kicked
-  // once commit_every frames are pending.
+  // commit the frame is staged or written but not fsynced; the committer
+  // is kicked once commit_every frames are pending.
   void append(Time t, const Event& e);
 
-  // Fsyncs the unsynced WAL tail, if any.  Called by the group committer's
-  // flusher, by seal (flush_on_seal), and at teardown.  A no-op when the
-  // writer is closed (store mid-kill) or nothing is pending.
+  // Commits the unsynced WAL tail, if any: drain + serial barrier.  Called
+  // on seal (flush_on_seal), at teardown, and by tests; the committer's
+  // batched rounds use start_commit/finish_commit instead.
   void flush();
+
+  // Two-phase commit for GroupCommitter::round().  start_commit pins the
+  // writer and drains its staged frames; if the ticket is pending, the
+  // caller must barrier ticket.wal.fds and then call finish_commit exactly
+  // once.
+  StoreCommitTicket start_commit();
+  void finish_commit(StoreCommitTicket& t);
 
   // Applies every at-kill fault (torn write / truncate / bit flip) whose
   // window contains `kill_time` to the on-disk WAL, and arms short-read
@@ -106,6 +144,13 @@ class ProcessStore {
   // stopped); the snapshot is taken under the store mutex.
   StoreCounters counters() const;
 
+  // Records guaranteed to survive ANY kill at this instant: what the
+  // snapshot covers plus every WAL frame a successful barrier has covered
+  // since.  recover() must return at least this many records (and at most
+  // everything appended) — the "loss window is since the last group
+  // commit" property, asserted by the concurrent commit tests.
+  std::size_t durable_floor() const;
+
   std::chrono::microseconds commit_interval() const {
     return opts_.commit_interval;
   }
@@ -115,9 +160,8 @@ class ProcessStore {
   std::string snapshot_path() const;
 
  private:
-  std::unique_ptr<WalWriter> make_writer() const;
+  std::shared_ptr<WalWriter> make_writer() const;
   void rotate_snapshot();  // mu_ held
-  void flush_locked();     // mu_ held
 
   std::string dir_;
   ProcessId p_;
@@ -126,11 +170,17 @@ class ProcessStore {
   GroupCommitter* committer_ = nullptr;
 
   mutable std::mutex mu_;
-  std::unique_ptr<WalWriter> writer_;
+  std::shared_ptr<WalWriter> writer_;
   std::vector<StoreRecord> mirror_;  // in-memory copy, for compaction
   std::size_t frames_since_snapshot_ = 0;
+  std::size_t snapshot_records_ = 0;  // records the on-disk snapshot covers
+  std::size_t sync_failures_base_ = 0;  // from writers already retired
   bool short_read_armed_ = false;
   StoreCounters counters_;
+  // Advanced by finish_commit WITHOUT mu_ (the committer holds other
+  // stores' drain locks at that point); folded into counters() at read
+  // time alongside the writer's own sync-failure count.
+  std::atomic<std::size_t> group_commits_{0};
 };
 
 }  // namespace udc

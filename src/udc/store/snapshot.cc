@@ -38,16 +38,23 @@ void write_snapshot_file(const std::string& path,
                   0644);
   UDC_CHECK(fd >= 0, "snapshot: cannot open " + tmp);
 
-  std::vector<std::uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  // One worst-case buffer, frames encoded in place and trimmed to the
+  // packed size — no per-record heap allocation on the rotation path.
+  std::vector<std::uint8_t> out(sizeof(kMagic) + 8 +
+                                records.size() * kMaxWalFrameBytes);
+  std::uint8_t* w = out.data();
+  std::memcpy(w, kMagic, sizeof(kMagic));
+  w += sizeof(kMagic);
   const auto count = static_cast<std::uint64_t>(records.size());
   for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(count >> (8 * i)));
+    *w++ = static_cast<std::uint8_t>(count >> (8 * i));
   }
   for (const StoreRecord& r : records) {
-    std::vector<std::uint8_t> frame = wal_frame(encode_record(r));
-    out.insert(out.end(), frame.begin(), frame.end());
+    const std::size_t len = encode_record_into(r, w + 8);
+    wal_frame_into(w + 8, static_cast<std::uint32_t>(len), w);
+    w += 8 + len;
   }
+  out.resize(static_cast<std::size_t>(w - out.data()));
   write_all(fd, out.data(), out.size(), tmp);
   ::fsync(fd);
   ::close(fd);
@@ -92,16 +99,16 @@ std::optional<Snapshot> read_snapshot_file(const std::string& path) {
     for (int j = 0; j < 4; ++j) {
       len |= static_cast<std::uint32_t>(bytes[off + j]) << (8 * j);
     }
-    if (len != kStoreRecordBytes) return std::nullopt;
+    if (len == 0 || len > kMaxStoreRecordBytes) return std::nullopt;
     if (bytes.size() - off - header < len) return std::nullopt;
-    // Re-frame through the tolerant WAL validator for the CRC check.
-    std::vector<std::uint8_t> payload(bytes.begin() + off + header,
-                                      bytes.begin() + off + header + len);
-    std::vector<std::uint8_t> expect = wal_frame(payload);
-    if (std::memcmp(expect.data(), bytes.data() + off, expect.size()) != 0) {
+    // Re-frame in a stack buffer for the CRC check — the body reuses the
+    // WAL framing byte for byte.
+    std::uint8_t expect[kMaxWalFrameBytes];
+    wal_frame_into(bytes.data() + off + header, len, expect);
+    if (std::memcmp(expect, bytes.data() + off, header + len) != 0) {
       return std::nullopt;
     }
-    auto rec = decode_record(payload.data(), payload.size());
+    auto rec = decode_record(bytes.data() + off + header, len);
     if (!rec) return std::nullopt;
     snap.records.push_back(*rec);
     off += header + len;

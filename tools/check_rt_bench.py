@@ -2,7 +2,7 @@
 """Guards the live-runtime hot path against perf regressions.
 
 Compares a fresh bench_rt_throughput run against the checked-in reference
-(BENCH_pr5.json) row by row and fails on a >FACTOR regression:
+(BENCH_pr6.json) row by row and fails on a >FACTOR regression:
 
   * throughput rows (events_per_sec > 0 in the reference): fail when the
     fresh run achieves less than 1/FACTOR of the reference rate,

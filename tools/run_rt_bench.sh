@@ -35,5 +35,31 @@ case "$out" in
   *) out="$repo_root/$out" ;;
 esac
 
-"$bench" --json "$out" "$@"
+# One PROCESS per benchmark row, merged afterwards: the durable rows are
+# sensitive to what earlier rows leave behind in-process — writeback and
+# journal debt plus thousands of committer/worker thread spawns, worth
+# ~15-20% on the n=8 group-commit row on the reference box even with the
+# bench's own sync-and-settle hook — so every row gets a fresh process and
+# measures its configuration, not the suite's history.
+mapfile -t rows < <("$bench" --benchmark_list_tests 2>/dev/null)
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+i=0
+for r in "${rows[@]}"; do
+  "$bench" --json "$tmpdir/$i.json" --benchmark_filter="^$r\$" "$@"
+  sync
+  i=$((i + 1))
+done
+python3 - "$out" "$tmpdir" "$i" <<'EOF'
+import json, sys, os
+out, d, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+rows = []
+for i in range(count):
+    rows.extend(json.load(open(os.path.join(d, str(i) + ".json"))))
+with open(out, "w") as fh:
+    fh.write("[\n")
+    for i, r in enumerate(rows):
+        fh.write("  " + json.dumps(r) + (",\n" if i + 1 < len(rows) else "\n"))
+    fh.write("]\n")
+EOF
 echo "wrote $out" >&2

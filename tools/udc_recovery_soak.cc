@@ -9,9 +9,11 @@
 // Each run gets its own scratch directory under --dir (removed afterwards
 // unless --keep) and its own seed; protocols alternate strongfd/majority and
 // the durability mode cycles every-N / every-append / never / group-commit
-// (default batch) / group-commit (aggressive batch), so the
+// (single-file batch) / group-commit (aggressive batch) / segmented+staged
+// (io_uring-or-auto barrier) / segmented+staged (flusher pool), so the
 // truncate-to-synced fault exercises every loss window the store supports —
-// including "since the last group commit" (DESIGN.md §10).
+// including "since the last group commit", per shard and per segment
+// (DESIGN.md §10-§11).
 //
 //   build/tools/udc_recovery_soak                   # 50 runs, the CI soak
 //   build/tools/udc_recovery_soak --runs 50 --seed 1
@@ -180,11 +182,18 @@ int main(int argc, char** argv) {
 
       // Cycle the durability level so truncate-to-synced bites differently:
       // every-N leaves a short unsynced tail, every-append leaves none,
-      // never can lose the whole log, and group commit loses exactly the
-      // batch since the last flush.  group_commit is set explicitly on every
-      // arm because the runtime's default store options enable it.
-      const int durability = i % 5;
+      // never can lose the whole log, group commit loses exactly the batch
+      // since the last flush, and the segmented/staged arms lose that batch
+      // across segment boundaries (staged frames die with the process).
+      // Every knob the runtime's default store options now turn on is reset
+      // explicitly so each arm tests exactly one configuration.
+      const int durability = i % 7;
       rt.store.group_commit = false;
+      rt.store.segment_bytes = 0;
+      rt.store.ring_frames = 0;
+      rt.store.barrier = CommitBarrier::kAuto;
+      rt.store.commit_every = 32;
+      rt.store.commit_interval = std::chrono::microseconds(500);
       switch (durability) {
         case 0:
           rt.store.fsync = FsyncPolicy::kEveryN;
@@ -197,10 +206,30 @@ int main(int argc, char** argv) {
           rt.store.fsync = FsyncPolicy::kNever;
           break;
         case 3:
-          rt.store.group_commit = true;  // shipping defaults
+          rt.store.group_commit = true;  // PR-5 single-file batch
           break;
         case 4:
           rt.store.group_commit = true;  // aggressive batching
+          rt.store.commit_every = 4;
+          rt.store.commit_interval = std::chrono::microseconds(200);
+          break;
+        case 5:
+          // Segmented + staged, tiny segments so every run crosses several
+          // segment boundaries and kills land mid-segment and mid-seal.
+          rt.store.group_commit = true;
+          rt.store.segment_bytes = 1024;
+          rt.store.ring_frames = 64;
+          rt.store.commit_every = 16;
+          rt.store.commit_interval = std::chrono::microseconds(300);
+          break;
+        case 6:
+          // Segmented + staged through the portable flusher pool, with a
+          // batch small enough that rounds race the kill constantly.
+          rt.store.group_commit = true;
+          rt.store.segment_bytes = 1024;
+          rt.store.ring_frames = 32;
+          rt.store.barrier = CommitBarrier::kPool;
+          rt.store.flusher_threads = 2;
           rt.store.commit_every = 4;
           rt.store.commit_interval = std::chrono::microseconds(200);
           break;
