@@ -94,6 +94,15 @@ void RuntimeCounters::merge(const RuntimeCounters& other) {
   sync_failures += other.sync_failures;
   wal_group_commits += other.wal_group_commits;
   mailbox_refused += other.mailbox_refused;
+  connects += other.connects;
+  reconnects += other.reconnects;
+  handshake_rejects += other.handshake_rejects;
+  frames_tx += other.frames_tx;
+  frames_rx += other.frames_rx;
+  crc_drops += other.crc_drops;
+  wire_resyncs += other.wire_resyncs;
+  wire_drops += other.wire_drops;
+  partitions_enforced += other.partitions_enforced;
 }
 
 std::string format_runtime_counters(const RuntimeCounters& c) {
@@ -116,7 +125,13 @@ std::string format_runtime_counters(const RuntimeCounters& c) {
       << " storage_faults=" << c.storage_faults_injected
       << " sync_failures=" << c.sync_failures
       << " group_commits=" << c.wal_group_commits
-      << " mailbox_refused=" << c.mailbox_refused;
+      << " mailbox_refused=" << c.mailbox_refused
+      << " connects=" << c.connects << " reconnects=" << c.reconnects
+      << " handshake_rejects=" << c.handshake_rejects
+      << " frames_tx=" << c.frames_tx << " frames_rx=" << c.frames_rx
+      << " crc_drops=" << c.crc_drops << " wire_resyncs=" << c.wire_resyncs
+      << " wire_drops=" << c.wire_drops
+      << " partitions_enforced=" << c.partitions_enforced;
   return out.str();
 }
 

@@ -88,6 +88,16 @@ struct RuntimeCounters {
   std::size_t wal_group_commits = 0;     // batched fsyncs (group commit)
   // Mailbox plane.
   std::size_t mailbox_refused = 0;       // pushes refused by a closed mailbox
+  // Wire plane (net/reactor; zero unless the run crossed real sockets).
+  std::size_t connects = 0;              // streams that completed a handshake
+  std::size_t reconnects = 0;            // re-establishes after a stream loss
+  std::size_t handshake_rejects = 0;     // hellos bounced (mismatch/refusal)
+  std::size_t frames_tx = 0;             // frames queued to sockets
+  std::size_t frames_rx = 0;             // frames decoded off sockets
+  std::size_t crc_drops = 0;             // frames lost to checksum mismatch
+  std::size_t wire_resyncs = 0;          // codec rescans for the magic pair
+  std::size_t wire_drops = 0;            // kData frames eaten by the chaos shim
+  std::size_t partitions_enforced = 0;   // refuse-window teardowns/bounces
 
   void merge(const RuntimeCounters& other);
 };

@@ -1,0 +1,174 @@
+#include "udc/net/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace udc {
+
+namespace {
+
+bool peer_down_errno(int e) {
+  return e == EPIPE || e == ECONNRESET || e == ECONNABORTED || e == ENOTCONN;
+}
+
+bool would_block_errno(int e) {
+  return e == EAGAIN || e == EWOULDBLOCK;
+}
+
+// send(MSG_NOSIGNAL) so a dead peer is EPIPE-as-value, not SIGPIPE; fall
+// back to write(2) for non-socket descriptors (pipes, files in tests).
+ssize_t write_raw(int fd, const void* buf, std::size_t len) {
+  ssize_t k = ::send(fd, buf, len, MSG_NOSIGNAL);
+  if (k < 0 && errno == ENOTSOCK) k = ::write(fd, buf, len);
+  return k;
+}
+
+}  // namespace
+
+const char* io_status_name(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kPeerDown: return "peer-down";
+    case IoStatus::kWouldBlock: return "would-block";
+    case IoStatus::kError: return "error";
+  }
+  return "?";
+}
+
+IoResult full_read(int fd, void* buf, std::size_t len) {
+  IoResult r;
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (r.bytes < len) {
+    ssize_t k = ::read(fd, p + r.bytes, len - r.bytes);
+    if (k > 0) {
+      r.bytes += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k == 0) {  // orderly EOF: the peer is gone, not an error
+      r.status = IoStatus::kPeerDown;
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (would_block_errno(errno)) {
+      r.status = IoStatus::kWouldBlock;
+      return r;
+    }
+    r.status = peer_down_errno(errno) ? IoStatus::kPeerDown : IoStatus::kError;
+    r.error = r.status == IoStatus::kError ? errno : 0;
+    return r;
+  }
+  return r;
+}
+
+IoResult full_write(int fd, const void* buf, std::size_t len) {
+  IoResult r;
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (r.bytes < len) {
+    ssize_t k = write_raw(fd, p + r.bytes, len - r.bytes);
+    if (k >= 0) {
+      r.bytes += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (would_block_errno(errno)) {
+      r.status = IoStatus::kWouldBlock;
+      return r;
+    }
+    r.status = peer_down_errno(errno) ? IoStatus::kPeerDown : IoStatus::kError;
+    r.error = r.status == IoStatus::kError ? errno : 0;
+    return r;
+  }
+  return r;
+}
+
+IoResult full_writev(int fd, const struct iovec* iov, int iovcnt) {
+  IoResult r;
+  std::vector<iovec> v(iov, iov + iovcnt);
+  std::size_t i = 0;
+  while (i < v.size()) {
+    ssize_t k = ::writev(fd, v.data() + i, static_cast<int>(v.size() - i));
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      if (would_block_errno(errno)) {
+        r.status = IoStatus::kWouldBlock;
+        return r;
+      }
+      r.status =
+          peer_down_errno(errno) ? IoStatus::kPeerDown : IoStatus::kError;
+      r.error = r.status == IoStatus::kError ? errno : 0;
+      return r;
+    }
+    r.bytes += static_cast<std::size_t>(k);
+    auto left = static_cast<std::size_t>(k);
+    while (i < v.size() && left >= v[i].iov_len) {
+      left -= v[i].iov_len;
+      ++i;
+    }
+    if (i < v.size() && left > 0) {
+      v[i].iov_base = static_cast<std::uint8_t*>(v[i].iov_base) + left;
+      v[i].iov_len -= left;
+    }
+  }
+  return r;
+}
+
+IoResult read_some(int fd, void* buf, std::size_t len) {
+  IoResult r;
+  for (;;) {
+    ssize_t k = ::read(fd, buf, len);
+    if (k > 0) {
+      r.bytes = static_cast<std::size_t>(k);
+      return r;
+    }
+    if (k == 0) {
+      r.status = IoStatus::kPeerDown;
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (would_block_errno(errno)) {
+      r.status = IoStatus::kWouldBlock;
+      return r;
+    }
+    r.status = peer_down_errno(errno) ? IoStatus::kPeerDown : IoStatus::kError;
+    r.error = r.status == IoStatus::kError ? errno : 0;
+    return r;
+  }
+}
+
+IoResult write_some(int fd, const void* buf, std::size_t len) {
+  IoResult r;
+  for (;;) {
+    ssize_t k = write_raw(fd, buf, len);
+    if (k >= 0) {
+      r.bytes = static_cast<std::size_t>(k);
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (would_block_errno(errno)) {
+      r.status = IoStatus::kWouldBlock;
+      return r;
+    }
+    r.status = peer_down_errno(errno) ? IoStatus::kPeerDown : IoStatus::kError;
+    r.error = r.status == IoStatus::kError ? errno : 0;
+    return r;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_cloexec(int fd) {
+  int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+}  // namespace udc

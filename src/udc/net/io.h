@@ -1,0 +1,71 @@
+// POSIX I/O helpers for the wire layer: full-length reads and writes that
+// loop on EINTR and short counts, with peer-death surfaced as a value.
+//
+// Sockets fail in two morally different ways.  EPIPE, ECONNRESET and a
+// zero-byte read mean the PEER is gone — in a failure-detector runtime that
+// is an ordinary, expected event (it is the event the whole system exists
+// to observe), so it must come back as a status the caller dispatches on,
+// never as an exception or a crash.  Everything else (EBADF, EFAULT, ...)
+// is a local programming or configuration error and is reported as kError
+// with errno preserved.  EINTR is not an outcome at all: every helper
+// restarts the syscall, because a signal landing mid-read is a scheduling
+// accident, not information.
+//
+// Writes go through send(MSG_NOSIGNAL) when the descriptor is a socket so a
+// dead peer yields EPIPE-as-value instead of SIGPIPE-as-process-death; on
+// ENOTSOCK they fall back to write(2), so the same helpers serve pipes and
+// regular files in tests.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace udc {
+
+enum class IoStatus {
+  kOk,         // the full count was transferred
+  kPeerDown,   // EOF on read, or EPIPE/ECONNRESET on write: peer is gone
+  kWouldBlock, // nonblocking descriptor has no room/data right now
+  kError,      // local error; io_errno() holds the errno
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;  // bytes actually transferred (may be short on
+                          // kPeerDown/kWouldBlock/kError)
+  int error = 0;          // errno for kError (0 otherwise)
+
+  bool ok() const { return status == IoStatus::kOk; }
+};
+
+const char* io_status_name(IoStatus s);
+
+// Reads exactly `len` bytes unless the peer closes first.  Loops on EINTR
+// and short reads.  On a BLOCKING descriptor kWouldBlock is never returned;
+// on a nonblocking one it reports how far it got before EAGAIN.
+IoResult full_read(int fd, void* buf, std::size_t len);
+
+// Writes exactly `len` bytes.  Loops on EINTR and short writes; a dead peer
+// (EPIPE/ECONNRESET) is kPeerDown with the partial count, not a signal.
+IoResult full_write(int fd, const void* buf, std::size_t len);
+
+// Gathered write of the full iovec array, restarting after EINTR and short
+// counts (the iovec array is copied locally and advanced; the caller's
+// array is never mutated).
+IoResult full_writev(int fd, const struct iovec* iov, int iovcnt);
+
+// One read(2)/recv(2), EINTR-restarted only — the reactor's edge-pump
+// primitive.  bytes == 0 with kOk never happens: a zero-byte read is
+// kPeerDown.
+IoResult read_some(int fd, void* buf, std::size_t len);
+
+// One send/write, EINTR-restarted only.
+IoResult write_some(int fd, const void* buf, std::size_t len);
+
+// fcntl helpers; return false (with errno intact) on failure.
+bool set_nonblocking(int fd);
+bool set_cloexec(int fd);
+
+}  // namespace udc

@@ -1,0 +1,45 @@
+// Lamport clock for the cross-process runtime.
+//
+// The in-process runtime had ONE shared atomic tick counter, so "time" was
+// globally total by construction.  Across OS processes there is no shared
+// counter; each node keeps a Lamport clock instead: every recorded event
+// ticks it, and every received envelope carries the sender's clock, which
+// the receiver folds in with a CAS-max BEFORE recording the receive.  That
+// yields the one ordering property the lifted run needs — a kRecv's tick is
+// strictly greater than the matching kSend's tick (R3) — and per-node ticks
+// are strictly increasing, so each WAL shard is already in recorded order.
+// The fleet's merge sorts shards by (tick, process) and renumbers into
+// globally unique steps; Lamport's happened-before guarantees the sort never
+// places a receive at or before its send.
+#pragma once
+
+#include <atomic>
+
+#include "udc/common/types.h"
+
+namespace udc {
+
+class LamportClock {
+ public:
+  explicit LamportClock(Time start = 0) : t_(start) {}
+
+  // Next event tick: strictly increasing per node.
+  Time tick() { return t_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  Time now() const { return t_.load(std::memory_order_relaxed); }
+
+  // Folds a remote clock value in: after observe(c), the next tick() exceeds
+  // c.  Called with the envelope's clock rider before the receive is
+  // recorded, from the reactor thread (hence the CAS loop).
+  void observe(Time remote) {
+    Time cur = t_.load(std::memory_order_relaxed);
+    while (remote > cur &&
+           !t_.compare_exchange_weak(cur, remote, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<Time> t_;
+};
+
+}  // namespace udc

@@ -92,8 +92,6 @@ FaultScript sanitize_for_live(const FaultScript& script, int n, int t,
   return out;
 }
 
-namespace {
-
 // Protocols under live test get the coarser RT retransmission pacing;
 // anything else resolves through the ordinary chaos registry.
 ProtocolFactory live_protocol_factory(const std::string& name, int t,
@@ -110,6 +108,8 @@ ProtocolFactory live_protocol_factory(const std::string& name, int t,
   }
   return protocol_factory_by_name(name, t);
 }
+
+namespace {
 
 // Init/do bookkeeping shared by workers and the supervisor's completion
 // detector.  `initiated` holds actions whose kInit was actually recorded;

@@ -56,6 +56,7 @@
 #include "udc/fd/properties.h"
 #include "udc/rt/transport.h"
 #include "udc/sim/context.h"
+#include "udc/sim/process.h"
 #include "udc/store/process_store.h"
 
 namespace udc {
@@ -159,6 +160,12 @@ struct RtVerdict {
 // (there is no lying oracle below a real heartbeat detector).
 FaultScript sanitize_for_live(const FaultScript& script, int n, int t,
                               Time window_cap = 2'000);
+
+// Protocol registry for live runs: "strongfd" and "majority" get the coarser
+// RT retransmission pacing; anything else resolves through the chaos
+// registry.  Shared by run_live and the cross-process node (rt/remote).
+ProtocolFactory live_protocol_factory(const std::string& name, int t,
+                                      Time resend_interval);
 
 // Executes the live system and returns the checked verdict.  Throws
 // InvariantViolation only for malformed options; fault-induced misbehavior

@@ -1,0 +1,288 @@
+// POSIX I/O helpers (net/io.h): EINTR restarts, short-count loops, and
+// peer-death-as-value.  These run over real socketpairs and pipes — the
+// properties under test (a signal mid-read does not surface, a closed peer
+// is kPeerDown not SIGPIPE, EAGAIN reports progress) are exactly the ones a
+// SIGKILL-heavy fleet leans on.
+#include "udc/net/io.h"
+
+#include <gtest/gtest.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace udc {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void close_a() {
+    ::close(a);
+    a = -1;
+  }
+  void close_b() {
+    ::close(b);
+    b = -1;
+  }
+};
+
+std::vector<std::uint8_t> pattern(std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return v;
+}
+
+TEST(NetIo, FullWriteThenFullReadRoundTrips) {
+  SocketPair sp;
+  std::vector<std::uint8_t> out = pattern(4096);
+  IoResult w = full_write(sp.a, out.data(), out.size());
+  ASSERT_TRUE(w.ok()) << io_status_name(w.status);
+  EXPECT_EQ(w.bytes, out.size());
+
+  std::vector<std::uint8_t> in(out.size());
+  IoResult r = full_read(sp.b, in.data(), in.size());
+  ASSERT_TRUE(r.ok()) << io_status_name(r.status);
+  EXPECT_EQ(r.bytes, in.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST(NetIo, FullReadAssemblesDribbledWrites) {
+  SocketPair sp;
+  std::vector<std::uint8_t> out = pattern(1024);
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < out.size(); i += 64) {
+      ASSERT_TRUE(full_write(sp.a, out.data() + i, 64).ok());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::uint8_t> in(out.size());
+  IoResult r = full_read(sp.b, in.data(), in.size());
+  writer.join();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(NetIo, ReadFromClosedPeerIsPeerDownNotError) {
+  SocketPair sp;
+  std::vector<std::uint8_t> out = pattern(16);
+  ASSERT_TRUE(full_write(sp.a, out.data(), out.size()).ok());
+  sp.close_a();
+
+  // The bytes already in flight arrive; the request for MORE than was sent
+  // ends at EOF with the partial count and kPeerDown.
+  std::vector<std::uint8_t> in(64);
+  IoResult r = full_read(sp.b, in.data(), in.size());
+  EXPECT_EQ(r.status, IoStatus::kPeerDown);
+  EXPECT_EQ(r.bytes, out.size());
+  EXPECT_TRUE(std::memcmp(in.data(), out.data(), out.size()) == 0);
+}
+
+TEST(NetIo, WriteToClosedPeerIsPeerDownNotSigpipe) {
+  SocketPair sp;
+  sp.close_b();
+  // Big enough to defeat any kernel buffering of the first write.
+  std::vector<std::uint8_t> out = pattern(1 << 16);
+  IoResult w = full_write(sp.a, out.data(), out.size());
+  // If this test survives at all, MSG_NOSIGNAL did its job (the default
+  // SIGPIPE disposition would have killed the process).
+  EXPECT_EQ(w.status, IoStatus::kPeerDown);
+}
+
+TEST(NetIo, WritevGathersAcrossIovecs) {
+  SocketPair sp;
+  std::vector<std::uint8_t> h = pattern(12);
+  std::vector<std::uint8_t> p = pattern(300);
+  struct iovec iov[2];
+  iov[0].iov_base = h.data();
+  iov[0].iov_len = h.size();
+  iov[1].iov_base = p.data();
+  iov[1].iov_len = p.size();
+  IoResult w = full_writev(sp.a, iov, 2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.bytes, h.size() + p.size());
+  // Caller's iovec array must be untouched.
+  EXPECT_EQ(iov[0].iov_len, h.size());
+  EXPECT_EQ(iov[1].iov_len, p.size());
+
+  std::vector<std::uint8_t> in(h.size() + p.size());
+  ASSERT_TRUE(full_read(sp.b, in.data(), in.size()).ok());
+  EXPECT_TRUE(std::memcmp(in.data(), h.data(), h.size()) == 0);
+  EXPECT_TRUE(std::memcmp(in.data() + h.size(), p.data(), p.size()) == 0);
+}
+
+TEST(NetIo, NonblockingReadReportsWouldBlock) {
+  SocketPair sp;
+  ASSERT_TRUE(set_nonblocking(sp.b));
+  std::uint8_t buf[8];
+  IoResult r = read_some(sp.b, buf, sizeof buf);
+  EXPECT_EQ(r.status, IoStatus::kWouldBlock);
+  EXPECT_EQ(r.bytes, 0u);
+
+  // full_read on a nonblocking fd reports partial progress, not a spin.
+  std::vector<std::uint8_t> out = pattern(16);
+  ASSERT_TRUE(full_write(sp.a, out.data(), out.size()).ok());
+  std::vector<std::uint8_t> in(64);
+  IoResult fr = full_read(sp.b, in.data(), in.size());
+  EXPECT_EQ(fr.status, IoStatus::kWouldBlock);
+  EXPECT_EQ(fr.bytes, out.size());
+}
+
+TEST(NetIo, NonblockingWriteFillsTheBufferThenWouldBlocks) {
+  SocketPair sp;
+  ASSERT_TRUE(set_nonblocking(sp.a));
+  std::vector<std::uint8_t> chunk = pattern(1 << 16);
+  // Keep writing until the kernel buffer fills; must terminate via
+  // kWouldBlock, never block and never error.
+  std::size_t total = 0;
+  for (int i = 0; i < 1024; ++i) {
+    IoResult w = write_some(sp.a, chunk.data(), chunk.size());
+    if (w.status == IoStatus::kWouldBlock) {
+      SUCCEED();
+      return;
+    }
+    ASSERT_EQ(w.status, IoStatus::kOk);
+    total += w.bytes;
+  }
+  FAIL() << "socket buffer never filled after " << total << " bytes";
+}
+
+TEST(NetIo, ReadSomeZeroBytesIsPeerDown) {
+  SocketPair sp;
+  sp.close_a();
+  std::uint8_t buf[8];
+  IoResult r = read_some(sp.b, buf, sizeof buf);
+  EXPECT_EQ(r.status, IoStatus::kPeerDown);
+}
+
+TEST(NetIo, BadFdIsKErrorWithErrnoPreserved) {
+  std::uint8_t buf[4] = {1, 2, 3, 4};
+  IoResult r = full_read(-1, buf, sizeof buf);
+  EXPECT_EQ(r.status, IoStatus::kError);
+  EXPECT_EQ(r.error, EBADF);
+  IoResult w = full_write(-1, buf, sizeof buf);
+  EXPECT_EQ(w.status, IoStatus::kError);
+  EXPECT_EQ(w.error, EBADF);
+}
+
+TEST(NetIo, HelpersServePipesViaEnotsockFallback) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::vector<std::uint8_t> out = pattern(128);
+  IoResult w = full_write(fds[1], out.data(), out.size());
+  ASSERT_TRUE(w.ok()) << io_status_name(w.status);
+  std::vector<std::uint8_t> in(out.size());
+  IoResult r = full_read(fds[0], in.data(), in.size());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(in, out);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- EINTR ----------------------------------------------------------------
+
+// A no-op handler WITHOUT SA_RESTART: every signal delivery makes the
+// blocking syscall return EINTR, which the helpers must absorb.
+class EintrStorm {
+ public:
+  EintrStorm() {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+    sigaction(SIGUSR1, &sa, &old_);
+    target_ = pthread_self();
+    storm_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        pthread_kill(target_, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+  ~EintrStorm() {
+    stop_.store(true, std::memory_order_relaxed);
+    storm_.join();
+    sigaction(SIGUSR1, &old_, nullptr);
+  }
+
+ private:
+  pthread_t target_;
+  std::atomic<bool> stop_{false};
+  std::thread storm_;
+  struct sigaction old_;
+};
+
+TEST(NetIo, FullReadSurvivesAnEintrStorm) {
+  SocketPair sp;
+  std::vector<std::uint8_t> out = pattern(1 << 15);
+  std::thread writer([&] {
+    // Trickle so the reader spends real time blocked in read(2) while
+    // signals land on it.
+    for (std::size_t i = 0; i < out.size(); i += 512) {
+      ASSERT_TRUE(full_write(sp.a, out.data() + i, 512).ok());
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  std::vector<std::uint8_t> in(out.size());
+  IoResult r;
+  {
+    EintrStorm storm;  // signals target THIS thread, the one in read(2)
+    r = full_read(sp.b, in.data(), in.size());
+  }
+  writer.join();
+  ASSERT_EQ(r.status, IoStatus::kOk) << io_status_name(r.status);
+  EXPECT_EQ(in, out);
+}
+
+TEST(NetIo, FullWriteSurvivesAnEintrStorm) {
+  SocketPair sp;
+  std::vector<std::uint8_t> out = pattern(1 << 20);  // >> socket buffer
+  std::vector<std::uint8_t> in(out.size());
+  std::thread reader([&] {
+    // Slow reader keeps the writer blocked in send(2) mid-storm.
+    std::size_t got = 0;
+    while (got < in.size()) {
+      IoResult r = read_some(sp.b, in.data() + got, 4096);
+      ASSERT_EQ(r.status, IoStatus::kOk);
+      got += r.bytes;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  IoResult w;
+  {
+    EintrStorm storm;
+    w = full_write(sp.a, out.data(), out.size());
+  }
+  reader.join();
+  ASSERT_EQ(w.status, IoStatus::kOk) << io_status_name(w.status);
+  EXPECT_EQ(w.bytes, out.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST(NetIo, StatusNamesAreStable) {
+  EXPECT_STREQ(io_status_name(IoStatus::kOk), "ok");
+  EXPECT_STREQ(io_status_name(IoStatus::kPeerDown), "peer-down");
+  EXPECT_STREQ(io_status_name(IoStatus::kWouldBlock), "would-block");
+  EXPECT_STREQ(io_status_name(IoStatus::kError), "error");
+}
+
+}  // namespace
+}  // namespace udc
