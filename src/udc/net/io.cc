@@ -91,7 +91,15 @@ IoResult full_writev(int fd, const struct iovec* iov, int iovcnt) {
   std::vector<iovec> v(iov, iov + iovcnt);
   std::size_t i = 0;
   while (i < v.size()) {
-    ssize_t k = ::writev(fd, v.data() + i, static_cast<int>(v.size() - i));
+    // sendmsg(MSG_NOSIGNAL) for the same EPIPE-as-value contract as
+    // write_raw; writev(2) serves non-socket descriptors.
+    msghdr mh{};
+    mh.msg_iov = v.data() + i;
+    mh.msg_iovlen = v.size() - i;
+    ssize_t k = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (k < 0 && errno == ENOTSOCK) {
+      k = ::writev(fd, v.data() + i, static_cast<int>(v.size() - i));
+    }
     if (k < 0) {
       if (errno == EINTR) continue;
       if (would_block_errno(errno)) {

@@ -31,6 +31,15 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+// Epoll events carry (generation << 32) | fd: if a conn closed earlier in
+// an epoll_wait batch and a fresh accept reused its fd number, the stale
+// queued events for the old stream carry the old generation and are
+// ignored instead of tearing down the new connection.
+std::uint64_t epoll_key(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
 }  // namespace
 
 Reactor::Reactor(ReactorOptions opts, FrameFn on_frame, PeerFn on_peer)
@@ -44,7 +53,7 @@ Reactor::Reactor(ReactorOptions opts, FrameFn on_frame, PeerFn on_peer)
   UDC_CHECK(wake_fd_ >= 0, "eventfd failed");
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_;
+  ev.data.u64 = epoll_key(wake_fd_, 0);
   UDC_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
             "epoll_ctl(wake) failed");
 }
@@ -78,7 +87,7 @@ std::uint16_t Reactor::listen(std::uint16_t port) {
   listen_fd_ = fd;
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
+  ev.data.u64 = epoll_key(listen_fd_, 0);
   UDC_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
             "epoll_ctl(listen) failed");
   std::uint16_t bound = ntohs(addr.sin_port);
@@ -170,7 +179,9 @@ void Reactor::loop() {
       break;  // epoll itself broke: nothing sane left to do
     }
     for (int i = 0; i < k; ++i) {
-      int fd = events[i].data.fd;
+      const std::uint64_t key = events[i].data.u64;
+      const int fd = static_cast<int>(key & 0xffffffffu);
+      const auto gen = static_cast<std::uint32_t>(key >> 32);
       std::uint32_t ev = events[i].events;
       if (fd == wake_fd_) {
         std::uint64_t drain;
@@ -182,13 +193,20 @@ void Reactor::loop() {
         accept_ready();
         continue;
       }
-      if (!conns_.count(fd)) continue;
+      auto cit = conns_.find(fd);
+      if (cit == conns_.end() || cit->second.gen != gen) {
+        continue;  // stale event for a closed conn whose fd was reused
+      }
       if (ev & (EPOLLHUP | EPOLLERR)) {
         close_conn(fd, /*notify=*/true);
         continue;
       }
       if (ev & EPOLLOUT) conn_writable(fd);
-      if (conns_.count(fd) && (ev & EPOLLIN)) conn_readable(fd);
+      cit = conns_.find(fd);
+      if (cit != conns_.end() && cit->second.gen == gen &&
+          (ev & EPOLLIN)) {
+        conn_readable(fd);
+      }
     }
     run_commands();
     timers(std::chrono::steady_clock::now());
@@ -289,14 +307,16 @@ void Reactor::dial(ProcessId peer) {
   }
   Conn c;
   c.fd = fd;
+  c.gen = ++conn_gen_;
   c.state = ConnState::kConnecting;
   c.dialed = true;
   c.peer = peer;
   c.last_rx = std::chrono::steady_clock::now();
+  const std::uint32_t gen = c.gen;
   conns_.emplace(fd, std::move(c));
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT;
-  ev.data.fd = fd;
+  ev.data.u64 = epoll_key(fd, gen);
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
     conns_.erase(fd);
     ::close(fd);
@@ -318,13 +338,15 @@ void Reactor::accept_ready() {
     }
     Conn c;
     c.fd = fd;
+    c.gen = ++conn_gen_;
     c.state = ConnState::kHandshaking;
     c.dialed = false;
     c.last_rx = std::chrono::steady_clock::now();
+    const std::uint32_t gen = c.gen;
     conns_.emplace(fd, std::move(c));
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.fd = fd;
+    ev.data.u64 = epoll_key(fd, gen);
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
       conns_.erase(fd);
       ::close(fd);
@@ -602,9 +624,11 @@ void Reactor::timers(std::chrono::steady_clock::time_point now) {
 }
 
 void Reactor::arm(int fd, bool want_write) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
   epoll_event ev{};
   ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
-  ev.data.fd = fd;
+  ev.data.u64 = epoll_key(fd, it->second.gen);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
 }
 

@@ -155,6 +155,7 @@ class Reactor {
 
   struct Conn {
     int fd = -1;
+    std::uint32_t gen = 0;  // stamps epoll events; stale fd reuse is ignored
     ConnState state = ConnState::kConnecting;
     bool dialed = false;               // we initiated this stream
     ProcessId peer = kInvalidProcess;  // known immediately when dialed
@@ -217,6 +218,7 @@ class Reactor {
 
   std::map<int, Conn> conns_;
   std::map<ProcessId, Peer> peers_;
+  std::uint32_t conn_gen_ = 0;  // next connection generation stamp
 
   mutable std::mutex cmd_mu_;
   std::deque<Command> commands_;

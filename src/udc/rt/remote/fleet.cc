@@ -197,6 +197,12 @@ FleetVerdict run_fleet(const FleetOptions& opts) {
   auto launch = [&](ProcessId p, std::uint64_t epoch) {
     Child& c = children[static_cast<std::size_t>(p)];
     c.epoch = epoch;
+    // Fresh incarnation, fresh exit accounting: a stale killed_by_us from a
+    // chaos SIGKILL of the previous incarnation must not excuse THIS one
+    // from the clean_exits check if it dies on its own.
+    c.killed_by_us = false;
+    c.reaped = false;
+    c.exit_status = 0;
     c.pid = spawn_node(
         node_argv(opts, p, epoch, run_id, sup_port, script_path),
         (std::filesystem::path(opts.run_dir) /

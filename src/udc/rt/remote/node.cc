@@ -359,7 +359,13 @@ int run_node(const NodeOptions& opts) {
     // reliable but unrecorded) so they withdraw stale ack-state.
     env.begin_replay(wal_performed);
     proto->on_start(env);
-    for (const Event& e : mirror) {
+    // Replay only the recovered prefix, by index and by copy: a replayed
+    // handler may call env.perform (re-recording a kDo lost from the WAL
+    // suffix), which appends to `mirror` and would invalidate range-for
+    // iterators mid-loop.
+    const std::size_t recovered = mirror.size();
+    for (std::size_t i = 0; i < recovered; ++i) {
+      const Event e = mirror[i];
       switch (e.kind) {
         case EventKind::kInit:
           proto->on_init(e.action, env);

@@ -128,6 +128,45 @@ TEST(NetIo, WritevGathersAcrossIovecs) {
   EXPECT_TRUE(std::memcmp(in.data() + h.size(), p.data(), p.size()) == 0);
 }
 
+TEST(NetIo, WritevToClosedPeerIsPeerDownNotSigpipe) {
+  SocketPair sp;
+  sp.close_b();
+  // Two big iovecs so the gather path, not a buffered first write, hits the
+  // dead peer.
+  std::vector<std::uint8_t> h = pattern(1 << 15);
+  std::vector<std::uint8_t> p = pattern(1 << 16);
+  struct iovec iov[2];
+  iov[0].iov_base = h.data();
+  iov[0].iov_len = h.size();
+  iov[1].iov_base = p.data();
+  iov[1].iov_len = p.size();
+  // Surviving at all means MSG_NOSIGNAL held; default SIGPIPE disposition
+  // would have killed the process.
+  IoResult w = full_writev(sp.a, iov, 2);
+  EXPECT_EQ(w.status, IoStatus::kPeerDown);
+}
+
+TEST(NetIo, WritevServesPipesViaEnotsockFallback) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::vector<std::uint8_t> h = pattern(12);
+  std::vector<std::uint8_t> p = pattern(300);
+  struct iovec iov[2];
+  iov[0].iov_base = h.data();
+  iov[0].iov_len = h.size();
+  iov[1].iov_base = p.data();
+  iov[1].iov_len = p.size();
+  IoResult w = full_writev(fds[1], iov, 2);
+  ASSERT_TRUE(w.ok()) << io_status_name(w.status);
+  EXPECT_EQ(w.bytes, h.size() + p.size());
+  std::vector<std::uint8_t> in(h.size() + p.size());
+  ASSERT_TRUE(full_read(fds[0], in.data(), in.size()).ok());
+  EXPECT_TRUE(std::memcmp(in.data(), h.data(), h.size()) == 0);
+  EXPECT_TRUE(std::memcmp(in.data() + h.size(), p.data(), p.size()) == 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST(NetIo, NonblockingReadReportsWouldBlock) {
   SocketPair sp;
   ASSERT_TRUE(set_nonblocking(sp.b));
