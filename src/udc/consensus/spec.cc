@@ -1,6 +1,8 @@
 #include "udc/consensus/spec.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
 
 namespace udc {
@@ -93,6 +95,41 @@ ConsensusReport check_consensus(const System& sys,
   ConsensusReport rep;
   for (const Run& r : sys.runs()) {
     rep.merge(check_consensus(r, initial_values, grace));
+  }
+  return rep;
+}
+
+LogAgreementReport check_log_agreement(
+    const std::vector<std::vector<std::pair<std::uint64_t, ActionId>>>&
+        applied_per_node) {
+  LogAgreementReport rep;
+  std::map<std::uint64_t, ActionId> slot_action;
+  for (std::size_t p = 0; p < applied_per_node.size(); ++p) {
+    std::set<std::uint64_t> slots_seen;
+    std::set<ActionId> actions_seen;
+    for (const auto& [slot, action] : applied_per_node[p]) {
+      if (!slots_seen.insert(slot).second) {
+        rep.integrity = false;
+        std::ostringstream out;
+        out << "integrity: p" << p << " applied slot " << slot << " twice";
+        rep.violations.push_back(out.str());
+      }
+      if (!actions_seen.insert(action).second) {
+        rep.integrity = false;
+        std::ostringstream out;
+        out << "integrity: p" << p << " applied action " << action
+            << " twice";
+        rep.violations.push_back(out.str());
+      }
+      auto [it, fresh] = slot_action.emplace(slot, action);
+      if (!fresh && it->second != action) {
+        rep.agreement = false;
+        std::ostringstream out;
+        out << "agreement: slot " << slot << " holds actions " << it->second
+            << " and " << action;
+        rep.violations.push_back(out.str());
+      }
+    }
   }
   return rep;
 }

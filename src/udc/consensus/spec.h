@@ -62,4 +62,23 @@ ConsensusReport check_consensus(const System& sys,
                                 std::span<const std::int64_t> initial_values,
                                 Time grace = 0);
 
+// Replicated-log agreement, the multi-slot face of uniform agreement: the
+// coordination service (svc/) drives one batch action through each log
+// slot, and the slot is the consensus instance.  Each inner vector is one
+// replica's applied (slot, action) sequence, in ITS apply order.
+//   agreement — no slot maps to two different actions across replicas
+//               (uniform: restarted replicas' histories count too)
+//   integrity — no replica applies a slot twice or an action twice
+struct LogAgreementReport {
+  bool agreement = true;
+  bool integrity = true;
+  std::vector<std::string> violations;
+
+  bool achieved() const { return agreement && integrity; }
+};
+
+LogAgreementReport check_log_agreement(
+    const std::vector<std::vector<std::pair<std::uint64_t, ActionId>>>&
+        applied_per_node);
+
 }  // namespace udc

@@ -103,6 +103,19 @@ void RuntimeCounters::merge(const RuntimeCounters& other) {
   wire_resyncs += other.wire_resyncs;
   wire_drops += other.wire_drops;
   partitions_enforced += other.partitions_enforced;
+  svc_requests += other.svc_requests;
+  svc_admitted += other.svc_admitted;
+  svc_dups_suppressed += other.svc_dups_suppressed;
+  svc_retry_later += other.svc_retry_later;
+  svc_redirects += other.svc_redirects;
+  svc_batches_sealed += other.svc_batches_sealed;
+  svc_batches_committed += other.svc_batches_committed;
+  svc_ooo_commits += other.svc_ooo_commits;
+  svc_elections += other.svc_elections;
+  svc_sync_rounds += other.svc_sync_rounds;
+  svc_adoptions += other.svc_adoptions;
+  svc_lease_reads += other.svc_lease_reads;
+  svc_lease_denied += other.svc_lease_denied;
 }
 
 std::string format_runtime_counters(const RuntimeCounters& c) {
@@ -132,6 +145,21 @@ std::string format_runtime_counters(const RuntimeCounters& c) {
       << " crc_drops=" << c.crc_drops << " wire_resyncs=" << c.wire_resyncs
       << " wire_drops=" << c.wire_drops
       << " partitions_enforced=" << c.partitions_enforced;
+  if (c.svc_requests || c.svc_batches_sealed || c.svc_elections) {
+    out << " svc_requests=" << c.svc_requests
+        << " svc_admitted=" << c.svc_admitted
+        << " svc_dups_suppressed=" << c.svc_dups_suppressed
+        << " svc_retry_later=" << c.svc_retry_later
+        << " svc_redirects=" << c.svc_redirects
+        << " svc_sealed=" << c.svc_batches_sealed
+        << " svc_committed=" << c.svc_batches_committed
+        << " svc_ooo_commits=" << c.svc_ooo_commits
+        << " svc_elections=" << c.svc_elections
+        << " svc_sync_rounds=" << c.svc_sync_rounds
+        << " svc_adoptions=" << c.svc_adoptions
+        << " svc_lease_reads=" << c.svc_lease_reads
+        << " svc_lease_denied=" << c.svc_lease_denied;
+  }
   return out.str();
 }
 

@@ -98,6 +98,20 @@ struct RuntimeCounters {
   std::size_t wire_resyncs = 0;          // codec rescans for the magic pair
   std::size_t wire_drops = 0;            // kData frames eaten by the chaos shim
   std::size_t partitions_enforced = 0;   // refuse-window teardowns/bounces
+  // Service plane (svc/; zero unless the run served client traffic).
+  std::size_t svc_requests = 0;          // client ops received
+  std::size_t svc_admitted = 0;          // ops admitted into a batch
+  std::size_t svc_dups_suppressed = 0;   // retries the session table absorbed
+  std::size_t svc_retry_later = 0;       // backpressure replies sent
+  std::size_t svc_redirects = 0;         // kNotLeader replies sent
+  std::size_t svc_batches_sealed = 0;    // batches sealed (incl. no-op fills)
+  std::size_t svc_batches_committed = 0; // batches quorum-committed here
+  std::size_t svc_ooo_commits = 0;       // DC2' out-of-slot-order applies
+  std::size_t svc_elections = 0;         // leaderships this node assumed
+  std::size_t svc_sync_rounds = 0;       // failover/catch-up sync exchanges
+  std::size_t svc_adoptions = 0;         // orphaned batches re-sealed
+  std::size_t svc_lease_reads = 0;       // reads served under a valid lease
+  std::size_t svc_lease_denied = 0;      // reads bounced (lease invalid)
 
   void merge(const RuntimeCounters& other);
 };

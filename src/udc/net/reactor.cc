@@ -367,7 +367,7 @@ void Reactor::conn_readable(int fd) {
     }
     it->second.decoder.feed(buf, r.bytes);
     it->second.last_rx = std::chrono::steady_clock::now();
-    it->second.ping_sent = false;
+    it->second.pings_unanswered = 0;
     for (;;) {
       auto cit = conns_.find(fd);
       if (cit == conns_.end()) return;  // handle_frame closed it
@@ -427,6 +427,7 @@ void Reactor::handle_frame(int fd, const WireFrame& f) {
       auto h = decode_hello(f.payload.data(), f.payload.size());
       bool id_ok =
           h && (h->id == kSupervisorPeer ||
+                (opts_.accept_clients && h->id >= kClientPeerBase) ||
                 (h->id >= 0 && (opts_.n == 0 || h->id < opts_.n)));
       bool run_ok = h && h->run_id == opts_.run_id;
       bool n_ok = h && (opts_.n == 0 || h->n == 0 || h->n == opts_.n);
@@ -596,23 +597,36 @@ void Reactor::timers(std::chrono::steady_clock::time_point now) {
     }
   }
   // Keepalive and dead-stream detection (also times out stuck handshakes).
+  // Probe writes are deferred past the scan: flush_conn can close a conn on
+  // write failure, which would invalidate the iteration.
   std::vector<int> dead;
+  std::vector<int> probe;
   for (auto& [fd, c] : conns_) {
     auto silence = now - c.last_rx;
     if (silence > opts_.dead_after) {
       dead.push_back(fd);
       continue;
     }
-    if (c.state == ConnState::kEstablished && silence > opts_.keepalive &&
-        !c.ping_sent) {
-      c.ping_sent = true;
-      {
-        std::lock_guard<std::mutex> lk(state_mu_);
-        ++counters_.keepalive_probes;
-      }
-      queue_frame(c, FrameType::kPing, nullptr, 0);
-      flush_conn(fd);
+    if (c.state != ConnState::kEstablished) continue;
+    if (opts_.keepalive_misses > 0 &&
+        c.pings_unanswered >= opts_.keepalive_misses) {
+      dead.push_back(fd);
+      continue;
     }
+    if (silence > opts_.keepalive * (c.pings_unanswered + 1)) {
+      ++c.pings_unanswered;
+      probe.push_back(fd);
+    }
+  }
+  for (int fd : probe) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      ++counters_.keepalive_probes;
+    }
+    queue_frame(it->second, FrameType::kPing, nullptr, 0);
+    flush_conn(fd);
   }
   for (int fd : dead) {
     {

@@ -23,10 +23,13 @@
 // if one shows up anyway (a stale half-open socket plus a fresh dial), the
 // newest established stream wins and the old one is closed.
 //
-// Keepalive: an established stream silent for `keepalive` gets a kPing; a
-// stream silent past `dead_after` is torn down — that is how a half-open
-// TCP connection (peer SIGKILLed, no FIN ever sent) is detected and
-// converted into peer-down + redial.
+// Keepalive: an established stream silent for `keepalive` gets a kPing,
+// another after each further `keepalive` of silence; once `keepalive_misses`
+// consecutive probes go unanswered the stream is declared dead and torn
+// down (with `dead_after` kept as a hard backstop, which also times out
+// stuck handshakes) — that is how a half-open TCP connection (peer
+// SIGKILLed, no FIN ever sent) is detected and converted into peer-down +
+// redial, well before a redial would have noticed.
 //
 // Chaos enters here, between the reactor and the codec: an installed shim
 // is consulted before any kData frame is written to a socket, so scripted
@@ -70,8 +73,13 @@ struct ReactorOptions {
   BackoffOptions reconnect{/*base=*/20, /*growth=*/1.7, /*cap=*/500,
                            /*jitter=*/0.4};
   std::chrono::milliseconds keepalive{150};   // ping after this much silence
-  std::chrono::milliseconds dead_after{1500}; // close after this much
+  int keepalive_misses = 4;                   // unanswered pings => peer down
+                                              // (0 disables miss detection)
+  std::chrono::milliseconds dead_after{1500}; // hard-silence backstop
   std::size_t max_outbuf_bytes = 4u << 20;    // per-conn write backlog cap
+  // Accept handshakes from service clients (ids >= kClientPeerBase) in
+  // addition to fleet peers in [0, n) and the supervisor.
+  bool accept_clients = false;
 };
 
 struct WireCounters {
@@ -167,7 +175,7 @@ class Reactor {
     std::vector<std::uint8_t> outbuf;
     std::size_t out_pos = 0;
     std::chrono::steady_clock::time_point last_rx;
-    bool ping_sent = false;
+    int pings_unanswered = 0;  // consecutive probes with no bytes back
   };
 
   struct Peer {

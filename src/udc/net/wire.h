@@ -63,8 +63,18 @@ enum class FrameType : std::uint8_t {
   kStop = 9,      // supervisor -> node: flush, final status, exit
   kPeers = 10,    // supervisor -> node: data-port directory
   kBye = 11,      // orderly close
+  // Replicated coordination service (svc/): payload codecs in svc/wire.h.
+  kSvcRequest = 12,   // client -> leader: one session op
+  kSvcReply = 13,     // leader -> client: result / redirect / backpressure
+  kSvcPropose = 14,   // leader -> follower: sealed batch for a slot
+  kSvcAck = 15,       // follower -> leader: durable accept (or term nack)
+  kSvcCommit = 16,    // leader -> all: commit floor + out-of-order slots
+  kSvcHb = 17,        // svc heartbeat: term, leader, commit floor
+  kSvcSyncReq = 18,   // failover/catch-up: send entries above my floor
+  kSvcSyncResp = 19,  // entries above the requested floor (chunked)
+  kSvcStatus = 20,    // svc node -> supervisor: compact status report
 };
-inline constexpr std::uint8_t kMaxFrameType = 11;
+inline constexpr std::uint8_t kMaxFrameType = 20;
 
 struct WireFrame {
   FrameType type = FrameType::kPing;
@@ -120,6 +130,10 @@ class FrameDecoder {
 // Peer id used by the supervisor's control endpoint in handshakes; data
 // peers use their ProcessId in [0, n).
 inline constexpr ProcessId kSupervisorPeer = 1000;
+// Service clients handshake with ids at or above this base (one id per
+// client instance).  Nodes accept them only when ReactorOptions.accept_clients
+// is set; clients are never part of the fleet's [0, n) id space.
+inline constexpr ProcessId kClientPeerBase = 2000;
 
 struct WireHello {
   ProcessId id = kInvalidProcess;  // sender's process id (or kSupervisorPeer)

@@ -1,0 +1,127 @@
+// ArmWatchdog: a wall-clock deadline on one soak arm, with diagnostics
+// instead of a hung CI job.
+//
+// A cross-process arm can hang in ways its own deadline never sees — a
+// supervisor blocked in waitpid on a child wedged in D-state, a reactor
+// thread deadlocked before the deadline check runs.  The watchdog is a
+// detached-from-the-arm thread holding ONLY a condition variable: if the
+// arm finishes, cancel() returns and nothing happened; if the deadline
+// passes first, the watchdog runs the caller's diagnostic dump (per-node
+// state, log tails — whatever helps a postmortem) and then the exit
+// function, by default _exit(4) — skipping destructors on purpose, because
+// a process stuck enough to trip the watchdog cannot be trusted to unwind.
+//
+// The exit function is injectable so tests can observe a firing without
+// dying; production callers leave the default.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+namespace udc {
+
+// Postmortem dump for a wedged cross-process arm: every file in the run
+// directory with its size, plus the tail of each per-node log — the state
+// a human needs first when a CI job would otherwise just time out mute.
+inline void dump_run_dir_diagnostics(const std::string& run_dir,
+                                     std::FILE* out = stderr) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(run_dir, ec)) {
+    std::fprintf(out, "watchdog: run dir missing: %s\n", run_dir.c_str());
+    return;
+  }
+  for (const auto& entry :
+       std::filesystem::directory_iterator(run_dir, ec)) {
+    std::error_code sec;
+    const auto size = entry.is_regular_file(sec)
+                          ? std::filesystem::file_size(entry.path(), sec)
+                          : 0;
+    std::fprintf(out, "watchdog:   %-32s %10llu bytes\n",
+                 entry.path().filename().string().c_str(),
+                 static_cast<unsigned long long>(size));
+  }
+  constexpr std::size_t kTail = 2048;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(run_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node-", 0) != 0 || name.find(".log") == std::string::npos) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in.good()) continue;
+    in.seekg(0, std::ios::end);
+    const auto len = static_cast<std::size_t>(in.tellg());
+    const auto take = std::min(kTail, len);
+    in.seekg(static_cast<std::streamoff>(len - take));
+    std::string tail(take, '\0');
+    in.read(tail.data(), static_cast<std::streamsize>(take));
+    std::fprintf(out, "watchdog: ---- tail of %s ----\n%s\n", name.c_str(),
+                 tail.c_str());
+  }
+}
+
+class ArmWatchdog {
+ public:
+  using DiagFn = std::function<void()>;
+  using ExitFn = std::function<void()>;
+
+  ArmWatchdog(std::chrono::milliseconds timeout, DiagFn diag,
+              ExitFn exit_fn = [] { ::_exit(4); })
+      : diag_(std::move(diag)), exit_fn_(std::move(exit_fn)) {
+    thread_ = std::thread([this, timeout] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, timeout, [this] { return cancelled_; })) {
+        return;  // the arm finished first
+      }
+      fired_ = true;
+      lock.unlock();
+      if (diag_) diag_();
+      if (exit_fn_) exit_fn_();
+    });
+  }
+
+  ~ArmWatchdog() { cancel(); }
+
+  ArmWatchdog(const ArmWatchdog&) = delete;
+  ArmWatchdog& operator=(const ArmWatchdog&) = delete;
+
+  // Disarms the watchdog and joins its thread.  Idempotent.  If the
+  // watchdog already fired (injectable exit only), the diagnostics have
+  // completed by the time cancel() returns.
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+    }
+    cv_.notify_one();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // True iff the deadline passed before cancel().  Meaningful only with an
+  // injected exit function; the default never returns control.
+  bool fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+
+ private:
+  DiagFn diag_;
+  ExitFn exit_fn_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+  bool fired_ = false;
+  std::thread thread_;
+};
+
+}  // namespace udc

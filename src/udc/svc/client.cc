@@ -1,0 +1,228 @@
+#include "udc/svc/client.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "udc/common/check.h"
+#include "udc/net/wire.h"
+
+namespace udc {
+
+namespace {
+
+ReactorOptions client_reactor_options(const SvcClientOptions& o) {
+  ReactorOptions r;
+  r.self = kClientPeerBase + o.instance;
+  r.n = 0;  // pure dialer: accept whatever id the dialed node presents
+  r.run_id = o.run_id;
+  r.seed = o.seed ^ 0x636c6e74ull;  // "clnt"
+  return r;
+}
+
+}  // namespace
+
+SvcClient::SvcClient(SvcClientOptions opts, DoneFn on_done)
+    : opts_(opts),
+      on_done_(std::move(on_done)),
+      reactor_(
+          client_reactor_options(opts),
+          [this](ProcessId /*peer*/, std::uint64_t /*epoch*/,
+                 const WireFrame& f) {
+            if (f.type != FrameType::kSvcReply) return;
+            if (auto r = decode_svc_reply(f.payload.data(),
+                                          f.payload.size())) {
+              on_reply(*r);
+            }
+          },
+          [](ProcessId, std::uint64_t, bool, std::uint16_t) {}),
+      rng_(opts.seed ^ 0x72747279ull) {  // "rtry"
+  UDC_CHECK(opts_.n >= 1, "svc client: bad fleet size");
+  reactor_.start();
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+SvcClient::~SvcClient() { stop(); }
+
+void SvcClient::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  if (timer_.joinable()) timer_.join();
+  reactor_.stop();
+}
+
+void SvcClient::set_node_port(ProcessId node, std::uint16_t port) {
+  reactor_.set_endpoint(node, port);
+}
+
+void SvcClient::write(std::uint64_t session, std::int32_t reg,
+                      std::int64_t value) {
+  SvcOp op;
+  op.session = session;
+  op.kind = SvcOpKind::kWrite;
+  op.reg = reg;
+  op.value = value;
+  submit(session, op);
+}
+
+void SvcClient::read(std::uint64_t session, std::int32_t reg) {
+  SvcOp op;
+  op.session = session;
+  op.kind = SvcOpKind::kRead;
+  op.reg = reg;
+  submit(session, op);
+}
+
+std::size_t SvcClient::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+SvcClientStats SvcClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SvcClient::submit(std::uint64_t session, SvcOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  Session& s = sessions_[session];
+  // Sequence assignment is the client's job: writes dense from 1 (the dedup
+  // contract), reads from a disjoint nonce stream (echo-only).
+  if (op.kind == SvcOpKind::kWrite) {
+    op.seq = s.next_write_seq++;
+  } else {
+    op.seq = s.next_read_nonce++;
+  }
+  ++inflight_;
+  if (s.busy) {
+    s.queue.push_back(op);
+    return;
+  }
+  s.busy = true;
+  s.cur = op;
+  const auto now = std::chrono::steady_clock::now();
+  s.first_submit = now;
+  s.attempts = 0;
+  send_cur(s, now);
+}
+
+void SvcClient::send_cur(Session& s,
+                         std::chrono::steady_clock::time_point now) {
+  SvcRequest rq;
+  rq.op = s.cur;
+  reactor_.send(leader_guess_, FrameType::kSvcRequest,
+                encode_svc_request(rq));
+  s.next_fire = now + opts_.request_timeout;
+  s.rotate_on_fire = true;
+}
+
+void SvcClient::on_reply(const SvcReply& r) {
+  SvcClientRecord done;
+  double latency_ms = 0;
+  bool completed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(r.session);
+    if (it == sessions_.end()) return;
+    Session& s = it->second;
+    if (!s.busy || s.cur.seq != r.seq) return;  // stale duplicate reply
+    const auto now = std::chrono::steady_clock::now();
+    switch (r.status) {
+      case SvcStatus::kOk: {
+        done.session = r.session;
+        done.seq = r.seq;
+        done.kind = s.cur.kind;
+        done.reg = s.cur.reg;
+        done.value = r.value;
+        done.version = r.version;
+        latency_ms =
+            std::chrono::duration<double, std::milli>(now - s.first_submit)
+                .count();
+        completed = true;
+        ++stats_.completions;
+        if (s.cur.kind == SvcOpKind::kWrite) {
+          ++stats_.writes_done;
+        } else {
+          ++stats_.reads_done;
+        }
+        --inflight_;
+        if (s.queue.empty()) {
+          s.busy = false;
+        } else {
+          s.cur = s.queue.front();
+          s.queue.pop_front();
+          s.first_submit = now;
+          s.attempts = 0;
+          send_cur(s, now);
+        }
+        break;
+      }
+      case SvcStatus::kNotLeader: {
+        ++stats_.redirects;
+        if (r.leader_hint >= 0 && r.leader_hint < opts_.n &&
+            r.leader_hint != leader_guess_) {
+          leader_guess_ = r.leader_hint;
+        } else if (r.leader_hint == leader_guess_ ||
+                   r.leader_hint == kInvalidProcess) {
+          leader_guess_ = (leader_guess_ + 1) % opts_.n;
+        }
+        // Chase the redirect after a short jittered pause (an electing
+        // fleet answers kNotLeader in a tight loop otherwise).
+        s.next_fire = now + std::chrono::milliseconds(backoff_delay_jittered(
+                                opts_.backoff, std::min(s.attempts, 3), rng_));
+        s.rotate_on_fire = false;
+        ++s.attempts;
+        break;
+      }
+      case SvcStatus::kRetryLater: {
+        ++stats_.retry_later;
+        const auto own = std::chrono::milliseconds(
+            backoff_delay_jittered(opts_.backoff, s.attempts, rng_));
+        const auto suggested = std::chrono::milliseconds(r.backoff_ms);
+        s.next_fire = now + std::max(own, suggested);
+        s.rotate_on_fire = false;  // backpressure: same leader, later
+        ++s.attempts;
+        break;
+      }
+      case SvcStatus::kOutOfOrder: {
+        // Our previous write has not applied at this leader yet (or a read
+        // raced a failover): back off and retry the same op.
+        ++stats_.out_of_order;
+        s.next_fire = now + std::chrono::milliseconds(backoff_delay_jittered(
+                                opts_.backoff, s.attempts, rng_));
+        s.rotate_on_fire = false;
+        ++s.attempts;
+        break;
+      }
+    }
+  }
+  if (completed && on_done_) on_done_(done, latency_ms);
+}
+
+void SvcClient::timer_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& [id, s] : sessions_) {
+        if (!s.busy || now < s.next_fire) continue;
+        if (s.rotate_on_fire) {
+          // Request timeout: the guessed leader is dead, partitioned, or
+          // never had our frame — rotate and duplicate the request.
+          leader_guess_ = (leader_guess_ + 1) % opts_.n;
+          ++stats_.resends;
+        }
+        ++s.attempts;
+        send_cur(s, now);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace udc

@@ -1,0 +1,126 @@
+// Client library for the replicated coordination service.
+//
+// One SvcClient owns one wire identity (kClientPeerBase + instance) and any
+// number of client SESSIONS multiplexed over it.  Per session the contract
+// is strict: at most one write in flight, write sequences dense from 1 —
+// which is exactly what lets the server-side dedup table stay O(1) per
+// session and makes a retry across a leader crash commit exactly once.
+//
+// Retry discipline (the robustness story lives here, not in happy paths):
+//   * every in-flight op carries a request timeout; on expiry the client
+//     ROTATES its leader guess and resends the SAME (session, seq) — the
+//     session table makes the duplicate harmless;
+//   * kNotLeader switches to the server's hint (or rotates) and resends
+//     almost immediately — redirect chasing is cheap;
+//   * kRetryLater waits max(server-suggested backoff, the client's own
+//     jittered exponential schedule) — backpressure is honored, and jitter
+//     decorrelates the herd when an overloaded leader sheds load;
+//   * an admitted write may be answered only when it APPLIES, possibly by a
+//     later retry hitting the dedup cache after a failover — the client
+//     keeps retrying the same op until some leader says kOk.
+//
+// Completion callbacks fire on the client's internal threads, once per op,
+// in per-session submission order; the latency reported is measured from
+// the FIRST submission (open-loop honest: retries and failovers count).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "udc/common/rng.h"
+#include "udc/common/types.h"
+#include "udc/net/backoff.h"
+#include "udc/net/reactor.h"
+#include "udc/svc/checker.h"
+#include "udc/svc/wire.h"
+
+namespace udc {
+
+struct SvcClientOptions {
+  int instance = 0;  // wire id = kClientPeerBase + instance
+  std::uint64_t run_id = 0;
+  int n = 0;  // fleet size, for leader-guess rotation
+  std::uint64_t seed = 1;
+  std::chrono::milliseconds request_timeout{40};
+  BackoffOptions backoff{/*base=*/2, /*growth=*/1.6, /*cap=*/120,
+                         /*jitter=*/0.4};  // milliseconds
+};
+
+struct SvcClientStats {
+  std::uint64_t completions = 0;
+  std::uint64_t writes_done = 0;
+  std::uint64_t reads_done = 0;
+  std::uint64_t resends = 0;       // timeout-driven duplicates
+  std::uint64_t redirects = 0;     // kNotLeader replies seen
+  std::uint64_t retry_later = 0;   // backpressure replies honored
+  std::uint64_t out_of_order = 0;  // kOutOfOrder replies seen
+};
+
+class SvcClient {
+ public:
+  // `on_done` fires once per completed op with the confirmed record and the
+  // first-submit-to-completion latency in milliseconds.
+  using DoneFn = std::function<void(const SvcClientRecord&, double)>;
+
+  SvcClient(SvcClientOptions opts, DoneFn on_done);
+  ~SvcClient();
+
+  SvcClient(const SvcClient&) = delete;
+  SvcClient& operator=(const SvcClient&) = delete;
+
+  // (Re)points node `id`'s endpoint; the reactor dials/redials.  Called by
+  // the fleet whenever a node (re)starts on a fresh port.
+  void set_node_port(ProcessId node, std::uint16_t port);
+
+  // Enqueues one op on `session` (FIFO per session, one in flight).  The
+  // session id must be unique to this client instance across the fleet.
+  void write(std::uint64_t session, std::int32_t reg, std::int64_t value);
+  void read(std::uint64_t session, std::int32_t reg);
+
+  // Ops submitted but not yet completed (queued + in flight).
+  std::size_t inflight() const;
+
+  SvcClientStats stats() const;
+
+  // Stops the retry thread and the reactor.  Idempotent; the destructor
+  // calls it.  In-flight ops are abandoned (no completion fires).
+  void stop();
+
+ private:
+  struct Session {
+    std::uint64_t next_write_seq = 1;
+    std::uint64_t next_read_nonce = 1;
+    std::deque<SvcOp> queue;
+    bool busy = false;
+    SvcOp cur;
+    std::chrono::steady_clock::time_point first_submit;
+    std::chrono::steady_clock::time_point next_fire;  // timeout or retry
+    bool rotate_on_fire = true;
+    int attempts = 0;
+  };
+
+  void submit(std::uint64_t session, SvcOp op);
+  void send_cur(Session& s, std::chrono::steady_clock::time_point now);
+  void on_reply(const SvcReply& r);
+  void timer_loop();
+
+  SvcClientOptions opts_;
+  DoneFn on_done_;
+  Reactor reactor_;
+  std::thread timer_;
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Session> sessions_;
+  ProcessId leader_guess_ = 0;
+  std::size_t inflight_ = 0;
+  SvcClientStats stats_;
+  Rng rng_;
+  bool stopped_ = false;
+};
+
+}  // namespace udc

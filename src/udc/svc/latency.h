@@ -1,0 +1,53 @@
+// Latency accounting for the open-loop load generator.
+//
+// Open-loop means arrivals do not wait for completions, so a sample's
+// latency includes client-side queueing (a session with an op in flight
+// queues the next arrival) — that is the honest number under overload,
+// where closed-loop generators flatter the tail by self-throttling.
+// Samples are kept raw and sorted once at read time: the soak produces at
+// most a few hundred thousand, and exact quantiles beat a sketch when the
+// p999 is the headline.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace udc {
+
+struct LatencyQuantiles {
+  std::size_t count = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double max_ms = 0;
+};
+
+class LatencyRecorder {
+ public:
+  void add(double ms) { samples_.push_back(ms); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  LatencyQuantiles quantiles() const {
+    LatencyQuantiles q;
+    q.count = samples_.size();
+    if (samples_.empty()) return q;
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    auto at = [&](double p) {
+      std::size_t i = static_cast<std::size_t>(p * (s.size() - 1));
+      return s[i];
+    };
+    q.p50_ms = at(0.50);
+    q.p99_ms = at(0.99);
+    q.p999_ms = at(0.999);
+    q.max_ms = s.back();
+    return q;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace udc

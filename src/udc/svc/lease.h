@@ -1,0 +1,55 @@
+// Leader lease: the FD-backed right to answer reads from local state.
+//
+// A leader may serve a read without replicating it only while it can prove
+// no successor can have committed a conflicting write: operationally, while
+// a MAJORITY of replicas (itself included) has talked to it within the
+// lease window.  A successor needs a majority sync to open for business;
+// two majorities intersect, so while this lease holds, any would-be
+// successor's sync is still waiting on a replica that is still answering
+// the old leader — the old leader's applied state cannot be behind a
+// committed write it hasn't seen.  The window must be comfortably SHORTER
+// than the failure detector's suspicion timeout for that argument to have
+// slack under real clocks; the defaults keep a ~4x margin.
+//
+// This is deliberately wall-clock: the lease guards against real elapsed
+// silence (a partitioned leader serving stale reads), which logical ticks
+// cannot measure while isolated.
+#pragma once
+
+#include <chrono>
+#include <map>
+
+#include "udc/common/types.h"
+
+namespace udc {
+
+class LeaderLease {
+ public:
+  LeaderLease(int n, ProcessId self, std::chrono::milliseconds window)
+      : n_(n), self_(self), window_(window) {}
+
+  // Any authenticated svc traffic from `peer` while we lead counts.
+  void observe(ProcessId peer, std::chrono::steady_clock::time_point now) {
+    last_seen_[peer] = now;
+  }
+
+  bool valid(std::chrono::steady_clock::time_point now) const {
+    int fresh = 1;  // self
+    for (const auto& [peer, t] : last_seen_) {
+      if (peer != self_ && now - t <= window_) ++fresh;
+    }
+    return fresh * 2 > n_;
+  }
+
+  // Demotion / election: a new incarnation of leadership starts with no
+  // evidence.
+  void reset() { last_seen_.clear(); }
+
+ private:
+  int n_;
+  ProcessId self_;
+  std::chrono::milliseconds window_;
+  std::map<ProcessId, std::chrono::steady_clock::time_point> last_seen_;
+};
+
+}  // namespace udc

@@ -1,0 +1,91 @@
+// Server-side session dedup table: the exactly-once half of the service.
+//
+// A client retries a timed-out write with the SAME (session, seq) — across
+// backoff, across a leader crash, across the successor re-proposing the
+// dead leader's in-flight batch.  Replication alone therefore commits the
+// op's CONTENT possibly twice (once in the orphaned batch the successor
+// adopts, once in the client's retry batch); the model-level checkers are
+// happy either way, because each batch is its own action.  Exactly-once is
+// a STATE-MACHINE property: every replica runs its applies through this
+// table, and an op whose (session, seq) has already been applied mutates
+// nothing — it is a suppressed duplicate with a cached answer.
+//
+// The table exploits the session contract (at most one write in flight per
+// session, sequences dense from 1), so per session it needs only the last
+// applied sequence and its result: seq == last is THE duplicate a live
+// client can still be waiting on (cached reply); seq < last is a stale
+// duplicate nobody is waiting on; seq == last+1 is the next fresh op;
+// seq > last+1 is a hole that a correct client/leader pair never produces.
+//
+// Determinism matters: the table is part of the replicated state machine,
+// so identical apply sequences yield identical tables at every replica —
+// that is what the soak's session checker verifies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "udc/common/check.h"
+
+namespace udc {
+
+struct SvcResult {
+  std::int64_t value = 0;
+  std::uint64_t version = 0;
+
+  friend bool operator==(const SvcResult&, const SvcResult&) = default;
+};
+
+class SessionTable {
+ public:
+  // The next sequence this session may apply (1 for an unknown session).
+  std::uint64_t expected(std::uint64_t session) const {
+    auto it = sessions_.find(session);
+    return it == sessions_.end() ? 1 : it->second.last_seq + 1;
+  }
+
+  // True iff (session, seq) has already been applied here.
+  bool applied(std::uint64_t session, std::uint64_t seq) const {
+    auto it = sessions_.find(session);
+    return it != sessions_.end() && seq <= it->second.last_seq;
+  }
+
+  // The cached result, available only for the LAST applied op of the
+  // session — the only duplicate a well-behaved client can still await.
+  std::optional<SvcResult> cached(std::uint64_t session,
+                                  std::uint64_t seq) const {
+    auto it = sessions_.find(session);
+    if (it == sessions_.end() || seq != it->second.last_seq) {
+      return std::nullopt;
+    }
+    return it->second.last;
+  }
+
+  // Records an applied op.  `seq` must be exactly expected(session): the
+  // caller (the replica's apply loop) filters duplicates via applied()
+  // first, and holes cannot reach apply by construction.
+  void record(std::uint64_t session, std::uint64_t seq, SvcResult r) {
+    UDC_CHECK(seq == expected(session),
+              "session table: out-of-order record");
+    auto& s = sessions_[session];
+    s.last_seq = seq;
+    s.last = r;
+  }
+
+  std::size_t size() const { return sessions_.size(); }
+
+  friend bool operator==(const SessionTable&, const SessionTable&) = default;
+
+ private:
+  struct Session {
+    std::uint64_t last_seq = 0;
+    SvcResult last;
+
+    friend bool operator==(const Session&, const Session&) = default;
+  };
+  std::map<std::uint64_t, Session> sessions_;
+};
+
+}  // namespace udc

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -279,6 +284,141 @@ TEST(Reactor, ListenBacksFillsAdvertisedPortWhenEphemeral) {
   EXPECT_GT(port, 0);
   r.start();
   r.stop();
+}
+
+TEST(Reactor, KeepaliveMissesDeclareAHalfOpenPeerDown) {
+  // A SIGKILLed peer sends no FIN: its stream looks healthy forever unless
+  // someone probes it.  Fake the half-open side with a raw socket that
+  // handshakes correctly and then goes silent — after `keepalive_misses`
+  // unanswered pings the reactor must tear the stream down and report the
+  // peer lost, well before the hard `dead_after` backstop.
+  Sink sa;
+  ReactorOptions o = opts_for(0);
+  o.keepalive = 40ms;
+  o.keepalive_misses = 3;
+  o.dead_after = 60'000ms;  // backstop far away: misses must do the work
+  Reactor a(o, sa.frame_fn(), sa.peer_fn());
+  std::uint16_t port = a.listen(0);
+  a.start();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  WireHello h;
+  h.id = 1;
+  h.n = 2;
+  h.epoch = 0;
+  h.run_id = 99;
+  auto frame = encode_frame(FrameType::kHello, encode_hello(h));
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+
+  ASSERT_TRUE(sa.await([&] { return sa.ups >= 1; }));
+  // ... and now total silence: never answer a ping, never close.
+  ASSERT_TRUE(sa.await([&] { return sa.downs >= 1; }, 5'000ms));
+  WireCounters c = a.counters();
+  EXPECT_GE(c.keepalive_probes, 3u);
+  EXPECT_GE(c.dead_closes, 1u);
+  EXPECT_FALSE(a.peer_established(1));
+
+  ::close(fd);
+  a.stop();
+}
+
+TEST(Reactor, KeepaliveMissesZeroDisablesMissDetection) {
+  // With miss detection off and the backstop far away, the same silent
+  // half-open stream stays up — the knob really is the mechanism.
+  Sink sa;
+  ReactorOptions o = opts_for(0);
+  o.keepalive = 40ms;
+  o.keepalive_misses = 0;
+  o.dead_after = 60'000ms;
+  Reactor a(o, sa.frame_fn(), sa.peer_fn());
+  std::uint16_t port = a.listen(0);
+  a.start();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  WireHello h;
+  h.id = 1;
+  h.n = 2;
+  h.epoch = 0;
+  h.run_id = 99;
+  auto frame = encode_frame(FrameType::kHello, encode_hello(h));
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  ASSERT_TRUE(sa.await([&] { return sa.ups >= 1; }));
+
+  std::this_thread::sleep_for(400ms);  // ~10 keepalive intervals of silence
+  EXPECT_TRUE(a.peer_established(1));
+  EXPECT_EQ(a.counters().dead_closes, 0u);
+  EXPECT_GE(a.counters().keepalive_probes, 1u);  // probing, not punishing
+
+  ::close(fd);
+  a.stop();
+}
+
+TEST(Reactor, ClientHandshakesNeedAcceptClients) {
+  // A service client (id >= kClientPeerBase, outside the fleet id space)
+  // is bounced by a plain fleet reactor and accepted once accept_clients
+  // is set — the gate nodes open for the session layer.
+  auto client_opts = [](ProcessId self) {
+    ReactorOptions o;
+    o.self = self;
+    o.n = 0;  // clients are fleet-size-agnostic
+    o.run_id = 99;
+    o.seed = 7;
+    return o;
+  };
+
+  {
+    Sink sa, sc;
+    Reactor a(opts_for(0), sa.frame_fn(), sa.peer_fn());  // no accept_clients
+    Reactor c(client_opts(kClientPeerBase + 1), sc.frame_fn(), sc.peer_fn());
+    std::uint16_t port = a.listen(0);
+    a.start();
+    c.start();
+    c.set_endpoint(0, port);
+    std::this_thread::sleep_for(300ms);
+    EXPECT_FALSE(c.peer_established(0));
+    EXPECT_GE(a.counters().handshake_rejects, 1u);
+    EXPECT_EQ(sa.ups, 0);
+    c.stop();
+    a.stop();
+  }
+  {
+    Sink sa, sc;
+    ReactorOptions o = opts_for(0);
+    o.accept_clients = true;
+    Reactor a(o, sa.frame_fn(), sa.peer_fn());
+    Reactor c(client_opts(kClientPeerBase + 1), sc.frame_fn(), sc.peer_fn());
+    std::uint16_t port = a.listen(0);
+    a.start();
+    c.start();
+    c.set_endpoint(0, port);
+    ASSERT_TRUE(sc.await([&] { return sc.ups >= 1; }));
+    EXPECT_TRUE(c.peer_established(0));
+    // Frames flow both ways across the client stream.
+    ASSERT_TRUE(c.send(0, FrameType::kSvcRequest, {1, 2}));
+    ASSERT_TRUE(sa.await([&] { return !sa.frames.empty(); }));
+    EXPECT_EQ(sa.frames[0].type, FrameType::kSvcRequest);
+    ASSERT_TRUE(a.send(kClientPeerBase + 1, FrameType::kSvcReply, {3}));
+    ASSERT_TRUE(sc.await([&] { return !sc.frames.empty(); }));
+    EXPECT_EQ(sc.frames[0].type, FrameType::kSvcReply);
+    c.stop();
+    a.stop();
+  }
 }
 
 TEST(Reactor, BindFailureThrowsWithBindInTheMessage) {

@@ -1,0 +1,239 @@
+// Replicated service log (svc/log): term rules, quorum, the DC2'
+// out-of-order apply rule, floor arithmetic, and the stale-entry erasure
+// that failover adoption depends on.
+#include "udc/svc/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "udc/coord/action.h"
+
+namespace udc {
+namespace {
+
+SvcBatch batch(std::uint64_t slot, std::uint64_t term, ActionId action,
+               std::initializer_list<std::uint64_t> sessions = {}) {
+  SvcBatch b;
+  b.slot = slot;
+  b.term = term;
+  b.action = action;
+  for (std::uint64_t s : sessions) {
+    SvcOp op;
+    op.session = s;
+    op.seq = 1;
+    op.kind = SvcOpKind::kWrite;
+    op.reg = static_cast<std::int32_t>(s % 64);  // one register per session
+    op.value = 1;
+    b.ops.push_back(op);
+  }
+  return b;
+}
+
+TEST(ReplicatedLog, AcceptTermRules) {
+  ReplicatedLog log;
+  const ActionId a1 = make_action(0, 1);
+  const ActionId a2 = make_action(1, 1);
+  EXPECT_TRUE(log.accept(batch(1, 5, a1)));
+  // Lower term for the same slot: refused.
+  EXPECT_FALSE(log.accept(batch(1, 4, a2)));
+  ASSERT_NE(log.entry(1), nullptr);
+  EXPECT_EQ(log.entry(1)->batch.action, a1);
+  // Equal term, same action: idempotent re-accept.
+  EXPECT_TRUE(log.accept(batch(1, 5, a1)));
+  // Higher term, different action: the slot is overwritten and the old
+  // acks are void (different content, different quorum).
+  log.ack(1, 0);
+  log.ack(1, 1);
+  EXPECT_TRUE(log.has_quorum(1, 3));
+  EXPECT_TRUE(log.accept(batch(1, 6, a2)));
+  EXPECT_EQ(log.entry(1)->batch.action, a2);
+  EXPECT_FALSE(log.has_quorum(1, 3));
+  EXPECT_EQ(log.slot_of(a1), std::nullopt);
+  EXPECT_EQ(log.slot_of(a2), std::optional<std::uint64_t>(1));
+}
+
+TEST(ReplicatedLog, CommittedSlotNeverChangesContent) {
+  ReplicatedLog log;
+  const ActionId a1 = make_action(0, 1);
+  const ActionId a2 = make_action(1, 1);
+  ASSERT_TRUE(log.accept(batch(1, 2, a1)));
+  log.mark_committed(1);
+  // Re-teach of the same action: fine (idempotent).  Different content at
+  // ANY term: refused — that would be the uniformity violation.
+  EXPECT_TRUE(log.accept(batch(1, 9, a1)));
+  EXPECT_FALSE(log.accept(batch(1, 99, a2)));
+  EXPECT_EQ(log.entry(1)->batch.action, a1);
+}
+
+TEST(ReplicatedLog, QuorumCountsDistinctAckers) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.accept(batch(3, 1, make_action(0, 1))));
+  EXPECT_FALSE(log.has_quorum(3, 3));
+  log.ack(3, 0);
+  log.ack(3, 0);  // duplicate acker: still one disk
+  EXPECT_FALSE(log.has_quorum(3, 3));
+  log.ack(3, 2);
+  EXPECT_TRUE(log.has_quorum(3, 3));
+  // Unknown slot: ack is a no-op, quorum is false.
+  log.ack(9, 0);
+  EXPECT_FALSE(log.has_quorum(9, 3));
+}
+
+TEST(ReplicatedLog, StaleEntryErasedWhenActionMovesSlots) {
+  // Failover adoption re-seals an orphaned action at a NEW slot; the old
+  // uncommitted entry must vanish (it can never commit — its action is
+  // committing elsewhere — and left in place it would block the floor).
+  ReplicatedLog log;
+  const ActionId a = make_action(0, 7);
+  ASSERT_TRUE(log.accept(batch(4, 1, a)));
+  EXPECT_TRUE(log.accept(batch(6, 2, a)));
+  EXPECT_EQ(log.entry(4), nullptr);
+  EXPECT_EQ(log.slot_of(a), std::optional<std::uint64_t>(6));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(ReplicatedLog, CommittedActionRefusesToMoveSlots) {
+  ReplicatedLog log;
+  const ActionId a = make_action(0, 7);
+  ASSERT_TRUE(log.accept(batch(4, 1, a)));
+  log.mark_committed(4);
+  EXPECT_FALSE(log.accept(batch(6, 2, a)));
+  EXPECT_EQ(log.slot_of(a), std::optional<std::uint64_t>(4));
+}
+
+TEST(ReplicatedLog, Dc2PrimeApplicability) {
+  ReplicatedLog log;
+  // Slot 1 (session 10) uncommitted; slot 2 (session 20) committed.
+  ASSERT_TRUE(log.accept(batch(1, 1, make_action(0, 1), {10})));
+  ASSERT_TRUE(log.accept(batch(2, 1, make_action(0, 2), {20})));
+  log.mark_committed(2);
+  // Commutes (disjoint sessions AND registers) with every unapplied
+  // earlier slot: applicable out of order — no session can observe the
+  // inversion and no replica can diverge.
+  EXPECT_TRUE(log.applicable(2));
+  EXPECT_EQ(log.ready(), std::vector<std::uint64_t>{2});
+
+  // Slot 4 shares session 10 with unapplied slot 1: must wait.
+  ASSERT_TRUE(log.accept(batch(4, 1, make_action(0, 4), {10})));
+  log.mark_committed(4);
+  EXPECT_FALSE(log.applicable(4));
+
+
+  // Slot 5 is behind an UNKNOWN slot 3: must wait for catch-up (the gap
+  // might hold a shared session).
+  ASSERT_TRUE(log.accept(batch(5, 1, make_action(0, 5), {30})));
+  log.mark_committed(5);
+  EXPECT_FALSE(log.applicable(5));
+
+  // Applying slot 2 out of order: floor stays 0 (slot 1 unapplied).
+  EXPECT_TRUE(log.mark_applied(2));
+  EXPECT_EQ(log.applied_floor(), 0u);
+  EXPECT_EQ(log.applied_above_floor(), std::vector<std::uint64_t>{2});
+
+  // Once slot 1 commits and applies in order, the floor sweeps past the
+  // already-applied slot 2.
+  log.mark_committed(1);
+  EXPECT_FALSE(log.mark_applied(1));
+  EXPECT_EQ(log.applied_floor(), 2u);
+  EXPECT_TRUE(log.applied_above_floor().empty());
+  EXPECT_EQ(log.applied_count(), 2u);
+}
+
+TEST(ReplicatedLog, SharedRegisterBlocksOutOfOrderApply) {
+  // Different sessions, SAME register: the swapped applies do not commute
+  // (final value and acked versions would depend on apply order), so the
+  // later slot must wait even though no session is shared.
+  ReplicatedLog log;
+  SvcOp a;
+  a.session = 10;
+  a.seq = 1;
+  a.kind = SvcOpKind::kWrite;
+  a.reg = 7;
+  a.value = 1;
+  SvcOp b = a;
+  b.session = 99;
+  b.value = 2;
+  SvcBatch b1;
+  b1.slot = 1;
+  b1.term = 1;
+  b1.action = make_action(0, 1);
+  b1.ops = {a};
+  SvcBatch b2;
+  b2.slot = 2;
+  b2.term = 1;
+  b2.action = make_action(0, 2);
+  b2.ops = {b};
+  ASSERT_TRUE(log.accept(b1));
+  ASSERT_TRUE(log.accept(b2));
+  log.mark_committed(2);
+  EXPECT_FALSE(log.applicable(2));
+  // Once slot 1 is applied, slot 2 is simply next in order.
+  log.mark_committed(1);
+  EXPECT_FALSE(log.mark_applied(1));
+  EXPECT_TRUE(log.applicable(2));
+}
+
+TEST(ReplicatedLog, LearnFloorCommitsCoveredSlotsOfTheNoticeTerm) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.accept(batch(1, 1, make_action(0, 1), {10})));
+  ASSERT_TRUE(log.accept(batch(2, 1, make_action(0, 2), {20})));
+  ASSERT_TRUE(log.accept(batch(3, 1, make_action(0, 3), {30})));
+  log.learn_floor(2, 1);
+  EXPECT_TRUE(log.entry(1)->committed);
+  EXPECT_TRUE(log.entry(2)->committed);
+  EXPECT_FALSE(log.entry(3)->committed);
+  // The learned floor makes 1 and 2 applicable in order.
+  EXPECT_EQ(log.ready(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(ReplicatedLog, LearnFloorLeavesOtherTermEntriesForCatchUp) {
+  // A term-4 notice floor covering a term-1 local entry proves nothing
+  // about that entry's CONTENT (the cluster may have committed different
+  // content there under a later leadership) — it must stay uncommitted
+  // until catch-up sync re-teaches it with a per-entry flag.
+  ReplicatedLog log;
+  ASSERT_TRUE(log.accept(batch(1, 1, make_action(0, 1), {10})));
+  ASSERT_TRUE(log.accept(batch(2, 4, make_action(1, 1), {20})));
+  log.learn_floor(2, 4);
+  EXPECT_FALSE(log.entry(1)->committed);
+  EXPECT_TRUE(log.entry(2)->committed);
+}
+
+TEST(ReplicatedLog, KnownCommittedContentBeatsHigherTermLeftover) {
+  // Failover wedge regression: a leader-elect holds an uncommitted term-9
+  // leftover at slot 1; the sync majority ships the batch the cluster
+  // actually COMMITTED there under term 2.  The committed content must
+  // win despite the lower term — refusing it would nack every re-propose
+  // forever and freeze the floor below slot 1.
+  ReplicatedLog log;
+  const ActionId mine = make_action(0, 1);
+  const ActionId theirs = make_action(1, 1);
+  ASSERT_TRUE(log.accept(batch(1, 9, mine)));
+  EXPECT_FALSE(log.accept(batch(1, 2, theirs)));  // plain path: term rules
+  EXPECT_TRUE(log.accept(batch(1, 2, theirs), /*known_committed=*/true));
+  EXPECT_EQ(log.entry(1)->batch.action, theirs);
+  // The displaced action is homeless again (the caller stashes it for
+  // adoption before the accept).
+  EXPECT_EQ(log.slot_of(mine), std::nullopt);
+  // A COMMITTED local entry never yields, vouched or not.
+  log.mark_committed(1);
+  EXPECT_FALSE(log.accept(batch(1, 99, mine), /*known_committed=*/true));
+  EXPECT_EQ(log.entry(1)->batch.action, theirs);
+}
+
+TEST(ReplicatedLog, UncommittedListsLowestFirst) {
+  ReplicatedLog log;
+  ASSERT_TRUE(log.accept(batch(5, 1, make_action(0, 5))));
+  ASSERT_TRUE(log.accept(batch(2, 1, make_action(0, 2))));
+  ASSERT_TRUE(log.accept(batch(8, 1, make_action(0, 8))));
+  log.mark_committed(5);
+  auto unc = log.uncommitted();
+  ASSERT_EQ(unc.size(), 2u);
+  EXPECT_EQ(unc[0]->batch.slot, 2u);
+  EXPECT_EQ(unc[1]->batch.slot, 8u);
+  EXPECT_EQ(log.max_slot(), 8u);
+}
+
+}  // namespace
+}  // namespace udc

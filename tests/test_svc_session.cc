@@ -1,0 +1,193 @@
+// Session dedup table (svc/session): the exactly-once half of the service,
+// unit-tested and then property-tested the way the soak stresses it — any
+// interleaving of duplicated, reordered, and retried operations across a
+// leader failover applies each operation exactly once, leaves identical
+// state at every replica, and keeps the cached reply a live retry needs.
+#include "udc/svc/session.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "udc/common/check.h"
+#include "udc/common/rng.h"
+#include "udc/svc/wire.h"
+
+namespace udc {
+namespace {
+
+TEST(SessionTable, FreshSessionExpectsOne) {
+  SessionTable t;
+  EXPECT_EQ(t.expected(42), 1u);
+  EXPECT_FALSE(t.applied(42, 1));
+  EXPECT_EQ(t.cached(42, 1), std::nullopt);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SessionTable, RecordAdvancesAndCachesOnlyTheLastReply) {
+  SessionTable t;
+  t.record(7, 1, SvcResult{10, 1});
+  t.record(7, 2, SvcResult{20, 2});
+  EXPECT_EQ(t.expected(7), 3u);
+  EXPECT_TRUE(t.applied(7, 1));
+  EXPECT_TRUE(t.applied(7, 2));
+  EXPECT_FALSE(t.applied(7, 3));
+  // Only the LAST applied op keeps a cached reply: seq 2 is the only
+  // duplicate a well-behaved client can still be waiting on.
+  ASSERT_TRUE(t.cached(7, 2).has_value());
+  EXPECT_EQ(t.cached(7, 2)->value, 20);
+  EXPECT_EQ(t.cached(7, 1), std::nullopt);
+  EXPECT_EQ(t.cached(7, 3), std::nullopt);
+}
+
+TEST(SessionTable, SessionsAreIndependent) {
+  SessionTable t;
+  t.record(1, 1, SvcResult{5, 1});
+  EXPECT_EQ(t.expected(2), 1u);
+  EXPECT_FALSE(t.applied(2, 1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SessionTable, OutOfOrderRecordIsAnInvariantBreach) {
+  SessionTable t;
+  t.record(3, 1, SvcResult{1, 1});
+  EXPECT_THROW(t.record(3, 3, SvcResult{3, 3}), InvariantViolation);
+  EXPECT_THROW(t.record(3, 1, SvcResult{1, 1}), InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// The property test (the soak's exactly-once claim in miniature).
+//
+// A replica's apply loop is: for each op in committed-batch order, suppress
+// if the table says applied, else record + mutate the register machine.
+// The adversary controls the DELIVERY: ops are interleaved across sessions
+// arbitrarily, every op may be re-delivered any number of times (client
+// retry after a timeout; the successor leader re-proposing the dead
+// leader's adopted in-flight batch re-delivers a whole window), and stale
+// duplicates may arrive arbitrarily late.  The protocol guarantees only
+// that FIRST deliveries respect each session's seq order (holes cannot
+// commit); everything else is fair game.
+// ---------------------------------------------------------------------------
+
+struct Machine {
+  SessionTable table;
+  std::array<std::pair<std::int64_t, std::uint64_t>, 64> regs{};
+  std::uint64_t effective = 0;
+  std::uint64_t suppressed = 0;
+
+  void apply(const SvcOp& op) {
+    if (table.applied(op.session, op.seq)) {
+      ++suppressed;
+      return;
+    }
+    UDC_CHECK(op.seq == table.expected(op.session),
+              "property harness delivered a hole");
+    auto& r = regs[static_cast<std::size_t>(op.reg)];
+    r.first = op.value;
+    ++r.second;
+    table.record(op.session, op.seq, SvcResult{op.value, r.second});
+    ++effective;
+  }
+};
+
+std::vector<SvcOp> chaotic_delivery(Rng& rng, int sessions, int ops_each) {
+  // The canonical per-session streams.
+  std::vector<std::vector<SvcOp>> canon(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    for (int k = 1; k <= ops_each; ++k) {
+      SvcOp op;
+      op.session = 0x200u + static_cast<std::uint64_t>(s);
+      op.seq = static_cast<std::uint64_t>(k);
+      op.kind = SvcOpKind::kWrite;
+      op.reg = static_cast<std::int32_t>(rng.next_below(64));
+      op.value = static_cast<std::int64_t>(rng.next_below(1u << 20)) + 1;
+      canon[s].push_back(op);
+    }
+  }
+  std::vector<SvcOp> stream;
+  std::vector<int> next(sessions, 0);
+  int remaining = sessions * ops_each;
+  const std::size_t failover_at = 5 + rng.next_below(20);
+  while (remaining > 0) {
+    const int s = static_cast<int>(rng.next_below(sessions));
+    if (next[s] < ops_each && (next[s] == 0 || !rng.chance(0.3))) {
+      stream.push_back(canon[s][static_cast<std::size_t>(next[s]++)]);
+      --remaining;
+    } else if (next[s] > 0) {
+      // A stale or in-flight duplicate: client retry / re-proposed batch.
+      stream.push_back(
+          canon[s][rng.next_below(static_cast<std::uint32_t>(next[s]))]);
+    }
+    if (stream.size() == failover_at) {
+      // Leader failover: the successor adopts the dead leader's in-flight
+      // batch and re-proposes it, re-delivering a recent window wholesale,
+      // while the clients' timeouts retry the same ops once more.
+      const std::size_t window = std::min<std::size_t>(stream.size(), 8);
+      for (std::size_t i = stream.size() - window; i < failover_at; ++i) {
+        stream.push_back(stream[i]);
+      }
+    }
+  }
+  // Post-run stragglers: late duplicates of anything already delivered.
+  for (int extra = 0; extra < sessions; ++extra) {
+    const int s = static_cast<int>(rng.next_below(sessions));
+    stream.push_back(
+        canon[s][rng.next_below(static_cast<std::uint32_t>(ops_each))]);
+  }
+  return stream;
+}
+
+TEST(SessionTableProperty, AnyDuplicatedReorderedRetriedInterleavingIsExactlyOnce) {
+  Rng rng(0xdedu);
+  constexpr int kTrials = 200;
+  constexpr int kSessions = 4;
+  constexpr int kOpsEach = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<SvcOp> stream = chaotic_delivery(rng, kSessions, kOpsEach);
+
+    // The reference: exact first-occurrence filtering.  The table's claim
+    // is that its suppression equals this filter precisely — an op applies
+    // at its FIRST delivery and at no other.
+    Machine ref;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (const SvcOp& op : stream) {
+      if (!seen.insert({op.session, op.seq}).second) continue;
+      ref.apply(op);
+    }
+
+    // Two replicas applying the SAME chaotic stream (replication hands
+    // every replica the one committed order): both must converge to the
+    // reference state with exactly one effective apply per operation.
+    Machine a, b;
+    for (const SvcOp& op : stream) {
+      a.apply(op);
+      b.apply(op);
+    }
+    EXPECT_EQ(a.effective, static_cast<std::uint64_t>(kSessions * kOpsEach))
+        << "trial " << trial;
+    EXPECT_GT(a.suppressed, 0u) << "trial " << trial;
+    EXPECT_EQ(a.table, b.table) << "trial " << trial;
+    EXPECT_EQ(a.regs, b.regs) << "trial " << trial;
+    EXPECT_EQ(a.table, ref.table) << "trial " << trial;
+    EXPECT_EQ(a.regs, ref.regs) << "trial " << trial;
+
+    // Every session ended dense: expected == ops_each + 1, and the cached
+    // reply for its last op (the one a live retry could still want) is the
+    // value the reference computed.
+    for (int s = 0; s < kSessions; ++s) {
+      const std::uint64_t session = 0x200u + static_cast<std::uint64_t>(s);
+      EXPECT_EQ(a.table.expected(session),
+                static_cast<std::uint64_t>(kOpsEach) + 1);
+      auto cached = a.table.cached(session, kOpsEach);
+      ASSERT_TRUE(cached.has_value());
+      EXPECT_EQ(*cached, *ref.table.cached(session, kOpsEach));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,204 @@
+// Service payload codecs (svc/wire): exact roundtrips for every envelope
+// and total decode — truncation at EVERY byte boundary, trailing garbage,
+// and out-of-range enum tags all yield nullopt, never a throw or a
+// misparse.  The batch payload is also what the durable service log
+// persists, so codec totality here is recovery totality there.
+#include "udc/svc/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "udc/coord/action.h"
+
+namespace udc {
+namespace {
+
+SvcOp op(std::uint64_t session, std::uint64_t seq, SvcOpKind k,
+         std::int32_t reg, std::int64_t value) {
+  SvcOp o;
+  o.session = session;
+  o.seq = seq;
+  o.kind = k;
+  o.reg = reg;
+  o.value = value;
+  return o;
+}
+
+SvcBatch sample_batch() {
+  SvcBatch b;
+  b.slot = 41;
+  b.term = 7;
+  b.action = make_action(2, 19);
+  b.ops = {op(0x201, 3, SvcOpKind::kWrite, 5, -44),
+           op(0x102, 1, SvcOpKind::kWrite, 63, 1'000'000'007)};
+  return b;
+}
+
+// Every decoder must be total: every strict prefix of a valid encoding is
+// rejected, as is one trailing byte.
+template <typename T, typename Decode>
+void expect_total(const std::vector<std::uint8_t>& bytes, Decode decode,
+                  const T& want) {
+  auto got = decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, want);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode(bytes.data(), len).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+  std::vector<std::uint8_t> extra = bytes;
+  extra.push_back(0);
+  EXPECT_FALSE(decode(extra.data(), extra.size()).has_value());
+}
+
+TEST(SvcWire, RequestRoundtripAndTotality) {
+  SvcRequest r;
+  r.op = op(0x205, 12, SvcOpKind::kRead, 9, 0);
+  expect_total(encode_svc_request(r), decode_svc_request, r);
+}
+
+TEST(SvcWire, RequestRejectsBadOpKind) {
+  SvcRequest r;
+  r.op = op(1, 1, SvcOpKind::kWrite, 0, 5);
+  auto bytes = encode_svc_request(r);
+  // The kind tag is a 1-byte varint somewhere in the payload; smash every
+  // byte to an out-of-range tag and require that no mutation yields a
+  // VALID request with an invalid kind.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto mut = bytes;
+    mut[i] = 0x7f;  // not a valid SvcOpKind
+    auto got = decode_svc_request(mut.data(), mut.size());
+    if (got.has_value()) {
+      EXPECT_TRUE(got->op.kind == SvcOpKind::kWrite ||
+                  got->op.kind == SvcOpKind::kRead);
+    }
+  }
+}
+
+TEST(SvcWire, ReplyRoundtripAndTotality) {
+  SvcReply r;
+  r.session = 0x203;
+  r.seq = 9;
+  r.status = SvcStatus::kRetryLater;
+  r.value = -3;
+  r.version = 17;
+  r.leader_hint = 2;
+  r.backoff_ms = 450;
+  expect_total(encode_svc_reply(r), decode_svc_reply, r);
+}
+
+TEST(SvcWire, ProposeRoundtripAndTotality) {
+  SvcPropose p;
+  p.term = 9;
+  p.clock = 1234;
+  p.batch = sample_batch();
+  expect_total(encode_svc_propose(p), decode_svc_propose, p);
+}
+
+TEST(SvcWire, AckRoundtripAndTotality) {
+  SvcAck a;
+  a.term = 6;
+  a.slot = 88;
+  a.ok = false;
+  a.clock = 555;
+  expect_total(encode_svc_ack(a), decode_svc_ack, a);
+}
+
+TEST(SvcWire, CommitRoundtripAndTotality) {
+  SvcCommit c;
+  c.term = 3;
+  c.clock = 99;
+  c.floor = 12;
+  c.extra = {14, 17};
+  expect_total(encode_svc_commit(c), decode_svc_commit, c);
+}
+
+TEST(SvcWire, HbRoundtripAndTotality) {
+  SvcHb h;
+  h.term = 4;
+  h.leader = 1;
+  h.clock = 77;
+  h.floor = 31;
+  expect_total(encode_svc_hb(h), decode_svc_hb, h);
+}
+
+TEST(SvcWire, SyncRoundtripsAndTotality) {
+  SvcSyncReq rq;
+  rq.term = 11;
+  rq.clock = 2'000;
+  rq.floor = 40;
+  expect_total(encode_svc_sync_req(rq), decode_svc_sync_req, rq);
+
+  SvcSyncResp rs;
+  rs.term = 11;
+  rs.clock = 2'001;
+  rs.floor = 52;
+  rs.entries = {sample_batch(), sample_batch()};
+  rs.committed = {1, 0};
+  rs.last = false;
+  expect_total(encode_svc_sync_resp(rs), decode_svc_sync_resp, rs);
+
+  // An absent committed vector encodes as all-zero flags — the decoded
+  // value is normalized, not byte-identical, so check fields directly.
+  SvcSyncResp bare = rs;
+  bare.committed.clear();
+  const auto enc = encode_svc_sync_resp(bare);
+  const auto dec = decode_svc_sync_resp(enc.data(), enc.size());
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->entries, bare.entries);
+  EXPECT_EQ(dec->committed, (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST(SvcWire, StatusRoundtripAndTotality) {
+  SvcNodeStatus s;
+  s.id = 2;
+  s.epoch = 3;
+  s.term = 8;
+  s.leader = 0;
+  s.clock = 4'096;
+  s.floor = 120;
+  s.applied = 123;
+  s.log_size = 125;
+  s.sessions = 9;
+  s.orphans = 1;
+  s.durable_events = 640;
+  s.syncing = true;
+  s.done = false;
+  s.counters = {1, 0, 7, 99};
+  expect_total(encode_svc_status(s), decode_svc_status, s);
+}
+
+TEST(SvcWire, BatchPayloadRoundtripMatchesDurableLogFraming) {
+  SvcBatch b = sample_batch();
+  std::vector<std::uint8_t> bytes;
+  put_svc_batch(bytes, b);
+  expect_total(bytes, decode_svc_batch, b);
+}
+
+TEST(SvcWire, EmptyBatchRoundtrips) {
+  // A no-op hole fill is an empty batch; it must survive the wire.
+  SvcBatch b;
+  b.slot = 5;
+  b.term = 3;
+  b.action = make_action(1, 2);
+  std::vector<std::uint8_t> bytes;
+  put_svc_batch(bytes, b);
+  auto got = decode_svc_batch(bytes.data(), bytes.size());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->ops.empty());
+  EXPECT_EQ(*got, b);
+}
+
+TEST(SvcWire, GarbageDecodesToNullopt) {
+  std::vector<std::uint8_t> junk(64, 0xff);
+  EXPECT_FALSE(decode_svc_request(junk.data(), junk.size()).has_value());
+  EXPECT_FALSE(decode_svc_propose(junk.data(), junk.size()).has_value());
+  EXPECT_FALSE(decode_svc_status(junk.data(), junk.size()).has_value());
+  EXPECT_FALSE(decode_svc_batch(junk.data(), junk.size()).has_value());
+  EXPECT_FALSE(decode_svc_batch(nullptr, 0).has_value());
+}
+
+}  // namespace
+}  // namespace udc

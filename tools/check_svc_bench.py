@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Guards the coordination service against perf regressions.
+
+Compares a fresh udc_svc_load run against the checked-in reference
+(BENCH_service.json) row by row and fails on a >FACTOR regression:
+
+  * throughput: fail when the fresh ops_per_sec falls below 1/FACTOR of
+    the reference,
+  * tail latency: fail when the fresh p99_ms exceeds FACTOR times the
+    reference (p50/p999 are reported but not gated — the p999 of a few
+    hundred samples is too noisy to gate on).
+
+Any non-conformant fresh row fails outright: a throughput number from a
+run that broke exactly-once or DC1-DC3 is not a number.
+
+FACTOR defaults to 2.5 — looser than the rt gate because service numbers
+include real fdatasyncs, real elections, and scheduler jitter across a
+dozen processes.  Rows present in only one file are reported but never
+fatal.
+
+Usage: check_svc_bench.py <reference.json> <fresh.json> [factor]
+"""
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        return {row["bench"]: row for row in json.load(f)}
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(f"usage: {sys.argv[0]} <reference.json> <fresh.json> [factor]")
+    ref = load_rows(sys.argv[1])
+    fresh = load_rows(sys.argv[2])
+    factor = float(sys.argv[3]) if len(sys.argv) == 4 else 2.5
+
+    failures = []
+    for name, row in sorted(fresh.items()):
+        if not row.get("conformant", False):
+            print(f"FAIL {name}: fresh run non-conformant")
+            failures.append(name)
+    for name, r in sorted(ref.items()):
+        f = fresh.get(name)
+        if f is None:
+            print(f"note: {name} missing from fresh run (skipped)")
+            continue
+        ratio = f["ops_per_sec"] / r["ops_per_sec"] if r["ops_per_sec"] else 1.0
+        verdict = "FAIL" if ratio < 1.0 / factor else "ok"
+        print(f"{verdict:4} {name}: {f['ops_per_sec']:.0f} ops/s "
+              f"vs ref {r['ops_per_sec']:.0f} ({ratio:.2f}x), "
+              f"p50 {f['p50_ms']:.2f}ms p999 {f['p999_ms']:.2f}ms")
+        if ratio < 1.0 / factor:
+            failures.append(name)
+        if r.get("p99_ms", 0) > 0:
+            lratio = f["p99_ms"] / r["p99_ms"]
+            verdict = "FAIL" if lratio > factor else "ok"
+            print(f"{verdict:4} {name}: p99 {f['p99_ms']:.2f}ms "
+                  f"vs ref {r['p99_ms']:.2f}ms ({lratio:.2f}x)")
+            if lratio > factor:
+                failures.append(name)
+    for name in sorted(set(fresh) - set(ref)):
+        print(f"note: {name} not in reference (skipped)")
+
+    if failures:
+        sys.exit(f"{len(set(failures))} row(s) failed the {factor}x gate: "
+                 f"{', '.join(sorted(set(failures)))}")
+    print(f"all {len(ref)} reference rows within {factor}x and conformant")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@
 #include "udc/common/guarded_main.h"
 #include "udc/coord/action.h"
 #include "udc/rt/remote/fleet.h"
+#include "udc/rt/remote/watchdog.h"
 
 namespace {
 
@@ -243,7 +244,21 @@ int main(int argc, char** argv) {
           (std::filesystem::path(root) / ("run-" + std::to_string(i)))
               .string();
       FleetOptions f = make_arm(o, i, run_dir, node_binary);
+      // A hung arm (supervisor wedged past its own deadline) fails loudly
+      // with per-node diagnostics instead of hanging CI until the job-level
+      // timeout kills it mute.
+      ArmWatchdog dog(
+          std::chrono::milliseconds(3 * o.deadline_ms + 15'000), [&] {
+            std::fprintf(stderr,
+                         "watchdog: run %d (arm %d, seed %llu) hung; "
+                         "dumping %s\n",
+                         i, i % 4,
+                         static_cast<unsigned long long>(f.seed),
+                         run_dir.c_str());
+            dump_run_dir_diagnostics(run_dir);
+          });
       FleetVerdict v = run_fleet(f);
+      dog.cancel();
       total.merge(v.counters);
       conformant += v.conformant ? 1 : 0;
       budget_trips += v.status == BudgetStatus::kBudgetExceeded ? 1 : 0;
@@ -273,7 +288,14 @@ int main(int argc, char** argv) {
     if (o.dagger) {
       const std::string run_dir =
           (std::filesystem::path(root) / "dagger").string();
+      ArmWatchdog dog(
+          std::chrono::milliseconds(3 * o.deadline_ms + 15'000), [&] {
+            std::fprintf(stderr, "watchdog: dagger arm hung; dumping %s\n",
+                         run_dir.c_str());
+            dump_run_dir_diagnostics(run_dir);
+          });
       FleetVerdict v = run_fleet(make_dagger(o, run_dir, node_binary));
+      dog.cancel();
       total.merge(v.counters);
       // The dagger arm REPRODUCES the impossibility: DC2 must be violated
       // on the merged run (somebody performed; a correct process did not).
