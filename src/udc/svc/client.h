@@ -93,8 +93,13 @@ class SvcClient {
 
  private:
   struct Session {
+    // Reads and writes share the reply-matching key (on_reply matches by
+    // seq alone), so the nonce stream MUST be disjoint from the dense
+    // write sequence — a colliding delayed read reply would complete a
+    // later write that never applied.  Writes can't reach 1<<62 in any run.
+    static constexpr std::uint64_t kReadNonceBase = std::uint64_t{1} << 62;
     std::uint64_t next_write_seq = 1;
-    std::uint64_t next_read_nonce = 1;
+    std::uint64_t next_read_nonce = kReadNonceBase;
     std::deque<SvcOp> queue;
     bool busy = false;
     SvcOp cur;

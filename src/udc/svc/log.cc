@@ -53,7 +53,14 @@ bool ReplicatedLog::accept(const SvcBatch& b, bool known_committed) {
     if (e.batch.action != b.action) {
       by_action_.erase(e.batch.action);
       by_action_[b.action] = b.slot;
-      e.acks = ProcSet();  // different content: old acks are void
+    }
+    if (e.batch.action != b.action || e.batch.term != b.term) {
+      // An ack vouches for ONE (action, term) acceptance.  Acks recorded
+      // under an older term may cover a different acceptance the acker has
+      // since replaced — counting them toward quorum after a re-seal would
+      // commit on a fake majority (two actions could commit at one slot at
+      // different replicas).  Content or term changed: all acks are void.
+      e.acks = ProcSet();
     }
     e.batch = b;
     return true;

@@ -365,12 +365,21 @@ int run_svc_node(const SvcNodeOptions& opts) {
 
   // Must run BEFORE any accept that may reuse `incoming.slot` for a
   // different action: the evicted batch moves to the stash, not oblivion.
+  // The durable-send gate at the slot (if any) guards the batch being
+  // DISPLACED — it moves into the stash with it.  Left behind, the foreign
+  // incoming batch would inherit a gate that has nothing to do with it and
+  // sit out adoption offers until an unrelated durable floor passes.
   auto stash_displaced = [&](const SvcBatch& incoming) {
     const SvcLogEntry* prev = log.entry(incoming.slot);
     if (!prev || prev->committed || prev->applied) return;
     if (prev->batch.action == incoming.action) return;
-    orphans.emplace(prev->batch.action,
-                    std::make_pair(prev->batch, gate_of(incoming.slot)));
+    std::size_t gate = 0;
+    auto git = seal_gate.find(incoming.slot);
+    if (git != seal_gate.end()) {
+      gate = git->second;
+      seal_gate.erase(git);
+    }
+    orphans.emplace(prev->batch.action, std::make_pair(prev->batch, gate));
   };
 
   auto prune_orphans = [&]() {
@@ -534,6 +543,7 @@ int run_svc_node(const SvcNodeOptions& opts) {
         b.term = term;
         UDC_CHECK(log.accept(b), "svc node: re-seal refused");
         slog.append(b);
+        log.ack(s, opts.id);  // accept voided the old-term acks; re-add self
         ++svcc.svc_adoptions;
       }
       unsent.push_back(s);
@@ -844,7 +854,17 @@ int run_svc_node(const SvcNodeOptions& opts) {
     }
     if (leader == opts.id && !syncing) {
       // Adoption offer: a follower holds batches this leadership has never
-      // placed.  Re-seal each unknown action at a fresh slot under this
+      // placed.  Only CURRENT-term offers count: a higher-term offer means
+      // this leadership is already deposed (keep sealing and every batch is
+      // nacked, re-adopted later — pure churn and duplicate svclog records
+      // every failover race), a lower-term one is a lagging follower that
+      // will re-offer once heartbeats teach it the term.
+      if (resp->term > term) {
+        become_follower(resp->term, kInvalidProcess);
+        return;
+      }
+      if (resp->term < term) return;
+      // Re-seal each unknown action at a fresh slot under this
       // term — SAME action id, no new kInit (the owner keeps the DC1/DC3
       // obligations; the offer's clock rider carried the causality).
       for (const SvcBatch& e : resp->entries) {
@@ -916,6 +936,7 @@ int run_svc_node(const SvcNodeOptions& opts) {
   constexpr auto kStatusEvery = std::chrono::milliseconds(2);
   constexpr auto kSyncRetryAfter = std::chrono::milliseconds(250);
   auto next_status = std::chrono::steady_clock::now();
+  auto next_prune = std::chrono::steady_clock::now();
   auto next_seal = std::chrono::steady_clock::now();
   auto next_resend = std::chrono::steady_clock::now();
   auto next_catchup = std::chrono::steady_clock::now();
@@ -1102,6 +1123,24 @@ int run_svc_node(const SvcNodeOptions& opts) {
     if (wall >= next_status) {
       if (sup_up.load(std::memory_order_relaxed)) send_status(false);
       next_status = wall + kStatusEvery;
+    }
+
+    if (wall >= next_prune) {
+      // Both maps would otherwise grow for the whole run.  A gate at or
+      // below the applied floor can never gate a ship again (a batch only
+      // commits after its init cleared the gate), and reply routing is
+      // only needed while a write is pending — a dropped route costs one
+      // retry into the dedup cache, never a duplicate apply.
+      seal_gate.erase(seal_gate.begin(),
+                      seal_gate.upper_bound(log.applied_floor()));
+      for (auto it = client_of.begin(); it != client_of.end();) {
+        if (pending_seq.count(it->first)) {
+          ++it;
+        } else {
+          it = client_of.erase(it);
+        }
+      }
+      next_prune = wall + std::chrono::milliseconds(100);
     }
 
     if (sup_up.load(std::memory_order_relaxed) ||

@@ -53,6 +53,33 @@ TEST(ReplicatedLog, AcceptTermRules) {
   EXPECT_EQ(log.slot_of(a2), std::optional<std::uint64_t>(1));
 }
 
+TEST(ReplicatedLog, ReSealUnderNewTermVoidsOldTermAcks) {
+  // Lost-acknowledged-write regression: a re-elected leader re-seals its
+  // own batch (SAME action) under a higher term.  The acks recorded under
+  // the old term may cover acceptances the ackers have since replaced —
+  // counting them would commit on a fake quorum, and shifting partitions
+  // can then commit two different actions at one slot at different
+  // replicas.  A term change must void the ack set just like a content
+  // change does.
+  ReplicatedLog log;
+  const ActionId a = make_action(0, 1);
+  ASSERT_TRUE(log.accept(batch(1, 2, a)));
+  log.ack(1, 0);
+  log.ack(1, 1);
+  EXPECT_TRUE(log.has_quorum(1, 3));
+  // Same action, higher term: accepted, but the quorum must be gone.
+  EXPECT_TRUE(log.accept(batch(1, 5, a)));
+  EXPECT_EQ(log.entry(1)->batch.term, 5u);
+  EXPECT_FALSE(log.has_quorum(1, 3));
+  // Fresh acks under the new acceptance rebuild it.
+  log.ack(1, 0);
+  log.ack(1, 2);
+  EXPECT_TRUE(log.has_quorum(1, 3));
+  // Same action, SAME term: idempotent — acks survive.
+  EXPECT_TRUE(log.accept(batch(1, 5, a)));
+  EXPECT_TRUE(log.has_quorum(1, 3));
+}
+
 TEST(ReplicatedLog, CommittedSlotNeverChangesContent) {
   ReplicatedLog log;
   const ActionId a1 = make_action(0, 1);
